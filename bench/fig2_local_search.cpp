@@ -1,0 +1,51 @@
+// Reproduces Fig. 2 of the paper: makespan reduction over execution time
+// for the three local search methods (LM, SLM, LMCTS) inside the cMA, on a
+// consistent hi-hi instance. Expected shape: all three reduce makespan
+// substantially; LMCTS ends lowest.
+#include "bench_common.h"
+
+#include <cmath>
+
+namespace gridsched::bench {
+namespace {
+
+int run(const BenchArgs& args) {
+  print_header("Fig. 2: makespan vs time per local search method", args);
+  const EtcMatrix etc = tuning_instance(args);
+
+  std::vector<CmaVariant> variants;
+  for (LocalSearchKind kind :
+       {LocalSearchKind::kSteepestLocalMove, LocalSearchKind::kLocalMove,
+        LocalSearchKind::kLmcts}) {
+    variants.push_back(
+        {std::string(local_search_name(kind)),
+         [kind](CmaConfig& config) { config.local_search.kind = kind; }});
+  }
+  const std::vector<NamedSeries> series = sweep_variants(args, etc, variants);
+  print_series_table(std::cout, series, 0.0, args.time_ms, 10);
+  if (!args.csv_dir.empty()) {
+    write_series_csv(args.csv_dir + "/fig2_local_search.csv", series, 0.0,
+                     args.time_ms, 50);
+  }
+
+  const double lm_final = series[1].points.back().best_makespan;
+  const double lmcts_final = series[2].points.back().best_makespan;
+  std::cout << "\nfinal mean makespan: LMCTS "
+            << TablePrinter::num(lmcts_final, 0) << " vs LM "
+            << TablePrinter::num(lm_final, 0)
+            << (lmcts_final <= lm_final
+                    ? "  -> LMCTS best, matching Fig. 2"
+                    : "  -> UNEXPECTED: paper has LMCTS best")
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace gridsched::bench
+
+int main(int argc, char** argv) {
+  const auto args = gridsched::bench::parse_args(
+      argc, argv, "Fig. 2: makespan reduction per local search method");
+  if (!args) return 0;
+  return gridsched::bench::run(*args);
+}

@@ -1,0 +1,47 @@
+// Reproduces Fig. 4 of the paper: makespan reduction over execution time
+// for N-tournament selection with N = 3, 5, 7. Expected shape: all three
+// close, N = 3 slightly ahead.
+#include "bench_common.h"
+
+namespace gridsched::bench {
+namespace {
+
+int run(const BenchArgs& args) {
+  print_header("Fig. 4: makespan vs time per tournament size", args);
+  const EtcMatrix etc = tuning_instance(args);
+
+  std::vector<CmaVariant> variants;
+  for (int n : {3, 5, 7}) {
+    variants.push_back(
+        {"Ntour(" + std::to_string(n) + ")",
+         [n](CmaConfig& config) { config.selection.tournament_size = n; }});
+  }
+  const std::vector<NamedSeries> series = sweep_variants(args, etc, variants);
+  print_series_table(std::cout, series, 0.0, args.time_ms, 10);
+  if (!args.csv_dir.empty()) {
+    write_series_csv(args.csv_dir + "/fig4_selection.csv", series, 0.0,
+                     args.time_ms, 50);
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    if (series[i].points.back().best_makespan <
+        series[best].points.back().best_makespan) {
+      best = i;
+    }
+  }
+  std::cout << "\nbest at budget end: " << series[best].name
+            << " (the paper reports similar behaviour for all three, N=3 "
+               "best)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace gridsched::bench
+
+int main(int argc, char** argv) {
+  const auto args = gridsched::bench::parse_args(
+      argc, argv, "Fig. 4: makespan reduction per N-tournament size");
+  if (!args) return 0;
+  return gridsched::bench::run(*args);
+}

@@ -1,0 +1,49 @@
+// Reproduces Fig. 5 of the paper: makespan reduction over execution time
+// for the recombination sweep orders (FLS, FRS, NRS). Expected shape: the
+// three mechanisms perform similarly, FLS slightly best.
+#include "bench_common.h"
+
+namespace gridsched::bench {
+namespace {
+
+int run(const BenchArgs& args) {
+  print_header("Fig. 5: makespan vs time per recombination order", args);
+  const EtcMatrix etc = tuning_instance(args);
+
+  std::vector<CmaVariant> variants;
+  for (SweepKind kind :
+       {SweepKind::kFixedLineSweep, SweepKind::kFixedRandomSweep,
+        SweepKind::kNewRandomSweep}) {
+    variants.push_back(
+        {std::string(sweep_name(kind)),
+         [kind](CmaConfig& config) { config.recombination_order = kind; }});
+  }
+  const std::vector<NamedSeries> series = sweep_variants(args, etc, variants);
+  print_series_table(std::cout, series, 0.0, args.time_ms, 10);
+  if (!args.csv_dir.empty()) {
+    write_series_csv(args.csv_dir + "/fig5_update_order.csv", series, 0.0,
+                     args.time_ms, 50);
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    if (series[i].points.back().best_makespan <
+        series[best].points.back().best_makespan) {
+      best = i;
+    }
+  }
+  std::cout << "\nbest at budget end: " << series[best].name
+            << " (the paper reports all three close, FLS the best "
+               "performer)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace gridsched::bench
+
+int main(int argc, char** argv) {
+  const auto args = gridsched::bench::parse_args(
+      argc, argv, "Fig. 5: makespan reduction per recombination order");
+  if (!args) return 0;
+  return gridsched::bench::run(*args);
+}

@@ -1,0 +1,149 @@
+// google-benchmark micro suite for the hot paths of the library: the
+// incremental evaluator (what local search spends its time in), the
+// evolutionary operators, the constructive heuristics and instance
+// generation. These bound the evaluations-per-second the cMA can sustain.
+#include <benchmark/benchmark.h>
+
+#include "cma/crossover.h"
+#include "cma/local_search.h"
+#include "cma/mutation.h"
+#include "core/evaluator.h"
+#include "etc/instance.h"
+#include "heuristics/constructive.h"
+
+namespace gridsched {
+namespace {
+
+EtcMatrix bench_instance(int jobs = 512, int machines = 16) {
+  InstanceSpec spec;
+  spec.num_jobs = jobs;
+  spec.num_machines = machines;
+  return generate_instance(spec);
+}
+
+void BM_EvaluatorReset(benchmark::State& state) {
+  const EtcMatrix etc = bench_instance();
+  Rng rng(1);
+  const Schedule s = Schedule::random(etc.num_jobs(), etc.num_machines(), rng);
+  ScheduleEvaluator eval(etc);
+  for (auto _ : state) {
+    eval.reset(s);
+    benchmark::DoNotOptimize(eval.makespan());
+  }
+}
+BENCHMARK(BM_EvaluatorReset);
+
+void BM_PreviewMove(benchmark::State& state) {
+  const EtcMatrix etc = bench_instance();
+  Rng rng(2);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+  JobId j = 0;
+  for (auto _ : state) {
+    const MachineId to =
+        static_cast<MachineId>((eval.schedule()[j] + 1) % etc.num_machines());
+    benchmark::DoNotOptimize(eval.preview_move(j, to));
+    j = (j + 1) % etc.num_jobs();
+  }
+}
+BENCHMARK(BM_PreviewMove);
+
+void BM_PreviewSwap(benchmark::State& state) {
+  const EtcMatrix etc = bench_instance();
+  Rng rng(3);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+  JobId a = 0;
+  for (auto _ : state) {
+    JobId b = (a + 1) % etc.num_jobs();
+    while (eval.schedule()[a] == eval.schedule()[b]) {
+      b = (b + 1) % etc.num_jobs();
+    }
+    benchmark::DoNotOptimize(eval.preview_swap(a, b));
+    a = (a + 1) % etc.num_jobs();
+  }
+}
+BENCHMARK(BM_PreviewSwap);
+
+void BM_ApplyMove(benchmark::State& state) {
+  const EtcMatrix etc = bench_instance();
+  Rng rng(4);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+  JobId j = 0;
+  for (auto _ : state) {
+    const MachineId to =
+        static_cast<MachineId>((eval.schedule()[j] + 1) % etc.num_machines());
+    eval.apply_move(j, to);
+    j = (j + 1) % etc.num_jobs();
+  }
+}
+BENCHMARK(BM_ApplyMove);
+
+void BM_LocalSearchLmctsStep(benchmark::State& state) {
+  const EtcMatrix etc = bench_instance();
+  Rng rng(5);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+  const LocalSearchConfig config{LocalSearchKind::kLmcts, 1};
+  const FitnessWeights weights{};
+  for (auto _ : state) {
+    state.PauseTiming();
+    eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(local_search(config, weights, eval, rng));
+  }
+}
+BENCHMARK(BM_LocalSearchLmctsStep);
+
+void BM_OnePointCrossover(benchmark::State& state) {
+  Rng rng(6);
+  const Schedule a = Schedule::random(512, 16, rng);
+  const Schedule b = Schedule::random(512, 16, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crossover(CrossoverKind::kOnePoint, a, b, rng));
+  }
+}
+BENCHMARK(BM_OnePointCrossover);
+
+void BM_RebalanceMutation(benchmark::State& state) {
+  const EtcMatrix etc = bench_instance();
+  Rng rng(7);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+  for (auto _ : state) {
+    mutate(MutationKind::kRebalance, eval, rng);
+  }
+}
+BENCHMARK(BM_RebalanceMutation);
+
+void BM_MinMin(benchmark::State& state) {
+  const EtcMatrix etc =
+      bench_instance(static_cast<int>(state.range(0)), 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_min(etc));
+  }
+}
+BENCHMARK(BM_MinMin)->Arg(128)->Arg(512);
+
+void BM_LjfrSjfr(benchmark::State& state) {
+  const EtcMatrix etc = bench_instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ljfr_sjfr(etc));
+  }
+}
+BENCHMARK(BM_LjfrSjfr);
+
+void BM_GenerateInstance(benchmark::State& state) {
+  InstanceSpec spec;
+  int k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_instance(spec, ++k));
+  }
+}
+BENCHMARK(BM_GenerateInstance);
+
+}  // namespace
+}  // namespace gridsched
+
+BENCHMARK_MAIN();

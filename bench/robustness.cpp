@@ -1,0 +1,59 @@
+// Section 5.1's robustness claim: "the standard deviation of the best
+// makespan from the averaged makespan is very small (roughly 1%)".
+// This bench reports mean, stddev and the coefficient of variation of the
+// per-run best makespan over the 12 instances.
+#include "bench_common.h"
+
+#include "common/stats.h"
+
+namespace gridsched::bench {
+namespace {
+
+int run(const BenchArgs& args) {
+  print_header("Robustness: makespan spread across independent cMA runs",
+               args);
+  const auto instances = benchmark_instances(args);
+
+  std::vector<SeededRun> jobs;
+  for (const auto& instance : instances) {
+    const EtcMatrix* etc = &instance.etc;
+    jobs.push_back([etc, &args](std::uint64_t seed) {
+      CmaConfig config = paper_cma_config(args);
+      config.seed = seed;
+      return CellularMemeticAlgorithm(config).run(*etc);
+    });
+  }
+  const auto results = run_matrix(jobs, args.runs, args.seed,
+                                  shared_pool(args));
+
+  TablePrinter table(
+      {"Instance", "mean", "stddev", "cv%", "best", "worst"});
+  double worst_cv = 0.0;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const auto& cma = results[i];
+    const double cv = cma.makespan.mean > 0
+                          ? cma.makespan.stddev / cma.makespan.mean * 100.0
+                          : 0.0;
+    worst_cv = std::max(worst_cv, cv);
+    table.add_row({instances[i].label, TablePrinter::num(cma.makespan.mean),
+                   TablePrinter::num(cma.makespan.stddev),
+                   TablePrinter::num(cv, 2),
+                   TablePrinter::num(cma.makespan.min),
+                   TablePrinter::num(cma.makespan.max)});
+  }
+  table.print(std::cout);
+  std::cout << "\nworst coefficient of variation: "
+            << TablePrinter::num(worst_cv, 2)
+            << "% (the paper reports roughly 1%)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace gridsched::bench
+
+int main(int argc, char** argv) {
+  const auto args = gridsched::bench::parse_args(
+      argc, argv, "Robustness: stddev of best makespan across runs");
+  if (!args) return 0;
+  return gridsched::bench::run(*args);
+}

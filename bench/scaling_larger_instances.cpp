@@ -1,0 +1,93 @@
+// The paper's conclusions: "evaluating our cMA with larger size grid
+// instances is being done using instances generated according to the ETC
+// model". This bench runs that study: consistent hi-hi instances from the
+// benchmark's 512x16 up to 4096x128, comparing the cMA against Min-Min
+// (the strongest constructive heuristic) and the Struggle GA at the same
+// budget.
+#include "bench_common.h"
+
+#include "core/individual.h"
+
+namespace gridsched::bench {
+namespace {
+
+int run(const BenchArgs& args) {
+  print_header("Scaling: larger ETC instances (future-work study)", args);
+
+  struct Shape {
+    int jobs;
+    int machines;
+  };
+  const std::vector<Shape> shapes{{512, 16}, {1024, 32}, {2048, 64},
+                                  {4096, 128}};
+
+  std::vector<EtcMatrix> instances;
+  std::vector<SeededRun> jobs;
+  for (const Shape& shape : shapes) {
+    InstanceSpec spec;  // consistent hi-hi
+    spec.num_jobs = shape.jobs;
+    spec.num_machines = shape.machines;
+    instances.push_back(generate_instance(spec));
+  }
+  for (const EtcMatrix& etc : instances) {
+    const EtcMatrix* etc_ptr = &etc;
+    jobs.push_back([etc_ptr, &args](std::uint64_t seed) {
+      CmaConfig config = paper_cma_config(args);
+      config.seed = seed;
+      return CellularMemeticAlgorithm(config).run(*etc_ptr);
+    });
+    jobs.push_back([etc_ptr, &args](std::uint64_t seed) {
+      StruggleGaConfig config;
+      config.stop = StopCondition{.max_time_ms = args.time_ms};
+      config.seed = seed;
+      return StruggleGa(config).run(*etc_ptr);
+    });
+  }
+  const auto results = run_matrix(jobs, args.runs, args.seed,
+                                  shared_pool(args));
+
+  TablePrinter table({"shape", "Min-Min", "Struggle GA", "cMA",
+                      "cMA vs Min-Min %", "cMA evals/run"});
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const EtcMatrix& etc = instances[i];
+    const Individual minmin =
+        make_individual(min_min(etc), etc, FitnessWeights{});
+    // Push order above: cMA first, Struggle second.
+    const auto& cma = results[2 * i];
+    const auto& struggle = results[2 * i + 1];
+    double evals = 0.0;
+    for (const auto& run : cma.runs) {
+      evals += static_cast<double>(run.evaluations);
+    }
+    evals /= static_cast<double>(cma.runs.size());
+    table.add_row(
+        {std::to_string(shapes[i].jobs) + "x" +
+             std::to_string(shapes[i].machines),
+         TablePrinter::num(minmin.objectives.makespan, 0),
+         TablePrinter::num(struggle.makespan.min, 0),
+         TablePrinter::num(cma.makespan.min, 0),
+         TablePrinter::pct((minmin.objectives.makespan - cma.makespan.min) /
+                               minmin.objectives.makespan * 100.0,
+                           2),
+         TablePrinter::num(evals, 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: the LJFR-seeded cMA's fixed-budget margin over "
+               "Min-Min shrinks as the instance grows (evaluations per gene "
+               "collapse) and eventually inverts, while the Min-Min-seeded "
+               "Struggle GA merely clings to its seed. Large grids need "
+               "longer budgets or stronger seeding — which is the paper's "
+               "argument for scheduling *small dynamic batches* with the "
+               "cMA rather than giant static instances\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace gridsched::bench
+
+int main(int argc, char** argv) {
+  const auto args = gridsched::bench::parse_args(
+      argc, argv, "Scaling study on larger ETC instances");
+  if (!args) return 0;
+  return gridsched::bench::run(*args);
+}

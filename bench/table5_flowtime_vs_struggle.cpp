@@ -1,0 +1,67 @@
+// Reproduces Table 5 of the paper: flowtime of the Struggle GA vs the cMA.
+#include "bench_common.h"
+
+#include "common/stats.h"
+
+namespace gridsched::bench {
+namespace {
+
+int run(const BenchArgs& args) {
+  print_header("Table 5: flowtime, Struggle GA vs cMA", args);
+  const auto instances = benchmark_instances(args);
+
+  std::vector<SeededRun> jobs;
+  for (const auto& instance : instances) {
+    const EtcMatrix* etc = &instance.etc;
+    jobs.push_back([etc, &args](std::uint64_t seed) {
+      StruggleGaConfig config;
+      config.stop = StopCondition{.max_time_ms = args.time_ms};
+      config.seed = seed;
+      return StruggleGa(config).run(*etc);
+    });
+    jobs.push_back([etc, &args](std::uint64_t seed) {
+      CmaConfig config = paper_cma_config(args);
+      config.seed = seed;
+      return CellularMemeticAlgorithm(config).run(*etc);
+    });
+  }
+  const auto results = run_matrix(jobs, args.runs, args.seed,
+                                  shared_pool(args));
+
+  TablePrinter table({"Instance", "Struggle (meas)", "cMA (meas)",
+                      "d% (meas)", "Struggle (paper)", "cMA (paper)",
+                      "d% (paper)"});
+  int cma_wins = 0;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const std::string& label = instances[i].label;
+    // "Results for flowtime parameter": best flowtime across runs, for
+    // both algorithms symmetrically.
+    const double struggle_flow = results[2 * i].flowtime.min;
+    const double cma_flow = results[2 * i + 1].flowtime.min;
+    cma_wins += (cma_flow < struggle_flow) ? 1 : 0;
+
+    const auto paper = paper_reference(label);
+    table.add_row(
+        {label, TablePrinter::num(struggle_flow), TablePrinter::num(cma_flow),
+         TablePrinter::pct(percent_delta(struggle_flow, cma_flow)),
+         paper ? TablePrinter::num(paper->struggle_ga_flowtime) : "-",
+         paper ? TablePrinter::num(paper->cma_flowtime) : "-",
+         paper ? TablePrinter::pct(percent_delta(paper->struggle_ga_flowtime,
+                                                 paper->cma_flowtime))
+               : "-"});
+  }
+  table.print(std::cout);
+  std::cout << "\ncMA beats Struggle GA on flowtime on " << cma_wins
+            << "/12 instances (the paper reports 12/12)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace gridsched::bench
+
+int main(int argc, char** argv) {
+  const auto args = gridsched::bench::parse_args(
+      argc, argv, "Table 5: flowtime, Struggle GA vs cMA");
+  if (!args) return 0;
+  return gridsched::bench::run(*args);
+}

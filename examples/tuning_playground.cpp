@@ -1,0 +1,140 @@
+// Tuning playground: re-run the paper's Section 4 parameter study on any
+// single knob and see the effect within seconds.
+//
+//   $ ./tuning_playground --knob neighborhood
+//   $ ./tuning_playground --knob local-search --time-ms 800
+//   $ ./tuning_playground --knob mutations
+//
+// Knobs: neighborhood | local-search | tournament | order | mutations |
+// recombinations | population.
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchutil/experiment.h"
+#include "benchutil/table.h"
+#include "cma/cma.h"
+#include "common/cli.h"
+#include "etc/instance.h"
+
+int main(int argc, char** argv) {
+  using namespace gridsched;
+
+  CliParser cli("Sweep one cMA parameter on a benchmark instance");
+  cli.flag("knob", "neighborhood", "which parameter to sweep (see header)");
+  cli.flag("time-ms", "300", "budget per run");
+  cli.flag("runs", "3", "runs per configuration");
+  cli.flag("jobs", "256", "jobs");
+  cli.flag("machines", "16", "machines");
+  cli.flag("instance", "u_c_hihi.0",
+           "Braun-style class label to sweep on (e.g. u_i_lohi.0)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  auto parsed = parse_instance_name(cli.get("instance"));
+  if (!parsed) {
+    std::cerr << "bad --instance label '" << cli.get("instance") << "'\n";
+    return 1;
+  }
+  InstanceSpec spec = *parsed;
+  spec.num_jobs = static_cast<int>(cli.get_int("jobs"));
+  spec.num_machines = static_cast<int>(cli.get_int("machines"));
+  const EtcMatrix etc = generate_instance(spec);
+  const std::string knob = cli.get("knob");
+
+  using Variant = std::pair<std::string, std::function<void(CmaConfig&)>>;
+  std::vector<Variant> variants;
+  if (knob == "neighborhood") {
+    for (NeighborhoodKind k :
+         {NeighborhoodKind::kPanmictic, NeighborhoodKind::kL5,
+          NeighborhoodKind::kL9, NeighborhoodKind::kC9,
+          NeighborhoodKind::kC13}) {
+      variants.emplace_back(std::string(neighborhood_name(k)),
+                            [k](CmaConfig& c) { c.neighborhood = k; });
+    }
+  } else if (knob == "local-search") {
+    for (LocalSearchKind k :
+         {LocalSearchKind::kNone, LocalSearchKind::kLocalMove,
+          LocalSearchKind::kSteepestLocalMove, LocalSearchKind::kLmcts}) {
+      variants.emplace_back(std::string(local_search_name(k)),
+                            [k](CmaConfig& c) { c.local_search.kind = k; });
+    }
+  } else if (knob == "tournament") {
+    for (int n : {2, 3, 5, 7}) {
+      variants.emplace_back("N=" + std::to_string(n), [n](CmaConfig& c) {
+        c.selection.tournament_size = n;
+      });
+    }
+  } else if (knob == "order") {
+    for (SweepKind k : {SweepKind::kFixedLineSweep,
+                        SweepKind::kFixedRandomSweep,
+                        SweepKind::kNewRandomSweep}) {
+      variants.emplace_back(std::string(sweep_name(k)), [k](CmaConfig& c) {
+        c.recombination_order = k;
+      });
+    }
+  } else if (knob == "mutations") {
+    for (int n : {0, 6, 12, 25}) {
+      variants.emplace_back("mutations=" + std::to_string(n),
+                            [n](CmaConfig& c) {
+                              c.mutations_per_iteration = n;
+                            });
+    }
+  } else if (knob == "recombinations") {
+    for (int n : {5, 12, 25, 50}) {
+      variants.emplace_back("recombinations=" + std::to_string(n),
+                            [n](CmaConfig& c) {
+                              c.recombinations_per_iteration = n;
+                            });
+    }
+  } else if (knob == "scan") {
+    using Scan = LmctsScan;
+    for (auto [name, scan] :
+         {std::pair{"critical-random-job", Scan::kCriticalRandomJob},
+          std::pair{"critical-all-jobs", Scan::kCriticalAllJobs},
+          std::pair{"sampled", Scan::kSampled},
+          std::pair{"full", Scan::kFull}}) {
+      variants.emplace_back(name, [scan](CmaConfig& c) {
+        c.local_search.scan = scan;
+      });
+    }
+  } else if (knob == "population") {
+    for (int side : {3, 5, 8}) {
+      variants.emplace_back(
+          std::to_string(side) + "x" + std::to_string(side),
+          [side](CmaConfig& c) {
+            c.pop_height = side;
+            c.pop_width = side;
+          });
+    }
+  } else {
+    std::cerr << "unknown knob '" << knob << "'\n" << cli.help_text();
+    return 1;
+  }
+
+  std::cout << "sweeping " << knob << " on " << spec.name() << " ("
+            << cli.get("runs") << " runs x " << cli.get("time-ms")
+            << " ms)\n\n";
+  ThreadPool pool;
+  TablePrinter table({knob, "makespan (mean)", "makespan (best)",
+                      "flowtime (mean)", "fitness (mean)"});
+  for (const auto& [name, tweak] : variants) {
+    const auto result = run_many(
+        static_cast<int>(cli.get_int("runs")), 7,
+        [&, tweak = tweak](std::uint64_t seed) {
+          CmaConfig config;
+          config.stop =
+              StopCondition{.max_time_ms = cli.get_double("time-ms")};
+          config.seed = seed;
+          tweak(config);
+          return CellularMemeticAlgorithm(config).run(etc);
+        },
+        &pool);
+    table.add_row({name, TablePrinter::num(result.makespan.mean, 1),
+                   TablePrinter::num(result.makespan.min, 1),
+                   TablePrinter::num(result.flowtime.mean, 1),
+                   TablePrinter::num(result.fitness.mean, 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

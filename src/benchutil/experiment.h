@@ -1,0 +1,50 @@
+// Multi-run experiment driver: runs an algorithm factory N times with
+// derived seeds (optionally across a thread pool — every engine in the
+// library is single-threaded and deterministic, so independent runs
+// parallelize perfectly) and aggregates best/mean/stddev, which is exactly
+// the protocol of Section 5 ("10 runs per instance, best reported",
+// stddev for the robustness claim).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "core/evolution.h"
+#include "etc/etc_matrix.h"
+
+namespace gridsched {
+
+/// Runs `run_with_seed` for seeds seed0+1 .. seed0+runs and aggregates.
+struct MultiRunResult {
+  std::vector<EvolutionResult> runs;
+  Summary makespan;
+  Summary flowtime;
+  Summary fitness;
+  /// Index into `runs` of the best-fitness run.
+  std::size_t best_run = 0;
+
+  [[nodiscard]] const EvolutionResult& best() const { return runs[best_run]; }
+};
+
+using SeededRun = std::function<EvolutionResult(std::uint64_t seed)>;
+
+/// `pool` may be nullptr for sequential execution.
+[[nodiscard]] MultiRunResult run_many(int runs, std::uint64_t seed0,
+                                      const SeededRun& run_with_seed,
+                                      ThreadPool* pool = nullptr);
+
+/// Aggregates already-collected runs (shared by run_many and run_matrix).
+[[nodiscard]] MultiRunResult aggregate_runs(std::vector<EvolutionResult> runs);
+
+/// Runs a whole experiment grid — `jobs.size()` configurations x `runs`
+/// repetitions — as one flat parallel workload, so a 24-core box saturates
+/// even when each configuration only repeats 3 times. Result i aggregates
+/// the repetitions of jobs[i]. Seeds match run_many's convention, so a
+/// matrix run reproduces the corresponding sequential runs exactly.
+[[nodiscard]] std::vector<MultiRunResult> run_matrix(
+    const std::vector<SeededRun>& jobs, int runs, std::uint64_t seed0,
+    ThreadPool& pool);
+
+}  // namespace gridsched

@@ -1,0 +1,70 @@
+#include "benchutil/series.h"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "benchutil/table.h"
+#include "common/csv.h"
+
+namespace gridsched {
+
+double series_value_at(const std::vector<ProgressPoint>& points, double t_ms) {
+  if (points.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double value = points.front().best_makespan;
+  for (const auto& p : points) {
+    if (p.time_ms > t_ms) break;
+    value = p.best_makespan;
+  }
+  return value;
+}
+
+namespace {
+
+std::vector<double> time_grid(double t0_ms, double t1_ms, int samples) {
+  std::vector<double> grid;
+  grid.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const double frac =
+        samples > 1 ? static_cast<double>(i) / (samples - 1) : 1.0;
+    grid.push_back(t0_ms + frac * (t1_ms - t0_ms));
+  }
+  return grid;
+}
+
+}  // namespace
+
+void print_series_table(std::ostream& out,
+                        const std::vector<NamedSeries>& series, double t0_ms,
+                        double t1_ms, int samples) {
+  std::vector<std::string> headers{"time (s)"};
+  for (const auto& s : series) headers.push_back(s.name);
+  TablePrinter table(std::move(headers));
+  for (double t : time_grid(t0_ms, t1_ms, samples)) {
+    std::vector<std::string> row{TablePrinter::num(t / 1000.0, 2)};
+    for (const auto& s : series) {
+      const double v = series_value_at(s.points, t);
+      row.push_back(std::isnan(v) ? "-" : TablePrinter::num(v, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+}
+
+void write_series_csv(const std::string& path,
+                      const std::vector<NamedSeries>& series, double t0_ms,
+                      double t1_ms, int samples) {
+  CsvWriter csv(path);
+  std::vector<std::string> header{"time_ms"};
+  for (const auto& s : series) header.push_back(s.name);
+  csv.write_row(header);
+  for (double t : time_grid(t0_ms, t1_ms, samples)) {
+    std::vector<std::string> row{CsvWriter::field(t)};
+    for (const auto& s : series) {
+      row.push_back(CsvWriter::field(series_value_at(s.points, t)));
+    }
+    csv.write_row(row);
+  }
+}
+
+}  // namespace gridsched

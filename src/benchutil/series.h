@@ -1,0 +1,36 @@
+// Time-series recording for the Fig. 2-5 style "makespan vs execution
+// time" plots: resamples best-so-far trajectories onto a common time grid
+// and renders them as aligned columns or CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evolution.h"
+
+namespace gridsched {
+
+/// One named best-so-far trajectory.
+struct NamedSeries {
+  std::string name;
+  std::vector<ProgressPoint> points;
+};
+
+/// Value of the best-so-far `makespan` trajectory at time t (step function:
+/// the last sample at or before t; the first sample's value before that;
+/// NaN for an empty trajectory).
+[[nodiscard]] double series_value_at(const std::vector<ProgressPoint>& points,
+                                     double t_ms);
+
+/// Resamples all series onto `samples` evenly spaced instants spanning
+/// [t0, t1] and prints one row per instant:  time_s  <one column per series>.
+void print_series_table(std::ostream& out,
+                        const std::vector<NamedSeries>& series, double t0_ms,
+                        double t1_ms, int samples);
+
+/// Writes the same grid as CSV (header: time_ms, <names...>).
+void write_series_csv(const std::string& path,
+                      const std::vector<NamedSeries>& series, double t0_ms,
+                      double t1_ms, int samples);
+
+}  // namespace gridsched

@@ -1,0 +1,92 @@
+#include "benchutil/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace gridsched {
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (char c : cell) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != 'e' && c != 'E' && c != '%') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::add_separator() { rows_.emplace_back(); }
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_rule = [&] {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      out << (c == 0 ? "+-" : "-+-") << std::string(widths[c], '-');
+    }
+    out << "-+\n";
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells,
+                         bool is_header) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string cell = c < cells.size() ? cells[c] : std::string{};
+      out << (c == 0 ? "| " : " | ");
+      const bool right = !is_header && c > 0 && looks_numeric(cell);
+      if (right) {
+        out << std::setw(static_cast<int>(widths[c])) << std::right << cell;
+      } else {
+        out << std::setw(static_cast<int>(widths[c])) << std::left << cell;
+      }
+    }
+    out << " |\n";
+  };
+
+  print_rule();
+  print_cells(headers_, /*is_header=*/true);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_rule();
+    } else {
+      print_cells(row, /*is_header=*/false);
+    }
+  }
+  print_rule();
+}
+
+std::string TablePrinter::num(double value, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << value;
+  return out.str();
+}
+
+std::string TablePrinter::pct(double value, int decimals) {
+  std::ostringstream out;
+  out << std::showpos << std::fixed << std::setprecision(decimals) << value;
+  return out.str();
+}
+
+}  // namespace gridsched

@@ -1,0 +1,38 @@
+// Fixed-width text tables for bench output (the harness prints the paper's
+// tables next to measured values, so alignment matters for readability).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gridsched {
+
+class TablePrinter {
+ public:
+  enum class Align { kLeft, kRight };
+
+  /// Defines the columns. Each column gets the width of its widest cell.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Horizontal separator line between the previous and next row.
+  void add_separator();
+
+  /// Renders with a header rule. Numeric-looking cells are right-aligned.
+  void print(std::ostream& out) const;
+
+  /// Formats a double with `decimals` digits after the point, grouping
+  /// thousands ("7 700 929.751" style used in the paper's tables reads
+  /// poorly in ASCII; we use plain "7700929.751").
+  static std::string num(double value, int decimals = 3);
+  /// Percent with sign, e.g. "+4.35" / "-0.59".
+  static std::string pct(double value, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = separator
+};
+
+}  // namespace gridsched

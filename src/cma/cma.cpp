@@ -1,0 +1,120 @@
+#include "cma/cma.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "heuristics/constructive.h"
+
+namespace gridsched {
+
+CellularMemeticAlgorithm::CellularMemeticAlgorithm(CmaConfig config)
+    : config_(std::move(config)) {
+  if (config_.pop_height <= 0 || config_.pop_width <= 0) {
+    throw std::invalid_argument("CmaConfig: population must be non-empty");
+  }
+  if (config_.parents_per_recombination < 2) {
+    throw std::invalid_argument("CmaConfig: need at least 2 parents");
+  }
+  if (!config_.stop.any_enabled()) {
+    throw std::invalid_argument("CmaConfig: no stop condition enabled");
+  }
+}
+
+std::vector<Individual> CellularMemeticAlgorithm::initialize_population(
+    const EtcMatrix& etc, Rng& rng) const {
+  const int pop_size = config_.pop_height * config_.pop_width;
+  std::vector<Individual> population;
+  population.reserve(static_cast<std::size_t>(pop_size));
+
+  if (config_.init == InitKind::kLjfrSjfr) {
+    const Schedule seed = ljfr_sjfr(etc);
+    population.push_back(make_individual(seed, etc, config_.weights));
+    for (int i = 1; i < pop_size; ++i) {
+      Schedule perturbed = seed;
+      perturbed.perturb(config_.init_perturbation, etc.num_machines(), rng);
+      population.push_back(
+          make_individual(std::move(perturbed), etc, config_.weights));
+    }
+  } else {
+    for (int i = 0; i < pop_size; ++i) {
+      population.push_back(make_individual(
+          Schedule::random(etc.num_jobs(), etc.num_machines(), rng), etc,
+          config_.weights));
+    }
+  }
+  return population;
+}
+
+EvolutionResult CellularMemeticAlgorithm::run(const EtcMatrix& etc) const {
+  Rng rng(config_.seed);
+  EvolutionTracker tracker(config_.stop, config_.record_progress);
+
+  // --- Initialize the mesh; improve every individual by local search. ---
+  std::vector<Individual> population = initialize_population(etc, rng);
+  ScheduleEvaluator evaluator(etc);
+  for (Individual& individual : population) {
+    evaluator.reset(individual.schedule);
+    local_search(config_.local_search, config_.weights, evaluator, rng);
+    individual = individual_from_evaluator(evaluator, config_.weights);
+    tracker.count_evaluations();
+    tracker.offer(individual);
+  }
+
+  const Topology topology(config_.pop_height, config_.pop_width,
+                          config_.neighborhood);
+  SweepOrder rec_order(config_.recombination_order, topology.size(), rng);
+  SweepOrder mut_order(config_.mutation_order, topology.size(), rng);
+
+  // Offspring pipeline shared by both loops: local-search then evaluate,
+  // replace the cell if better (or unconditionally when add_only_if_better
+  // is disabled — kept for ablation).
+  auto improve_and_replace = [&](int cell, const Schedule& offspring) {
+    evaluator.reset(offspring);
+    local_search(config_.local_search, config_.weights, evaluator, rng);
+    Individual candidate = individual_from_evaluator(evaluator, config_.weights);
+    tracker.count_evaluations();
+    auto& resident = population[static_cast<std::size_t>(cell)];
+    if (!config_.add_only_if_better || candidate.fitness < resident.fitness) {
+      resident = std::move(candidate);
+      tracker.offer(resident);
+    }
+  };
+
+  while (!tracker.should_stop()) {
+    // --- Recombination sweep. ---
+    for (int j = 0; j < config_.recombinations_per_iteration; ++j) {
+      const int cell = rec_order.current();
+      const auto neighborhood = topology.neighbors(cell);
+      const std::vector<int> parents =
+          select_many(config_.selection, config_.parents_per_recombination,
+                      neighborhood, population, rng);
+      std::vector<const Schedule*> parent_schedules;
+      parent_schedules.reserve(parents.size());
+      for (int p : parents) {
+        parent_schedules.push_back(
+            &population[static_cast<std::size_t>(p)].schedule);
+      }
+      improve_and_replace(
+          cell, recombine_fold(config_.crossover, parent_schedules, rng));
+      rec_order.next(rng);
+      if (tracker.should_stop()) break;
+    }
+    if (tracker.should_stop()) break;
+
+    // --- Mutation sweep (independent order; see header note). ---
+    for (int j = 0; j < config_.mutations_per_iteration; ++j) {
+      const int cell = mut_order.current();
+      evaluator.reset(population[static_cast<std::size_t>(cell)].schedule);
+      mutate(config_.mutation, evaluator, rng);
+      improve_and_replace(cell, evaluator.schedule());
+      mut_order.next(rng);
+      if (tracker.should_stop()) break;
+    }
+
+    tracker.end_iteration();
+    if (config_.observer) config_.observer(tracker.iterations(), population);
+  }
+  return tracker.finish();
+}
+
+}  // namespace gridsched

@@ -1,0 +1,41 @@
+// The Cellular Memetic Algorithm engine — Algorithm 1 of the paper.
+//
+// Asynchronous cellular model: within one iteration, first
+// `recombinations_per_iteration` cells are visited in the recombination
+// sweep order (each recombines parents selected from its neighborhood,
+// offspring is locally improved, and replaces the cell if better), then
+// `mutations_per_iteration` cells are visited in the independent mutation
+// sweep order (mutate, improve, replace if better). Because updates are
+// asynchronous, a cell sees earlier replacements of the same iteration.
+//
+// Note on the paper's pseudo-code: its mutation loop reads
+// "Replace P[rec_order.current]" / "rec_order.next()", which contradicts
+// the surrounding text and Table 1 (mutation has its own NRS order). We use
+// mut_order there; DESIGN.md section 4 records the decision.
+#pragma once
+
+#include "cma/config.h"
+#include "core/evolution.h"
+#include "etc/etc_matrix.h"
+
+namespace gridsched {
+
+class CellularMemeticAlgorithm {
+ public:
+  explicit CellularMemeticAlgorithm(CmaConfig config);
+
+  /// Runs the full algorithm on an instance. Deterministic in config.seed.
+  [[nodiscard]] EvolutionResult run(const EtcMatrix& etc) const;
+
+  [[nodiscard]] const CmaConfig& config() const noexcept { return config_; }
+
+  /// Builds the initial mesh population for an instance (exposed for tests
+  /// and for warm-started dynamic scheduling).
+  [[nodiscard]] std::vector<Individual> initialize_population(
+      const EtcMatrix& etc, Rng& rng) const;
+
+ private:
+  CmaConfig config_;
+};
+
+}  // namespace gridsched

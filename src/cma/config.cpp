@@ -1,0 +1,22 @@
+#include "cma/config.h"
+
+#include <sstream>
+
+namespace gridsched {
+
+std::string CmaConfig::describe() const {
+  std::ostringstream out;
+  out << "cMA[" << pop_height << 'x' << pop_width << ' '
+      << neighborhood_name(neighborhood) << " rec="
+      << recombinations_per_iteration << '/'
+      << sweep_name(recombination_order) << " mut="
+      << mutations_per_iteration << '/' << sweep_name(mutation_order) << ' '
+      << crossover_name(crossover) << '+' << mutation_name(mutation) << ' '
+      << local_search_name(local_search.kind) << 'x'
+      << local_search.iterations << " sel="
+      << selection_name(selection.kind) << '(' << selection.tournament_size
+      << ") lambda=" << weights.lambda << ']';
+  return out.str();
+}
+
+}  // namespace gridsched

@@ -1,0 +1,87 @@
+// Full configuration of the Cellular Memetic Algorithm.
+//
+// The defaults are exactly the tuned configuration of Table 1 of the paper;
+// tests/test_cma_config.cpp pins them. Anything the paper varied in its
+// tuning study (Figs. 2-5) is a field here so the bench harness can sweep it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "cma/crossover.h"
+#include "cma/local_search.h"
+#include "cma/mutation.h"
+#include "cma/selection.h"
+#include "cma/topology.h"
+#include "cma/update_order.h"
+#include "core/evolution.h"
+#include "core/fitness.h"
+
+namespace gridsched {
+
+/// How the initial mesh is seeded.
+enum class InitKind {
+  kLjfrSjfr,  // paper: individual 0 = LJFR-SJFR, rest = large perturbations
+  kRandom,    // all uniform random (control)
+};
+
+struct CmaConfig {
+  // Table 1: population height/width 5 x 5.
+  int pop_height = 5;
+  int pop_width = 5;
+
+  // Table 1: neighborhood pattern C9.
+  NeighborhoodKind neighborhood = NeighborhoodKind::kC9;
+
+  // Table 1: recombination order FLS, mutation order NRS.
+  SweepKind recombination_order = SweepKind::kFixedLineSweep;
+  SweepKind mutation_order = SweepKind::kNewRandomSweep;
+
+  // Table 1: nb recombinations 25, nb mutations 12 (per iteration).
+  int recombinations_per_iteration = 25;
+  int mutations_per_iteration = 12;
+
+  // Table 1: nb solutions to recombine 3, 3-tournament selection.
+  int parents_per_recombination = 3;
+  SelectionConfig selection{SelectionKind::kTournament, 3};
+
+  // Table 1: One-Point recombination, Rebalance mutation, LMCTS local
+  // search with 5 iterations.
+  CrossoverKind crossover = CrossoverKind::kOnePoint;
+  MutationKind mutation = MutationKind::kRebalance;
+  LocalSearchConfig local_search{LocalSearchKind::kLmcts, 5};
+
+  // Table 1: add only if better.
+  bool add_only_if_better = true;
+
+  // Table 1: start choice LJFR-SJFR; the rest of the mesh is obtained by
+  // "large perturbations" — each gene re-randomized with this probability.
+  InitKind init = InitKind::kLjfrSjfr;
+  double init_perturbation = 0.5;
+
+  // Eq. 3: lambda = 0.75.
+  FitnessWeights weights{};
+
+  // Table 1: max 90 s wall clock. Benches scale this down (DESIGN.md §3).
+  StopCondition stop{.max_time_ms = 90'000.0};
+
+  std::uint64_t seed = 1;
+
+  /// Keep the best-so-far trajectory (needed by the Fig. 2-5 benches; off
+  /// by default to keep inner-loop allocations away from timing runs).
+  bool record_progress = false;
+
+  /// Optional hook invoked after every iteration with the live population
+  /// (read-only). Used by the diversity study (bench/ablation_diversity)
+  /// and available for custom instrumentation. Leave empty for zero cost.
+  std::function<void(std::int64_t iteration,
+                     std::span<const Individual> population)>
+      observer;
+
+  /// One-line human-readable summary (used in bench output headers).
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace gridsched

@@ -1,0 +1,62 @@
+#include "cma/crossover.h"
+
+#include <stdexcept>
+
+namespace gridsched {
+
+std::string_view crossover_name(CrossoverKind k) noexcept {
+  switch (k) {
+    case CrossoverKind::kOnePoint: return "OnePoint";
+    case CrossoverKind::kTwoPoint: return "TwoPoint";
+    case CrossoverKind::kUniform: return "Uniform";
+  }
+  return "?";
+}
+
+Schedule crossover(CrossoverKind kind, const Schedule& a, const Schedule& b,
+                   Rng& rng) {
+  const int n = a.num_jobs();
+  if (n != b.num_jobs()) {
+    throw std::invalid_argument("crossover: parent size mismatch");
+  }
+  Schedule child = a;
+  switch (kind) {
+    case CrossoverKind::kOnePoint: {
+      // cut in [1, n-1]: both parents always contribute.
+      const int cut = n >= 2 ? rng.uniform_int(1, n - 1) : 0;
+      for (JobId j = cut; j < n; ++j) child[j] = b[j];
+      break;
+    }
+    case CrossoverKind::kTwoPoint: {
+      if (n >= 3) {
+        int lo = rng.uniform_int(1, n - 2);
+        int hi = rng.uniform_int(lo + 1, n - 1);
+        for (JobId j = lo; j < hi; ++j) child[j] = b[j];
+      } else if (n == 2) {
+        child[1] = b[1];
+      }
+      break;
+    }
+    case CrossoverKind::kUniform: {
+      for (JobId j = 0; j < n; ++j) {
+        if (rng.chance(0.5)) child[j] = b[j];
+      }
+      break;
+    }
+  }
+  return child;
+}
+
+Schedule recombine_fold(CrossoverKind kind,
+                        std::span<const Schedule* const> parents, Rng& rng) {
+  if (parents.empty()) {
+    throw std::invalid_argument("recombine_fold: no parents");
+  }
+  Schedule child = *parents[0];
+  for (std::size_t i = 1; i < parents.size(); ++i) {
+    child = crossover(kind, child, *parents[i], rng);
+  }
+  return child;
+}
+
+}  // namespace gridsched

@@ -1,0 +1,31 @@
+// Recombination operators on the direct encoding.
+//
+// The paper's tuned operator is One-Point crossover; Two-Point and Uniform
+// are provided for ablation studies. Multi-parent recombination (the
+// paper's "nb solutions to recombine = 3") folds the parents pairwise:
+// ((p1 x p2) x p3) x ... ; see DESIGN.md section 4.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/rng.h"
+#include "core/schedule.h"
+
+namespace gridsched {
+
+enum class CrossoverKind { kOnePoint, kTwoPoint, kUniform };
+
+[[nodiscard]] std::string_view crossover_name(CrossoverKind k) noexcept;
+
+/// Child of two parents (must be the same length, >= 2 genes for the point
+/// operators to have a real cut).
+[[nodiscard]] Schedule crossover(CrossoverKind kind, const Schedule& a,
+                                 const Schedule& b, Rng& rng);
+
+/// Left-fold of `parents` (non-empty) through `crossover`.
+[[nodiscard]] Schedule recombine_fold(CrossoverKind kind,
+                                      std::span<const Schedule* const> parents,
+                                      Rng& rng);
+
+}  // namespace gridsched

@@ -1,0 +1,62 @@
+#include "cma/diversity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gridsched {
+
+double mean_pairwise_distance(std::span<const Individual> population) {
+  const std::size_t n = population.size();
+  if (n < 2) return 0.0;
+  const int genes = population[0].schedule.num_jobs();
+  if (genes == 0) return 0.0;
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      total += population[i].schedule.hamming_distance(population[j].schedule);
+      ++pairs;
+    }
+  }
+  return total / (static_cast<double>(pairs) * genes);
+}
+
+double fitness_spread(std::span<const Individual> population) {
+  if (population.empty()) return 0.0;
+  double best = population[0].fitness;
+  double worst = population[0].fitness;
+  for (const auto& individual : population) {
+    best = std::min(best, individual.fitness);
+    worst = std::max(worst, individual.fitness);
+  }
+  return best > 0.0 ? (worst - best) / best : 0.0;
+}
+
+double mean_gene_entropy(std::span<const Individual> population,
+                         int num_machines) {
+  if (population.empty() || num_machines < 2) return 0.0;
+  const int genes = population[0].schedule.num_jobs();
+  if (genes == 0) return 0.0;
+  const double norm = std::log(static_cast<double>(num_machines));
+  std::vector<int> counts(static_cast<std::size_t>(num_machines));
+  double entropy_sum = 0.0;
+  for (JobId gene = 0; gene < genes; ++gene) {
+    std::fill(counts.begin(), counts.end(), 0);
+    for (const auto& individual : population) {
+      const MachineId m = individual.schedule[gene];
+      if (m >= 0 && m < num_machines) ++counts[static_cast<std::size_t>(m)];
+    }
+    double entropy = 0.0;
+    for (int count : counts) {
+      if (count == 0) continue;
+      const double p = static_cast<double>(count) /
+                       static_cast<double>(population.size());
+      entropy -= p * std::log(p);
+    }
+    entropy_sum += entropy / norm;
+  }
+  return entropy_sum / genes;
+}
+
+}  // namespace gridsched

@@ -1,0 +1,32 @@
+// Population diversity measurement.
+//
+// The paper's central argument for cellular populations is that the
+// structured mesh "is able to better control the tradeoff between the
+// exploitation and exploration of the solution space" and that cMAs
+// "maintain a high diversity of the population in many generations".
+// These helpers quantify that claim so bench/ablation_diversity can show
+// the diversity trajectories of C9 vs a panmictic population.
+#pragma once
+
+#include <span>
+
+#include "core/individual.h"
+
+namespace gridsched {
+
+/// Mean pairwise Hamming distance between schedules, normalized to [0, 1]
+/// by the gene count. 0 = all identical, ~1 - 1/m for uniform random
+/// populations on m machines. O(pop^2 * genes); fine for mesh-sized
+/// populations.
+[[nodiscard]] double mean_pairwise_distance(std::span<const Individual> population);
+
+/// Relative spread of fitness across the population:
+/// (worst - best) / best. 0 = fully converged fitness.
+[[nodiscard]] double fitness_spread(std::span<const Individual> population);
+
+/// Per-gene allele entropy averaged over genes, normalized to [0, 1] by
+/// log(num_machines): 1 = every machine equally likely at every gene.
+[[nodiscard]] double mean_gene_entropy(std::span<const Individual> population,
+                                       int num_machines);
+
+}  // namespace gridsched

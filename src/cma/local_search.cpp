@@ -1,0 +1,202 @@
+#include "cma/local_search.h"
+
+#include <limits>
+
+namespace gridsched {
+namespace {
+
+/// Scalar the local search minimizes for a previewed candidate.
+double score_of(const PreviewResult& preview, LsObjective objective,
+                const FitnessWeights& weights, int num_machines) {
+  return objective == LsObjective::kFitness
+             ? preview.fitness(weights, num_machines)
+             : preview.objectives.makespan;
+}
+
+double current_score(const ScheduleEvaluator& evaluator, LsObjective objective,
+                     const FitnessWeights& weights) {
+  return objective == LsObjective::kFitness
+             ? evaluator.fitness(weights)
+             : evaluator.makespan();
+}
+
+/// One LM step: random (job, machine); keep if improving.
+bool step_local_move(const LocalSearchConfig& config,
+                     const FitnessWeights& weights,
+                     ScheduleEvaluator& evaluator, Rng& rng,
+                     LocalSearchStats& stats) {
+  const int n = evaluator.num_jobs();
+  const int m = evaluator.num_machines();
+  if (m < 2) return false;
+  const JobId job = rng.uniform_int(0, n - 1);
+  MachineId to = rng.uniform_int(0, m - 2);
+  if (to >= evaluator.schedule()[job]) ++to;
+
+  const double before = current_score(evaluator, config.objective, weights);
+  const auto preview = evaluator.preview_move(job, to);
+  ++stats.previews;
+  if (score_of(preview, config.objective, weights, m) < before) {
+    evaluator.apply_move(job, to);
+    return true;
+  }
+  return false;
+}
+
+/// One SLM step: random job, best machine.
+bool step_steepest_move(const LocalSearchConfig& config,
+                        const FitnessWeights& weights,
+                        ScheduleEvaluator& evaluator, Rng& rng,
+                        LocalSearchStats& stats) {
+  const int n = evaluator.num_jobs();
+  const int m = evaluator.num_machines();
+  if (m < 2) return false;
+  const JobId job = rng.uniform_int(0, n - 1);
+  const MachineId from = evaluator.schedule()[job];
+
+  double best_score = current_score(evaluator, config.objective, weights);
+  MachineId best_machine = from;
+  for (MachineId to = 0; to < m; ++to) {
+    if (to == from) continue;
+    const auto preview = evaluator.preview_move(job, to);
+    ++stats.previews;
+    const double score = score_of(preview, config.objective, weights, m);
+    if (score < best_score) {
+      best_score = score;
+      best_machine = to;
+    }
+  }
+  if (best_machine != from) {
+    evaluator.apply_move(job, best_machine);
+    return true;
+  }
+  return false;
+}
+
+/// One LMCTS step: best improving swap under the configured scan strategy.
+bool step_lmcts(const LocalSearchConfig& config, const FitnessWeights& weights,
+                ScheduleEvaluator& evaluator, Rng& rng,
+                LocalSearchStats& stats) {
+  const int n = evaluator.num_jobs();
+  const int m = evaluator.num_machines();
+  if (m < 2 || n < 2) return false;
+
+  double best_score = current_score(evaluator, config.objective, weights);
+  JobId best_a = -1;
+  JobId best_b = -1;
+  auto consider = [&](JobId a, JobId b) {
+    const auto preview = evaluator.preview_swap(a, b);
+    ++stats.previews;
+    const double score = score_of(preview, config.objective, weights, m);
+    if (score < best_score) {
+      best_score = score;
+      best_a = a;
+      best_b = b;
+    }
+  };
+
+  switch (config.scan) {
+    case LmctsScan::kCriticalRandomJob: {
+      const MachineId critical = evaluator.makespan_machine();
+      const auto& critical_jobs = evaluator.machine_jobs(critical);
+      if (critical_jobs.empty()) break;  // only ready time on the machine
+      const JobId a =
+          critical_jobs[static_cast<std::size_t>(
+                            rng.bounded(critical_jobs.size()))]
+              .second;
+      for (JobId b = 0; b < n; ++b) {
+        if (evaluator.schedule()[b] == critical) continue;
+        consider(a, b);
+      }
+      break;
+    }
+    case LmctsScan::kCriticalAllJobs: {
+      const MachineId critical = evaluator.makespan_machine();
+      // Copy: consider() previews do not mutate, but keep iteration robust.
+      const auto critical_jobs = evaluator.machine_jobs(critical);
+      for (const auto& [etc_a, a] : critical_jobs) {
+        for (JobId b = 0; b < n; ++b) {
+          if (evaluator.schedule()[b] == critical) continue;
+          consider(a, b);
+        }
+      }
+      break;
+    }
+    case LmctsScan::kFull: {
+      for (JobId a = 0; a < n; ++a) {
+        for (JobId b = a + 1; b < n; ++b) {
+          if (evaluator.schedule()[a] == evaluator.schedule()[b]) continue;
+          consider(a, b);
+        }
+      }
+      break;
+    }
+    case LmctsScan::kSampled: {
+      for (int i = 0; i < config.sampled_pairs; ++i) {
+        const JobId a = rng.uniform_int(0, n - 1);
+        const JobId b = rng.uniform_int(0, n - 1);
+        if (a == b || evaluator.schedule()[a] == evaluator.schedule()[b]) {
+          continue;
+        }
+        consider(a, b);
+      }
+      break;
+    }
+  }
+
+  if (best_a >= 0) {
+    evaluator.apply_swap(best_a, best_b);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view local_search_name(LocalSearchKind k) noexcept {
+  switch (k) {
+    case LocalSearchKind::kNone: return "None";
+    case LocalSearchKind::kLocalMove: return "LM";
+    case LocalSearchKind::kSteepestLocalMove: return "SLM";
+    case LocalSearchKind::kLmcts: return "LMCTS";
+  }
+  return "?";
+}
+
+LocalSearchStats local_search(const LocalSearchConfig& config,
+                              const FitnessWeights& weights,
+                              ScheduleEvaluator& evaluator, Rng& rng) {
+  LocalSearchStats stats;
+  if (config.kind == LocalSearchKind::kNone) return stats;
+
+  for (int it = 0; it < config.iterations; ++it) {
+    bool improved = false;
+    switch (config.kind) {
+      case LocalSearchKind::kLocalMove:
+        improved = step_local_move(config, weights, evaluator, rng, stats);
+        break;
+      case LocalSearchKind::kSteepestLocalMove:
+        improved = step_steepest_move(config, weights, evaluator, rng, stats);
+        break;
+      case LocalSearchKind::kLmcts:
+        improved = step_lmcts(config, weights, evaluator, rng, stats);
+        break;
+      case LocalSearchKind::kNone:
+        break;
+    }
+    ++stats.iterations_run;
+    if (improved) {
+      ++stats.improvements;
+    } else if (config.kind == LocalSearchKind::kLmcts &&
+               (config.scan == LmctsScan::kCriticalAllJobs ||
+                config.scan == LmctsScan::kFull)) {
+      // A deterministic LMCTS scan that found no improving swap will find
+      // none on an identical rescan either. The stochastic variants (and
+      // LM/SLM, which draw a fresh random job per iteration) keep using
+      // their budget.
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace gridsched

@@ -1,0 +1,96 @@
+#include "cma/mutation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace gridsched {
+
+std::string_view mutation_name(MutationKind k) noexcept {
+  switch (k) {
+    case MutationKind::kRebalance: return "Rebalance";
+    case MutationKind::kMove: return "Move";
+    case MutationKind::kSwap: return "Swap";
+  }
+  return "?";
+}
+
+RebalanceMove rebalance_mutation(ScheduleEvaluator& evaluator, Rng& rng) {
+  const int m = evaluator.num_machines();
+  if (m < 2) return {};
+
+  // Overloaded machines: completion == makespan (load_factor == 1). Ties
+  // are real under consistent instances, so collect and pick at random.
+  const double makespan = evaluator.makespan();
+  std::vector<MachineId> overloaded;
+  for (MachineId machine = 0; machine < m; ++machine) {
+    if (evaluator.completion(machine) >= makespan) overloaded.push_back(machine);
+  }
+  const MachineId from =
+      overloaded[static_cast<std::size_t>(rng.bounded(overloaded.size()))];
+  const auto& jobs = evaluator.machine_jobs(from);
+  if (jobs.empty()) return {};  // makespan machine holds only ready time
+
+  // The 25% least-loaded machines (at least one, excluding `from`).
+  std::vector<MachineId> by_load(static_cast<std::size_t>(m));
+  std::iota(by_load.begin(), by_load.end(), 0);
+  std::sort(by_load.begin(), by_load.end(), [&](MachineId a, MachineId b) {
+    const double ca = evaluator.completion(a);
+    const double cb = evaluator.completion(b);
+    return ca != cb ? ca < cb : a < b;
+  });
+  const int quartile = std::max(1, m / 4);
+  std::vector<MachineId> targets;
+  for (int i = 0; i < quartile; ++i) {
+    if (by_load[static_cast<std::size_t>(i)] != from) {
+      targets.push_back(by_load[static_cast<std::size_t>(i)]);
+    }
+  }
+  if (targets.empty()) {
+    // `from` is simultaneously the most and least loaded (all equal);
+    // fall back to any other machine.
+    targets.push_back(by_load[static_cast<std::size_t>(quartile % m)]);
+    if (targets[0] == from) return {};
+  }
+
+  const JobId job =
+      jobs[static_cast<std::size_t>(rng.bounded(jobs.size()))].second;
+  const MachineId to =
+      targets[static_cast<std::size_t>(rng.bounded(targets.size()))];
+  evaluator.apply_move(job, to);
+  return {job, from, to};
+}
+
+void mutate(MutationKind kind, ScheduleEvaluator& evaluator, Rng& rng) {
+  const int n = evaluator.num_jobs();
+  const int m = evaluator.num_machines();
+  if (m < 2) return;
+  switch (kind) {
+    case MutationKind::kRebalance:
+      rebalance_mutation(evaluator, rng);
+      return;
+    case MutationKind::kMove: {
+      const JobId job = rng.uniform_int(0, n - 1);
+      MachineId to = rng.uniform_int(0, m - 2);
+      if (to >= evaluator.schedule()[job]) ++to;  // uniform over others
+      evaluator.apply_move(job, to);
+      return;
+    }
+    case MutationKind::kSwap: {
+      const JobId a = rng.uniform_int(0, n - 1);
+      // Bounded retries to find a partner on a different machine; degenerate
+      // schedules (all jobs on one machine) fall back to a Move.
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const JobId b = rng.uniform_int(0, n - 1);
+        if (evaluator.schedule()[a] != evaluator.schedule()[b]) {
+          evaluator.apply_swap(a, b);
+          return;
+        }
+      }
+      mutate(MutationKind::kMove, evaluator, rng);
+      return;
+    }
+  }
+}
+
+}  // namespace gridsched

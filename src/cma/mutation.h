@@ -1,0 +1,34 @@
+// Mutation operators.
+//
+// The paper's tuned operator is Rebalance: move a random job off an
+// overloaded machine (one whose completion time equals the makespan,
+// load_factor = 1) onto one of the 25% least-loaded machines. Move and Swap
+// are classic alternatives kept for ablations and for the baseline GAs.
+#pragma once
+
+#include <string_view>
+
+#include "common/rng.h"
+#include "core/evaluator.h"
+
+namespace gridsched {
+
+enum class MutationKind { kRebalance, kMove, kSwap };
+
+[[nodiscard]] std::string_view mutation_name(MutationKind k) noexcept;
+
+/// Applies one mutation to the evaluator's schedule in place. All operators
+/// keep the schedule complete. No-ops when the instance is too small for
+/// the operator (e.g. a single machine).
+void mutate(MutationKind kind, ScheduleEvaluator& evaluator, Rng& rng);
+
+/// The Rebalance operator, exposed directly for tests: returns the (job,
+/// from, to) triple it executed, or {-1, -1, -1} if no transfer was possible.
+struct RebalanceMove {
+  JobId job = -1;
+  MachineId from = -1;
+  MachineId to = -1;
+};
+RebalanceMove rebalance_mutation(ScheduleEvaluator& evaluator, Rng& rng);
+
+}  // namespace gridsched

@@ -1,0 +1,69 @@
+#include "cma/selection.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gridsched {
+
+std::string_view selection_name(SelectionKind k) noexcept {
+  switch (k) {
+    case SelectionKind::kTournament: return "Tournament";
+    case SelectionKind::kUniform: return "Uniform";
+    case SelectionKind::kBest: return "Best";
+  }
+  return "?";
+}
+
+int select_one(const SelectionConfig& config, std::span<const int> candidates,
+               std::span<const Individual> population, Rng& rng) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("select_one: no candidates");
+  }
+  switch (config.kind) {
+    case SelectionKind::kUniform:
+      return rng.pick(candidates);
+    case SelectionKind::kBest: {
+      return *std::min_element(
+          candidates.begin(), candidates.end(), [&](int a, int b) {
+            return population[static_cast<std::size_t>(a)].fitness <
+                   population[static_cast<std::size_t>(b)].fitness;
+          });
+    }
+    case SelectionKind::kTournament: {
+      int winner = rng.pick(candidates);
+      for (int round = 1; round < config.tournament_size; ++round) {
+        const int challenger = rng.pick(candidates);
+        if (population[static_cast<std::size_t>(challenger)].fitness <
+            population[static_cast<std::size_t>(winner)].fitness) {
+          winner = challenger;
+        }
+      }
+      return winner;
+    }
+  }
+  throw std::invalid_argument("select_one: unknown selection kind");
+}
+
+std::vector<int> select_many(const SelectionConfig& config, int count,
+                             std::span<const int> candidates,
+                             std::span<const Individual> population, Rng& rng) {
+  std::vector<int> chosen;
+  chosen.reserve(static_cast<std::size_t>(count));
+  const int distinct_possible =
+      std::min<int>(count, static_cast<int>(candidates.size()));
+  for (int i = 0; i < count; ++i) {
+    int pick = select_one(config, candidates, population, rng);
+    // A few retries keep parents distinct when the pool is large enough;
+    // on tiny neighborhoods duplicates are allowed rather than looping.
+    for (int retry = 0;
+         retry < 8 && static_cast<int>(chosen.size()) < distinct_possible &&
+         std::find(chosen.begin(), chosen.end(), pick) != chosen.end();
+         ++retry) {
+      pick = select_one(config, candidates, population, rng);
+    }
+    chosen.push_back(pick);
+  }
+  return chosen;
+}
+
+}  // namespace gridsched

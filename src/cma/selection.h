@@ -1,0 +1,38 @@
+// Parent selection inside a neighborhood.
+//
+// The paper uses N-tournament: N random neighborhood members compete and the
+// fittest wins. Alternatives (uniform random, best-of-neighborhood) are kept
+// for ablations.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/individual.h"
+
+namespace gridsched {
+
+enum class SelectionKind { kTournament, kUniform, kBest };
+
+[[nodiscard]] std::string_view selection_name(SelectionKind k) noexcept;
+
+struct SelectionConfig {
+  SelectionKind kind = SelectionKind::kTournament;
+  int tournament_size = 3;  // the paper's tuned N
+};
+
+/// Selects one cell index out of `candidates` (cell indices into
+/// `population`). Candidates must be non-empty.
+[[nodiscard]] int select_one(const SelectionConfig& config,
+                             std::span<const int> candidates,
+                             std::span<const Individual> population, Rng& rng);
+
+/// Selects `count` cells, attempting (best effort, bounded retries) to make
+/// them distinct when the candidate pool allows it.
+[[nodiscard]] std::vector<int> select_many(
+    const SelectionConfig& config, int count, std::span<const int> candidates,
+    std::span<const Individual> population, Rng& rng);
+
+}  // namespace gridsched

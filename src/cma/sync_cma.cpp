@@ -1,0 +1,126 @@
+#include "cma/sync_cma.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "cma/cma.h"
+#include "heuristics/constructive.h"
+
+namespace gridsched {
+namespace {
+
+/// Independent, reproducible stream for (seed, generation, cell): the
+/// parallel schedule can hand any cell to any worker without perturbing
+/// the random sequence.
+Rng cell_rng(std::uint64_t seed, std::int64_t generation, int cell) {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL *
+                                (static_cast<std::uint64_t>(generation) + 1));
+  state ^= splitmix64(state) + static_cast<std::uint64_t>(cell);
+  return Rng(splitmix64(state));
+}
+
+}  // namespace
+
+SynchronousCellularMa::SynchronousCellularMa(CmaConfig config, int threads)
+    : config_(std::move(config)), threads_(threads) {
+  if (config_.pop_height <= 0 || config_.pop_width <= 0) {
+    throw std::invalid_argument("SyncCma: population must be non-empty");
+  }
+  if (config_.parents_per_recombination < 2) {
+    throw std::invalid_argument("SyncCma: need at least 2 parents");
+  }
+  if (!config_.stop.any_enabled()) {
+    throw std::invalid_argument("SyncCma: no stop condition enabled");
+  }
+  if (threads_ < 0) {
+    throw std::invalid_argument("SyncCma: negative thread count");
+  }
+}
+
+EvolutionResult SynchronousCellularMa::run(const EtcMatrix& etc) const {
+  Rng init_rng(config_.seed);
+  EvolutionTracker tracker(config_.stop, config_.record_progress);
+
+  // Initial mesh: same recipe as the asynchronous engine.
+  const CellularMemeticAlgorithm initializer(config_);
+  std::vector<Individual> current =
+      initializer.initialize_population(etc, init_rng);
+  {
+    ScheduleEvaluator evaluator(etc);
+    for (Individual& individual : current) {
+      evaluator.reset(individual.schedule);
+      Rng rng = init_rng.split();
+      local_search(config_.local_search, config_.weights, evaluator, rng);
+      individual = individual_from_evaluator(evaluator, config_.weights);
+      tracker.count_evaluations();
+      tracker.offer(individual);
+    }
+  }
+
+  const Topology topology(config_.pop_height, config_.pop_width,
+                          config_.neighborhood);
+  const int pop_size = topology.size();
+  // Each cell mutates its offspring with the probability the asynchronous
+  // engine implies: `mutations per iteration` spread over the mesh.
+  const double mutation_probability =
+      std::min(1.0, static_cast<double>(config_.mutations_per_iteration) /
+                        static_cast<double>(pop_size));
+
+  std::vector<Individual> next(current.size());
+  std::unique_ptr<ThreadPool> pool;
+  if (threads_ > 0) {
+    pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(threads_));
+  }
+
+  std::int64_t generation = 0;
+  while (!tracker.should_stop()) {
+    auto evolve_cell = [&](std::size_t cell_index) {
+      const int cell = static_cast<int>(cell_index);
+      Rng rng = cell_rng(config_.seed, generation, cell);
+      ScheduleEvaluator evaluator(etc);
+
+      const auto neighborhood = topology.neighbors(cell);
+      const std::vector<int> parents =
+          select_many(config_.selection, config_.parents_per_recombination,
+                      neighborhood, current, rng);
+      std::vector<const Schedule*> parent_schedules;
+      parent_schedules.reserve(parents.size());
+      for (int p : parents) {
+        parent_schedules.push_back(
+            &current[static_cast<std::size_t>(p)].schedule);
+      }
+      Schedule offspring =
+          recombine_fold(config_.crossover, parent_schedules, rng);
+      evaluator.reset(offspring);
+      if (rng.chance(mutation_probability)) {
+        mutate(config_.mutation, evaluator, rng);
+      }
+      local_search(config_.local_search, config_.weights, evaluator, rng);
+      Individual candidate =
+          individual_from_evaluator(evaluator, config_.weights);
+
+      const Individual& resident = current[cell_index];
+      next[cell_index] =
+          (!config_.add_only_if_better || candidate.fitness < resident.fitness)
+              ? std::move(candidate)
+              : resident;
+    };
+
+    if (pool) {
+      pool->parallel_for(current.size(), evolve_cell);
+    } else {
+      for (std::size_t i = 0; i < current.size(); ++i) evolve_cell(i);
+    }
+
+    current.swap(next);
+    tracker.count_evaluations(pop_size);
+    for (const Individual& individual : current) tracker.offer(individual);
+    ++generation;
+    tracker.end_iteration();
+    if (config_.observer) config_.observer(tracker.iterations(), current);
+  }
+  return tracker.finish();
+}
+
+}  // namespace gridsched

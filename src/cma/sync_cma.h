@@ -1,0 +1,37 @@
+// Synchronous cellular MA — the updating mode the paper mentions and sets
+// aside ("we have considered the asynchronous updating since it is less
+// computationally expensive"). Provided as an extension so the choice can
+// be measured instead of assumed (bench/ablation_sync_async).
+//
+// In synchronous mode every cell produces its offspring from the *previous*
+// generation's neighborhood, and all replacements commit at once (two
+// population buffers). Cells are therefore independent within a generation,
+// which yields the property the asynchronous engine cannot have: the
+// generation can be evaluated in parallel, and because every cell draws
+// from its own counter-derived RNG stream, the result is bitwise identical
+// for any thread count (tests/test_sync_cma.cpp pins this).
+#pragma once
+
+#include "cma/config.h"
+#include "common/thread_pool.h"
+#include "core/evolution.h"
+#include "etc/etc_matrix.h"
+
+namespace gridsched {
+
+class SynchronousCellularMa {
+ public:
+  /// `threads` = 0 runs sequentially; otherwise a pool of that many workers
+  /// evaluates each generation. The result is identical either way.
+  explicit SynchronousCellularMa(CmaConfig config, int threads = 0);
+
+  [[nodiscard]] EvolutionResult run(const EtcMatrix& etc) const;
+
+  [[nodiscard]] const CmaConfig& config() const noexcept { return config_; }
+
+ private:
+  CmaConfig config_;
+  int threads_;
+};
+
+}  // namespace gridsched

@@ -1,0 +1,95 @@
+#include "cma/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace gridsched {
+namespace {
+
+/// (row, col) offsets of each pattern, center first.
+std::vector<std::pair<int, int>> pattern_offsets(NeighborhoodKind kind) {
+  switch (kind) {
+    case NeighborhoodKind::kPanmictic:
+      return {};  // handled specially
+    case NeighborhoodKind::kL5:
+      return {{0, 0}, {-1, 0}, {1, 0}, {0, -1}, {0, 1}};
+    case NeighborhoodKind::kL9:
+      return {{0, 0}, {-1, 0}, {1, 0}, {0, -1}, {0, 1},
+              {-2, 0}, {2, 0}, {0, -2}, {0, 2}};
+    case NeighborhoodKind::kC9: {
+      std::vector<std::pair<int, int>> offsets;
+      for (int dr = -1; dr <= 1; ++dr) {
+        for (int dc = -1; dc <= 1; ++dc) offsets.emplace_back(dr, dc);
+      }
+      return offsets;
+    }
+    case NeighborhoodKind::kC13: {
+      auto offsets = pattern_offsets(NeighborhoodKind::kC9);
+      offsets.emplace_back(-2, 0);
+      offsets.emplace_back(2, 0);
+      offsets.emplace_back(0, -2);
+      offsets.emplace_back(0, 2);
+      return offsets;
+    }
+  }
+  throw std::invalid_argument("unknown neighborhood kind");
+}
+
+}  // namespace
+
+std::string_view neighborhood_name(NeighborhoodKind k) noexcept {
+  switch (k) {
+    case NeighborhoodKind::kPanmictic: return "Panmictic";
+    case NeighborhoodKind::kL5: return "L5";
+    case NeighborhoodKind::kL9: return "L9";
+    case NeighborhoodKind::kC9: return "C9";
+    case NeighborhoodKind::kC13: return "C13";
+  }
+  return "?";
+}
+
+Topology::Topology(int height, int width, NeighborhoodKind kind)
+    : height_(height), width_(width), kind_(kind) {
+  if (height <= 0 || width <= 0) {
+    throw std::invalid_argument("Topology: dimensions must be positive");
+  }
+  offsets_.reserve(static_cast<std::size_t>(size()) + 1);
+  offsets_.push_back(0);
+
+  if (kind == NeighborhoodKind::kPanmictic) {
+    neighbors_.reserve(static_cast<std::size_t>(size()) *
+                       static_cast<std::size_t>(size()));
+    for (int cell = 0; cell < size(); ++cell) {
+      // Center first for uniformity with the local patterns.
+      neighbors_.push_back(cell);
+      for (int other = 0; other < size(); ++other) {
+        if (other != cell) neighbors_.push_back(other);
+      }
+      offsets_.push_back(neighbors_.size());
+    }
+    return;
+  }
+
+  const auto offsets = pattern_offsets(kind);
+  std::vector<int> list;
+  for (int row = 0; row < height_; ++row) {
+    for (int col = 0; col < width_; ++col) {
+      list.clear();
+      for (const auto& [dr, dc] : offsets) {
+        const int r = ((row + dr) % height_ + height_) % height_;
+        const int c = ((col + dc) % width_ + width_) % width_;
+        const int cell = cell_at(r, c);
+        // Small meshes can wrap two offsets onto the same cell; keep the
+        // first occurrence so lists stay duplicate-free.
+        if (std::find(list.begin(), list.end(), cell) == list.end()) {
+          list.push_back(cell);
+        }
+      }
+      neighbors_.insert(neighbors_.end(), list.begin(), list.end());
+      offsets_.push_back(neighbors_.size());
+    }
+  }
+}
+
+}  // namespace gridsched

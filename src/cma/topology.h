@@ -1,0 +1,57 @@
+// Population topology: a 2-D toroidal mesh with the neighborhood patterns
+// of Fig. 1 of the paper. The neighborhood decides which individuals may
+// recombine with a cell and therefore sets the algorithm's selective
+// pressure (panmictic = maximal pressure, L5 = minimal).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace gridsched {
+
+enum class NeighborhoodKind {
+  kPanmictic,  // whole population
+  kL5,         // center + N,S,E,W                      (5 cells)
+  kL9,         // L5 + the same at distance 2           (9 cells)
+  kC9,         // 3x3 Moore block                       (9 cells)
+  kC13,        // C9 + N,S,E,W at distance 2            (13 cells)
+};
+
+[[nodiscard]] std::string_view neighborhood_name(NeighborhoodKind k) noexcept;
+
+/// Immutable toroidal grid with precomputed neighbor lists. Neighborhoods
+/// include the center cell. On meshes too small for a pattern (e.g. width 2
+/// with distance-2 offsets) wrapped duplicates are removed, so lists may be
+/// shorter than the nominal pattern size but never contain repeats.
+class Topology {
+ public:
+  Topology(int height, int width, NeighborhoodKind kind);
+
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int size() const noexcept { return height_ * width_; }
+  [[nodiscard]] NeighborhoodKind kind() const noexcept { return kind_; }
+
+  [[nodiscard]] int cell_at(int row, int col) const noexcept {
+    return row * width_ + col;
+  }
+  [[nodiscard]] int row_of(int cell) const noexcept { return cell / width_; }
+  [[nodiscard]] int col_of(int cell) const noexcept { return cell % width_; }
+
+  /// Neighbor cell indices of `cell` (center included, no duplicates).
+  [[nodiscard]] std::span<const int> neighbors(int cell) const noexcept {
+    return {neighbors_.data() + offsets_[static_cast<std::size_t>(cell)],
+            offsets_[static_cast<std::size_t>(cell) + 1] -
+                offsets_[static_cast<std::size_t>(cell)]};
+  }
+
+ private:
+  int height_;
+  int width_;
+  NeighborhoodKind kind_;
+  std::vector<int> neighbors_;        // concatenated per-cell lists
+  std::vector<std::size_t> offsets_;  // size() + 1 entries
+};
+
+}  // namespace gridsched

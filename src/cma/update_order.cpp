@@ -1,0 +1,36 @@
+#include "cma/update_order.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace gridsched {
+
+std::string_view sweep_name(SweepKind k) noexcept {
+  switch (k) {
+    case SweepKind::kFixedLineSweep: return "FLS";
+    case SweepKind::kFixedRandomSweep: return "FRS";
+    case SweepKind::kNewRandomSweep: return "NRS";
+  }
+  return "?";
+}
+
+SweepOrder::SweepOrder(SweepKind kind, int n, Rng& rng)
+    : kind_(kind), order_(static_cast<std::size_t>(n)) {
+  if (n <= 0) throw std::invalid_argument("SweepOrder: empty population");
+  std::iota(order_.begin(), order_.end(), 0);
+  if (kind_ != SweepKind::kFixedLineSweep) {
+    rng.shuffle(std::span<int>{order_});
+  }
+}
+
+void SweepOrder::next(Rng& rng) {
+  ++pos_;
+  if (pos_ == size()) {
+    pos_ = 0;
+    if (kind_ == SweepKind::kNewRandomSweep) {
+      rng.shuffle(std::span<int>{order_});
+    }
+  }
+}
+
+}  // namespace gridsched

@@ -1,0 +1,49 @@
+// Asynchronous cell-update orders (Section 3.2 of the paper).
+//
+// In asynchronous cellular updating, cells are visited sequentially: a cell
+// sees neighbor updates made earlier in the same sweep. The paper studies
+// three visit orders:
+//   FLS  Fixed Line Sweep  - row by row, every sweep.
+//   FRS  Fixed Random Sweep - one random permutation drawn at start-up and
+//                             reused for every sweep.
+//   NRS  New Random Sweep   - a fresh permutation per sweep.
+// Recombination and mutation each maintain their own independent order.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gridsched {
+
+enum class SweepKind { kFixedLineSweep, kFixedRandomSweep, kNewRandomSweep };
+
+[[nodiscard]] std::string_view sweep_name(SweepKind k) noexcept;
+
+class SweepOrder {
+ public:
+  /// `n` is the population size. FRS draws its permutation from `rng` here.
+  SweepOrder(SweepKind kind, int n, Rng& rng);
+
+  /// The cell the sweep currently points at.
+  [[nodiscard]] int current() const noexcept {
+    return order_[static_cast<std::size_t>(pos_)];
+  }
+
+  /// Advances to the next cell; wraps around at the end of the sweep,
+  /// reshuffling first when the kind is NewRandomSweep.
+  void next(Rng& rng);
+
+  [[nodiscard]] SweepKind kind() const noexcept { return kind_; }
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(order_.size());
+  }
+
+ private:
+  SweepKind kind_;
+  std::vector<int> order_;
+  int pos_ = 0;
+};
+
+}  // namespace gridsched

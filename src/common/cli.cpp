@@ -1,0 +1,99 @@
+#include "common/cli.h"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gridsched {
+
+CliParser::CliParser(std::string program_summary)
+    : summary_(std::move(program_summary)) {
+  flag("help", "false", "print this help text and exit");
+}
+
+CliParser& CliParser::flag(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  if (options_.emplace(name, Option{default_value, default_value, help}).second) {
+    order_.push_back(name);
+  }
+  return *this;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg +
+                                  "\n" + help_text());
+    }
+    arg.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      has_value = true;
+    }
+    const auto it = options_.find(arg);
+    if (it == options_.end()) {
+      throw std::invalid_argument("unknown flag --" + arg + "\n" + help_text());
+    }
+    if (!has_value) {
+      // Boolean flags may omit the value; others consume the next token.
+      const bool looks_bool = it->second.default_value == "true" ||
+                              it->second.default_value == "false";
+      if (looks_bool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        throw std::invalid_argument("flag --" + arg + " expects a value");
+      }
+    }
+    it->second.value = value;
+  }
+  if (get_bool("help")) {
+    std::cout << help_text();
+    return false;
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    throw std::invalid_argument("flag --" + name + " was never registered");
+  }
+  return it->second.value;
+}
+
+long long CliParser::get_int(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream out;
+  out << summary_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const auto& opt = options_.at(name);
+    out << "  --" << name;
+    if (opt.default_value != "true" && opt.default_value != "false") {
+      out << " <value>";
+    }
+    out << "  (default: " << opt.default_value << ")\n      " << opt.help
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gridsched

@@ -1,0 +1,49 @@
+// Tiny command-line flag parser shared by benches, examples and tools.
+//
+// Supports `--name value`, `--name=value` and boolean `--name` forms.
+// Unknown flags raise an error listing the registered options, so every
+// binary gets consistent --help behaviour for free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gridsched {
+
+class CliParser {
+ public:
+  /// `program_summary` is printed at the top of --help output.
+  explicit CliParser(std::string program_summary);
+
+  /// Registers a flag with a default value and help text. Returns *this for
+  /// chaining. Values are stored as strings and converted on access.
+  CliParser& flag(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parses argv. Returns false if --help was requested (help text printed
+  /// to stdout). Throws std::invalid_argument on unknown or malformed flags.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] long long get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  struct Option {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  std::string summary_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace gridsched

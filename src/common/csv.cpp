@@ -1,0 +1,61 @@
+#include "common/csv.h"
+
+#include <charconv>
+#include <stdexcept>
+#include <system_error>
+
+namespace gridsched {
+namespace {
+
+bool needs_quoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+std::string quoted(std::string_view field) {
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string_view> fields) {
+  write_fields(std::vector<std::string_view>(fields));
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  std::vector<std::string_view> views(fields.begin(), fields.end());
+  write_fields(views);
+}
+
+void CsvWriter::write_fields(const std::vector<std::string_view>& fields) {
+  bool first = true;
+  for (auto field : fields) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << (needs_quoting(field) ? quoted(field) : std::string(field));
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::field(double value) {
+  char buf[64];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof buf, value, std::chars_format::general, 17);
+  if (ec != std::errc{}) return "nan";
+  return std::string(buf, ptr);
+}
+
+std::string CsvWriter::field(long long value) { return std::to_string(value); }
+
+}  // namespace gridsched

@@ -1,0 +1,33 @@
+// Minimal CSV writer for bench/experiment output.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridsched {
+
+/// Writes RFC-4180-style CSV rows. Fields containing commas, quotes or
+/// newlines are quoted and embedded quotes doubled.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error on
+  /// failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(std::initializer_list<std::string_view> fields);
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with full round-trip precision.
+  static std::string field(double value);
+  static std::string field(long long value);
+
+ private:
+  void write_fields(const std::vector<std::string_view>& fields);
+
+  std::ofstream out_;
+};
+
+}  // namespace gridsched

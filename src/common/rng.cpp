@@ -1,0 +1,119 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace gridsched {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // SplitMix64 expansion guarantees a non-zero xoshiro state even for seed 0.
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::split() noexcept {
+  // Two fresh draws feed a SplitMix chain, decorrelating the child from both
+  // the parent state and any sibling split at a different point.
+  std::uint64_t mix = (*this)() ^ 0xa3ec647659359acdULL;
+  const std::uint64_t child_seed = splitmix64(mix) ^ (*this)();
+  return Rng{child_seed};
+}
+
+int Rng::uniform_int(int lo, int hi) noexcept {
+  return lo + static_cast<int>(bounded(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+std::uint64_t Rng::bounded(std::uint64_t n) noexcept {
+  if (n <= 1) return 0;
+  // Lemire's multiply-shift rejection method: unbiased, one division in the
+  // rare rejection path only.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t threshold = -n % n;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  // 53 random bits -> [0,1) with full double precision.
+  const double unit = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  return lo + unit * (hi - lo);
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double rate) noexcept {
+  // Inverse CDF; uniform() < 1 so the log argument is strictly positive.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  const double u1 = 1.0 - uniform();  // avoid log(0)
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::gamma(double shape, double scale) noexcept {
+  // Marsaglia & Tsang (2000). For shape < 1, boost via the
+  // Gamma(shape) = Gamma(shape + 1) * U^(1/shape) identity.
+  if (shape < 1.0) {
+    const double boost = std::pow(1.0 - uniform(), 1.0 / shape);
+    return gamma(shape + 1.0, scale) * boost;
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = 1.0 - uniform();  // strictly positive for the log
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+std::vector<int> Rng::permutation(int n) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  shuffle(std::span<int>{perm});
+  return perm;
+}
+
+}  // namespace gridsched

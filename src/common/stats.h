@@ -1,0 +1,56 @@
+// Streaming and batch statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gridsched {
+
+/// Numerically stable streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  [[nodiscard]] double cv() const noexcept;
+
+  /// Merges another accumulator (parallel reduction support).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a finished sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes a full summary of `values` (copies to sort for the median).
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Linear-interpolation percentile, p in [0, 100]. Requires non-empty input.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+/// Relative difference (a - b) / b in percent, matching the paper's
+/// Delta(%) columns. Returns 0 when b == 0.
+[[nodiscard]] double percent_delta(double a, double b) noexcept;
+
+}  // namespace gridsched

@@ -1,0 +1,70 @@
+// Wall-clock measurement helpers.
+//
+// All time-budgeted algorithms in the library (cMA, GAs, simulator-embedded
+// schedulers) use `Deadline` so that "run for T milliseconds" means the same
+// thing everywhere, and tests can substitute a zero/huge budget.
+#pragma once
+
+#include <chrono>
+#include <limits>
+
+namespace gridsched {
+
+/// Monotonic stopwatch started at construction.
+class Stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+/// A wall-clock budget. Default-constructed deadlines never expire, which is
+/// what evaluation-count-bounded runs use.
+class Deadline {
+ public:
+  Deadline() noexcept = default;
+
+  static Deadline after_ms(double ms) noexcept {
+    Deadline d;
+    d.bounded_ = true;
+    d.end_ = Stopwatch::clock::now() +
+             std::chrono::duration_cast<Stopwatch::clock::duration>(
+                 std::chrono::duration<double, std::milli>(ms));
+    return d;
+  }
+
+  static Deadline unbounded() noexcept { return Deadline{}; }
+
+  [[nodiscard]] bool expired() const noexcept {
+    return bounded_ && Stopwatch::clock::now() >= end_;
+  }
+
+  [[nodiscard]] bool bounded() const noexcept { return bounded_; }
+
+  /// Remaining milliseconds; +inf for unbounded, clamped at 0 when expired.
+  [[nodiscard]] double remaining_ms() const noexcept {
+    if (!bounded_) return std::numeric_limits<double>::infinity();
+    const auto left = std::chrono::duration<double, std::milli>(
+        end_ - Stopwatch::clock::now());
+    return left.count() > 0 ? left.count() : 0.0;
+  }
+
+ private:
+  bool bounded_ = false;
+  Stopwatch::clock::time_point end_{};
+};
+
+}  // namespace gridsched

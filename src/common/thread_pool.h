@@ -1,0 +1,56 @@
+// A small fixed-size thread pool.
+//
+// Used by the experiment harness to run independent algorithm repetitions in
+// parallel (each with its own split RNG stream), and by the synchronous cMA
+// variant to evaluate cell offspring concurrently. Tasks are plain
+// std::function jobs; exceptions thrown by a task are captured and rethrown
+// from wait_idle() so failures are never silently swallowed.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gridsched {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task for execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle. Rethrows the
+  /// first exception raised by any task since the previous wait_idle().
+  void wait_idle();
+
+  /// Runs fn(i) for i in [0, n), distributing indices over the pool, and
+  /// blocks until all complete. `fn` must be safe to call concurrently.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace gridsched

@@ -1,0 +1,48 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace gridsched {
+
+double ready_time_bound(const EtcMatrix& etc) noexcept {
+  double bound = 0.0;
+  for (MachineId m = 0; m < etc.num_machines(); ++m) {
+    bound = std::max(bound, etc.ready_time(m));
+  }
+  return bound;
+}
+
+double job_lower_bound(const EtcMatrix& etc) noexcept {
+  double bound = 0.0;
+  for (JobId j = 0; j < etc.num_jobs(); ++j) {
+    double best = std::numeric_limits<double>::infinity();
+    for (MachineId m = 0; m < etc.num_machines(); ++m) {
+      best = std::min(best, etc.ready_time(m) + etc(j, m));
+    }
+    bound = std::max(bound, best);
+  }
+  return bound;
+}
+
+double load_lower_bound(const EtcMatrix& etc) noexcept {
+  double total = 0.0;
+  for (JobId j = 0; j < etc.num_jobs(); ++j) total += etc.min_row(j);
+  for (MachineId m = 0; m < etc.num_machines(); ++m) {
+    total += etc.ready_time(m);
+  }
+  return total / static_cast<double>(etc.num_machines());
+}
+
+double makespan_lower_bound(const EtcMatrix& etc) noexcept {
+  return std::max({ready_time_bound(etc), job_lower_bound(etc),
+                   load_lower_bound(etc)});
+}
+
+double flowtime_lower_bound(const EtcMatrix& etc) noexcept {
+  double total = 0.0;
+  for (JobId j = 0; j < etc.num_jobs(); ++j) total += etc.min_row(j);
+  return total;
+}
+
+}  // namespace gridsched

@@ -1,0 +1,33 @@
+// Lower bounds on the achievable makespan of an ETC instance.
+//
+// No schedule can beat these, whatever the algorithm, so they give tests a
+// hard floor to assert against and benches a sense of how much headroom a
+// result still has:
+//
+//   ready bound   max_m ready[m]                    (an empty machine still
+//                                                    finishes its backlog)
+//   job bound     max_j min_m (ready[m] + ETC[j][m])
+//   load bound    (sum_j min_m ETC[j][m] + sum_m ready[m]) / num_machines
+//
+// The overall bound is the max of the three. All are weak on purpose —
+// exact bounds for R||Cmax are themselves NP-hard — but they catch
+// objective-function bugs instantly.
+#pragma once
+
+#include "etc/etc_matrix.h"
+
+namespace gridsched {
+
+[[nodiscard]] double ready_time_bound(const EtcMatrix& etc) noexcept;
+[[nodiscard]] double job_lower_bound(const EtcMatrix& etc) noexcept;
+[[nodiscard]] double load_lower_bound(const EtcMatrix& etc) noexcept;
+
+/// max of the three bounds above.
+[[nodiscard]] double makespan_lower_bound(const EtcMatrix& etc) noexcept;
+
+/// Lower bound on flowtime: every job needs at least its fastest ETC, and
+/// the per-machine SPT structure cannot beat running every job alone on
+/// its best machine: sum_j min_m ETC[j][m].
+[[nodiscard]] double flowtime_lower_bound(const EtcMatrix& etc) noexcept;
+
+}  // namespace gridsched

@@ -1,0 +1,227 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gridsched {
+
+ScheduleEvaluator::ScheduleEvaluator(const EtcMatrix& etc) : etc_(&etc) {
+  machines_.resize(static_cast<std::size_t>(etc.num_machines()));
+}
+
+void ScheduleEvaluator::reset(const Schedule& schedule) {
+  if (schedule.num_jobs() != etc_->num_jobs()) {
+    throw std::invalid_argument("ScheduleEvaluator: schedule size mismatch");
+  }
+  if (!schedule.complete(etc_->num_machines())) {
+    throw std::invalid_argument("ScheduleEvaluator: incomplete schedule");
+  }
+  schedule_ = schedule;
+  for (auto& m : machines_) m.jobs.clear();
+  for (JobId j = 0; j < etc_->num_jobs(); ++j) {
+    const MachineId m = schedule_[j];
+    machines_[static_cast<std::size_t>(m)].jobs.emplace_back((*etc_)(j, m), j);
+  }
+  for (MachineId m = 0; m < num_machines(); ++m) {
+    auto& state = machines_[static_cast<std::size_t>(m)];
+    std::sort(state.jobs.begin(), state.jobs.end());
+    recompute_machine(m);
+  }
+}
+
+double ScheduleEvaluator::makespan() const noexcept {
+  double best = 0.0;
+  for (const auto& m : machines_) best = std::max(best, m.completion);
+  return best;
+}
+
+double ScheduleEvaluator::flowtime() const noexcept {
+  double total = 0.0;
+  for (const auto& m : machines_) total += m.flow;
+  return total;
+}
+
+MachineId ScheduleEvaluator::makespan_machine() const noexcept {
+  MachineId arg = 0;
+  double best = machines_[0].completion;
+  for (MachineId m = 1; m < num_machines(); ++m) {
+    const double c = machines_[static_cast<std::size_t>(m)].completion;
+    if (c > best) {
+      best = c;
+      arg = m;
+    }
+  }
+  return arg;
+}
+
+void ScheduleEvaluator::recompute_machine(MachineId m) {
+  auto& state = machines_[static_cast<std::size_t>(m)];
+  const double ready = etc_->ready_time(m);
+  const std::size_t k = state.jobs.size();
+  double sum = 0.0;
+  double flow = 0.0;
+  // Ascending ETC = SPT execution order: the i-th job (0-based) finishes at
+  // ready + prefix_sum(i); summing those gives
+  //   flow = k*ready + sum_i (k - i) * etc_i.
+  state.prefix.resize(k + 1);
+  state.prefix[0] = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    sum += state.jobs[i].first;
+    state.prefix[i + 1] = sum;
+    flow += static_cast<double>(k - i) * state.jobs[i].first;
+  }
+  state.completion = ready + sum;
+  state.flow = flow + static_cast<double>(k) * ready;
+}
+
+void ScheduleEvaluator::insert_job(MachineId m, JobId job) {
+  auto& state = machines_[static_cast<std::size_t>(m)];
+  const std::pair<double, JobId> entry{(*etc_)(job, m), job};
+  state.jobs.insert(
+      std::lower_bound(state.jobs.begin(), state.jobs.end(), entry), entry);
+  recompute_machine(m);
+}
+
+void ScheduleEvaluator::remove_job(MachineId m, JobId job) {
+  auto& state = machines_[static_cast<std::size_t>(m)];
+  const std::pair<double, JobId> entry{(*etc_)(job, m), job};
+  const auto it =
+      std::lower_bound(state.jobs.begin(), state.jobs.end(), entry);
+  if (it == state.jobs.end() || it->second != job) {
+    throw std::logic_error("ScheduleEvaluator: job not on expected machine");
+  }
+  state.jobs.erase(it);
+  recompute_machine(m);
+}
+
+std::pair<double, double> ScheduleEvaluator::flow_completion_with(
+    MachineId m, JobId skip, JobId add_job, double add_etc) const {
+  // O(log k): closed-form flow deltas over the cached prefix sums.
+  //   remove at p (0-based, list size k):
+  //     flow -= ready + prefix[p] + (k - p) * e_p
+  //   insert x at q (list size k after removal):
+  //     flow += ready + prefix'(q) + (k + 1 - q) * x
+  const auto& state = machines_[static_cast<std::size_t>(m)];
+  const double ready = etc_->ready_time(m);
+  double flow = state.flow;
+  double sum = state.completion - ready;
+  std::size_t k = state.jobs.size();
+
+  std::size_t removed_at = k;  // sentinel: nothing removed
+  double removed_etc = 0.0;
+  if (skip >= 0) {
+    const std::pair<double, JobId> key{(*etc_)(skip, m), skip};
+    const auto it =
+        std::lower_bound(state.jobs.begin(), state.jobs.end(), key);
+    removed_at = static_cast<std::size_t>(it - state.jobs.begin());
+    removed_etc = key.first;
+    flow -= ready + state.prefix[removed_at] +
+            static_cast<double>(k - removed_at) * removed_etc;
+    sum -= removed_etc;
+    --k;
+  }
+  if (add_job >= 0) {
+    const std::pair<double, JobId> key{add_etc, add_job};
+    const auto it =
+        std::lower_bound(state.jobs.begin(), state.jobs.end(), key);
+    std::size_t q = static_cast<std::size_t>(it - state.jobs.begin());
+    double prefix_q = state.prefix[q];
+    if (q > removed_at) {
+      --q;
+      prefix_q -= removed_etc;
+    }
+    flow += ready + prefix_q + static_cast<double>(k + 1 - q) * add_etc;
+    sum += add_etc;
+  }
+  return {flow, ready + sum};
+}
+
+PreviewResult ScheduleEvaluator::preview_move(JobId job, MachineId to) const {
+  const MachineId from = schedule_[job];
+  if (from == to) return {objectives()};
+
+  const auto [flow_from, completion_from] =
+      flow_completion_with(from, job, -1, 0.0);
+  const auto [flow_to, completion_to] =
+      flow_completion_with(to, -1, job, (*etc_)(job, to));
+
+  double new_makespan = 0.0;
+  double new_flowtime = 0.0;
+  for (MachineId m = 0; m < num_machines(); ++m) {
+    const auto& state = machines_[static_cast<std::size_t>(m)];
+    const double completion = m == from ? completion_from
+                              : m == to ? completion_to
+                                        : state.completion;
+    const double flow = m == from ? flow_from : m == to ? flow_to : state.flow;
+    new_makespan = std::max(new_makespan, completion);
+    new_flowtime += flow;
+  }
+  return {Objectives{new_makespan, new_flowtime}};
+}
+
+PreviewResult ScheduleEvaluator::preview_swap(JobId a, JobId b) const {
+  const MachineId ma = schedule_[a];
+  const MachineId mb = schedule_[b];
+  if (ma == mb) {
+    throw std::invalid_argument("preview_swap: jobs share a machine");
+  }
+  const auto [flow_a, completion_a] =
+      flow_completion_with(ma, a, b, (*etc_)(b, ma));
+  const auto [flow_b, completion_b] =
+      flow_completion_with(mb, b, a, (*etc_)(a, mb));
+
+  double new_makespan = 0.0;
+  double new_flowtime = 0.0;
+  for (MachineId m = 0; m < num_machines(); ++m) {
+    const auto& state = machines_[static_cast<std::size_t>(m)];
+    const double completion = m == ma ? completion_a
+                              : m == mb ? completion_b
+                                        : state.completion;
+    const double flow = m == ma ? flow_a : m == mb ? flow_b : state.flow;
+    new_makespan = std::max(new_makespan, completion);
+    new_flowtime += flow;
+  }
+  return {Objectives{new_makespan, new_flowtime}};
+}
+
+void ScheduleEvaluator::apply_move(JobId job, MachineId to) {
+  const MachineId from = schedule_[job];
+  if (from == to) return;
+  remove_job(from, job);
+  insert_job(to, job);
+  schedule_[job] = to;
+}
+
+void ScheduleEvaluator::apply_swap(JobId a, JobId b) {
+  const MachineId ma = schedule_[a];
+  const MachineId mb = schedule_[b];
+  if (ma == mb) {
+    throw std::invalid_argument("apply_swap: jobs share a machine");
+  }
+  remove_job(ma, a);
+  remove_job(mb, b);
+  insert_job(mb, a);
+  insert_job(ma, b);
+  schedule_[a] = mb;
+  schedule_[b] = ma;
+}
+
+void ScheduleEvaluator::check_consistency() const {
+  ScheduleEvaluator fresh(*etc_);
+  fresh.reset(schedule_);
+  for (MachineId m = 0; m < num_machines(); ++m) {
+    const auto& a = machines_[static_cast<std::size_t>(m)];
+    const auto& b = fresh.machines_[static_cast<std::size_t>(m)];
+    if (a.jobs != b.jobs) {
+      throw std::logic_error("evaluator drift: job lists differ");
+    }
+    const double tol = 1e-6 * std::max(1.0, std::abs(b.completion));
+    if (std::abs(a.completion - b.completion) > tol ||
+        std::abs(a.flow - b.flow) > 1e-6 * std::max(1.0, std::abs(b.flow))) {
+      throw std::logic_error("evaluator drift: cached sums differ");
+    }
+  }
+}
+
+}  // namespace gridsched

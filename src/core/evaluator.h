@@ -1,0 +1,121 @@
+// Incremental schedule evaluation.
+//
+// The local search methods of the cMA preview tens of thousands of candidate
+// moves and swaps per second, so evaluating a neighbor from scratch
+// (O(jobs)) would dominate the runtime. ScheduleEvaluator maintains
+// per-machine state (assigned jobs sorted by ETC, completion time, SPT
+// flowtime) so that:
+//   - previewing a move/swap costs O(k) where k = jobs on the two affected
+//     machines (~ jobs / machines),
+//   - applying one costs O(k) and recomputes the affected machines' sums
+//     exactly (no floating-point drift accumulates across a run).
+//
+// Objective conventions (Section 2 of the paper; DESIGN.md section 4):
+//   completion[m] = ready[m] + sum of ETC of jobs on m          (Eq. 1)
+//   makespan      = max over machines of completion[m]          (Eq. 2)
+//   flowtime      = sum over jobs of their finishing times, with each
+//                   machine running its jobs in SPT (ascending ETC) order,
+//                   which minimizes flowtime for a fixed assignment.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/fitness.h"
+#include "core/schedule.h"
+#include "etc/etc_matrix.h"
+
+namespace gridsched {
+
+/// The objective values a hypothetical edit would produce.
+struct PreviewResult {
+  Objectives objectives;
+  [[nodiscard]] double fitness(const FitnessWeights& w,
+                               int num_machines) const noexcept {
+    return objectives.fitness(w, num_machines);
+  }
+};
+
+class ScheduleEvaluator {
+ public:
+  /// Binds to an ETC matrix; the matrix must outlive the evaluator.
+  explicit ScheduleEvaluator(const EtcMatrix& etc);
+
+  /// Loads a complete schedule and (re)builds all machine state. O(n log n).
+  void reset(const Schedule& schedule);
+
+  [[nodiscard]] const Schedule& schedule() const noexcept { return schedule_; }
+  [[nodiscard]] const EtcMatrix& etc() const noexcept { return *etc_; }
+  [[nodiscard]] int num_jobs() const noexcept { return etc_->num_jobs(); }
+  [[nodiscard]] int num_machines() const noexcept {
+    return etc_->num_machines();
+  }
+
+  [[nodiscard]] double completion(MachineId m) const noexcept {
+    return machines_[static_cast<std::size_t>(m)].completion;
+  }
+  [[nodiscard]] double machine_flow(MachineId m) const noexcept {
+    return machines_[static_cast<std::size_t>(m)].flow;
+  }
+  /// Jobs currently assigned to machine m, ascending by (ETC, job id).
+  [[nodiscard]] const std::vector<std::pair<double, JobId>>& machine_jobs(
+      MachineId m) const noexcept {
+    return machines_[static_cast<std::size_t>(m)].jobs;
+  }
+
+  [[nodiscard]] double makespan() const noexcept;
+  [[nodiscard]] double flowtime() const noexcept;
+  [[nodiscard]] Objectives objectives() const noexcept {
+    return {makespan(), flowtime()};
+  }
+  [[nodiscard]] double fitness(const FitnessWeights& w) const noexcept {
+    return objectives().fitness(w, num_machines());
+  }
+  /// A machine whose completion time equals the makespan (lowest id).
+  [[nodiscard]] MachineId makespan_machine() const noexcept;
+
+  /// Objectives if job were moved to machine `to` (no state change).
+  [[nodiscard]] PreviewResult preview_move(JobId job, MachineId to) const;
+
+  /// Objectives if jobs a and b (on different machines) swapped machines.
+  /// Precondition: schedule()[a] != schedule()[b].
+  [[nodiscard]] PreviewResult preview_swap(JobId a, JobId b) const;
+
+  /// Moves job to machine `to`, updating state incrementally.
+  void apply_move(JobId job, MachineId to);
+
+  /// Swaps the machines of jobs a and b (must differ).
+  void apply_swap(JobId a, JobId b);
+
+  /// Rebuilds everything from the current schedule and asserts the cached
+  /// state matches (test hook). Throws std::logic_error on mismatch.
+  void check_consistency() const;
+
+ private:
+  struct MachineState {
+    std::vector<std::pair<double, JobId>> jobs;  // ascending (etc, job)
+    // prefix[i] = sum of the first i ETC values; size jobs.size() + 1.
+    // Lets previews answer "flow without job at p / with x inserted" in
+    // O(log k) instead of re-merging the whole list.
+    std::vector<double> prefix;
+    double completion = 0.0;  // ready + sum of etc
+    double flow = 0.0;        // SPT flowtime contribution of this machine
+  };
+
+  /// Recomputes completion and flow of one machine from its job list.
+  void recompute_machine(MachineId m);
+
+  void insert_job(MachineId m, JobId job);
+  void remove_job(MachineId m, JobId job);
+
+  /// Flow and completion of machine m with `skip` removed (if >= 0) and a
+  /// virtual job `add` of the given ETC inserted (if add_job >= 0).
+  [[nodiscard]] std::pair<double, double> flow_completion_with(
+      MachineId m, JobId skip, JobId add_job, double add_etc) const;
+
+  const EtcMatrix* etc_;
+  Schedule schedule_;
+  std::vector<MachineState> machines_;
+};
+
+}  // namespace gridsched

@@ -1,0 +1,32 @@
+#include "core/individual.h"
+
+namespace gridsched {
+
+Individual make_individual(Schedule schedule, const EtcMatrix& etc,
+                           const FitnessWeights& weights) {
+  Individual individual;
+  individual.schedule = std::move(schedule);
+  evaluate_individual(individual, etc, weights);
+  return individual;
+}
+
+void evaluate_individual(Individual& individual, const EtcMatrix& etc,
+                         const FitnessWeights& weights) {
+  ScheduleEvaluator evaluator(etc);
+  evaluator.reset(individual.schedule);
+  individual.objectives = evaluator.objectives();
+  individual.fitness =
+      individual.objectives.fitness(weights, etc.num_machines());
+}
+
+Individual individual_from_evaluator(const ScheduleEvaluator& evaluator,
+                                     const FitnessWeights& weights) {
+  Individual individual;
+  individual.schedule = evaluator.schedule();
+  individual.objectives = evaluator.objectives();
+  individual.fitness = individual.objectives.fitness(
+      weights, evaluator.num_machines());
+  return individual;
+}
+
+}  // namespace gridsched

@@ -1,0 +1,77 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+
+namespace gridsched {
+
+bool dominates(const Objectives& a, const Objectives& b) noexcept {
+  const bool no_worse =
+      a.makespan <= b.makespan && a.flowtime <= b.flowtime;
+  const bool strictly_better =
+      a.makespan < b.makespan || a.flowtime < b.flowtime;
+  return no_worse && strictly_better;
+}
+
+bool ParetoArchive::would_reject(const Objectives& objectives) const noexcept {
+  for (const auto& member : members_) {
+    if (dominates(member.objectives, objectives)) return true;
+    if (member.objectives.makespan == objectives.makespan &&
+        member.objectives.flowtime == objectives.flowtime) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParetoArchive::offer(Individual candidate) {
+  if (would_reject(candidate.objectives)) return false;
+  std::erase_if(members_, [&](const Individual& member) {
+    return dominates(candidate.objectives, member.objectives);
+  });
+  members_.push_back(std::move(candidate));
+  return true;
+}
+
+std::vector<Individual> ParetoArchive::front() const {
+  std::vector<Individual> sorted = members_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Individual& a, const Individual& b) {
+              return a.objectives.makespan < b.objectives.makespan;
+            });
+  return sorted;
+}
+
+std::vector<Individual> pareto_front(std::span<const Individual> candidates) {
+  ParetoArchive archive;
+  for (const auto& candidate : candidates) archive.offer(candidate);
+  return archive.front();
+}
+
+double hypervolume(std::span<const Individual> front,
+                   const Objectives& reference) {
+  // Reduce to the non-dominated subset inside the reference box, sorted by
+  // ascending makespan (flowtime then strictly descends along the front).
+  std::vector<Individual> kept;
+  for (const auto& member : front) {
+    if (member.objectives.makespan < reference.makespan &&
+        member.objectives.flowtime < reference.flowtime) {
+      kept.push_back(member);
+    }
+  }
+  const auto clean = pareto_front(kept);
+
+  // Sweep left to right; each member contributes a rectangle from its
+  // makespan to the next member's (or the reference wall), with height
+  // down from the reference flowtime.
+  double volume = 0.0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    const double right = i + 1 < clean.size()
+                             ? clean[i + 1].objectives.makespan
+                             : reference.makespan;
+    volume += (right - clean[i].objectives.makespan) *
+              (reference.flowtime - clean[i].objectives.flowtime);
+  }
+  return volume;
+}
+
+}  // namespace gridsched

@@ -1,0 +1,56 @@
+// Bi-objective (makespan, flowtime) Pareto utilities.
+//
+// The paper scalarizes the two objectives with a fixed lambda and names
+// "tackling the problem with a multi-objective algorithm in order to find a
+// set of non-dominated solutions" as future work. This module implements
+// the bookkeeping half of that: dominance tests and a non-dominated
+// archive. bench/pareto_front sweeps lambda through the scalarized cMA and
+// archives the outcomes, which approximates the front the future-work
+// algorithm would target.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/individual.h"
+
+namespace gridsched {
+
+/// True when `a` is at least as good on both objectives and strictly
+/// better on at least one (minimization).
+[[nodiscard]] bool dominates(const Objectives& a, const Objectives& b) noexcept;
+
+/// Maintains the set of mutually non-dominated individuals seen so far.
+class ParetoArchive {
+ public:
+  /// Offers a candidate. Returns true if it entered the archive (it is not
+  /// dominated by any member); dominated members are evicted. Duplicate
+  /// objective vectors are kept only once.
+  bool offer(Individual candidate);
+
+  /// Current front, sorted by ascending makespan.
+  [[nodiscard]] std::vector<Individual> front() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+
+  /// True if `objectives` would be rejected (dominated or duplicate).
+  [[nodiscard]] bool would_reject(const Objectives& objectives) const noexcept;
+
+ private:
+  std::vector<Individual> members_;
+};
+
+/// Filters a batch to its non-dominated subset (sorted by makespan).
+[[nodiscard]] std::vector<Individual> pareto_front(
+    std::span<const Individual> candidates);
+
+/// Hypervolume indicator (2-D): the area dominated by `front` and bounded
+/// by `reference` (a point worse than every member on both objectives).
+/// The standard scalar quality measure for bi-objective fronts: larger is
+/// better; 0 for an empty front or one entirely beyond the reference.
+/// Members beyond the reference point are clipped out.
+[[nodiscard]] double hypervolume(std::span<const Individual> front,
+                                 const Objectives& reference);
+
+}  // namespace gridsched

@@ -1,0 +1,79 @@
+#include "etc/cvb_instance.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gridsched {
+
+std::string CvbInstanceSpec::name() const {
+  auto code = [](Consistency c) {
+    switch (c) {
+      case Consistency::kConsistent: return 'c';
+      case Consistency::kInconsistent: return 'i';
+      case Consistency::kSemiConsistent: return 's';
+    }
+    return '?';
+  };
+  std::string label = "cvb_";
+  label += code(consistency);
+  label += '_' + std::to_string(static_cast<int>(v_task * 100));
+  label += '_' + std::to_string(static_cast<int>(v_machine * 100));
+  return label;
+}
+
+EtcMatrix generate_cvb_instance(const CvbInstanceSpec& spec) {
+  if (spec.num_jobs <= 0 || spec.num_machines <= 0) {
+    throw std::invalid_argument("generate_cvb_instance: bad shape");
+  }
+  if (spec.task_mean <= 0 || spec.v_task <= 0 || spec.v_machine <= 0) {
+    throw std::invalid_argument(
+        "generate_cvb_instance: mean and CVs must be positive");
+  }
+  Rng rng(spec.seed);
+
+  const double alpha_task = 1.0 / (spec.v_task * spec.v_task);
+  const double beta_task = spec.task_mean / alpha_task;
+  const double alpha_mach = 1.0 / (spec.v_machine * spec.v_machine);
+
+  EtcMatrix etc(spec.num_jobs, spec.num_machines);
+  for (JobId j = 0; j < spec.num_jobs; ++j) {
+    const double q = rng.gamma(alpha_task, beta_task);
+    const double beta_mach = q / alpha_mach;
+    for (MachineId m = 0; m < spec.num_machines; ++m) {
+      etc(j, m) = rng.gamma(alpha_mach, beta_mach);
+    }
+  }
+
+  // Same consistency post-pass as the range-based generator.
+  if (spec.consistency == Consistency::kConsistent) {
+    std::vector<double> row(static_cast<std::size_t>(spec.num_machines));
+    for (JobId j = 0; j < spec.num_jobs; ++j) {
+      for (MachineId m = 0; m < spec.num_machines; ++m) {
+        row[static_cast<std::size_t>(m)] = etc(j, m);
+      }
+      std::sort(row.begin(), row.end());
+      for (MachineId m = 0; m < spec.num_machines; ++m) {
+        etc(j, m) = row[static_cast<std::size_t>(m)];
+      }
+    }
+  } else if (spec.consistency == Consistency::kSemiConsistent) {
+    std::vector<double> evens;
+    for (JobId j = 0; j < spec.num_jobs; ++j) {
+      evens.clear();
+      for (MachineId m = 0; m < spec.num_machines; m += 2) {
+        evens.push_back(etc(j, m));
+      }
+      std::sort(evens.begin(), evens.end());
+      std::size_t idx = 0;
+      for (MachineId m = 0; m < spec.num_machines; m += 2) {
+        etc(j, m) = evens[idx++];
+      }
+    }
+  }
+  return etc;
+}
+
+}  // namespace gridsched

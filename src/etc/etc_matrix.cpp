@@ -1,0 +1,44 @@
+#include "etc/etc_matrix.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace gridsched {
+
+EtcMatrix::EtcMatrix(int num_jobs, int num_machines)
+    : num_jobs_(num_jobs), num_machines_(num_machines) {
+  // Validate before sizing the vectors: a negative dimension cast to
+  // size_t would otherwise surface as an obscure std::length_error.
+  if (num_jobs <= 0 || num_machines <= 0) {
+    throw std::invalid_argument("EtcMatrix: dimensions must be positive");
+  }
+  values_.resize(static_cast<std::size_t>(num_jobs) *
+                 static_cast<std::size_t>(num_machines));
+  ready_times_.assign(static_cast<std::size_t>(num_machines), 0.0);
+}
+
+EtcMatrix::EtcMatrix(int num_jobs, int num_machines, std::vector<double> values)
+    : EtcMatrix(num_jobs, num_machines) {
+  if (values.size() != values_.size()) {
+    throw std::invalid_argument("EtcMatrix: value count does not match shape");
+  }
+  values_ = std::move(values);
+}
+
+double EtcMatrix::mean_row(JobId job) const noexcept {
+  const auto r = row(job);
+  return std::accumulate(r.begin(), r.end(), 0.0) /
+         static_cast<double>(r.size());
+}
+
+double EtcMatrix::min_row(JobId job) const noexcept {
+  const auto r = row(job);
+  return *std::min_element(r.begin(), r.end());
+}
+
+double EtcMatrix::total() const noexcept {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+}  // namespace gridsched

@@ -1,0 +1,89 @@
+// The Expected Time to Compute (ETC) problem model of Braun et al. (2001).
+//
+// An instance of the batch scheduling problem is an ETC matrix: for every
+// (job, machine) pair, the wall-clock time the job is expected to take on
+// that machine, plus a per-machine ready time (when the machine finishes the
+// work it already has). This is the only input the schedulers see.
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+namespace gridsched {
+
+using JobId = int;
+using MachineId = int;
+
+/// Dense row-major ETC matrix with per-machine ready times.
+class EtcMatrix {
+ public:
+  EtcMatrix() = default;
+
+  /// Creates a jobs x machines matrix initialized to zero, ready times zero.
+  EtcMatrix(int num_jobs, int num_machines);
+
+  /// Creates a matrix from row-major values (size must be jobs * machines).
+  EtcMatrix(int num_jobs, int num_machines, std::vector<double> values);
+
+  [[nodiscard]] int num_jobs() const noexcept { return num_jobs_; }
+  [[nodiscard]] int num_machines() const noexcept { return num_machines_; }
+
+  [[nodiscard]] double operator()(JobId job, MachineId machine) const noexcept {
+    assert(job >= 0 && job < num_jobs_);
+    assert(machine >= 0 && machine < num_machines_);
+    return values_[static_cast<std::size_t>(job) *
+                       static_cast<std::size_t>(num_machines_) +
+                   static_cast<std::size_t>(machine)];
+  }
+
+  double& operator()(JobId job, MachineId machine) noexcept {
+    assert(job >= 0 && job < num_jobs_);
+    assert(machine >= 0 && machine < num_machines_);
+    return values_[static_cast<std::size_t>(job) *
+                       static_cast<std::size_t>(num_machines_) +
+                   static_cast<std::size_t>(machine)];
+  }
+
+  /// The ETC row of one job across all machines.
+  [[nodiscard]] std::span<const double> row(JobId job) const noexcept {
+    assert(job >= 0 && job < num_jobs_);
+    return {values_.data() + static_cast<std::size_t>(job) *
+                                 static_cast<std::size_t>(num_machines_),
+            static_cast<std::size_t>(num_machines_)};
+  }
+
+  /// Ready time of `machine` (time at which it becomes free for this batch).
+  [[nodiscard]] double ready_time(MachineId machine) const noexcept {
+    return ready_times_[static_cast<std::size_t>(machine)];
+  }
+
+  void set_ready_time(MachineId machine, double t) noexcept {
+    ready_times_[static_cast<std::size_t>(machine)] = t;
+  }
+
+  [[nodiscard]] std::span<const double> ready_times() const noexcept {
+    return ready_times_;
+  }
+
+  /// Mean ETC of a job across machines. Used as the "workload" proxy for
+  /// heuristics that order jobs by size (ETC-only instances carry no
+  /// separate workload column); see DESIGN.md section 3.
+  [[nodiscard]] double mean_row(JobId job) const noexcept;
+
+  /// Smallest ETC of a job across machines.
+  [[nodiscard]] double min_row(JobId job) const noexcept;
+
+  /// Sum of all entries (useful for magnitude sanity checks in tests).
+  [[nodiscard]] double total() const noexcept;
+
+  [[nodiscard]] std::span<const double> raw() const noexcept { return values_; }
+
+ private:
+  int num_jobs_ = 0;
+  int num_machines_ = 0;
+  std::vector<double> values_;
+  std::vector<double> ready_times_;
+};
+
+}  // namespace gridsched

@@ -1,0 +1,80 @@
+#include "etc/instance_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace gridsched {
+
+void write_instance(std::ostream& out, const EtcMatrix& etc) {
+  out << etc.num_jobs() << ' ' << etc.num_machines() << '\n';
+  out << std::setprecision(17);
+  for (JobId j = 0; j < etc.num_jobs(); ++j) {
+    for (MachineId m = 0; m < etc.num_machines(); ++m) {
+      out << etc(j, m) << (m + 1 == etc.num_machines() ? '\n' : ' ');
+    }
+  }
+  bool any_ready = false;
+  for (double r : etc.ready_times()) any_ready |= (r != 0.0);
+  if (any_ready) {
+    out << "ready:";
+    for (double r : etc.ready_times()) out << ' ' << r;
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write_instance: stream failure");
+}
+
+void save_instance(const std::string& path, const EtcMatrix& etc) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_instance: cannot open " + path);
+  write_instance(out, etc);
+}
+
+EtcMatrix read_instance(std::istream& in) {
+  int jobs = 0;
+  int machines = 0;
+  if (!(in >> jobs >> machines) || jobs <= 0 || machines <= 0) {
+    throw std::runtime_error("read_instance: malformed header");
+  }
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(jobs) *
+                 static_cast<std::size_t>(machines));
+  for (std::size_t i = 0,
+                   n = static_cast<std::size_t>(jobs) *
+                       static_cast<std::size_t>(machines);
+       i < n; ++i) {
+    double v = 0.0;
+    if (!(in >> v)) {
+      throw std::runtime_error("read_instance: expected " + std::to_string(n) +
+                               " ETC values, got " + std::to_string(i));
+    }
+    if (v < 0.0) throw std::runtime_error("read_instance: negative ETC value");
+    values.push_back(v);
+  }
+  EtcMatrix etc(jobs, machines, std::move(values));
+
+  std::string tag;
+  if (in >> tag) {
+    if (tag != "ready:") {
+      throw std::runtime_error("read_instance: unexpected trailing token '" +
+                               tag + "'");
+    }
+    for (MachineId m = 0; m < machines; ++m) {
+      double r = 0.0;
+      if (!(in >> r)) {
+        throw std::runtime_error("read_instance: truncated ready-time line");
+      }
+      etc.set_ready_time(m, r);
+    }
+  }
+  return etc;
+}
+
+EtcMatrix load_instance(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_instance: cannot open " + path);
+  return read_instance(in);
+}
+
+}  // namespace gridsched

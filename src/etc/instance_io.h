@@ -1,0 +1,30 @@
+// Text serialization of ETC instances.
+//
+// The on-disk format matches the classic Braun benchmark distribution: the
+// first line holds `num_jobs num_machines`, followed by num_jobs*num_machines
+// whitespace-separated ETC values in row-major (job-major) order. An optional
+// trailing line `ready: r0 r1 ...` carries non-zero ready times (an extension
+// of ours; absent for pure Braun files).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "etc/etc_matrix.h"
+
+namespace gridsched {
+
+/// Writes an instance to a stream. Throws std::runtime_error on I/O failure.
+void write_instance(std::ostream& out, const EtcMatrix& etc);
+
+/// Writes an instance to `path` (truncates).
+void save_instance(const std::string& path, const EtcMatrix& etc);
+
+/// Reads an instance from a stream. Throws std::runtime_error on malformed
+/// input (bad header, missing values, non-numeric tokens).
+[[nodiscard]] EtcMatrix read_instance(std::istream& in);
+
+/// Reads an instance from `path`.
+[[nodiscard]] EtcMatrix load_instance(const std::string& path);
+
+}  // namespace gridsched

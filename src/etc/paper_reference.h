@@ -1,0 +1,35 @@
+// Reference values published in the paper (Tables 2-5).
+//
+// The bench harness prints these next to our measured numbers so the reader
+// can check the *shape* of each comparison (who wins, by roughly what
+// factor) without claiming absolute equality: our instances are fresh
+// samples of the same Braun classes, not the authors' exact data files
+// (DESIGN.md section 3).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace gridsched {
+
+/// One row spanning the paper's Tables 2-5 for a benchmark instance.
+struct PaperRow {
+  std::string_view instance;      // e.g. "u_c_hihi.0"
+  double braun_ga_makespan;       // Table 2, col 2
+  double cma_makespan;            // Table 2/3, cMA column
+  double cx_ga_makespan;          // Table 3, Carretero & Xhafa GA
+  double struggle_ga_makespan;    // Table 3, Struggle GA
+  double ljfr_sjfr_flowtime;      // Table 4, col 2
+  double cma_flowtime;            // Table 4/5, cMA column
+  double struggle_ga_flowtime;    // Table 5, col 2
+};
+
+/// All 12 rows in the paper's order (c, i, s) x (hihi, hilo, lohi, lolo).
+[[nodiscard]] const std::array<PaperRow, 12>& paper_reference_rows();
+
+/// Looks a row up by instance label; nullopt if the label is not in the
+/// benchmark.
+[[nodiscard]] std::optional<PaperRow> paper_reference(std::string_view label);
+
+}  // namespace gridsched

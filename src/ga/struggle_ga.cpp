@@ -1,0 +1,64 @@
+#include "ga/struggle_ga.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace gridsched {
+
+StruggleGa::StruggleGa(StruggleGaConfig config) : config_(std::move(config)) {
+  if (config_.population_size < 2) {
+    throw std::invalid_argument("StruggleGa: population must hold >= 2");
+  }
+  if (!config_.stop.any_enabled()) {
+    throw std::invalid_argument("StruggleGa: no stop condition enabled");
+  }
+}
+
+EvolutionResult StruggleGa::run(const EtcMatrix& etc) const {
+  Rng rng(config_.seed);
+  EvolutionTracker tracker(config_.stop, config_.record_progress);
+
+  std::vector<Individual> population =
+      seed_population(config_.population_size, config_.seeding, etc,
+                      config_.weights, rng);
+  tracker.count_evaluations(config_.population_size);
+  for (const auto& individual : population) tracker.offer(individual);
+
+  std::vector<int> all_indices(population.size());
+  std::iota(all_indices.begin(), all_indices.end(), 0);
+
+  ScheduleEvaluator evaluator(etc);
+  while (!tracker.should_stop()) {
+    for (int step = 0; step < config_.steps_per_iteration; ++step) {
+      const int pa =
+          select_one(config_.selection, all_indices, population, rng);
+      Individual child = population[static_cast<std::size_t>(pa)];
+      if (rng.chance(config_.crossover_rate)) {
+        const int pb =
+            select_one(config_.selection, all_indices, population, rng);
+        child.schedule = crossover(
+            config_.crossover, population[static_cast<std::size_t>(pa)].schedule,
+            population[static_cast<std::size_t>(pb)].schedule, rng);
+      }
+      if (rng.chance(config_.mutation_rate)) {
+        evaluator.reset(child.schedule);
+        mutate(config_.mutation, evaluator, rng);
+        child.schedule = evaluator.schedule();
+      }
+      evaluate_individual(child, etc, config_.weights);
+      tracker.count_evaluations();
+
+      // The struggle: compete with the most similar resident, not the worst.
+      const std::size_t rival = most_similar_index(population, child.schedule);
+      if (child.fitness < population[rival].fitness) {
+        population[rival] = std::move(child);
+        tracker.offer(population[rival]);
+      }
+      if (tracker.should_stop()) break;
+    }
+    tracker.end_iteration();
+  }
+  return tracker.finish();
+}
+
+}  // namespace gridsched

@@ -1,0 +1,246 @@
+#include "heuristics/constructive.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gridsched {
+namespace {
+
+/// Tracks machine completion times while a heuristic builds a schedule.
+class LoadTracker {
+ public:
+  explicit LoadTracker(const EtcMatrix& etc) : etc_(&etc) {
+    completion_.assign(etc.ready_times().begin(), etc.ready_times().end());
+  }
+
+  [[nodiscard]] double completion(MachineId m) const noexcept {
+    return completion_[static_cast<std::size_t>(m)];
+  }
+
+  [[nodiscard]] double completion_with(JobId j, MachineId m) const noexcept {
+    return completion(m) + (*etc_)(j, m);
+  }
+
+  /// Machine minimizing the completion time of job j (ties: lowest id).
+  [[nodiscard]] MachineId best_machine(JobId j) const noexcept {
+    MachineId arg = 0;
+    double best = completion_with(j, 0);
+    for (MachineId m = 1; m < etc_->num_machines(); ++m) {
+      const double c = completion_with(j, m);
+      if (c < best) {
+        best = c;
+        arg = m;
+      }
+    }
+    return arg;
+  }
+
+  /// Machine with the lowest current completion time (ties: lowest id).
+  [[nodiscard]] MachineId earliest_free() const noexcept {
+    return static_cast<MachineId>(std::distance(
+        completion_.begin(),
+        std::min_element(completion_.begin(), completion_.end())));
+  }
+
+  void assign(Schedule& schedule, JobId j, MachineId m) noexcept {
+    schedule[j] = m;
+    completion_[static_cast<std::size_t>(m)] += (*etc_)(j, m);
+  }
+
+ private:
+  const EtcMatrix* etc_;
+  std::vector<double> completion_;
+};
+
+/// Shared skeleton of Min-Min / Max-Min / Sufferage: repeatedly score every
+/// unassigned job and commit the one chosen by `pick_larger_score`.
+template <typename ScoreFn>
+Schedule greedy_batch(const EtcMatrix& etc, ScoreFn score_job) {
+  Schedule schedule(etc.num_jobs());
+  LoadTracker loads(etc);
+  std::vector<JobId> unassigned(static_cast<std::size_t>(etc.num_jobs()));
+  std::iota(unassigned.begin(), unassigned.end(), 0);
+
+  while (!unassigned.empty()) {
+    std::size_t pick_idx = 0;
+    double pick_score = -std::numeric_limits<double>::infinity();
+    MachineId pick_machine = 0;
+    for (std::size_t i = 0; i < unassigned.size(); ++i) {
+      const JobId j = unassigned[i];
+      const MachineId m = loads.best_machine(j);
+      const double score = score_job(loads, j, m);
+      if (score > pick_score) {
+        pick_score = score;
+        pick_idx = i;
+        pick_machine = m;
+      }
+    }
+    loads.assign(schedule, unassigned[pick_idx], pick_machine);
+    unassigned[pick_idx] = unassigned.back();
+    unassigned.pop_back();
+  }
+  return schedule;
+}
+
+}  // namespace
+
+std::string_view heuristic_name(HeuristicKind kind) noexcept {
+  switch (kind) {
+    case HeuristicKind::kLjfrSjfr: return "LJFR-SJFR";
+    case HeuristicKind::kMinMin: return "Min-Min";
+    case HeuristicKind::kMaxMin: return "Max-Min";
+    case HeuristicKind::kMct: return "MCT";
+    case HeuristicKind::kMet: return "MET";
+    case HeuristicKind::kOlb: return "OLB";
+    case HeuristicKind::kSufferage: return "Sufferage";
+    case HeuristicKind::kRandom: return "Random";
+  }
+  return "?";
+}
+
+std::span<const HeuristicKind> all_heuristics() noexcept {
+  static constexpr std::array<HeuristicKind, 8> kAll = {
+      HeuristicKind::kLjfrSjfr, HeuristicKind::kMinMin,
+      HeuristicKind::kMaxMin,   HeuristicKind::kMct,
+      HeuristicKind::kMet,      HeuristicKind::kOlb,
+      HeuristicKind::kSufferage, HeuristicKind::kRandom,
+  };
+  return kAll;
+}
+
+Schedule construct_schedule(HeuristicKind kind, const EtcMatrix& etc,
+                            Rng& rng) {
+  switch (kind) {
+    case HeuristicKind::kLjfrSjfr: return ljfr_sjfr(etc);
+    case HeuristicKind::kMinMin: return min_min(etc);
+    case HeuristicKind::kMaxMin: return max_min(etc);
+    case HeuristicKind::kMct: return mct(etc);
+    case HeuristicKind::kMet: return met(etc);
+    case HeuristicKind::kOlb: return olb(etc);
+    case HeuristicKind::kSufferage: return sufferage(etc);
+    case HeuristicKind::kRandom:
+      return Schedule::random(etc.num_jobs(), etc.num_machines(), rng);
+  }
+  throw std::invalid_argument("construct_schedule: unknown heuristic");
+}
+
+Schedule ljfr_sjfr(const EtcMatrix& etc) {
+  const int n = etc.num_jobs();
+  const int m = etc.num_machines();
+  Schedule schedule(n);
+  LoadTracker loads(etc);
+
+  // Jobs ascending by workload (mean-ETC proxy); machines descending by
+  // speed (smaller mean column ETC = faster machine).
+  std::vector<JobId> jobs(static_cast<std::size_t>(n));
+  std::iota(jobs.begin(), jobs.end(), 0);
+  std::vector<double> workload(static_cast<std::size_t>(n));
+  for (JobId j = 0; j < n; ++j) {
+    workload[static_cast<std::size_t>(j)] = etc.mean_row(j);
+  }
+  std::sort(jobs.begin(), jobs.end(), [&](JobId a, JobId b) {
+    const double wa = workload[static_cast<std::size_t>(a)];
+    const double wb = workload[static_cast<std::size_t>(b)];
+    return wa != wb ? wa < wb : a < b;
+  });
+
+  std::vector<double> column_mean(static_cast<std::size_t>(m), 0.0);
+  for (JobId j = 0; j < n; ++j) {
+    for (MachineId mm = 0; mm < m; ++mm) {
+      column_mean[static_cast<std::size_t>(mm)] += etc(j, mm);
+    }
+  }
+  std::vector<MachineId> machines_by_speed(static_cast<std::size_t>(m));
+  std::iota(machines_by_speed.begin(), machines_by_speed.end(), 0);
+  std::sort(machines_by_speed.begin(), machines_by_speed.end(),
+            [&](MachineId a, MachineId b) {
+              const double ca = column_mean[static_cast<std::size_t>(a)];
+              const double cb = column_mean[static_cast<std::size_t>(b)];
+              return ca != cb ? ca < cb : a < b;
+            });
+
+  // Phase 1 (pure LJFR): the m longest jobs, longest to the fastest machine.
+  std::size_t lo = 0;                         // shortest unassigned
+  std::size_t hi = jobs.size();               // one past longest unassigned
+  const std::size_t initial = std::min<std::size_t>(
+      static_cast<std::size_t>(m), jobs.size());
+  for (std::size_t i = 0; i < initial; ++i) {
+    loads.assign(schedule, jobs[--hi], machines_by_speed[i]);
+  }
+
+  // Phase 2: each step the least-loaded machine takes, alternately, the
+  // shortest remaining job (SJFR) then the longest (LJFR).
+  bool take_shortest = true;
+  while (lo < hi) {
+    const MachineId target = loads.earliest_free();
+    const JobId job = take_shortest ? jobs[lo++] : jobs[--hi];
+    loads.assign(schedule, job, target);
+    take_shortest = !take_shortest;
+  }
+  return schedule;
+}
+
+Schedule min_min(const EtcMatrix& etc) {
+  // Smallest best-completion first -> maximize the negated value.
+  return greedy_batch(etc, [](const LoadTracker& loads, JobId j, MachineId m) {
+    return -loads.completion_with(j, m);
+  });
+}
+
+Schedule max_min(const EtcMatrix& etc) {
+  return greedy_batch(etc, [](const LoadTracker& loads, JobId j, MachineId m) {
+    return loads.completion_with(j, m);
+  });
+}
+
+Schedule sufferage(const EtcMatrix& etc) {
+  return greedy_batch(etc, [&etc](const LoadTracker& loads, JobId j,
+                                  MachineId best) {
+    double best_c = loads.completion_with(j, best);
+    double second = std::numeric_limits<double>::infinity();
+    for (MachineId m = 0; m < etc.num_machines(); ++m) {
+      if (m == best) continue;
+      second = std::min(second, loads.completion_with(j, m));
+    }
+    // Single-machine instances have no second-best; sufferage degenerates
+    // to arbitrary order there.
+    return second == std::numeric_limits<double>::infinity() ? 0.0
+                                                             : second - best_c;
+  });
+}
+
+Schedule mct(const EtcMatrix& etc) {
+  Schedule schedule(etc.num_jobs());
+  LoadTracker loads(etc);
+  for (JobId j = 0; j < etc.num_jobs(); ++j) {
+    loads.assign(schedule, j, loads.best_machine(j));
+  }
+  return schedule;
+}
+
+Schedule met(const EtcMatrix& etc) {
+  Schedule schedule(etc.num_jobs());
+  LoadTracker loads(etc);
+  for (JobId j = 0; j < etc.num_jobs(); ++j) {
+    const auto row = etc.row(j);
+    const auto it = std::min_element(row.begin(), row.end());
+    loads.assign(schedule, j,
+                 static_cast<MachineId>(std::distance(row.begin(), it)));
+  }
+  return schedule;
+}
+
+Schedule olb(const EtcMatrix& etc) {
+  Schedule schedule(etc.num_jobs());
+  LoadTracker loads(etc);
+  for (JobId j = 0; j < etc.num_jobs(); ++j) {
+    loads.assign(schedule, j, loads.earliest_free());
+  }
+  return schedule;
+}
+
+}  // namespace gridsched

@@ -1,0 +1,66 @@
+// Constructive (one-pass) scheduling heuristics.
+//
+// LJFR-SJFR is the paper's population seed and the Table 4 baseline. The
+// rest are the classic immediate/batch heuristics of Braun et al. (2001),
+// provided both as comparison baselines and as alternative population seeds:
+//
+//   MCT       assign each job (in id order) to the machine that completes
+//             it earliest given current loads.
+//   MET       machine with the smallest ETC for the job, ignoring load.
+//   OLB       machine that becomes free earliest, ignoring ETC.
+//   Min-Min   repeatedly commit the (job, machine) pair with the globally
+//             smallest completion time.
+//   Max-Min   like Min-Min but commits the job whose best completion time
+//             is largest (places long jobs first).
+//   Sufferage commits the job that would "suffer" most if denied its best
+//             machine (largest best-vs-second-best gap).
+//   Random    uniform assignment (control baseline).
+//
+// LJFR-SJFR (Abraham, Buyya & Nath 2000), as described in Section 3.2 of
+// the paper: jobs are sorted by workload; the m longest jobs go to the m
+// machines, longest job to fastest machine; each remaining step picks the
+// machine with the least completion time and gives it alternately the
+// shortest (SJFR) or the longest (LJFR) remaining job. Workload and machine
+// speed use the mean-ETC proxies documented in DESIGN.md section 3.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/rng.h"
+#include "core/schedule.h"
+#include "etc/etc_matrix.h"
+
+namespace gridsched {
+
+enum class HeuristicKind {
+  kLjfrSjfr,
+  kMinMin,
+  kMaxMin,
+  kMct,
+  kMet,
+  kOlb,
+  kSufferage,
+  kRandom,
+};
+
+[[nodiscard]] std::string_view heuristic_name(HeuristicKind kind) noexcept;
+
+/// All heuristics, in a stable display order.
+[[nodiscard]] std::span<const HeuristicKind> all_heuristics() noexcept;
+
+/// Runs one heuristic. `rng` is only consumed by kRandom (and for
+/// deterministic tie-breaking elsewhere it is not needed: ties break toward
+/// the lowest machine id so results are reproducible without randomness).
+[[nodiscard]] Schedule construct_schedule(HeuristicKind kind,
+                                          const EtcMatrix& etc, Rng& rng);
+
+[[nodiscard]] Schedule ljfr_sjfr(const EtcMatrix& etc);
+[[nodiscard]] Schedule min_min(const EtcMatrix& etc);
+[[nodiscard]] Schedule max_min(const EtcMatrix& etc);
+[[nodiscard]] Schedule mct(const EtcMatrix& etc);
+[[nodiscard]] Schedule met(const EtcMatrix& etc);
+[[nodiscard]] Schedule olb(const EtcMatrix& etc);
+[[nodiscard]] Schedule sufferage(const EtcMatrix& etc);
+
+}  // namespace gridsched

@@ -1,0 +1,81 @@
+// The batch-scheduler interface the dynamic grid uses.
+//
+// The paper's deployment story (abstract & conclusions): a dynamic
+// scheduler is obtained by running the cMA "in batch mode for a very short
+// time to schedule jobs arriving to the system since the last activation".
+// GridSimulator hands each activation's pending jobs to a BatchScheduler as
+// a fresh ETC sub-problem whose ready times encode the machines' current
+// backlogs; any algorithm in the library can fill that role via the
+// adapters below.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cma/cma.h"
+#include "core/schedule.h"
+#include "etc/etc_matrix.h"
+#include "ga/struggle_ga.h"
+#include "heuristics/constructive.h"
+
+namespace gridsched {
+
+class BatchScheduler {
+ public:
+  virtual ~BatchScheduler() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Maps every job of `etc` (a batch of pending jobs x available machines,
+  /// ready times already set) to a machine. Must return a complete schedule.
+  [[nodiscard]] virtual Schedule schedule_batch(const EtcMatrix& etc) = 0;
+};
+
+/// Wraps a constructive heuristic (MCT, Min-Min, ...).
+class HeuristicBatchScheduler final : public BatchScheduler {
+ public:
+  explicit HeuristicBatchScheduler(HeuristicKind kind,
+                                   std::uint64_t seed = 1);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] Schedule schedule_batch(const EtcMatrix& etc) override;
+
+ private:
+  HeuristicKind kind_;
+  Rng rng_;
+};
+
+/// Runs the cMA for a fixed short budget per activation. Each activation
+/// uses a fresh seed derived from the base seed so repeated batches do not
+/// replay the same stream. The result is ensembled with Min-Min (the
+/// strongest constructive heuristic): whichever has the better batch
+/// fitness wins, so a too-short budget can never make the dynamic
+/// scheduler worse than its constructive fallback.
+class CmaBatchScheduler final : public BatchScheduler {
+ public:
+  /// `budget_ms` overrides config.stop with a pure time bound.
+  CmaBatchScheduler(CmaConfig config, double budget_ms);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] Schedule schedule_batch(const EtcMatrix& etc) override;
+
+ private:
+  CmaConfig config_;
+  std::uint64_t activation_ = 0;
+};
+
+/// Struggle GA under a per-activation budget (baseline for examples).
+class StruggleGaBatchScheduler final : public BatchScheduler {
+ public:
+  StruggleGaBatchScheduler(StruggleGaConfig config, double budget_ms);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] Schedule schedule_batch(const EtcMatrix& etc) override;
+
+ private:
+  StruggleGaConfig config_;
+  std::uint64_t activation_ = 0;
+};
+
+}  // namespace gridsched

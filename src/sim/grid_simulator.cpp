@@ -1,0 +1,253 @@
+#include "sim/grid_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "common/stopwatch.h"
+
+namespace gridsched {
+namespace {
+
+/// Deterministic per-(job, machine) standard normal from a hash, so the
+/// same pair gets the same ETC distortion in every activation (the grid's
+/// inconsistency is a property of the pair, not of time).
+double pair_noise(std::uint64_t seed, int job_id, int machine) {
+  std::uint64_t h = seed ^ (static_cast<std::uint64_t>(job_id) << 20) ^
+                    static_cast<std::uint64_t>(machine);
+  Rng rng(splitmix64(h));
+  return rng.normal();
+}
+
+struct MachineState {
+  double mips = 0.0;
+  double free_at = 0.0;       // when current backlog drains
+  double busy_until_now = 0.0;  // accumulated busy time
+  bool alive = true;
+  double repair_at = 0.0;     // when a dead machine comes back
+  std::vector<int> queued_jobs;  // jobs committed but not finished
+};
+
+}  // namespace
+
+GridSimulator::GridSimulator(SimConfig config) : config_(std::move(config)) {
+  if (config_.num_machines <= 0) {
+    throw std::invalid_argument("SimConfig: need at least one machine");
+  }
+  if (config_.arrival_rate <= 0 || config_.horizon <= 0 ||
+      config_.scheduler_period <= 0) {
+    throw std::invalid_argument("SimConfig: rates and horizon must be > 0");
+  }
+  if ((config_.machine_mtbf > 0) != (config_.machine_mttr > 0)) {
+    throw std::invalid_argument(
+        "SimConfig: mtbf and mttr must be enabled together");
+  }
+}
+
+SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
+  Rng rng(config_.seed);
+  Rng arrival_rng = rng.split();
+  Rng workload_rng = rng.split();
+  Rng machine_rng = rng.split();
+  Rng churn_rng = rng.split();
+
+  // --- Build the grid. ---
+  std::vector<MachineState> machines(
+      static_cast<std::size_t>(config_.num_machines));
+  for (auto& m : machines) {
+    m.mips = machine_rng.uniform(config_.mips_min, config_.mips_max);
+  }
+
+  // --- Pre-generate the arrival stream over the horizon. ---
+  records_.clear();
+  std::vector<double> workloads;
+  double t_arrival = arrival_rng.exponential(config_.arrival_rate);
+  while (t_arrival < config_.horizon) {
+    SimJobRecord record;
+    record.id = static_cast<int>(records_.size());
+    record.arrival = t_arrival;
+    records_.push_back(record);
+    workloads.push_back(std::exp(
+        workload_rng.normal(config_.workload_log_mean,
+                            config_.workload_log_sigma)));
+    t_arrival += arrival_rng.exponential(config_.arrival_rate);
+  }
+
+  auto etc_of = [&](int job_id, int machine) {
+    const double base = workloads[static_cast<std::size_t>(job_id)] /
+                        machines[static_cast<std::size_t>(machine)].mips;
+    if (config_.consistency_noise <= 0) return base;
+    return base * std::exp(config_.consistency_noise *
+                           pair_noise(config_.seed, job_id, machine));
+  };
+
+  SimMetrics metrics;
+  metrics.jobs_arrived = static_cast<int>(records_.size());
+
+  std::deque<int> pending;  // job ids awaiting scheduling
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+  Stopwatch cpu;
+  double total_batch = 0.0;
+
+  const double max_sim_time = config_.horizon * 1000.0;  // runaway guard
+  while (now < max_sim_time) {
+    now += config_.scheduler_period;
+
+    // --- Machine churn within (now - period, now]. ---
+    if (config_.machine_mtbf > 0) {
+      for (std::size_t mi = 0; mi < machines.size(); ++mi) {
+        auto& m = machines[mi];
+        if (!m.alive) {
+          if (m.repair_at <= now) {
+            m.alive = true;
+            m.free_at = std::max(m.free_at, m.repair_at);
+          }
+          continue;
+        }
+        const double p_fail =
+            1.0 - std::exp(-config_.scheduler_period / config_.machine_mtbf);
+        if (churn_rng.chance(p_fail)) {
+          const double fail_at =
+              now - churn_rng.uniform(0.0, config_.scheduler_period);
+          m.alive = false;
+          m.repair_at = fail_at + churn_rng.exponential(1.0 / config_.machine_mttr);
+          // Non-preemptive: jobs that have not *finished* by the failure
+          // are lost and re-queued (they restart elsewhere).
+          std::vector<int> survivors;
+          for (int job : m.queued_jobs) {
+            auto& r = records_[static_cast<std::size_t>(job)];
+            if (r.finish <= fail_at) {
+              survivors.push_back(job);  // already done, keep the record
+            } else {
+              r.start = -1.0;
+              r.finish = -1.0;
+              r.machine = -1;
+              pending.push_back(job);
+              ++metrics.jobs_requeued;
+            }
+          }
+          m.queued_jobs = std::move(survivors);
+          m.free_at = fail_at;
+        }
+      }
+    }
+
+    // --- Collect arrivals up to now. ---
+    while (next_arrival < records_.size() &&
+           records_[next_arrival].arrival <= now) {
+      pending.push_back(records_[next_arrival].id);
+      ++next_arrival;
+    }
+
+    const bool horizon_passed = next_arrival >= records_.size();
+    if (pending.empty()) {
+      if (horizon_passed) break;  // nothing left to do
+      continue;
+    }
+
+    // --- Build the batch ETC problem over alive machines. ---
+    std::vector<int> alive;  // batch machine index -> grid machine id
+    for (std::size_t mi = 0; mi < machines.size(); ++mi) {
+      if (machines[mi].alive) alive.push_back(static_cast<int>(mi));
+    }
+    if (alive.empty()) {
+      if (horizon_passed && config_.machine_mtbf == 0) break;
+      continue;  // wait for a repair
+    }
+
+    std::vector<int> batch(pending.begin(), pending.end());
+    pending.clear();
+    EtcMatrix etc(static_cast<int>(batch.size()),
+                  static_cast<int>(alive.size()));
+    for (std::size_t bj = 0; bj < batch.size(); ++bj) {
+      for (std::size_t bm = 0; bm < alive.size(); ++bm) {
+        etc(static_cast<JobId>(bj), static_cast<MachineId>(bm)) =
+            etc_of(batch[bj], alive[bm]);
+      }
+    }
+    for (std::size_t bm = 0; bm < alive.size(); ++bm) {
+      const auto& m = machines[static_cast<std::size_t>(alive[bm])];
+      etc.set_ready_time(static_cast<MachineId>(bm),
+                         std::max(0.0, m.free_at - now));
+    }
+
+    // --- Run the scheduler on the batch. ---
+    cpu.restart();
+    const Schedule plan = scheduler.schedule_batch(etc);
+    metrics.scheduler_cpu_ms += cpu.elapsed_ms();
+    if (!plan.complete(etc.num_machines()) ||
+        plan.num_jobs() != etc.num_jobs()) {
+      throw std::runtime_error("GridSimulator: scheduler returned an "
+                               "incomplete schedule");
+    }
+    ++metrics.activations;
+    total_batch += static_cast<double>(batch.size());
+
+    // --- Commit: per machine, execute in SPT order (the convention the
+    // evaluator optimizes; see core/evaluator.h). ---
+    for (std::size_t bm = 0; bm < alive.size(); ++bm) {
+      std::vector<std::pair<double, int>> spt;  // (etc, batch job index)
+      for (std::size_t bj = 0; bj < batch.size(); ++bj) {
+        if (plan[static_cast<JobId>(bj)] == static_cast<MachineId>(bm)) {
+          spt.emplace_back(etc(static_cast<JobId>(bj),
+                               static_cast<MachineId>(bm)),
+                           static_cast<int>(bj));
+        }
+      }
+      std::sort(spt.begin(), spt.end());
+      auto& m = machines[static_cast<std::size_t>(alive[bm])];
+      double cursor = std::max(m.free_at, now);
+      for (const auto& [cost, bj] : spt) {
+        auto& r = records_[static_cast<std::size_t>(batch[
+            static_cast<std::size_t>(bj)])];
+        r.start = cursor;
+        r.finish = cursor + cost;
+        r.machine = static_cast<MachineId>(alive[static_cast<std::size_t>(bm)]);
+        r.attempts += 1;
+        cursor = r.finish;
+        m.busy_until_now += cost;
+        m.queued_jobs.push_back(r.id);
+      }
+      m.free_at = cursor;
+    }
+
+    if (horizon_passed && !config_.drain) break;
+  }
+
+  // --- Aggregate metrics over completed jobs. ---
+  double flow_sum = 0.0;
+  double wait_sum = 0.0;
+  double slowdown_sum = 0.0;
+  for (const auto& r : records_) {
+    if (r.finish < 0) continue;
+    ++metrics.jobs_completed;
+    flow_sum += r.flowtime();
+    wait_sum += r.wait();
+    double ideal = std::numeric_limits<double>::infinity();
+    for (int m = 0; m < config_.num_machines; ++m) {
+      ideal = std::min(ideal, etc_of(r.id, m));
+    }
+    slowdown_sum += r.flowtime() / ideal;
+    metrics.max_flowtime = std::max(metrics.max_flowtime, r.flowtime());
+    metrics.makespan = std::max(metrics.makespan, r.finish);
+  }
+  if (metrics.jobs_completed > 0) {
+    metrics.mean_flowtime = flow_sum / metrics.jobs_completed;
+    metrics.mean_wait = wait_sum / metrics.jobs_completed;
+    metrics.mean_slowdown = slowdown_sum / metrics.jobs_completed;
+  }
+  if (metrics.activations > 0) {
+    metrics.mean_batch_size = total_batch / metrics.activations;
+  }
+  double busy = 0.0;
+  for (const auto& m : machines) busy += m.busy_until_now;
+  const double elapsed = std::max(metrics.makespan, config_.horizon);
+  metrics.utilization =
+      busy / (elapsed * static_cast<double>(config_.num_machines));
+  return metrics;
+}
+
+}  // namespace gridsched

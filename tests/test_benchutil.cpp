@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "benchutil/bench_args.h"
+#include "benchutil/experiment.h"
+#include "benchutil/series.h"
+#include "benchutil/table.h"
+#include "cma/cma.h"
+#include "etc/instance.h"
+
+namespace gridsched {
+namespace {
+
+// --- TablePrinter. -----------------------------------------------------------
+
+TEST(TablePrinter, RendersHeadersAndRows) {
+  TablePrinter table({"Instance", "Makespan"});
+  table.add_row({"u_c_hihi.0", "7700929.751"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Instance"), std::string::npos);
+  EXPECT_NE(text.find("u_c_hihi.0"), std::string::npos);
+  EXPECT_NE(text.find("7700929.751"), std::string::npos);
+  EXPECT_NE(text.find("+-"), std::string::npos);  // rules drawn
+}
+
+TEST(TablePrinter, ColumnsAlignToWidestCell) {
+  TablePrinter table({"A", "B"});
+  table.add_row({"short", "1"});
+  table.add_row({"a-much-longer-cell", "2"});
+  std::ostringstream out;
+  table.print(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t width = 0;
+  bool first = true;
+  while (std::getline(lines, line)) {
+    if (first) {
+      width = line.size();
+      first = false;
+    } else {
+      EXPECT_EQ(line.size(), width);
+    }
+  }
+}
+
+TEST(TablePrinter, SeparatorAddsARule) {
+  TablePrinter table({"X"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  std::ostringstream out;
+  table.print(out);
+  // 3 frame rules + 1 separator = 4 lines starting with "+-".
+  int rules = 0;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    rules += (line.rfind("+-", 0) == 0) ? 1 : 0;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TablePrinter, NumFormatsFixedDecimals) {
+  EXPECT_EQ(TablePrinter::num(7700929.7514, 3), "7700929.751");
+  EXPECT_EQ(TablePrinter::num(5.0, 2), "5.00");
+}
+
+TEST(TablePrinter, PctShowsSign) {
+  EXPECT_EQ(TablePrinter::pct(4.349, 2), "+4.35");
+  EXPECT_EQ(TablePrinter::pct(-0.591, 2), "-0.59");
+}
+
+// --- Series. -----------------------------------------------------------------
+
+std::vector<ProgressPoint> make_trace() {
+  std::vector<ProgressPoint> points;
+  ProgressPoint p;
+  p.time_ms = 0.0;
+  p.best_makespan = 100.0;
+  points.push_back(p);
+  p.time_ms = 10.0;
+  p.best_makespan = 80.0;
+  points.push_back(p);
+  p.time_ms = 50.0;
+  p.best_makespan = 60.0;
+  points.push_back(p);
+  return points;
+}
+
+TEST(Series, ValueAtIsAStepFunction) {
+  const auto trace = make_trace();
+  EXPECT_DOUBLE_EQ(series_value_at(trace, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(series_value_at(trace, 9.9), 100.0);
+  EXPECT_DOUBLE_EQ(series_value_at(trace, 10.0), 80.0);
+  EXPECT_DOUBLE_EQ(series_value_at(trace, 49.0), 80.0);
+  EXPECT_DOUBLE_EQ(series_value_at(trace, 1e9), 60.0);
+}
+
+TEST(Series, ValueBeforeFirstSampleIsFirstValue) {
+  const auto trace = make_trace();
+  EXPECT_DOUBLE_EQ(series_value_at(trace, -5.0), 100.0);
+}
+
+TEST(Series, EmptyTraceGivesNaN) {
+  EXPECT_TRUE(std::isnan(series_value_at({}, 1.0)));
+}
+
+TEST(Series, PrintTableHasOneRowPerSample) {
+  std::vector<NamedSeries> series{{"LMCTS", make_trace()}};
+  std::ostringstream out;
+  print_series_table(out, series, 0.0, 50.0, 6);
+  int data_rows = 0;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    data_rows += (line.rfind("| ", 0) == 0 &&
+                  line.find("time") == std::string::npos)
+                     ? 1
+                     : 0;
+  }
+  EXPECT_EQ(data_rows, 6);
+}
+
+TEST(Series, CsvRoundTripsGrid) {
+  const std::string path = ::testing::TempDir() + "/gridsched_series.csv";
+  std::vector<NamedSeries> series{{"A", make_trace()}, {"B", make_trace()}};
+  write_series_csv(path, series, 0.0, 50.0, 3);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "time_ms,A,B");
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 3);
+  std::remove(path.c_str());
+}
+
+// --- Experiment runner. --------------------------------------------------------
+
+TEST(Experiment, AggregatesAcrossRuns) {
+  InstanceSpec spec;
+  spec.num_jobs = 32;
+  spec.num_machines = 4;
+  const EtcMatrix etc = generate_instance(spec);
+
+  const auto result = run_many(4, 100, [&](std::uint64_t seed) {
+    CmaConfig config;
+    config.stop = StopCondition{.max_evaluations = 300};
+    config.seed = seed;
+    return CellularMemeticAlgorithm(config).run(etc);
+  });
+  EXPECT_EQ(result.runs.size(), 4u);
+  EXPECT_EQ(result.makespan.count, 4u);
+  EXPECT_GT(result.makespan.mean, 0.0);
+  // best_run really is the argmin of fitness.
+  for (const auto& run : result.runs) {
+    EXPECT_GE(run.best.fitness, result.best().best.fitness);
+  }
+}
+
+TEST(Experiment, ParallelMatchesSequential) {
+  InstanceSpec spec;
+  spec.num_jobs = 32;
+  spec.num_machines = 4;
+  const EtcMatrix etc = generate_instance(spec);
+  auto runner = [&](std::uint64_t seed) {
+    CmaConfig config;
+    config.stop = StopCondition{.max_evaluations = 200};
+    config.seed = seed;
+    return CellularMemeticAlgorithm(config).run(etc);
+  };
+  ThreadPool pool(4);
+  const auto sequential = run_many(6, 7, runner, nullptr);
+  const auto parallel = run_many(6, 7, runner, &pool);
+  ASSERT_EQ(sequential.runs.size(), parallel.runs.size());
+  for (std::size_t i = 0; i < sequential.runs.size(); ++i) {
+    EXPECT_EQ(sequential.runs[i].best.schedule,
+              parallel.runs[i].best.schedule);
+  }
+  EXPECT_DOUBLE_EQ(sequential.makespan.mean, parallel.makespan.mean);
+}
+
+TEST(Experiment, RejectsZeroRuns) {
+  EXPECT_THROW(
+      run_many(0, 1, [](std::uint64_t) { return EvolutionResult{}; }),
+      std::invalid_argument);
+}
+
+TEST(Experiment, RunMatrixMatchesRunManyPerJob) {
+  InstanceSpec spec;
+  spec.num_jobs = 32;
+  spec.num_machines = 4;
+  const EtcMatrix etc = generate_instance(spec);
+  auto make_runner = [&](std::int64_t evals) {
+    return [&, evals](std::uint64_t seed) {
+      CmaConfig config;
+      config.stop = StopCondition{.max_evaluations = evals};
+      config.seed = seed;
+      return CellularMemeticAlgorithm(config).run(etc);
+    };
+  };
+  const std::vector<SeededRun> jobs{make_runner(200), make_runner(400)};
+  ThreadPool pool(4);
+  const auto matrix = run_matrix(jobs, 3, 55, pool);
+  ASSERT_EQ(matrix.size(), 2u);
+  // Same seeds convention as run_many -> identical outcomes per job.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto reference = run_many(3, 55, jobs[j]);
+    ASSERT_EQ(matrix[j].runs.size(), reference.runs.size());
+    for (std::size_t r = 0; r < reference.runs.size(); ++r) {
+      EXPECT_EQ(matrix[j].runs[r].best.schedule,
+                reference.runs[r].best.schedule)
+          << "job " << j << " run " << r;
+    }
+    EXPECT_DOUBLE_EQ(matrix[j].makespan.mean, reference.makespan.mean);
+  }
+}
+
+TEST(Experiment, AggregateRunsRejectsEmpty) {
+  EXPECT_THROW((void)aggregate_runs({}), std::invalid_argument);
+}
+
+TEST(Experiment, AggregateRunsPicksBestByFitness) {
+  std::vector<EvolutionResult> runs(3);
+  runs[0].best.fitness = 5.0;
+  runs[1].best.fitness = 2.0;
+  runs[2].best.fitness = 9.0;
+  const auto agg = aggregate_runs(std::move(runs));
+  EXPECT_EQ(agg.best_run, 1u);
+  EXPECT_DOUBLE_EQ(agg.best().best.fitness, 2.0);
+  EXPECT_DOUBLE_EQ(agg.fitness.min, 2.0);
+  EXPECT_DOUBLE_EQ(agg.fitness.max, 9.0);
+}
+
+// --- BenchArgs. ----------------------------------------------------------------
+
+TEST(BenchArgs, DefaultsAreCiScale) {
+  CliParser cli("t");
+  BenchArgs::register_flags(cli);
+  const std::array argv{"prog"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  const BenchArgs args = BenchArgs::from_cli(cli);
+  EXPECT_EQ(args.runs, 3);
+  EXPECT_LE(args.time_ms, 10'000.0);
+  EXPECT_EQ(args.jobs, 512);
+  EXPECT_EQ(args.machines, 16);
+  EXPECT_FALSE(args.paper);
+}
+
+TEST(BenchArgs, PaperModeRestoresTheProtocol) {
+  CliParser cli("t");
+  BenchArgs::register_flags(cli);
+  const std::array argv{"prog", "--paper"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  const BenchArgs args = BenchArgs::from_cli(cli);
+  EXPECT_DOUBLE_EQ(args.time_ms, 90'000.0);
+  EXPECT_EQ(args.runs, 10);
+}
+
+TEST(BenchArgs, OverridesParse) {
+  CliParser cli("t");
+  BenchArgs::register_flags(cli);
+  const std::array argv{"prog", "--runs", "7", "--time-ms", "123",
+                        "--jobs", "64", "--machines", "8", "--seed", "9"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  const BenchArgs args = BenchArgs::from_cli(cli);
+  EXPECT_EQ(args.runs, 7);
+  EXPECT_DOUBLE_EQ(args.time_ms, 123.0);
+  EXPECT_EQ(args.jobs, 64);
+  EXPECT_EQ(args.machines, 8);
+  EXPECT_EQ(args.seed, 9u);
+}
+
+}  // namespace
+}  // namespace gridsched

@@ -1,0 +1,98 @@
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "cma/cma.h"
+#include "core/evaluator.h"
+#include "etc/instance.h"
+#include "heuristics/constructive.h"
+
+namespace gridsched {
+namespace {
+
+TEST(Bounds, HandComputedTinyInstance) {
+  //          m0   m1
+  // job 0     2    4
+  // job 1     3    1
+  // job 2     5    2
+  EtcMatrix etc(3, 2, {2, 4, 3, 1, 5, 2});
+  EXPECT_DOUBLE_EQ(ready_time_bound(etc), 0.0);
+  // min per job: 2, 1, 2 -> job bound 2; load bound (2+1+2)/2 = 2.5.
+  EXPECT_DOUBLE_EQ(job_lower_bound(etc), 2.0);
+  EXPECT_DOUBLE_EQ(load_lower_bound(etc), 2.5);
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(etc), 2.5);
+  EXPECT_DOUBLE_EQ(flowtime_lower_bound(etc), 5.0);
+}
+
+TEST(Bounds, ReadyTimesRaiseTheFloor) {
+  EtcMatrix etc(1, 2, {10, 10});
+  etc.set_ready_time(0, 100.0);
+  // The job can run on m1 (completion 10), but m0 still finishes its
+  // backlog at 100 -> makespan >= 100.
+  EXPECT_DOUBLE_EQ(ready_time_bound(etc), 100.0);
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(etc), 100.0);
+}
+
+TEST(Bounds, JobBoundDominatesWhenOneJobIsHuge) {
+  EtcMatrix etc(2, 2, {1, 1, 1'000, 2'000});
+  EXPECT_DOUBLE_EQ(job_lower_bound(etc), 1'000.0);
+  EXPECT_DOUBLE_EQ(load_lower_bound(etc), 500.5);
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(etc), 1'000.0);
+}
+
+std::string param_name(const ::testing::TestParamInfo<InstanceSpec>& info) {
+  std::string name = info.param.name();
+  std::replace(name.begin(), name.end(), '.', '_');
+  return name;
+}
+
+class BoundsSuiteTest : public ::testing::TestWithParam<InstanceSpec> {};
+
+INSTANTIATE_TEST_SUITE_P(AllTwelveClasses, BoundsSuiteTest,
+                         ::testing::ValuesIn(braun_benchmark_suite()),
+                         param_name);
+
+TEST_P(BoundsSuiteTest, EverySchedulerRespectsTheBounds) {
+  InstanceSpec spec = GetParam();
+  spec.num_jobs = 96;
+  spec.num_machines = 8;
+  const EtcMatrix etc = generate_instance(spec);
+  const double makespan_floor = makespan_lower_bound(etc);
+  const double flowtime_floor = flowtime_lower_bound(etc);
+  ASSERT_GT(makespan_floor, 0.0);
+
+  ScheduleEvaluator eval(etc);
+  Rng rng(3);
+  for (HeuristicKind kind : all_heuristics()) {
+    eval.reset(construct_schedule(kind, etc, rng));
+    EXPECT_GE(eval.makespan(), makespan_floor * (1 - 1e-12))
+        << heuristic_name(kind);
+    EXPECT_GE(eval.flowtime(), flowtime_floor * (1 - 1e-12))
+        << heuristic_name(kind);
+  }
+
+  CmaConfig config;
+  config.stop = StopCondition{.max_evaluations = 1'000};
+  config.seed = 9;
+  const auto result = CellularMemeticAlgorithm(config).run(etc);
+  EXPECT_GE(result.best.objectives.makespan, makespan_floor * (1 - 1e-12));
+  EXPECT_GE(result.best.objectives.flowtime, flowtime_floor * (1 - 1e-12));
+}
+
+TEST(Bounds, LoadBoundTightForUniformInstances) {
+  // All ETC equal: LB = n*e/m; a balanced schedule achieves it exactly
+  // when n is a multiple of m.
+  EtcMatrix etc(8, 4, std::vector<double>(32, 5.0));
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(etc), 10.0);
+  Schedule balanced(8);
+  for (JobId j = 0; j < 8; ++j) balanced[j] = j % 4;
+  ScheduleEvaluator eval(etc);
+  eval.reset(balanced);
+  EXPECT_DOUBLE_EQ(eval.makespan(), 10.0);
+}
+
+}  // namespace
+}  // namespace gridsched

@@ -1,0 +1,100 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+namespace gridsched {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("test tool");
+  cli.flag("runs", "3", "number of runs")
+      .flag("time-ms", "400", "budget")
+      .flag("name", "hello", "a string")
+      .flag("fast", "false", "a boolean");
+  return cli;
+}
+
+TEST(Cli, DefaultsApplyWithoutArgs) {
+  auto cli = make_parser();
+  const std::array argv{"prog"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("runs"), 3);
+  EXPECT_EQ(cli.get_double("time-ms"), 400.0);
+  EXPECT_EQ(cli.get("name"), "hello");
+  EXPECT_FALSE(cli.get_bool("fast"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  auto cli = make_parser();
+  const std::array argv{"prog", "--runs", "10", "--name", "world"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("runs"), 10);
+  EXPECT_EQ(cli.get("name"), "world");
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  auto cli = make_parser();
+  const std::array argv{"prog", "--time-ms=2500.5"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(cli.get_double("time-ms"), 2500.5);
+}
+
+TEST(Cli, BareBooleanFlag) {
+  auto cli = make_parser();
+  const std::array argv{"prog", "--fast"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.get_bool("fast"));
+}
+
+TEST(Cli, BooleanExplicitValue) {
+  auto cli = make_parser();
+  const std::array argv{"prog", "--fast=true"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.get_bool("fast"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  auto cli = make_parser();
+  const std::array argv{"prog", "--bogus", "1"};
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Cli, PositionalArgumentThrows) {
+  auto cli = make_parser();
+  const std::array argv{"prog", "stray"};
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  auto cli = make_parser();
+  const std::array argv{"prog", "--runs"};
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  auto cli = make_parser();
+  const std::array argv{"prog", "--help"};
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, HelpTextMentionsAllFlags) {
+  auto cli = make_parser();
+  const std::string help = cli.help_text();
+  for (const char* flag : {"--runs", "--time-ms", "--name", "--fast"}) {
+    EXPECT_NE(help.find(flag), std::string::npos) << flag;
+  }
+}
+
+TEST(Cli, UnregisteredGetThrows) {
+  auto cli = make_parser();
+  EXPECT_THROW((void)cli.get("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridsched

@@ -1,0 +1,83 @@
+// Pins the library defaults to Table 1 of the paper. If any default drifts,
+// this test names the parameter that no longer matches the publication.
+#include "cma/config.h"
+
+#include <gtest/gtest.h>
+
+namespace gridsched {
+namespace {
+
+TEST(CmaConfigTable1, PopulationIsFiveByFive) {
+  const CmaConfig config;
+  EXPECT_EQ(config.pop_height, 5);
+  EXPECT_EQ(config.pop_width, 5);
+}
+
+TEST(CmaConfigTable1, NeighborhoodIsC9) {
+  EXPECT_EQ(CmaConfig{}.neighborhood, NeighborhoodKind::kC9);
+}
+
+TEST(CmaConfigTable1, RecombinationOrderIsFls) {
+  EXPECT_EQ(CmaConfig{}.recombination_order, SweepKind::kFixedLineSweep);
+}
+
+TEST(CmaConfigTable1, MutationOrderIsNrs) {
+  EXPECT_EQ(CmaConfig{}.mutation_order, SweepKind::kNewRandomSweep);
+}
+
+TEST(CmaConfigTable1, TwentyFiveRecombinationsTwelveMutations) {
+  const CmaConfig config;
+  EXPECT_EQ(config.recombinations_per_iteration, 25);
+  EXPECT_EQ(config.mutations_per_iteration, 12);
+}
+
+TEST(CmaConfigTable1, ThreeSolutionsToRecombine) {
+  EXPECT_EQ(CmaConfig{}.parents_per_recombination, 3);
+}
+
+TEST(CmaConfigTable1, ThreeTournamentSelection) {
+  const CmaConfig config;
+  EXPECT_EQ(config.selection.kind, SelectionKind::kTournament);
+  EXPECT_EQ(config.selection.tournament_size, 3);
+}
+
+TEST(CmaConfigTable1, OnePointRecombination) {
+  EXPECT_EQ(CmaConfig{}.crossover, CrossoverKind::kOnePoint);
+}
+
+TEST(CmaConfigTable1, RebalanceMutation) {
+  EXPECT_EQ(CmaConfig{}.mutation, MutationKind::kRebalance);
+}
+
+TEST(CmaConfigTable1, LmctsLocalSearchWithFiveIterations) {
+  const CmaConfig config;
+  EXPECT_EQ(config.local_search.kind, LocalSearchKind::kLmcts);
+  EXPECT_EQ(config.local_search.iterations, 5);
+}
+
+TEST(CmaConfigTable1, AddOnlyIfBetter) {
+  EXPECT_TRUE(CmaConfig{}.add_only_if_better);
+}
+
+TEST(CmaConfigTable1, StartChoiceIsLjfrSjfr) {
+  EXPECT_EQ(CmaConfig{}.init, InitKind::kLjfrSjfr);
+}
+
+TEST(CmaConfigTable1, LambdaIsThreeQuarters) {
+  EXPECT_DOUBLE_EQ(CmaConfig{}.weights.lambda, 0.75);
+}
+
+TEST(CmaConfigTable1, MaxExecTimeIsNinetySeconds) {
+  EXPECT_DOUBLE_EQ(CmaConfig{}.stop.max_time_ms, 90'000.0);
+}
+
+TEST(CmaConfig, DescribeMentionsKeyParameters) {
+  const std::string text = CmaConfig{}.describe();
+  for (const char* token : {"5x5", "C9", "FLS", "NRS", "OnePoint",
+                            "Rebalance", "LMCTS", "0.75"}) {
+    EXPECT_NE(text.find(token), std::string::npos) << token;
+  }
+}
+
+}  // namespace
+}  // namespace gridsched

@@ -1,0 +1,142 @@
+#include "cma/crossover.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gridsched {
+namespace {
+
+Schedule filled(int n, MachineId value) { return Schedule(n, value); }
+
+TEST(Crossover, OnePointChildIsPrefixOfAThenSuffixOfB) {
+  const Schedule a = filled(10, 0);
+  const Schedule b = filled(10, 1);
+  Rng rng(1);
+  const Schedule child = crossover(CrossoverKind::kOnePoint, a, b, rng);
+  // Exactly one switch point from 0-genes to 1-genes, both sides non-empty.
+  int switches = 0;
+  for (JobId j = 1; j < 10; ++j) {
+    switches += (child[j] != child[j - 1]) ? 1 : 0;
+  }
+  EXPECT_EQ(switches, 1);
+  EXPECT_EQ(child[0], 0);
+  EXPECT_EQ(child[9], 1);
+}
+
+TEST(Crossover, OnePointCutCoversAllInteriorPositions) {
+  const Schedule a = filled(6, 0);
+  const Schedule b = filled(6, 1);
+  Rng rng(2);
+  std::vector<int> cut_seen(7, 0);
+  for (int i = 0; i < 2000; ++i) {
+    const Schedule child = crossover(CrossoverKind::kOnePoint, a, b, rng);
+    int cut = 0;
+    while (cut < 6 && child[cut] == 0) ++cut;
+    ++cut_seen[static_cast<std::size_t>(cut)];
+  }
+  EXPECT_EQ(cut_seen[0], 0);  // child never all-b
+  EXPECT_EQ(cut_seen[6], 0);  // child never all-a
+  for (int cut = 1; cut <= 5; ++cut) {
+    EXPECT_GT(cut_seen[static_cast<std::size_t>(cut)], 0) << cut;
+  }
+}
+
+TEST(Crossover, GenesComeOnlyFromParents) {
+  Rng rng(3);
+  Schedule a = Schedule::random(64, 8, rng);
+  Schedule b = Schedule::random(64, 8, rng);
+  for (CrossoverKind kind : {CrossoverKind::kOnePoint,
+                             CrossoverKind::kTwoPoint,
+                             CrossoverKind::kUniform}) {
+    const Schedule child = crossover(kind, a, b, rng);
+    for (JobId j = 0; j < 64; ++j) {
+      EXPECT_TRUE(child[j] == a[j] || child[j] == b[j])
+          << crossover_name(kind) << " gene " << j;
+    }
+  }
+}
+
+TEST(Crossover, TwoPointKeepsBothEndsFromFirstParent) {
+  const Schedule a = filled(10, 0);
+  const Schedule b = filled(10, 1);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const Schedule child = crossover(CrossoverKind::kTwoPoint, a, b, rng);
+    EXPECT_EQ(child[0], 0);
+    EXPECT_EQ(child[9], 0);
+  }
+}
+
+TEST(Crossover, UniformMixesRoughlyHalf) {
+  const Schedule a = filled(1000, 0);
+  const Schedule b = filled(1000, 1);
+  Rng rng(5);
+  const Schedule child = crossover(CrossoverKind::kUniform, a, b, rng);
+  int from_b = 0;
+  for (JobId j = 0; j < 1000; ++j) from_b += child[j];
+  EXPECT_GT(from_b, 400);
+  EXPECT_LT(from_b, 600);
+}
+
+TEST(Crossover, SizeMismatchThrows) {
+  Rng rng(6);
+  EXPECT_THROW(
+      (void)crossover(CrossoverKind::kOnePoint, filled(4, 0), filled(5, 0),
+                      rng),
+      std::invalid_argument);
+}
+
+TEST(Crossover, TwoGeneSchedules) {
+  Rng rng(7);
+  const Schedule a = filled(2, 0);
+  const Schedule b = filled(2, 1);
+  const Schedule one = crossover(CrossoverKind::kOnePoint, a, b, rng);
+  EXPECT_EQ(one[0], 0);
+  EXPECT_EQ(one[1], 1);
+  const Schedule two = crossover(CrossoverKind::kTwoPoint, a, b, rng);
+  EXPECT_EQ(two[0], 0);
+  EXPECT_EQ(two[1], 1);
+}
+
+TEST(Crossover, DeterministicInSeed) {
+  Rng seed_a(8);
+  Schedule a = Schedule::random(32, 4, seed_a);
+  Schedule b = Schedule::random(32, 4, seed_a);
+  Rng r1(9);
+  Rng r2(9);
+  EXPECT_EQ(crossover(CrossoverKind::kOnePoint, a, b, r1),
+            crossover(CrossoverKind::kOnePoint, a, b, r2));
+}
+
+TEST(RecombineFold, SingleParentIsIdentity) {
+  Rng rng(10);
+  const Schedule a = Schedule::random(16, 4, rng);
+  const std::vector<const Schedule*> parents{&a};
+  EXPECT_EQ(recombine_fold(CrossoverKind::kOnePoint, parents, rng), a);
+}
+
+TEST(RecombineFold, ThreeParentsContributeOnlyTheirGenes) {
+  Rng rng(11);
+  const Schedule a = filled(30, 0);
+  const Schedule b = filled(30, 1);
+  const Schedule c = filled(30, 2);
+  const std::vector<const Schedule*> parents{&a, &b, &c};
+  const Schedule child =
+      recombine_fold(CrossoverKind::kOnePoint, parents, rng);
+  for (JobId j = 0; j < 30; ++j) {
+    EXPECT_TRUE(child[j] == 0 || child[j] == 1 || child[j] == 2);
+  }
+  // The last fold always contributes a non-empty suffix of parent c.
+  EXPECT_EQ(child[29], 2);
+}
+
+TEST(RecombineFold, EmptyParentListThrows) {
+  Rng rng(12);
+  EXPECT_THROW(
+      (void)recombine_fold(CrossoverKind::kOnePoint, {}, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridsched

@@ -1,0 +1,83 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace gridsched {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/gridsched_csv_test.csv";
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string slurp() const {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+};
+
+TEST_F(CsvTest, PlainRows) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"a", "b", "c"});
+    csv.write_row({"1", "2", "3"});
+  }
+  EXPECT_EQ(slurp(), "a,b,c\n1,2,3\n");
+}
+
+TEST_F(CsvTest, QuotesFieldsWithCommas) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"x,y", "plain"});
+  }
+  EXPECT_EQ(slurp(), "\"x,y\",plain\n");
+}
+
+TEST_F(CsvTest, DoublesEmbeddedQuotes) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"say \"hi\""});
+  }
+  EXPECT_EQ(slurp(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvTest, QuotesNewlines) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"two\nlines", "z"});
+  }
+  EXPECT_EQ(slurp(), "\"two\nlines\",z\n");
+}
+
+TEST_F(CsvTest, VectorOverload) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row(std::vector<std::string>{"p", "q"});
+  }
+  EXPECT_EQ(slurp(), "p,q\n");
+}
+
+TEST(CsvField, DoubleRoundTrips) {
+  const double v = 7700929.751;
+  EXPECT_EQ(std::stod(CsvWriter::field(v)), v);
+}
+
+TEST(CsvField, IntegerFormat) {
+  EXPECT_EQ(CsvWriter::field(123456789LL), "123456789");
+}
+
+TEST(CsvWriterErrors, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gridsched

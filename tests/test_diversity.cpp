@@ -1,0 +1,115 @@
+#include "cma/diversity.h"
+
+#include <gtest/gtest.h>
+
+#include "cma/cma.h"
+#include "etc/instance.h"
+
+namespace gridsched {
+namespace {
+
+Individual with_schedule(Schedule s, double fitness = 1.0) {
+  Individual ind;
+  ind.schedule = std::move(s);
+  ind.fitness = fitness;
+  return ind;
+}
+
+TEST(Diversity, IdenticalPopulationHasZeroDistance) {
+  std::vector<Individual> population;
+  for (int i = 0; i < 4; ++i) {
+    population.push_back(with_schedule(Schedule(10, 3)));
+  }
+  EXPECT_DOUBLE_EQ(mean_pairwise_distance(population), 0.0);
+}
+
+TEST(Diversity, MaximallyDifferentPairIsOne) {
+  std::vector<Individual> population;
+  population.push_back(with_schedule(Schedule(10, 0)));
+  population.push_back(with_schedule(Schedule(10, 1)));
+  EXPECT_DOUBLE_EQ(mean_pairwise_distance(population), 1.0);
+}
+
+TEST(Diversity, HalfDifferentIsHalf) {
+  Schedule a(10, 0);
+  Schedule b(10, 0);
+  for (JobId j = 0; j < 5; ++j) b[j] = 1;
+  std::vector<Individual> population{with_schedule(a), with_schedule(b)};
+  EXPECT_DOUBLE_EQ(mean_pairwise_distance(population), 0.5);
+}
+
+TEST(Diversity, SingletonAndEmptyAreZero) {
+  std::vector<Individual> one{with_schedule(Schedule(5, 0))};
+  EXPECT_DOUBLE_EQ(mean_pairwise_distance(one), 0.0);
+  EXPECT_DOUBLE_EQ(mean_pairwise_distance({}), 0.0);
+}
+
+TEST(Diversity, RandomPopulationIsNearTheoreticalValue) {
+  Rng rng(42);
+  std::vector<Individual> population;
+  for (int i = 0; i < 30; ++i) {
+    population.push_back(with_schedule(Schedule::random(200, 8, rng)));
+  }
+  // P(two uniform genes differ) = 1 - 1/8 = 0.875.
+  EXPECT_NEAR(mean_pairwise_distance(population), 0.875, 0.02);
+}
+
+TEST(FitnessSpread, ZeroWhenConverged) {
+  std::vector<Individual> population{with_schedule(Schedule(3, 0), 5.0),
+                                     with_schedule(Schedule(3, 0), 5.0)};
+  EXPECT_DOUBLE_EQ(fitness_spread(population), 0.0);
+}
+
+TEST(FitnessSpread, RelativeToBest) {
+  std::vector<Individual> population{with_schedule(Schedule(3, 0), 10.0),
+                                     with_schedule(Schedule(3, 0), 15.0)};
+  EXPECT_DOUBLE_EQ(fitness_spread(population), 0.5);
+}
+
+TEST(GeneEntropy, ZeroForIdenticalPopulation) {
+  std::vector<Individual> population;
+  for (int i = 0; i < 4; ++i) {
+    population.push_back(with_schedule(Schedule(6, 2)));
+  }
+  EXPECT_DOUBLE_EQ(mean_gene_entropy(population, 4), 0.0);
+}
+
+TEST(GeneEntropy, OneForUniformAlleles) {
+  // 4 individuals, each gene takes each of 4 machines exactly once.
+  std::vector<Individual> population;
+  for (int m = 0; m < 4; ++m) {
+    population.push_back(with_schedule(Schedule(6, m)));
+  }
+  EXPECT_NEAR(mean_gene_entropy(population, 4), 1.0, 1e-12);
+}
+
+TEST(GeneEntropy, EmptyOrDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(mean_gene_entropy({}, 4), 0.0);
+  std::vector<Individual> population{with_schedule(Schedule(3, 0))};
+  EXPECT_DOUBLE_EQ(mean_gene_entropy(population, 1), 0.0);
+}
+
+TEST(Diversity, ObserverTracksDiversityDuringARun) {
+  // End-to-end: the observer hook feeds the diversity helpers; diversity
+  // must start high (perturbed seeds) and not increase over a converging
+  // run on a small instance.
+  InstanceSpec spec;
+  spec.num_jobs = 48;
+  spec.num_machines = 6;
+  const EtcMatrix etc = generate_instance(spec);
+
+  std::vector<double> trace;
+  CmaConfig config;
+  config.stop = StopCondition{.max_iterations = 15};
+  config.seed = 5;
+  config.observer = [&](std::int64_t, std::span<const Individual> population) {
+    trace.push_back(mean_pairwise_distance(population));
+  };
+  (void)CellularMemeticAlgorithm(config).run(etc);
+  ASSERT_EQ(trace.size(), 15u);
+  EXPECT_GT(trace.front(), 0.1);        // perturbed init is diverse
+  EXPECT_LE(trace.back(), trace.front() + 0.05);  // no diversity explosion
+}
+
+}  // namespace
+}  // namespace gridsched

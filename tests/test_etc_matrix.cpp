@@ -1,0 +1,75 @@
+#include "etc/etc_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gridsched {
+namespace {
+
+TEST(EtcMatrix, ConstructsZeroed) {
+  EtcMatrix etc(3, 2);
+  EXPECT_EQ(etc.num_jobs(), 3);
+  EXPECT_EQ(etc.num_machines(), 2);
+  for (JobId j = 0; j < 3; ++j) {
+    for (MachineId m = 0; m < 2; ++m) EXPECT_EQ(etc(j, m), 0.0);
+  }
+  for (MachineId m = 0; m < 2; ++m) EXPECT_EQ(etc.ready_time(m), 0.0);
+}
+
+TEST(EtcMatrix, RejectsBadShape) {
+  EXPECT_THROW(EtcMatrix(0, 3), std::invalid_argument);
+  EXPECT_THROW(EtcMatrix(3, 0), std::invalid_argument);
+  EXPECT_THROW(EtcMatrix(-1, 2), std::invalid_argument);
+}
+
+TEST(EtcMatrix, FromValuesRowMajor) {
+  EtcMatrix etc(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(etc(0, 0), 1.0);
+  EXPECT_EQ(etc(0, 2), 3.0);
+  EXPECT_EQ(etc(1, 0), 4.0);
+  EXPECT_EQ(etc(1, 2), 6.0);
+}
+
+TEST(EtcMatrix, FromValuesRejectsWrongCount) {
+  EXPECT_THROW(EtcMatrix(2, 2, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(EtcMatrix, WriteThroughAccessor) {
+  EtcMatrix etc(2, 2);
+  etc(1, 0) = 42.5;
+  EXPECT_EQ(etc(1, 0), 42.5);
+  EXPECT_EQ(etc(0, 0), 0.0);
+}
+
+TEST(EtcMatrix, RowSpanViewsCorrectSlice) {
+  EtcMatrix etc(2, 3, {1, 2, 3, 4, 5, 6});
+  const auto r1 = etc.row(1);
+  ASSERT_EQ(r1.size(), 3u);
+  EXPECT_EQ(r1[0], 4.0);
+  EXPECT_EQ(r1[2], 6.0);
+}
+
+TEST(EtcMatrix, ReadyTimes) {
+  EtcMatrix etc(2, 2);
+  etc.set_ready_time(1, 7.25);
+  EXPECT_EQ(etc.ready_time(0), 0.0);
+  EXPECT_EQ(etc.ready_time(1), 7.25);
+  EXPECT_EQ(etc.ready_times()[1], 7.25);
+}
+
+TEST(EtcMatrix, MeanAndMinRow) {
+  EtcMatrix etc(2, 4, {2, 4, 6, 8, 5, 5, 5, 5});
+  EXPECT_DOUBLE_EQ(etc.mean_row(0), 5.0);
+  EXPECT_DOUBLE_EQ(etc.min_row(0), 2.0);
+  EXPECT_DOUBLE_EQ(etc.mean_row(1), 5.0);
+  EXPECT_DOUBLE_EQ(etc.min_row(1), 5.0);
+}
+
+TEST(EtcMatrix, TotalSumsAllEntries) {
+  EtcMatrix etc(2, 2, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(etc.total(), 10.0);
+}
+
+}  // namespace
+}  // namespace gridsched

@@ -1,0 +1,293 @@
+#include "core/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "etc/instance.h"
+
+namespace gridsched {
+namespace {
+
+/// 3 jobs x 2 machines with hand-computable objective values.
+EtcMatrix tiny_instance() {
+  //          m0   m1
+  // job 0     2    4
+  // job 1     3    1
+  // job 2     5    2
+  return EtcMatrix(3, 2, {2, 4, 3, 1, 5, 2});
+}
+
+Schedule tiny_schedule() {
+  Schedule s(3);
+  s[0] = 0;
+  s[1] = 0;
+  s[2] = 1;
+  return s;
+}
+
+TEST(Evaluator, HandComputedCompletionAndMakespan) {
+  const EtcMatrix etc = tiny_instance();
+  ScheduleEvaluator eval(etc);
+  eval.reset(tiny_schedule());
+  EXPECT_DOUBLE_EQ(eval.completion(0), 5.0);  // 2 + 3
+  EXPECT_DOUBLE_EQ(eval.completion(1), 2.0);
+  EXPECT_DOUBLE_EQ(eval.makespan(), 5.0);
+  EXPECT_EQ(eval.makespan_machine(), 0);
+}
+
+TEST(Evaluator, HandComputedSptFlowtime) {
+  const EtcMatrix etc = tiny_instance();
+  ScheduleEvaluator eval(etc);
+  eval.reset(tiny_schedule());
+  // m0 runs j0 (etc 2) before j1 (etc 3): finishing times 2 and 5.
+  EXPECT_DOUBLE_EQ(eval.machine_flow(0), 7.0);
+  EXPECT_DOUBLE_EQ(eval.machine_flow(1), 2.0);
+  EXPECT_DOUBLE_EQ(eval.flowtime(), 9.0);
+}
+
+TEST(Evaluator, FitnessMatchesPaperFormula) {
+  const EtcMatrix etc = tiny_instance();
+  ScheduleEvaluator eval(etc);
+  eval.reset(tiny_schedule());
+  const FitnessWeights w{0.75};
+  // 0.75 * 5 + 0.25 * (9 / 2)
+  EXPECT_DOUBLE_EQ(eval.fitness(w), 4.875);
+}
+
+TEST(Evaluator, ReadyTimesShiftCompletionAndFlow) {
+  EtcMatrix etc = tiny_instance();
+  etc.set_ready_time(0, 1.0);
+  etc.set_ready_time(1, 2.0);
+  ScheduleEvaluator eval(etc);
+  eval.reset(tiny_schedule());
+  EXPECT_DOUBLE_EQ(eval.completion(0), 6.0);
+  EXPECT_DOUBLE_EQ(eval.completion(1), 4.0);
+  EXPECT_DOUBLE_EQ(eval.makespan(), 6.0);
+  // m0: finishes at 3 and 6 -> 9. m1: finishes at 4 -> 4.
+  EXPECT_DOUBLE_EQ(eval.flowtime(), 13.0);
+}
+
+TEST(Evaluator, EmptyMachineContributesReadyTimeToMakespanOnly) {
+  EtcMatrix etc = tiny_instance();
+  etc.set_ready_time(1, 50.0);
+  ScheduleEvaluator eval(etc);
+  Schedule s(3, 0);  // everything on m0
+  eval.reset(s);
+  EXPECT_DOUBLE_EQ(eval.completion(1), 50.0);
+  EXPECT_DOUBLE_EQ(eval.makespan(), 50.0);
+  EXPECT_DOUBLE_EQ(eval.machine_flow(1), 0.0);  // no jobs, no flow
+}
+
+TEST(Evaluator, ApplyMoveUpdatesEverything) {
+  const EtcMatrix etc = tiny_instance();
+  ScheduleEvaluator eval(etc);
+  eval.reset(tiny_schedule());
+  eval.apply_move(1, 1);  // j1: m0 -> m1 (etc 1)
+  EXPECT_EQ(eval.schedule()[1], 1);
+  EXPECT_DOUBLE_EQ(eval.completion(0), 2.0);
+  EXPECT_DOUBLE_EQ(eval.completion(1), 3.0);
+  EXPECT_DOUBLE_EQ(eval.makespan(), 3.0);
+  // m1 SPT: j1 (1) then j2 (2): finishes 1 and 3 -> 4; m0: 2.
+  EXPECT_DOUBLE_EQ(eval.flowtime(), 6.0);
+  eval.check_consistency();
+}
+
+TEST(Evaluator, ApplySwapUpdatesEverything) {
+  const EtcMatrix etc = tiny_instance();
+  ScheduleEvaluator eval(etc);
+  eval.reset(tiny_schedule());
+  eval.apply_swap(0, 2);  // j0 -> m1 (etc 4), j2 -> m0 (etc 5)
+  EXPECT_EQ(eval.schedule()[0], 1);
+  EXPECT_EQ(eval.schedule()[2], 0);
+  EXPECT_DOUBLE_EQ(eval.completion(0), 8.0);  // 3 + 5
+  EXPECT_DOUBLE_EQ(eval.completion(1), 4.0);
+  EXPECT_DOUBLE_EQ(eval.makespan(), 8.0);
+  // m0 SPT: j1(3) F=3, j2(5) F=8 -> 11; m1: j0(4) F=4.
+  EXPECT_DOUBLE_EQ(eval.flowtime(), 15.0);
+  eval.check_consistency();
+}
+
+TEST(Evaluator, PreviewMoveMatchesApply) {
+  const EtcMatrix etc = tiny_instance();
+  ScheduleEvaluator eval(etc);
+  eval.reset(tiny_schedule());
+  const auto preview = eval.preview_move(1, 1);
+  eval.apply_move(1, 1);
+  EXPECT_DOUBLE_EQ(preview.objectives.makespan, eval.makespan());
+  EXPECT_DOUBLE_EQ(preview.objectives.flowtime, eval.flowtime());
+}
+
+TEST(Evaluator, PreviewSwapMatchesApply) {
+  const EtcMatrix etc = tiny_instance();
+  ScheduleEvaluator eval(etc);
+  eval.reset(tiny_schedule());
+  const auto preview = eval.preview_swap(0, 2);
+  eval.apply_swap(0, 2);
+  EXPECT_DOUBLE_EQ(preview.objectives.makespan, eval.makespan());
+  EXPECT_DOUBLE_EQ(preview.objectives.flowtime, eval.flowtime());
+}
+
+TEST(Evaluator, PreviewMoveToSameMachineIsIdentity) {
+  const EtcMatrix etc = tiny_instance();
+  ScheduleEvaluator eval(etc);
+  eval.reset(tiny_schedule());
+  const auto preview = eval.preview_move(0, 0);
+  EXPECT_DOUBLE_EQ(preview.objectives.makespan, eval.makespan());
+  EXPECT_DOUBLE_EQ(preview.objectives.flowtime, eval.flowtime());
+}
+
+TEST(Evaluator, SwapOnSameMachineThrows) {
+  const EtcMatrix etc = tiny_instance();
+  ScheduleEvaluator eval(etc);
+  eval.reset(tiny_schedule());
+  EXPECT_THROW((void)eval.preview_swap(0, 1), std::invalid_argument);
+  EXPECT_THROW(eval.apply_swap(0, 1), std::invalid_argument);
+}
+
+TEST(Evaluator, ResetRejectsIncompleteOrMismatched) {
+  const EtcMatrix etc = tiny_instance();
+  ScheduleEvaluator eval(etc);
+  EXPECT_THROW(eval.reset(Schedule(3)), std::invalid_argument);       // -1s
+  EXPECT_THROW(eval.reset(Schedule(2, 0)), std::invalid_argument);    // size
+  Schedule bad(3, 0);
+  bad[2] = 2;  // machine out of range
+  EXPECT_THROW(eval.reset(bad), std::invalid_argument);
+}
+
+TEST(Evaluator, MachineJobsSortedAscendingByEtc) {
+  InstanceSpec spec;
+  spec.num_jobs = 40;
+  spec.num_machines = 4;
+  const EtcMatrix etc = generate_instance(spec);
+  Rng rng(1);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(40, 4, rng));
+  for (MachineId m = 0; m < 4; ++m) {
+    const auto& jobs = eval.machine_jobs(m);
+    EXPECT_TRUE(std::is_sorted(jobs.begin(), jobs.end()));
+    for (const auto& [cost, job] : jobs) {
+      EXPECT_EQ(eval.schedule()[job], m);
+      EXPECT_DOUBLE_EQ(cost, etc(job, m));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: incremental updates equal full recomputation on every
+// benchmark class, across long random edit sequences.
+// ---------------------------------------------------------------------------
+
+std::string param_name(const ::testing::TestParamInfo<InstanceSpec>& info) {
+  std::string name = info.param.name();
+  std::replace(name.begin(), name.end(), '.', '_');
+  return name;
+}
+
+class EvaluatorPropertyTest : public ::testing::TestWithParam<InstanceSpec> {
+ protected:
+  static InstanceSpec small(const InstanceSpec& base) {
+    InstanceSpec spec = base;
+    spec.num_jobs = 60;
+    spec.num_machines = 8;
+    return spec;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllTwelveClasses, EvaluatorPropertyTest,
+                         ::testing::ValuesIn(braun_benchmark_suite()),
+                         param_name);
+
+TEST_P(EvaluatorPropertyTest, IncrementalMatchesRecomputeUnderRandomEdits) {
+  const InstanceSpec spec = small(GetParam());
+  EtcMatrix etc = generate_instance(spec);
+  // Exercise non-zero ready times too.
+  Rng ready_rng(7);
+  for (MachineId m = 0; m < etc.num_machines(); ++m) {
+    etc.set_ready_time(m, ready_rng.uniform(0.0, 100.0));
+  }
+
+  Rng rng(GetParam().seed + 99);
+  ScheduleEvaluator incremental(etc);
+  incremental.reset(
+      Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+
+  ScheduleEvaluator fresh(etc);
+  for (int step = 0; step < 300; ++step) {
+    const JobId a = rng.uniform_int(0, etc.num_jobs() - 1);
+    if (rng.chance(0.5)) {
+      MachineId to = rng.uniform_int(0, etc.num_machines() - 2);
+      if (to >= incremental.schedule()[a]) ++to;
+      const auto preview = incremental.preview_move(a, to);
+      incremental.apply_move(a, to);
+      ASSERT_NEAR(preview.objectives.makespan, incremental.makespan(),
+                  1e-9 * incremental.makespan());
+      ASSERT_NEAR(preview.objectives.flowtime, incremental.flowtime(),
+                  1e-9 * incremental.flowtime());
+    } else {
+      const JobId b = rng.uniform_int(0, etc.num_jobs() - 1);
+      if (b == a || incremental.schedule()[a] == incremental.schedule()[b]) {
+        continue;
+      }
+      const auto preview = incremental.preview_swap(a, b);
+      incremental.apply_swap(a, b);
+      ASSERT_NEAR(preview.objectives.makespan, incremental.makespan(),
+                  1e-9 * incremental.makespan());
+      ASSERT_NEAR(preview.objectives.flowtime, incremental.flowtime(),
+                  1e-9 * incremental.flowtime());
+    }
+
+    fresh.reset(incremental.schedule());
+    ASSERT_NEAR(fresh.makespan(), incremental.makespan(),
+                1e-9 * fresh.makespan())
+        << "step " << step;
+    ASSERT_NEAR(fresh.flowtime(), incremental.flowtime(),
+                1e-9 * fresh.flowtime())
+        << "step " << step;
+  }
+  incremental.check_consistency();
+}
+
+TEST_P(EvaluatorPropertyTest, MakespanIsMaxCompletionAndFlowtimeIsSum) {
+  const InstanceSpec spec = small(GetParam());
+  const EtcMatrix etc = generate_instance(spec);
+  Rng rng(5);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+
+  double max_completion = 0.0;
+  double flow_sum = 0.0;
+  for (MachineId m = 0; m < etc.num_machines(); ++m) {
+    max_completion = std::max(max_completion, eval.completion(m));
+    flow_sum += eval.machine_flow(m);
+  }
+  EXPECT_DOUBLE_EQ(eval.makespan(), max_completion);
+  EXPECT_DOUBLE_EQ(eval.flowtime(), flow_sum);
+}
+
+TEST_P(EvaluatorPropertyTest, SptOrderingMinimizesPerMachineFlow) {
+  // Any single adjacent transposition away from SPT order cannot decrease
+  // a machine's flowtime: verify the closed-form against a brute-force
+  // FIFO evaluation of the SPT permutation.
+  const InstanceSpec spec = small(GetParam());
+  const EtcMatrix etc = generate_instance(spec);
+  Rng rng(3);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+
+  for (MachineId m = 0; m < etc.num_machines(); ++m) {
+    const auto& jobs = eval.machine_jobs(m);
+    double cursor = etc.ready_time(m);
+    double flow = 0.0;
+    for (const auto& [cost, job] : jobs) {
+      cursor += cost;
+      flow += cursor;
+    }
+    ASSERT_NEAR(eval.machine_flow(m), flow, 1e-9 * std::max(1.0, flow));
+  }
+}
+
+}  // namespace
+}  // namespace gridsched

@@ -1,0 +1,121 @@
+#include "core/evolution.h"
+
+#include <gtest/gtest.h>
+
+namespace gridsched {
+namespace {
+
+Individual with_fitness(double f) {
+  Individual ind;
+  ind.fitness = f;
+  return ind;
+}
+
+TEST(StopCondition, AnyEnabledDetectsEachBound) {
+  EXPECT_FALSE(StopCondition{}.any_enabled());
+  EXPECT_TRUE(StopCondition{.max_time_ms = 1}.any_enabled());
+  EXPECT_TRUE(StopCondition{.max_evaluations = 1}.any_enabled());
+  EXPECT_TRUE(StopCondition{.max_iterations = 1}.any_enabled());
+  EXPECT_TRUE(StopCondition{.max_stagnation = 1}.any_enabled());
+}
+
+TEST(EvolutionTracker, OfferTracksTheBest) {
+  EvolutionTracker tracker(StopCondition{.max_iterations = 100}, false);
+  EXPECT_TRUE(tracker.offer(with_fitness(10.0)));
+  EXPECT_FALSE(tracker.offer(with_fitness(12.0)));
+  EXPECT_TRUE(tracker.offer(with_fitness(9.0)));
+  EXPECT_DOUBLE_EQ(tracker.best().fitness, 9.0);
+}
+
+TEST(EvolutionTracker, EqualFitnessDoesNotReplace) {
+  EvolutionTracker tracker(StopCondition{.max_iterations = 100}, false);
+  Individual first = with_fitness(5.0);
+  first.objectives.makespan = 1.0;
+  Individual second = with_fitness(5.0);
+  second.objectives.makespan = 2.0;
+  tracker.offer(first);
+  EXPECT_FALSE(tracker.offer(second));
+  EXPECT_DOUBLE_EQ(tracker.best().objectives.makespan, 1.0);
+}
+
+TEST(EvolutionTracker, EvaluationBudgetStops) {
+  EvolutionTracker tracker(StopCondition{.max_evaluations = 10}, false);
+  EXPECT_FALSE(tracker.should_stop());
+  tracker.count_evaluations(9);
+  EXPECT_FALSE(tracker.should_stop());
+  tracker.count_evaluations();
+  EXPECT_TRUE(tracker.should_stop());
+}
+
+TEST(EvolutionTracker, IterationBudgetStops) {
+  EvolutionTracker tracker(StopCondition{.max_iterations = 2}, false);
+  tracker.end_iteration();
+  EXPECT_FALSE(tracker.should_stop());
+  tracker.end_iteration();
+  EXPECT_TRUE(tracker.should_stop());
+}
+
+TEST(EvolutionTracker, StagnationCountsIterationsWithoutImprovement) {
+  EvolutionTracker tracker(StopCondition{.max_stagnation = 3}, false);
+  tracker.offer(with_fitness(10.0));
+  tracker.end_iteration();  // improved this iteration -> stagnation 0
+  tracker.end_iteration();  // 1
+  tracker.end_iteration();  // 2
+  EXPECT_FALSE(tracker.should_stop());
+  tracker.end_iteration();  // 3
+  EXPECT_TRUE(tracker.should_stop());
+}
+
+TEST(EvolutionTracker, ImprovementResetsStagnation) {
+  EvolutionTracker tracker(StopCondition{.max_stagnation = 2}, false);
+  tracker.offer(with_fitness(10.0));
+  tracker.end_iteration();
+  tracker.end_iteration();  // stagnation 1
+  tracker.offer(with_fitness(5.0));
+  tracker.end_iteration();  // reset to 0
+  tracker.end_iteration();  // 1
+  EXPECT_FALSE(tracker.should_stop());
+}
+
+TEST(EvolutionTracker, ProgressRecordsImprovementsWhenEnabled) {
+  EvolutionTracker tracker(StopCondition{.max_iterations = 10}, true);
+  tracker.offer(with_fitness(10.0));
+  tracker.offer(with_fitness(8.0));
+  tracker.offer(with_fitness(9.0));  // not an improvement, not sampled
+  auto result = tracker.finish();
+  ASSERT_EQ(result.progress.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.progress[0].best_fitness, 10.0);
+  EXPECT_DOUBLE_EQ(result.progress[1].best_fitness, 8.0);
+}
+
+TEST(EvolutionTracker, ProgressDisabledRecordsNothing) {
+  EvolutionTracker tracker(StopCondition{.max_iterations = 10}, false);
+  tracker.offer(with_fitness(10.0));
+  tracker.end_iteration();
+  EXPECT_TRUE(tracker.finish().progress.empty());
+}
+
+TEST(EvolutionTracker, FinishPackagesCounters) {
+  EvolutionTracker tracker(StopCondition{.max_iterations = 10}, false);
+  tracker.offer(with_fitness(3.0));
+  tracker.count_evaluations(7);
+  tracker.end_iteration();
+  tracker.end_iteration();
+  const auto result = tracker.finish();
+  EXPECT_DOUBLE_EQ(result.best.fitness, 3.0);
+  EXPECT_EQ(result.evaluations, 7);
+  EXPECT_EQ(result.iterations, 2);
+  EXPECT_GE(result.elapsed_ms, 0.0);
+}
+
+TEST(EvolutionTracker, TimeBudgetEventuallyStops) {
+  EvolutionTracker tracker(StopCondition{.max_time_ms = 1.0}, false);
+  // Busy-wait just past the budget.
+  Stopwatch watch;
+  while (watch.elapsed_ms() < 2.0) {
+  }
+  EXPECT_TRUE(tracker.should_stop());
+}
+
+}  // namespace
+}  // namespace gridsched

@@ -1,0 +1,217 @@
+#include "heuristics/constructive.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/evaluator.h"
+#include "etc/instance.h"
+
+namespace gridsched {
+namespace {
+
+double makespan_of(const Schedule& s, const EtcMatrix& etc) {
+  ScheduleEvaluator eval(etc);
+  eval.reset(s);
+  return eval.makespan();
+}
+
+double flowtime_of(const Schedule& s, const EtcMatrix& etc) {
+  ScheduleEvaluator eval(etc);
+  eval.reset(s);
+  return eval.flowtime();
+}
+
+// --- Hand-verifiable micro-instances. --------------------------------------
+
+TEST(MinMin, PicksGloballySmallestCompletionFirst) {
+  //          m0   m1
+  // job 0    10    9
+  // job 1     4    6
+  EtcMatrix etc(2, 2, {10, 9, 4, 6});
+  const Schedule s = min_min(etc);
+  // First commit: job1 on m0 (completion 4). Then job0: m0 would finish at
+  // 14, m1 at 9 -> m1.
+  EXPECT_EQ(s[1], 0);
+  EXPECT_EQ(s[0], 1);
+}
+
+TEST(MaxMin, PlacesLongJobFirst) {
+  //          m0   m1
+  // job 0    10    9
+  // job 1     4    6
+  EtcMatrix etc(2, 2, {10, 9, 4, 6});
+  const Schedule s = max_min(etc);
+  // Best completions: job0 -> 9 (m1), job1 -> 4 (m0). Max-min commits job0
+  // to m1 first, then job1 (m0: 4 vs m1: 15) to m0.
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(s[1], 0);
+}
+
+TEST(Mct, AccountsForAccumulatedLoad) {
+  //          m0   m1
+  // job 0     5    6
+  // job 1     5    6
+  EtcMatrix etc(2, 2, {5, 6, 5, 6});
+  const Schedule s = mct(etc);
+  EXPECT_EQ(s[0], 0);  // m0 finishes at 5 < 6
+  EXPECT_EQ(s[1], 1);  // m0 would now finish at 10 > 6
+}
+
+TEST(Met, IgnoresLoadEntirely) {
+  EtcMatrix etc(3, 2, {5, 6, 5, 6, 5, 6});
+  const Schedule s = met(etc);
+  for (JobId j = 0; j < 3; ++j) EXPECT_EQ(s[j], 0);  // always min ETC
+}
+
+TEST(Olb, BalancesWithoutLookingAtEtc) {
+  EtcMatrix etc(3, 2, {1, 100, 1, 100, 1, 100});
+  const Schedule s = olb(etc);
+  // j0 -> m0 (both free, lowest id). j1 -> m1 (m0 busy until 1... m1 free at
+  // 0). j2 -> m0 (free at 1 < m1's 100).
+  EXPECT_EQ(s[0], 0);
+  EXPECT_EQ(s[1], 1);
+  EXPECT_EQ(s[2], 0);
+}
+
+TEST(Sufferage, PrioritizesTheJobWithMostToLose) {
+  //          m0   m1
+  // job 0     1   10    (sufferage 9)
+  // job 1     2   2.5   (sufferage 0.5)
+  // Both prefer m0; job0 suffers more and wins it. Job1 then completes
+  // earlier on the idle m1 (2.5) than behind job0 on m0 (3).
+  EtcMatrix etc(2, 2, {1, 10, 2, 2.5});
+  const Schedule s = sufferage(etc);
+  EXPECT_EQ(s[0], 0);
+  EXPECT_EQ(s[1], 1);
+}
+
+TEST(LjfrSjfr, InitialPhaseGivesLongestJobsToFastestMachines) {
+  // 3 machines, 3 jobs: degenerate to pure phase 1.
+  //            m0   m1   m2       mean
+  // job 0       2    4    6        4     (shortest)
+  // job 1       4    8   12        8
+  // job 2       6   12   18       12     (longest)
+  // machine speed order by column mean: m0 (4) < m1 (8) < m2 (12).
+  EtcMatrix etc(3, 3, {2, 4, 6, 4, 8, 12, 6, 12, 18});
+  const Schedule s = ljfr_sjfr(etc);
+  EXPECT_EQ(s[2], 0);  // longest job -> fastest machine
+  EXPECT_EQ(s[1], 1);
+  EXPECT_EQ(s[0], 2);
+}
+
+TEST(LjfrSjfr, AlternatesShortLongAfterInitialPhase) {
+  // 1 machine, 3 jobs: phase 1 assigns the longest; then SJFR (shortest)
+  // then LJFR. All on machine 0 regardless; just verify completeness.
+  EtcMatrix etc(3, 1, {1, 2, 3});
+  const Schedule s = ljfr_sjfr(etc);
+  EXPECT_TRUE(s.complete(1));
+}
+
+// --- Suite-wide properties on every benchmark class. ------------------------
+
+std::string param_name(const ::testing::TestParamInfo<InstanceSpec>& info) {
+  std::string name = info.param.name();
+  std::replace(name.begin(), name.end(), '.', '_');
+  return name;
+}
+
+class HeuristicSuiteTest : public ::testing::TestWithParam<InstanceSpec> {
+ protected:
+  static EtcMatrix instance() {
+    InstanceSpec spec = HeuristicSuiteTest::GetParam();
+    spec.num_jobs = 128;
+    spec.num_machines = 8;
+    return generate_instance(spec);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllTwelveClasses, HeuristicSuiteTest,
+                         ::testing::ValuesIn(braun_benchmark_suite()),
+                         param_name);
+
+TEST_P(HeuristicSuiteTest, EveryHeuristicProducesACompleteSchedule) {
+  const EtcMatrix etc = instance();
+  Rng rng(1);
+  for (HeuristicKind kind : all_heuristics()) {
+    const Schedule s = construct_schedule(kind, etc, rng);
+    EXPECT_EQ(s.num_jobs(), etc.num_jobs()) << heuristic_name(kind);
+    EXPECT_TRUE(s.complete(etc.num_machines())) << heuristic_name(kind);
+  }
+}
+
+TEST_P(HeuristicSuiteTest, MinMinBeatsRandomOnMakespan) {
+  const EtcMatrix etc = instance();
+  Rng rng(2);
+  const double random_mk =
+      makespan_of(Schedule::random(etc.num_jobs(), etc.num_machines(), rng),
+                  etc);
+  EXPECT_LT(makespan_of(min_min(etc), etc), random_mk);
+}
+
+TEST_P(HeuristicSuiteTest, MctBeatsOlbOrTies) {
+  // MCT sees the ETC values OLB ignores; it should never be meaningfully
+  // worse on makespan.
+  const EtcMatrix etc = instance();
+  EXPECT_LE(makespan_of(mct(etc), etc),
+            makespan_of(olb(etc), etc) * 1.001);
+}
+
+TEST_P(HeuristicSuiteTest, LjfrSjfrIsDeterministic) {
+  const EtcMatrix etc = instance();
+  EXPECT_EQ(ljfr_sjfr(etc), ljfr_sjfr(etc));
+}
+
+TEST_P(HeuristicSuiteTest, LjfrSjfrReasonableOnBothObjectives) {
+  // The seed heuristic targets both objectives; it must beat random
+  // assignment on flowtime (its SJFR half) and makespan (its LJFR half).
+  const EtcMatrix etc = instance();
+  Rng rng(3);
+  const Schedule random_s =
+      Schedule::random(etc.num_jobs(), etc.num_machines(), rng);
+  const Schedule s = ljfr_sjfr(etc);
+  EXPECT_LT(flowtime_of(s, etc), flowtime_of(random_s, etc));
+  EXPECT_LT(makespan_of(s, etc), makespan_of(random_s, etc));
+}
+
+TEST_P(HeuristicSuiteTest, HeuristicsRespectReadyTimes) {
+  EtcMatrix etc = instance();
+  // Make machine 0 effectively unavailable; load-aware heuristics must
+  // avoid it almost entirely.
+  etc.set_ready_time(0, 1e12);
+  for (HeuristicKind kind :
+       {HeuristicKind::kMinMin, HeuristicKind::kMct, HeuristicKind::kOlb}) {
+    Rng rng(4);
+    const Schedule s = construct_schedule(kind, etc, rng);
+    int on_blocked = 0;
+    for (JobId j = 0; j < etc.num_jobs(); ++j) {
+      on_blocked += (s[j] == 0) ? 1 : 0;
+    }
+    EXPECT_EQ(on_blocked, 0) << heuristic_name(kind);
+  }
+}
+
+TEST(Heuristics, NamesAreUniqueAndNonEmpty) {
+  std::vector<std::string> names;
+  for (HeuristicKind kind : all_heuristics()) {
+    names.emplace_back(heuristic_name(kind));
+    EXPECT_FALSE(names.back().empty());
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(Heuristics, RandomUsesRngDeterministically) {
+  InstanceSpec spec;
+  spec.num_jobs = 64;
+  spec.num_machines = 8;
+  const EtcMatrix etc = generate_instance(spec);
+  Rng a(10);
+  Rng b(10);
+  EXPECT_EQ(construct_schedule(HeuristicKind::kRandom, etc, a),
+            construct_schedule(HeuristicKind::kRandom, etc, b));
+}
+
+}  // namespace
+}  // namespace gridsched

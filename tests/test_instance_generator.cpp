@@ -1,0 +1,180 @@
+#include "etc/instance.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace gridsched {
+namespace {
+
+/// gtest-safe name for a parameterized instance spec ('.' is not allowed).
+std::string param_name(const ::testing::TestParamInfo<InstanceSpec>& info) {
+  std::string name = info.param.name();
+  std::replace(name.begin(), name.end(), '.', '_');
+  return name;
+}
+
+class BraunClassTest : public ::testing::TestWithParam<InstanceSpec> {};
+
+INSTANTIATE_TEST_SUITE_P(AllTwelveClasses, BraunClassTest,
+                         ::testing::ValuesIn(braun_benchmark_suite()),
+                         param_name);
+
+TEST_P(BraunClassTest, ShapeIs512By16) {
+  const EtcMatrix etc = generate_instance(GetParam());
+  EXPECT_EQ(etc.num_jobs(), 512);
+  EXPECT_EQ(etc.num_machines(), 16);
+}
+
+TEST_P(BraunClassTest, EntriesWithinRangeBounds) {
+  const InstanceSpec spec = GetParam();
+  const EtcMatrix etc = generate_instance(spec);
+  const double upper = job_range_bound(spec.job_heterogeneity) *
+                       machine_range_bound(spec.machine_heterogeneity);
+  for (JobId j = 0; j < etc.num_jobs(); ++j) {
+    for (MachineId m = 0; m < etc.num_machines(); ++m) {
+      ASSERT_GE(etc(j, m), 1.0);
+      ASSERT_LE(etc(j, m), upper);
+    }
+  }
+}
+
+TEST_P(BraunClassTest, DeterministicAcrossCalls) {
+  const EtcMatrix a = generate_instance(GetParam());
+  const EtcMatrix b = generate_instance(GetParam());
+  ASSERT_EQ(a.raw().size(), b.raw().size());
+  for (std::size_t i = 0; i < a.raw().size(); ++i) {
+    ASSERT_EQ(a.raw()[i], b.raw()[i]);
+  }
+}
+
+TEST_P(BraunClassTest, ReplicasDiffer) {
+  const EtcMatrix a = generate_instance(GetParam(), 0);
+  const EtcMatrix b = generate_instance(GetParam(), 1);
+  int diff = 0;
+  for (std::size_t i = 0; i < a.raw().size(); ++i) {
+    diff += (a.raw()[i] != b.raw()[i]) ? 1 : 0;
+  }
+  EXPECT_GT(diff, static_cast<int>(a.raw().size() / 2));
+}
+
+TEST_P(BraunClassTest, ConsistencyStructureHolds) {
+  const InstanceSpec spec = GetParam();
+  const EtcMatrix etc = generate_instance(spec);
+  if (spec.consistency == Consistency::kConsistent) {
+    // Every row non-decreasing => machine i dominates machine i+1 for all
+    // jobs, the definition of consistency.
+    for (JobId j = 0; j < etc.num_jobs(); ++j) {
+      for (MachineId m = 0; m + 1 < etc.num_machines(); ++m) {
+        ASSERT_LE(etc(j, m), etc(j, m + 1)) << "row " << j;
+      }
+    }
+  } else if (spec.consistency == Consistency::kSemiConsistent) {
+    // Even-indexed columns form the consistent sub-matrix.
+    for (JobId j = 0; j < etc.num_jobs(); ++j) {
+      for (MachineId m = 0; m + 2 < etc.num_machines(); m += 2) {
+        ASSERT_LE(etc(j, m), etc(j, m + 2)) << "row " << j;
+      }
+    }
+  }
+}
+
+TEST(InstanceGenerator, InconsistentHasNoTotalOrder) {
+  InstanceSpec spec;  // defaults: 512x16, hihi
+  spec.consistency = Consistency::kInconsistent;
+  const EtcMatrix etc = generate_instance(spec);
+  // There must exist adjacent-column inversions in some rows.
+  int inversions = 0;
+  for (JobId j = 0; j < etc.num_jobs(); ++j) {
+    for (MachineId m = 0; m + 1 < etc.num_machines(); ++m) {
+      inversions += (etc(j, m) > etc(j, m + 1)) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(inversions, 1000);  // ~half of 512*15 in expectation
+}
+
+TEST(InstanceGenerator, HeterogeneityAffectsSpread) {
+  InstanceSpec hi;
+  hi.consistency = Consistency::kInconsistent;
+  InstanceSpec lo = hi;
+  lo.job_heterogeneity = Heterogeneity::kLow;
+  lo.machine_heterogeneity = Heterogeneity::kLow;
+  const EtcMatrix ehi = generate_instance(hi);
+  const EtcMatrix elo = generate_instance(lo);
+  double max_hi = 0;
+  double max_lo = 0;
+  for (double v : ehi.raw()) max_hi = std::max(max_hi, v);
+  for (double v : elo.raw()) max_lo = std::max(max_lo, v);
+  // hihi upper bound 3000*1000 vs lolo 100*10.
+  EXPECT_GT(max_hi, 100'000.0);
+  EXPECT_LE(max_lo, 1'000.0);
+}
+
+TEST(InstanceGenerator, ExplicitSeedOverridesClassSeed) {
+  InstanceSpec spec;
+  spec.seed = 12345;
+  const EtcMatrix a = generate_instance(spec);
+  spec.seed = 54321;
+  const EtcMatrix b = generate_instance(spec);
+  EXPECT_NE(a(0, 0), b(0, 0));
+}
+
+TEST(InstanceGenerator, CustomShape) {
+  InstanceSpec spec;
+  spec.num_jobs = 10;
+  spec.num_machines = 3;
+  const EtcMatrix etc = generate_instance(spec);
+  EXPECT_EQ(etc.num_jobs(), 10);
+  EXPECT_EQ(etc.num_machines(), 3);
+}
+
+TEST(InstanceSpec, NameRoundTripsThroughParse) {
+  for (const InstanceSpec& spec : braun_benchmark_suite()) {
+    const auto parsed = parse_instance_name(spec.name());
+    ASSERT_TRUE(parsed.has_value()) << spec.name();
+    EXPECT_EQ(parsed->consistency, spec.consistency);
+    EXPECT_EQ(parsed->job_heterogeneity, spec.job_heterogeneity);
+    EXPECT_EQ(parsed->machine_heterogeneity, spec.machine_heterogeneity);
+  }
+}
+
+TEST(InstanceSpec, NamesMatchPaperLabels) {
+  const auto suite = braun_benchmark_suite();
+  EXPECT_EQ(suite[0].name(), "u_c_hihi.0");
+  EXPECT_EQ(suite[1].name(), "u_c_hilo.0");
+  EXPECT_EQ(suite[2].name(), "u_c_lohi.0");
+  EXPECT_EQ(suite[3].name(), "u_c_lolo.0");
+  EXPECT_EQ(suite[4].name(), "u_i_hihi.0");
+  EXPECT_EQ(suite[8].name(), "u_s_hihi.0");
+  EXPECT_EQ(suite[11].name(), "u_s_lolo.0");
+}
+
+TEST(InstanceSpec, ParseRejectsMalformedLabels) {
+  EXPECT_FALSE(parse_instance_name("").has_value());
+  EXPECT_FALSE(parse_instance_name("u_x_hihi.0").has_value());
+  EXPECT_FALSE(parse_instance_name("u_c_xxhi.0").has_value());
+  EXPECT_FALSE(parse_instance_name("u_c_hihi").has_value());
+  EXPECT_FALSE(parse_instance_name("u_c_hihi.x").has_value());
+  EXPECT_FALSE(parse_instance_name("v_c_hihi.0").has_value());
+}
+
+TEST(InstanceSpec, SuiteCoversAllCombinations) {
+  const auto suite = braun_benchmark_suite();
+  int consistent = 0;
+  int inconsistent = 0;
+  int semi = 0;
+  for (const auto& spec : suite) {
+    switch (spec.consistency) {
+      case Consistency::kConsistent: ++consistent; break;
+      case Consistency::kInconsistent: ++inconsistent; break;
+      case Consistency::kSemiConsistent: ++semi; break;
+    }
+  }
+  EXPECT_EQ(consistent, 4);
+  EXPECT_EQ(inconsistent, 4);
+  EXPECT_EQ(semi, 4);
+}
+
+}  // namespace
+}  // namespace gridsched

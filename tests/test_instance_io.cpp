@@ -1,0 +1,108 @@
+#include "etc/instance_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "etc/instance.h"
+
+namespace gridsched {
+namespace {
+
+TEST(InstanceIo, StreamRoundTrip) {
+  InstanceSpec spec;
+  spec.num_jobs = 20;
+  spec.num_machines = 4;
+  const EtcMatrix original = generate_instance(spec);
+
+  std::stringstream buffer;
+  write_instance(buffer, original);
+  const EtcMatrix loaded = read_instance(buffer);
+
+  ASSERT_EQ(loaded.num_jobs(), original.num_jobs());
+  ASSERT_EQ(loaded.num_machines(), original.num_machines());
+  for (JobId j = 0; j < original.num_jobs(); ++j) {
+    for (MachineId m = 0; m < original.num_machines(); ++m) {
+      ASSERT_EQ(loaded(j, m), original(j, m)) << j << "," << m;
+    }
+  }
+}
+
+TEST(InstanceIo, ReadyTimesRoundTripWhenNonZero) {
+  EtcMatrix etc(2, 3, {1, 2, 3, 4, 5, 6});
+  etc.set_ready_time(0, 1.5);
+  etc.set_ready_time(2, 2.75);
+
+  std::stringstream buffer;
+  write_instance(buffer, etc);
+  const EtcMatrix loaded = read_instance(buffer);
+  EXPECT_EQ(loaded.ready_time(0), 1.5);
+  EXPECT_EQ(loaded.ready_time(1), 0.0);
+  EXPECT_EQ(loaded.ready_time(2), 2.75);
+}
+
+TEST(InstanceIo, ZeroReadyTimesOmitTrailer) {
+  EtcMatrix etc(1, 2, {1, 2});
+  std::stringstream buffer;
+  write_instance(buffer, etc);
+  EXPECT_EQ(buffer.str().find("ready:"), std::string::npos);
+}
+
+TEST(InstanceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/gridsched_inst_test.txt";
+  InstanceSpec spec;
+  spec.num_jobs = 8;
+  spec.num_machines = 2;
+  const EtcMatrix original = generate_instance(spec);
+  save_instance(path, original);
+  const EtcMatrix loaded = load_instance(path);
+  EXPECT_EQ(loaded.num_jobs(), 8);
+  EXPECT_EQ(loaded(7, 1), original(7, 1));
+  std::remove(path.c_str());
+}
+
+TEST(InstanceIo, MalformedHeaderThrows) {
+  std::stringstream buffer("abc def");
+  EXPECT_THROW(read_instance(buffer), std::runtime_error);
+}
+
+TEST(InstanceIo, NonPositiveShapeThrows) {
+  std::stringstream buffer("0 4\n");
+  EXPECT_THROW(read_instance(buffer), std::runtime_error);
+}
+
+TEST(InstanceIo, TruncatedBodyThrows) {
+  std::stringstream buffer("2 2\n1.0 2.0 3.0");
+  EXPECT_THROW(read_instance(buffer), std::runtime_error);
+}
+
+TEST(InstanceIo, NegativeValueThrows) {
+  std::stringstream buffer("1 2\n1.0 -2.0\n");
+  EXPECT_THROW(read_instance(buffer), std::runtime_error);
+}
+
+TEST(InstanceIo, GarbageTrailerThrows) {
+  std::stringstream buffer("1 1\n5.0\nbogus");
+  EXPECT_THROW(read_instance(buffer), std::runtime_error);
+}
+
+TEST(InstanceIo, TruncatedReadyLineThrows) {
+  std::stringstream buffer("1 2\n5.0 6.0\nready: 1.0");
+  EXPECT_THROW(read_instance(buffer), std::runtime_error);
+}
+
+TEST(InstanceIo, MissingFileThrows) {
+  EXPECT_THROW(load_instance("/definitely/not/here.txt"), std::runtime_error);
+}
+
+TEST(InstanceIo, BraunFormatIsPlainWhitespaceNumbers) {
+  // Interop: a hand-written Braun-style file loads fine.
+  std::stringstream buffer("2 2\n10 20\n30 40\n");
+  const EtcMatrix etc = read_instance(buffer);
+  EXPECT_EQ(etc(0, 1), 20.0);
+  EXPECT_EQ(etc(1, 0), 30.0);
+}
+
+}  // namespace
+}  // namespace gridsched

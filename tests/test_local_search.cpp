@@ -1,0 +1,228 @@
+#include "cma/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "etc/instance.h"
+
+namespace gridsched {
+namespace {
+
+EtcMatrix test_instance(int jobs = 64, int machines = 8) {
+  InstanceSpec spec;
+  spec.num_jobs = jobs;
+  spec.num_machines = machines;
+  return generate_instance(spec);
+}
+
+const FitnessWeights kWeights{};
+
+TEST(LocalSearch, NoneIsANoop) {
+  const EtcMatrix etc = test_instance();
+  Rng rng(1);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+  const Schedule before = eval.schedule();
+  const LocalSearchConfig config{LocalSearchKind::kNone, 5};
+  const auto stats = local_search(config, kWeights, eval, rng);
+  EXPECT_EQ(stats.iterations_run, 0);
+  EXPECT_EQ(eval.schedule(), before);
+}
+
+TEST(LocalSearch, EveryMethodNeverWorsensFitness) {
+  const EtcMatrix etc = test_instance();
+  for (LocalSearchKind kind :
+       {LocalSearchKind::kLocalMove, LocalSearchKind::kSteepestLocalMove,
+        LocalSearchKind::kLmcts}) {
+    Rng rng(2);
+    ScheduleEvaluator eval(etc);
+    for (int trial = 0; trial < 10; ++trial) {
+      eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+      const double before = eval.fitness(kWeights);
+      const LocalSearchConfig config{kind, 5};
+      local_search(config, kWeights, eval, rng);
+      EXPECT_LE(eval.fitness(kWeights), before + 1e-9)
+          << local_search_name(kind);
+      eval.check_consistency();
+    }
+  }
+}
+
+TEST(LocalSearch, MakespanObjectiveNeverWorsensMakespan) {
+  const EtcMatrix etc = test_instance();
+  for (LocalSearchKind kind :
+       {LocalSearchKind::kLocalMove, LocalSearchKind::kSteepestLocalMove,
+        LocalSearchKind::kLmcts}) {
+    Rng rng(3);
+    ScheduleEvaluator eval(etc);
+    eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+    const double before = eval.makespan();
+    LocalSearchConfig config{kind, 8};
+    config.objective = LsObjective::kMakespan;
+    local_search(config, kWeights, eval, rng);
+    EXPECT_LE(eval.makespan(), before + 1e-9) << local_search_name(kind);
+  }
+}
+
+TEST(LocalSearch, LmctsExhaustiveScanFixesAnUnbalancedSchedule) {
+  EtcMatrix etc(4, 2, {1, 100,   // job 0: fast on m0
+                       100, 1,   // job 1: fast on m1
+                       1, 100,   // job 2
+                       100, 1}); // job 3
+  // Anti-optimal: the slow machine everywhere.
+  Schedule bad(4);
+  bad[0] = 1;
+  bad[1] = 0;
+  bad[2] = 1;
+  bad[3] = 0;
+  ScheduleEvaluator eval(etc);
+  eval.reset(bad);
+  EXPECT_DOUBLE_EQ(eval.makespan(), 200.0);
+  Rng rng(4);
+  LocalSearchConfig config{LocalSearchKind::kLmcts, 5};
+  config.scan = LmctsScan::kCriticalAllJobs;
+  const auto stats = local_search(config, kWeights, eval, rng);
+  EXPECT_GT(stats.improvements, 0);
+  // Two swaps fix everything: makespan 2.
+  EXPECT_DOUBLE_EQ(eval.makespan(), 2.0);
+}
+
+TEST(LocalSearch, LmctsDefaultScanImprovesTheSameSchedule) {
+  // Same instance as above, default (random-critical-job) scan: with a few
+  // iterations it must at least improve substantially, whichever focus
+  // jobs the RNG draws.
+  EtcMatrix etc(4, 2, {1, 100, 100, 1, 1, 100, 100, 1});
+  Schedule bad(4);
+  bad[0] = 1;
+  bad[1] = 0;
+  bad[2] = 1;
+  bad[3] = 0;
+  ScheduleEvaluator eval(etc);
+  eval.reset(bad);
+  Rng rng(4);
+  const LocalSearchConfig config{LocalSearchKind::kLmcts, 8};
+  const auto stats = local_search(config, kWeights, eval, rng);
+  EXPECT_GT(stats.improvements, 0);
+  EXPECT_LT(eval.makespan(), 200.0);
+}
+
+TEST(LocalSearch, SteepestMoveFindsTheBestMachineForItsJob) {
+  // One job, three machines: SLM must land it on the global best.
+  EtcMatrix etc(1, 3, {50, 10, 30});
+  Schedule s(1, 0);
+  ScheduleEvaluator eval(etc);
+  eval.reset(s);
+  Rng rng(5);
+  const LocalSearchConfig config{LocalSearchKind::kSteepestLocalMove, 1};
+  local_search(config, kWeights, eval, rng);
+  EXPECT_EQ(eval.schedule()[0], 1);
+}
+
+TEST(LocalSearch, IterationBudgetIsRespected) {
+  const EtcMatrix etc = test_instance();
+  Rng rng(6);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+  for (int budget : {1, 3, 7}) {
+    const LocalSearchConfig config{LocalSearchKind::kLocalMove, budget};
+    const auto stats = local_search(config, kWeights, eval, rng);
+    EXPECT_EQ(stats.iterations_run, budget);
+  }
+}
+
+TEST(LocalSearch, LmctsDeterministicScansStopEarlyAtLocalOptimum) {
+  // Tiny instance that is already optimal: exhaustive scans must notice
+  // and break out of the iteration budget.
+  EtcMatrix etc(4, 2, {1, 2, 2, 1, 1, 2, 2, 1});
+  Schedule s(4);
+  s[0] = 0;
+  s[1] = 1;
+  s[2] = 0;
+  s[3] = 1;  // already optimal
+  for (LmctsScan scan : {LmctsScan::kCriticalAllJobs, LmctsScan::kFull}) {
+    ScheduleEvaluator eval(etc);
+    eval.reset(s);
+    Rng rng(7);
+    LocalSearchConfig config{LocalSearchKind::kLmcts, 50};
+    config.scan = scan;
+    const auto stats = local_search(config, kWeights, eval, rng);
+    EXPECT_LT(stats.iterations_run, 50);  // broke out early
+    EXPECT_EQ(stats.improvements, 0);
+  }
+}
+
+TEST(LocalSearch, FullScanFindsStrictlyMoreOrEqualImprovement) {
+  const EtcMatrix etc = test_instance(48, 6);
+  Rng seed_rng(8);
+  const Schedule start =
+      Schedule::random(etc.num_jobs(), etc.num_machines(), seed_rng);
+
+  auto run_scan = [&](LmctsScan scan) {
+    ScheduleEvaluator eval(etc);
+    eval.reset(start);
+    Rng rng(9);
+    LocalSearchConfig config{LocalSearchKind::kLmcts, 1};
+    config.scan = scan;
+    local_search(config, kWeights, eval, rng);
+    return eval.fitness(kWeights);
+  };
+  // A single full-scan step picks the best swap overall; the restricted
+  // scans choose from candidate subsets and cannot beat it.
+  EXPECT_LE(run_scan(LmctsScan::kFull),
+            run_scan(LmctsScan::kCriticalAllJobs) + 1e-9);
+  EXPECT_LE(run_scan(LmctsScan::kFull),
+            run_scan(LmctsScan::kCriticalRandomJob) + 1e-9);
+}
+
+TEST(LocalSearch, SampledScanImprovesWithinBudget) {
+  const EtcMatrix etc = test_instance();
+  Rng rng(10);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+  const double before = eval.fitness(kWeights);
+  LocalSearchConfig config{LocalSearchKind::kLmcts, 3};
+  config.scan = LmctsScan::kSampled;
+  config.sampled_pairs = 256;
+  const auto stats = local_search(config, kWeights, eval, rng);
+  EXPECT_LE(eval.fitness(kWeights), before);
+  EXPECT_LE(stats.previews, 3 * 256);
+}
+
+TEST(LocalSearch, StatsCountPreviews) {
+  const EtcMatrix etc = test_instance(32, 4);
+  Rng rng(11);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+  const LocalSearchConfig config{LocalSearchKind::kSteepestLocalMove, 2};
+  const auto stats = local_search(config, kWeights, eval, rng);
+  // SLM previews every other machine once per iteration.
+  EXPECT_EQ(stats.previews, 2 * (4 - 1));
+}
+
+TEST(LocalSearch, DeterministicInSeed) {
+  const EtcMatrix etc = test_instance();
+  Rng seed_rng(12);
+  const Schedule start =
+      Schedule::random(etc.num_jobs(), etc.num_machines(), seed_rng);
+  auto run = [&](std::uint64_t seed) {
+    ScheduleEvaluator eval(etc);
+    eval.reset(start);
+    Rng rng(seed);
+    const LocalSearchConfig config{LocalSearchKind::kLmcts, 5};
+    local_search(config, kWeights, eval, rng);
+    return eval.schedule();
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+TEST(LocalSearch, NamesAreStable) {
+  EXPECT_EQ(local_search_name(LocalSearchKind::kNone), "None");
+  EXPECT_EQ(local_search_name(LocalSearchKind::kLocalMove), "LM");
+  EXPECT_EQ(local_search_name(LocalSearchKind::kSteepestLocalMove), "SLM");
+  EXPECT_EQ(local_search_name(LocalSearchKind::kLmcts), "LMCTS");
+}
+
+}  // namespace
+}  // namespace gridsched

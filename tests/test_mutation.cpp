@@ -1,0 +1,157 @@
+#include "cma/mutation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "etc/instance.h"
+
+namespace gridsched {
+namespace {
+
+EtcMatrix test_instance(int jobs = 64, int machines = 8) {
+  InstanceSpec spec;
+  spec.num_jobs = jobs;
+  spec.num_machines = machines;
+  return generate_instance(spec);
+}
+
+TEST(RebalanceMutation, MovesAJobOffTheMakespanMachine) {
+  const EtcMatrix etc = test_instance();
+  Rng rng(1);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+  for (int trial = 0; trial < 50; ++trial) {
+    const double makespan_before = eval.makespan();
+    std::vector<MachineId> overloaded;
+    for (MachineId m = 0; m < etc.num_machines(); ++m) {
+      if (eval.completion(m) >= makespan_before) overloaded.push_back(m);
+    }
+    const auto move = rebalance_mutation(eval, rng);
+    ASSERT_GE(move.job, 0);
+    // Source was an overloaded machine.
+    EXPECT_TRUE(std::find(overloaded.begin(), overloaded.end(), move.from) !=
+                overloaded.end());
+    EXPECT_NE(move.from, move.to);
+    EXPECT_EQ(eval.schedule()[move.job], move.to);
+  }
+}
+
+TEST(RebalanceMutation, TargetIsInBottomQuartileOfLoads) {
+  const EtcMatrix etc = test_instance(128, 16);
+  Rng rng(2);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+  for (int trial = 0; trial < 50; ++trial) {
+    // Record the 25% least-loaded machines before mutating (quartile of 16
+    // machines = 4).
+    std::vector<std::pair<double, MachineId>> loads;
+    for (MachineId m = 0; m < 16; ++m) {
+      loads.emplace_back(eval.completion(m), m);
+    }
+    std::sort(loads.begin(), loads.end());
+    std::vector<MachineId> bottom;
+    for (int i = 0; i < 4; ++i) bottom.push_back(loads[i].second);
+
+    const auto move = rebalance_mutation(eval, rng);
+    ASSERT_GE(move.job, 0);
+    EXPECT_TRUE(std::find(bottom.begin(), bottom.end(), move.to) !=
+                bottom.end())
+        << "target " << move.to << " not in bottom quartile";
+  }
+}
+
+TEST(RebalanceMutation, SingleMachineIsNoop) {
+  const EtcMatrix etc = test_instance(8, 1);
+  Rng rng(3);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule(8, 0));
+  const auto move = rebalance_mutation(eval, rng);
+  EXPECT_EQ(move.job, -1);
+}
+
+TEST(MutateMove, ChangesExactlyOneGene) {
+  const EtcMatrix etc = test_instance();
+  Rng rng(4);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+  for (int trial = 0; trial < 30; ++trial) {
+    const Schedule before = eval.schedule();
+    mutate(MutationKind::kMove, eval, rng);
+    EXPECT_EQ(before.hamming_distance(eval.schedule()), 1);
+  }
+}
+
+TEST(MutateSwap, ExchangesTwoGenes) {
+  const EtcMatrix etc = test_instance();
+  Rng rng(5);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+  for (int trial = 0; trial < 30; ++trial) {
+    const Schedule before = eval.schedule();
+    mutate(MutationKind::kSwap, eval, rng);
+    const Schedule& after = eval.schedule();
+    std::vector<JobId> changed;
+    for (JobId j = 0; j < etc.num_jobs(); ++j) {
+      if (before[j] != after[j]) changed.push_back(j);
+    }
+    // Either a genuine swap (2 jobs trading machines) or the rare
+    // fallback Move (1 change).
+    ASSERT_TRUE(changed.size() == 2 || changed.size() == 1);
+    if (changed.size() == 2) {
+      EXPECT_EQ(before[changed[0]], after[changed[1]]);
+      EXPECT_EQ(before[changed[1]], after[changed[0]]);
+    }
+  }
+}
+
+TEST(MutateSwap, DegenerateAllOnOneMachineFallsBackToMove) {
+  const EtcMatrix etc = test_instance(16, 4);
+  Rng rng(6);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule(16, 2));  // every job on machine 2
+  mutate(MutationKind::kSwap, eval, rng);
+  Schedule all_same(16, 2);
+  EXPECT_EQ(all_same.hamming_distance(eval.schedule()), 1);
+}
+
+TEST(Mutate, KeepsSchedulesCompleteAndConsistent) {
+  const EtcMatrix etc = test_instance();
+  Rng rng(7);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto kind = static_cast<MutationKind>(trial % 3);
+    mutate(kind, eval, rng);
+    ASSERT_TRUE(eval.schedule().complete(etc.num_machines()));
+  }
+  eval.check_consistency();
+}
+
+TEST(Mutate, DeterministicInSeed) {
+  const EtcMatrix etc = test_instance();
+  Rng seed_rng(8);
+  const Schedule start =
+      Schedule::random(etc.num_jobs(), etc.num_machines(), seed_rng);
+  ScheduleEvaluator e1(etc);
+  ScheduleEvaluator e2(etc);
+  e1.reset(start);
+  e2.reset(start);
+  Rng r1(99);
+  Rng r2(99);
+  for (int i = 0; i < 20; ++i) {
+    mutate(MutationKind::kRebalance, e1, r1);
+    mutate(MutationKind::kRebalance, e2, r2);
+    ASSERT_EQ(e1.schedule(), e2.schedule());
+  }
+}
+
+TEST(Mutation, NamesAreStable) {
+  EXPECT_EQ(mutation_name(MutationKind::kRebalance), "Rebalance");
+  EXPECT_EQ(mutation_name(MutationKind::kMove), "Move");
+  EXPECT_EQ(mutation_name(MutationKind::kSwap), "Swap");
+}
+
+}  // namespace
+}  // namespace gridsched

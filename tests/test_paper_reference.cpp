@@ -1,0 +1,73 @@
+#include "etc/paper_reference.h"
+
+#include <gtest/gtest.h>
+
+#include "etc/instance.h"
+
+namespace gridsched {
+namespace {
+
+TEST(PaperReference, TwelveRowsInSuiteOrder) {
+  const auto& rows = paper_reference_rows();
+  const auto suite = braun_benchmark_suite();
+  ASSERT_EQ(rows.size(), suite.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].instance, suite[i].name()) << i;
+  }
+}
+
+TEST(PaperReference, LookupByLabel) {
+  const auto row = paper_reference("u_c_hihi.0");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_DOUBLE_EQ(row->braun_ga_makespan, 8050844.5);
+  EXPECT_DOUBLE_EQ(row->cma_makespan, 7700929.751);
+  EXPECT_FALSE(paper_reference("u_c_hihi.7").has_value());
+  EXPECT_FALSE(paper_reference("nope").has_value());
+}
+
+TEST(PaperReference, AllValuesPositive) {
+  for (const auto& row : paper_reference_rows()) {
+    EXPECT_GT(row.braun_ga_makespan, 0.0);
+    EXPECT_GT(row.cma_makespan, 0.0);
+    EXPECT_GT(row.cx_ga_makespan, 0.0);
+    EXPECT_GT(row.struggle_ga_makespan, 0.0);
+    EXPECT_GT(row.ljfr_sjfr_flowtime, 0.0);
+    EXPECT_GT(row.cma_flowtime, 0.0);
+    EXPECT_GT(row.struggle_ga_flowtime, 0.0);
+  }
+}
+
+TEST(PaperReference, FlowtimeDominatesMakespanInMagnitude) {
+  // Section 2's motivation for using *mean* flowtime: flowtime is orders of
+  // magnitude above makespan on every instance.
+  for (const auto& row : paper_reference_rows()) {
+    EXPECT_GT(row.cma_flowtime, 10.0 * row.cma_makespan) << row.instance;
+  }
+}
+
+TEST(PaperReference, Table4ImprovementAlwaysPositive) {
+  // The cMA improved the LJFR-SJFR flowtime on every instance (22-90%).
+  for (const auto& row : paper_reference_rows()) {
+    EXPECT_LT(row.cma_flowtime, row.ljfr_sjfr_flowtime) << row.instance;
+  }
+}
+
+TEST(PaperReference, Table5CmaBeatsStruggleEverywhere) {
+  for (const auto& row : paper_reference_rows()) {
+    EXPECT_LT(row.cma_flowtime, row.struggle_ga_flowtime) << row.instance;
+  }
+}
+
+TEST(PaperReference, Table2ConsistentInstancesFavorCma) {
+  // The headline observation of Section 5.1: the cMA beats the Braun GA on
+  // all consistent and semi-consistent instances.
+  for (const auto& row : paper_reference_rows()) {
+    const char family = row.instance[2];
+    if (family == 'c' || family == 's') {
+      EXPECT_LT(row.cma_makespan, row.braun_ga_makespan) << row.instance;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gridsched

@@ -1,0 +1,157 @@
+#include "core/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include "cma/cma.h"
+#include "etc/instance.h"
+
+namespace gridsched {
+namespace {
+
+Individual point(double makespan, double flowtime) {
+  Individual ind;
+  ind.objectives = {makespan, flowtime};
+  ind.fitness = makespan;  // irrelevant to dominance
+  return ind;
+}
+
+TEST(Dominates, StrictOnBothObjectives) {
+  EXPECT_TRUE(dominates({1.0, 1.0}, {2.0, 2.0}));
+  EXPECT_FALSE(dominates({2.0, 2.0}, {1.0, 1.0}));
+}
+
+TEST(Dominates, EqualOnOneStrictOnOther) {
+  EXPECT_TRUE(dominates({1.0, 5.0}, {1.0, 6.0}));
+  EXPECT_TRUE(dominates({1.0, 5.0}, {2.0, 5.0}));
+}
+
+TEST(Dominates, IncomparableAndEqualAreFalse) {
+  EXPECT_FALSE(dominates({1.0, 9.0}, {2.0, 3.0}));
+  EXPECT_FALSE(dominates({2.0, 3.0}, {1.0, 9.0}));
+  EXPECT_FALSE(dominates({4.0, 4.0}, {4.0, 4.0}));
+}
+
+TEST(ParetoArchive, KeepsNonDominatedSet) {
+  ParetoArchive archive;
+  EXPECT_TRUE(archive.offer(point(10, 100)));
+  EXPECT_TRUE(archive.offer(point(20, 50)));   // incomparable
+  EXPECT_TRUE(archive.offer(point(5, 200)));   // incomparable
+  EXPECT_EQ(archive.size(), 3u);
+}
+
+TEST(ParetoArchive, RejectsDominatedCandidates) {
+  ParetoArchive archive;
+  archive.offer(point(10, 100));
+  EXPECT_FALSE(archive.offer(point(11, 101)));
+  EXPECT_FALSE(archive.offer(point(10, 100)));  // duplicate
+  EXPECT_EQ(archive.size(), 1u);
+}
+
+TEST(ParetoArchive, EvictsNewlyDominatedMembers) {
+  ParetoArchive archive;
+  archive.offer(point(10, 100));
+  archive.offer(point(20, 50));
+  // Dominates both members at once.
+  EXPECT_TRUE(archive.offer(point(9, 40)));
+  EXPECT_EQ(archive.size(), 1u);
+  EXPECT_DOUBLE_EQ(archive.front()[0].objectives.makespan, 9.0);
+}
+
+TEST(ParetoArchive, FrontSortedByMakespan) {
+  ParetoArchive archive;
+  archive.offer(point(30, 10));
+  archive.offer(point(10, 90));
+  archive.offer(point(20, 40));
+  const auto front = archive.front();
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_DOUBLE_EQ(front[0].objectives.makespan, 10.0);
+  EXPECT_DOUBLE_EQ(front[1].objectives.makespan, 20.0);
+  EXPECT_DOUBLE_EQ(front[2].objectives.makespan, 30.0);
+  // Along a front, flowtime must be descending as makespan ascends.
+  EXPECT_GT(front[0].objectives.flowtime, front[1].objectives.flowtime);
+  EXPECT_GT(front[1].objectives.flowtime, front[2].objectives.flowtime);
+}
+
+TEST(ParetoArchive, WouldRejectMirrorsOffer) {
+  ParetoArchive archive;
+  archive.offer(point(10, 10));
+  EXPECT_TRUE(archive.would_reject({11, 11}));
+  EXPECT_TRUE(archive.would_reject({10, 10}));
+  EXPECT_FALSE(archive.would_reject({9, 20}));
+}
+
+TEST(ParetoFront, FiltersABatch) {
+  std::vector<Individual> batch{point(10, 100), point(11, 101), point(5, 200),
+                                point(20, 50), point(20, 51)};
+  const auto front = pareto_front(batch);
+  ASSERT_EQ(front.size(), 3u);  // (5,200), (10,100), (20,50)
+  EXPECT_DOUBLE_EQ(front[0].objectives.makespan, 5.0);
+  EXPECT_DOUBLE_EQ(front[2].objectives.flowtime, 50.0);
+}
+
+TEST(Hypervolume, SinglePointRectangle) {
+  const std::vector<Individual> front{point(2, 3)};
+  // Box from (2,3) to reference (10, 7): 8 * 4.
+  EXPECT_DOUBLE_EQ(hypervolume(front, {10, 7}), 32.0);
+}
+
+TEST(Hypervolume, TwoPointStaircase) {
+  const std::vector<Individual> front{point(1, 6), point(4, 2)};
+  // (4-1)*(10-6) + (10-4)*(10-2) = 12 + 48.
+  EXPECT_DOUBLE_EQ(hypervolume(front, {10, 10}), 60.0);
+}
+
+TEST(Hypervolume, UnsortedAndDominatedInputIsCleaned) {
+  const std::vector<Individual> front{point(4, 2), point(1, 6), point(5, 5)};
+  // (5,5) is dominated by (4,2); result equals the staircase above.
+  EXPECT_DOUBLE_EQ(hypervolume(front, {10, 10}), 60.0);
+}
+
+TEST(Hypervolume, PointsBeyondReferenceAreClipped) {
+  const std::vector<Individual> front{point(12, 1), point(1, 6)};
+  // (12,1) lies right of the reference wall; only (1,6) counts.
+  EXPECT_DOUBLE_EQ(hypervolume(front, {10, 10}), 9.0 * 4.0);
+}
+
+TEST(Hypervolume, EmptyFrontIsZero) {
+  EXPECT_DOUBLE_EQ(hypervolume({}, {10, 10}), 0.0);
+  const std::vector<Individual> beyond{point(20, 20)};
+  EXPECT_DOUBLE_EQ(hypervolume(beyond, {10, 10}), 0.0);
+}
+
+TEST(Hypervolume, AddingANonDominatedPointGrowsTheVolume) {
+  std::vector<Individual> front{point(1, 6), point(4, 2)};
+  const double before = hypervolume(front, {10, 10});
+  front.push_back(point(2, 4));  // between the two, non-dominated
+  EXPECT_GT(hypervolume(front, {10, 10}), before);
+}
+
+TEST(ParetoFront, LambdaSweepProducesANontrivialFront) {
+  // Integration: extreme lambda weights should produce solutions that
+  // trade the objectives against each other, all mutually non-dominated
+  // after filtering.
+  InstanceSpec spec;
+  spec.num_jobs = 96;
+  spec.num_machines = 8;
+  const EtcMatrix etc = generate_instance(spec);
+
+  std::vector<Individual> outcomes;
+  for (double lambda : {0.0, 0.5, 1.0}) {
+    CmaConfig config;
+    config.stop = StopCondition{.max_evaluations = 2'000};
+    config.seed = 11;
+    config.weights.lambda = lambda;
+    outcomes.push_back(CellularMemeticAlgorithm(config).run(etc).best);
+  }
+  const auto front = pareto_front(outcomes);
+  ASSERT_GE(front.size(), 1u);
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    for (std::size_t j = 0; j < front.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(dominates(front[i].objectives, front[j].objectives));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gridsched

@@ -1,0 +1,94 @@
+// The pluggable replacement policies of the steady-state GA (the study of
+// the paper's reference [21]).
+#include <gtest/gtest.h>
+
+#include "etc/instance.h"
+#include "ga/steady_state_ga.h"
+
+namespace gridsched {
+namespace {
+
+EtcMatrix small_instance() {
+  InstanceSpec spec;
+  spec.num_jobs = 48;
+  spec.num_machines = 6;
+  return generate_instance(spec);
+}
+
+SteadyStateGaConfig config_with(ReplacementPolicy policy,
+                                std::int64_t evals = 2'000) {
+  SteadyStateGaConfig config;
+  config.replacement = policy;
+  config.stop = StopCondition{.max_evaluations = evals};
+  config.seed = 31;
+  return config;
+}
+
+TEST(Replacement, NamesAreStable) {
+  EXPECT_EQ(replacement_name(ReplacementPolicy::kWorst), "ReplaceWorst");
+  EXPECT_EQ(replacement_name(ReplacementPolicy::kRandom), "ReplaceRandom");
+  EXPECT_EQ(replacement_name(ReplacementPolicy::kOldest), "ReplaceOldest");
+  EXPECT_EQ(replacement_name(ReplacementPolicy::kMostSimilar), "Struggle");
+  EXPECT_EQ(replacement_name(ReplacementPolicy::kDeterministicCrowding),
+            "DeterministicCrowding");
+}
+
+TEST(Replacement, EveryPolicyRunsAndImprovesOnSeeds) {
+  const EtcMatrix etc = small_instance();
+  const Individual seed =
+      make_individual(ljfr_sjfr(etc), etc, FitnessWeights{});
+  for (ReplacementPolicy policy :
+       {ReplacementPolicy::kWorst, ReplacementPolicy::kRandom,
+        ReplacementPolicy::kOldest, ReplacementPolicy::kMostSimilar,
+        ReplacementPolicy::kDeterministicCrowding}) {
+    const auto result = SteadyStateGa(config_with(policy)).run(etc);
+    EXPECT_TRUE(result.best.schedule.complete(etc.num_machines()))
+        << replacement_name(policy);
+    EXPECT_LE(result.best.fitness, seed.fitness) << replacement_name(policy);
+  }
+}
+
+TEST(Replacement, PoliciesAreDeterministicInSeed) {
+  const EtcMatrix etc = small_instance();
+  for (ReplacementPolicy policy :
+       {ReplacementPolicy::kWorst, ReplacementPolicy::kMostSimilar,
+        ReplacementPolicy::kDeterministicCrowding}) {
+    const auto a = SteadyStateGa(config_with(policy, 800)).run(etc);
+    const auto b = SteadyStateGa(config_with(policy, 800)).run(etc);
+    EXPECT_EQ(a.best.schedule, b.best.schedule) << replacement_name(policy);
+  }
+}
+
+TEST(Replacement, PoliciesActuallyDiffer) {
+  // Same seed, different policies: the search trajectories must diverge.
+  const EtcMatrix etc = small_instance();
+  const auto worst =
+      SteadyStateGa(config_with(ReplacementPolicy::kWorst)).run(etc);
+  const auto similar =
+      SteadyStateGa(config_with(ReplacementPolicy::kMostSimilar)).run(etc);
+  EXPECT_NE(worst.best.schedule, similar.best.schedule);
+}
+
+TEST(Replacement, DefaultPolicyIsReplaceWorst) {
+  EXPECT_EQ(SteadyStateGaConfig{}.replacement, ReplacementPolicy::kWorst);
+}
+
+TEST(Replacement, GatedOnImprovement) {
+  // With a tiny budget the best individual can never get worse, whatever
+  // the victim rule — replacement only happens when the child is fitter.
+  const EtcMatrix etc = small_instance();
+  for (ReplacementPolicy policy :
+       {ReplacementPolicy::kRandom, ReplacementPolicy::kOldest}) {
+    SteadyStateGaConfig config = config_with(policy, 3'000);
+    config.record_progress = true;
+    const auto result = SteadyStateGa(config).run(etc);
+    for (std::size_t i = 1; i < result.progress.size(); ++i) {
+      ASSERT_LE(result.progress[i].best_fitness,
+                result.progress[i - 1].best_fitness + 1e-9)
+          << replacement_name(policy);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gridsched

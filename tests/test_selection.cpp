@@ -1,0 +1,152 @@
+#include "cma/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace gridsched {
+namespace {
+
+/// Population whose individual i has fitness = i (0 is the best).
+std::vector<Individual> ladder_population(int n) {
+  std::vector<Individual> population(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    population[static_cast<std::size_t>(i)].fitness = static_cast<double>(i);
+  }
+  return population;
+}
+
+TEST(Selection, BestAlwaysPicksTheFittestCandidate) {
+  const auto population = ladder_population(10);
+  const std::vector<int> candidates{7, 3, 9, 5};
+  Rng rng(1);
+  const SelectionConfig config{SelectionKind::kBest, 3};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(select_one(config, candidates, population, rng), 3);
+  }
+}
+
+TEST(Selection, UniformOnlyReturnsCandidates) {
+  const auto population = ladder_population(10);
+  const std::vector<int> candidates{2, 4, 8};
+  Rng rng(2);
+  const SelectionConfig config{SelectionKind::kUniform, 3};
+  std::map<int, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    ++counts[select_one(config, candidates, population, rng)];
+  }
+  ASSERT_EQ(counts.size(), 3u);
+  for (int c : candidates) {
+    EXPECT_NEAR(counts[c], 1000, 150);
+  }
+}
+
+TEST(Selection, TournamentPrefersFitterCandidates) {
+  const auto population = ladder_population(10);
+  std::vector<int> candidates(10);
+  std::iota(candidates.begin(), candidates.end(), 0);
+  Rng rng(3);
+  const SelectionConfig config{SelectionKind::kTournament, 3};
+  double mean_pick = 0.0;
+  const int draws = 5000;
+  for (int i = 0; i < draws; ++i) {
+    mean_pick += select_one(config, candidates, population, rng);
+  }
+  mean_pick /= draws;
+  // Uniform would give 4.5; min-of-3 gives E ~ 2.1.
+  EXPECT_LT(mean_pick, 3.0);
+  EXPECT_GT(mean_pick, 1.2);
+}
+
+TEST(Selection, LargerTournamentsIncreasePressure) {
+  const auto population = ladder_population(25);
+  std::vector<int> candidates(25);
+  std::iota(candidates.begin(), candidates.end(), 0);
+  Rng rng(4);
+  auto mean_with_n = [&](int n) {
+    const SelectionConfig config{SelectionKind::kTournament, n};
+    double mean = 0.0;
+    const int draws = 4000;
+    for (int i = 0; i < draws; ++i) {
+      mean += select_one(config, candidates, population, rng);
+    }
+    return mean / draws;
+  };
+  const double m3 = mean_with_n(3);
+  const double m7 = mean_with_n(7);
+  EXPECT_LT(m7, m3);  // N=7 concentrates harder on the best
+}
+
+TEST(Selection, TournamentOfOneIsUniform) {
+  const auto population = ladder_population(5);
+  const std::vector<int> candidates{0, 4};
+  Rng rng(5);
+  const SelectionConfig config{SelectionKind::kTournament, 1};
+  int picked_worst = 0;
+  for (int i = 0; i < 2000; ++i) {
+    picked_worst += (select_one(config, candidates, population, rng) == 4);
+  }
+  EXPECT_NEAR(picked_worst, 1000, 150);
+}
+
+TEST(Selection, EmptyCandidatesThrows) {
+  const auto population = ladder_population(3);
+  Rng rng(6);
+  const SelectionConfig config{SelectionKind::kTournament, 3};
+  EXPECT_THROW((void)select_one(config, {}, population, rng),
+               std::invalid_argument);
+}
+
+TEST(Selection, SelectManyReturnsRequestedCount) {
+  const auto population = ladder_population(9);
+  std::vector<int> candidates(9);
+  std::iota(candidates.begin(), candidates.end(), 0);
+  Rng rng(7);
+  const SelectionConfig config{SelectionKind::kTournament, 3};
+  const auto picks = select_many(config, 3, candidates, population, rng);
+  EXPECT_EQ(picks.size(), 3u);
+}
+
+TEST(Selection, SelectManyPrefersDistinctParents) {
+  const auto population = ladder_population(9);
+  std::vector<int> candidates(9);
+  std::iota(candidates.begin(), candidates.end(), 0);
+  Rng rng(8);
+  const SelectionConfig config{SelectionKind::kTournament, 2};
+  int distinct_runs = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto picks = select_many(config, 3, candidates, population, rng);
+    std::sort(picks.begin(), picks.end());
+    distinct_runs +=
+        (std::unique(picks.begin(), picks.end()) == picks.end()) ? 1 : 0;
+  }
+  EXPECT_GT(distinct_runs, 150);  // retries make duplicates rare
+}
+
+TEST(Selection, SelectManyToleratesTinyPools) {
+  const auto population = ladder_population(2);
+  const std::vector<int> candidates{1};
+  Rng rng(9);
+  const SelectionConfig config{SelectionKind::kTournament, 3};
+  const auto picks = select_many(config, 3, candidates, population, rng);
+  EXPECT_EQ(picks, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(Selection, DeterministicInSeed) {
+  const auto population = ladder_population(12);
+  std::vector<int> candidates(12);
+  std::iota(candidates.begin(), candidates.end(), 0);
+  Rng a(10);
+  Rng b(10);
+  const SelectionConfig config{SelectionKind::kTournament, 3};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(select_one(config, candidates, population, a),
+              select_one(config, candidates, population, b));
+  }
+}
+
+}  // namespace
+}  // namespace gridsched

@@ -1,0 +1,122 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gridsched {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared devs = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, CvIsRelative) {
+  RunningStats s;
+  s.add(90.0);
+  s.add(110.0);
+  EXPECT_NEAR(s.cv(), s.stddev() / 100.0, 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  const std::vector<double> values{1.5, 2.5, -3.0, 8.0, 0.0, 12.25, -7.5};
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    whole.add(values[i]);
+    (i < 3 ? left : right).add(values[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(3.0);
+  a.merge(b);  // empty.merge(non-empty)
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.mean(), 3.0);
+  RunningStats c;
+  a.merge(c);  // non-empty.merge(empty)
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(Summarize, ComputesAllFields) {
+  const std::vector<double> values{5.0, 1.0, 3.0, 2.0, 4.0};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Percentile, MedianOfEvenCountInterpolates) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> values{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100.0), 9.0);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> values{7.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 30.0), 7.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  const std::vector<double> values{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(values, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 150.0), 2.0);
+}
+
+TEST(PercentDelta, MatchesPaperConvention) {
+  // Table 2 reports |GA - cMA| style percentages; percent_delta(a, b) is
+  // the signed (a-b)/b * 100.
+  EXPECT_NEAR(percent_delta(104.0, 100.0), 4.0, 1e-12);
+  EXPECT_NEAR(percent_delta(96.0, 100.0), -4.0, 1e-12);
+  EXPECT_EQ(percent_delta(5.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace gridsched

@@ -1,0 +1,153 @@
+#include "cma/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace gridsched {
+namespace {
+
+bool contains(std::span<const int> cells, int cell) {
+  return std::find(cells.begin(), cells.end(), cell) != cells.end();
+}
+
+TEST(Topology, SizesMatchFig1Patterns) {
+  // On the paper's 5x5 mesh every pattern realizes its nominal size.
+  const Topology l5(5, 5, NeighborhoodKind::kL5);
+  const Topology l9(5, 5, NeighborhoodKind::kL9);
+  const Topology c9(5, 5, NeighborhoodKind::kC9);
+  const Topology c13(5, 5, NeighborhoodKind::kC13);
+  const Topology pan(5, 5, NeighborhoodKind::kPanmictic);
+  for (int cell = 0; cell < 25; ++cell) {
+    EXPECT_EQ(l5.neighbors(cell).size(), 5u);
+    EXPECT_EQ(l9.neighbors(cell).size(), 9u);
+    EXPECT_EQ(c9.neighbors(cell).size(), 9u);
+    EXPECT_EQ(c13.neighbors(cell).size(), 13u);
+    EXPECT_EQ(pan.neighbors(cell).size(), 25u);
+  }
+}
+
+TEST(Topology, NeighborhoodsIncludeTheCenter) {
+  for (NeighborhoodKind kind :
+       {NeighborhoodKind::kPanmictic, NeighborhoodKind::kL5,
+        NeighborhoodKind::kL9, NeighborhoodKind::kC9,
+        NeighborhoodKind::kC13}) {
+    const Topology topo(5, 5, kind);
+    for (int cell = 0; cell < topo.size(); ++cell) {
+      EXPECT_TRUE(contains(topo.neighbors(cell), cell))
+          << neighborhood_name(kind) << " cell " << cell;
+    }
+  }
+}
+
+TEST(Topology, NoDuplicateNeighbors) {
+  for (NeighborhoodKind kind :
+       {NeighborhoodKind::kL5, NeighborhoodKind::kL9, NeighborhoodKind::kC9,
+        NeighborhoodKind::kC13}) {
+    for (auto [h, w] : {std::pair{5, 5}, std::pair{3, 3}, std::pair{2, 4},
+                        std::pair{1, 6}, std::pair{4, 2}}) {
+      const Topology topo(h, w, kind);
+      for (int cell = 0; cell < topo.size(); ++cell) {
+        const auto n = topo.neighbors(cell);
+        const std::set<int> unique(n.begin(), n.end());
+        EXPECT_EQ(unique.size(), n.size())
+            << neighborhood_name(kind) << " " << h << "x" << w;
+      }
+    }
+  }
+}
+
+TEST(Topology, L5IsVonNeumannWithWraparound) {
+  const Topology topo(5, 5, NeighborhoodKind::kL5);
+  // Corner cell 0 = (0,0): wraps to (4,0)=20, (1,0)=5, (0,4)=4, (0,1)=1.
+  const auto n = topo.neighbors(0);
+  EXPECT_TRUE(contains(n, 0));
+  EXPECT_TRUE(contains(n, 20));
+  EXPECT_TRUE(contains(n, 5));
+  EXPECT_TRUE(contains(n, 4));
+  EXPECT_TRUE(contains(n, 1));
+}
+
+TEST(Topology, C9IsMooreBlock) {
+  const Topology topo(5, 5, NeighborhoodKind::kC9);
+  // Interior cell (2,2) = 12: the 3x3 block around it.
+  const auto n = topo.neighbors(12);
+  for (int cell : {6, 7, 8, 11, 12, 13, 16, 17, 18}) {
+    EXPECT_TRUE(contains(n, cell)) << cell;
+  }
+}
+
+TEST(Topology, L9AddsDistanceTwoAxials) {
+  const Topology topo(5, 5, NeighborhoodKind::kL9);
+  const auto n = topo.neighbors(12);  // (2,2)
+  for (int cell : {12, 7, 17, 11, 13, 2, 22, 10, 14}) {
+    EXPECT_TRUE(contains(n, cell)) << cell;
+  }
+}
+
+TEST(Topology, C13IsC9PlusAxials) {
+  const Topology topo(5, 5, NeighborhoodKind::kC13);
+  const auto n = topo.neighbors(12);
+  for (int cell : {6, 7, 8, 11, 12, 13, 16, 17, 18, 2, 22, 10, 14}) {
+    EXPECT_TRUE(contains(n, cell)) << cell;
+  }
+}
+
+TEST(Topology, NeighborhoodIsSymmetric) {
+  // All patterns are symmetric offsets: a in N(b) <=> b in N(a).
+  for (NeighborhoodKind kind :
+       {NeighborhoodKind::kL5, NeighborhoodKind::kL9, NeighborhoodKind::kC9,
+        NeighborhoodKind::kC13}) {
+    const Topology topo(5, 5, kind);
+    for (int a = 0; a < topo.size(); ++a) {
+      for (int b : topo.neighbors(a)) {
+        EXPECT_TRUE(contains(topo.neighbors(b), a))
+            << neighborhood_name(kind) << " " << a << "<->" << b;
+      }
+    }
+  }
+}
+
+TEST(Topology, RowColConversions) {
+  const Topology topo(4, 6, NeighborhoodKind::kL5);
+  EXPECT_EQ(topo.size(), 24);
+  EXPECT_EQ(topo.cell_at(2, 3), 15);
+  EXPECT_EQ(topo.row_of(15), 2);
+  EXPECT_EQ(topo.col_of(15), 3);
+}
+
+TEST(Topology, TinyMeshesCollapseDuplicates) {
+  // 1x3 ring: L5's {N,S} wrap onto the center -> neighborhood is {self,
+  // left, right} = 3 cells.
+  const Topology topo(1, 3, NeighborhoodKind::kL5);
+  EXPECT_EQ(topo.neighbors(0).size(), 3u);
+  // 1x1: everything degenerates to the single cell.
+  const Topology dot(1, 1, NeighborhoodKind::kC13);
+  EXPECT_EQ(dot.neighbors(0).size(), 1u);
+}
+
+TEST(Topology, RejectsEmptyMesh) {
+  EXPECT_THROW(Topology(0, 5, NeighborhoodKind::kL5), std::invalid_argument);
+  EXPECT_THROW(Topology(5, -1, NeighborhoodKind::kL5), std::invalid_argument);
+}
+
+TEST(Topology, PanmicticCoversWholePopulation) {
+  const Topology topo(3, 4, NeighborhoodKind::kPanmictic);
+  for (int cell = 0; cell < topo.size(); ++cell) {
+    const auto n = topo.neighbors(cell);
+    EXPECT_EQ(n.size(), 12u);
+    EXPECT_EQ(n[0], cell);  // center first
+  }
+}
+
+TEST(Topology, NamesAreStable) {
+  EXPECT_EQ(neighborhood_name(NeighborhoodKind::kPanmictic), "Panmictic");
+  EXPECT_EQ(neighborhood_name(NeighborhoodKind::kL5), "L5");
+  EXPECT_EQ(neighborhood_name(NeighborhoodKind::kL9), "L9");
+  EXPECT_EQ(neighborhood_name(NeighborhoodKind::kC9), "C9");
+  EXPECT_EQ(neighborhood_name(NeighborhoodKind::kC13), "C13");
+}
+
+}  // namespace
+}  // namespace gridsched

@@ -1,0 +1,121 @@
+#include "cma/update_order.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace gridsched {
+namespace {
+
+std::vector<int> one_sweep(SweepOrder& order, Rng& rng, int n) {
+  std::vector<int> cells;
+  for (int i = 0; i < n; ++i) {
+    cells.push_back(order.current());
+    order.next(rng);
+  }
+  return cells;
+}
+
+bool is_permutation_of_range(const std::vector<int>& cells, int n) {
+  const std::set<int> unique(cells.begin(), cells.end());
+  return static_cast<int>(cells.size()) == n &&
+         static_cast<int>(unique.size()) == n && *unique.begin() == 0 &&
+         *unique.rbegin() == n - 1;
+}
+
+TEST(SweepOrder, FlsVisitsCellsInLineOrder) {
+  Rng rng(1);
+  SweepOrder order(SweepKind::kFixedLineSweep, 6, rng);
+  const auto sweep = one_sweep(order, rng, 6);
+  EXPECT_EQ(sweep, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(SweepOrder, FlsRepeatsIdentically) {
+  Rng rng(1);
+  SweepOrder order(SweepKind::kFixedLineSweep, 4, rng);
+  const auto first = one_sweep(order, rng, 4);
+  const auto second = one_sweep(order, rng, 4);
+  EXPECT_EQ(first, second);
+}
+
+TEST(SweepOrder, FrsIsARandomButFixedPermutation) {
+  Rng rng(7);
+  SweepOrder order(SweepKind::kFixedRandomSweep, 25, rng);
+  const auto first = one_sweep(order, rng, 25);
+  EXPECT_TRUE(is_permutation_of_range(first, 25));
+  // Identical on every subsequent sweep.
+  const auto second = one_sweep(order, rng, 25);
+  const auto third = one_sweep(order, rng, 25);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, third);
+  // And (overwhelmingly likely) not the identity permutation.
+  std::vector<int> identity(25);
+  for (int i = 0; i < 25; ++i) identity[static_cast<std::size_t>(i)] = i;
+  EXPECT_NE(first, identity);
+}
+
+TEST(SweepOrder, NrsReshufflesEverySweep) {
+  Rng rng(3);
+  SweepOrder order(SweepKind::kNewRandomSweep, 25, rng);
+  const auto first = one_sweep(order, rng, 25);
+  const auto second = one_sweep(order, rng, 25);
+  EXPECT_TRUE(is_permutation_of_range(first, 25));
+  EXPECT_TRUE(is_permutation_of_range(second, 25));
+  EXPECT_NE(first, second);  // 1/25! chance of collision
+}
+
+TEST(SweepOrder, EverySweepIsAPermutationMidCycleToo) {
+  // Even when sweeps are consumed in chunks that straddle the wrap point
+  // (25 recombinations vs 12 mutations in the paper), each full cycle of n
+  // next() calls still covers every cell exactly once.
+  Rng rng(5);
+  SweepOrder order(SweepKind::kNewRandomSweep, 10, rng);
+  for (int chunk = 0; chunk < 7; ++chunk) {
+    (void)one_sweep(order, rng, 3);  // desync from sweep boundaries
+  }
+  // Align back to a boundary: consume until position 0 is next.
+  std::vector<int> tail;
+  for (int guard = 0; guard < 10; ++guard) {
+    tail.push_back(order.current());
+    order.next(rng);
+  }
+  const std::set<int> unique(tail.begin(), tail.end());
+  EXPECT_EQ(unique.size(), tail.size());
+}
+
+TEST(SweepOrder, DeterministicInSeed) {
+  Rng a(11);
+  Rng b(11);
+  SweepOrder oa(SweepKind::kNewRandomSweep, 16, a);
+  SweepOrder ob(SweepKind::kNewRandomSweep, 16, b);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(oa.current(), ob.current());
+    oa.next(a);
+    ob.next(b);
+  }
+}
+
+TEST(SweepOrder, SingleCellPopulation) {
+  Rng rng(1);
+  SweepOrder order(SweepKind::kNewRandomSweep, 1, rng);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(order.current(), 0);
+    order.next(rng);
+  }
+}
+
+TEST(SweepOrder, RejectsEmptyPopulation) {
+  Rng rng(1);
+  EXPECT_THROW(SweepOrder(SweepKind::kFixedLineSweep, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(SweepOrder, NamesMatchPaperAbbreviations) {
+  EXPECT_EQ(sweep_name(SweepKind::kFixedLineSweep), "FLS");
+  EXPECT_EQ(sweep_name(SweepKind::kFixedRandomSweep), "FRS");
+  EXPECT_EQ(sweep_name(SweepKind::kNewRandomSweep), "NRS");
+}
+
+}  // namespace
+}  // namespace gridsched
