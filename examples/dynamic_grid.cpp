@@ -6,13 +6,19 @@
 //
 // An event-driven grid receives a Poisson stream of jobs; every activation
 // period the pending batch is handed to a scheduler. We compare an
-// immediate-mode heuristic (MCT), Min-Min, and the cMA with a small
-// per-activation budget, on the same arrival trace; --churn adds machine
-// failures and repairs.
+// immediate-mode heuristic (MCT), Min-Min, the cMA with a small
+// per-activation budget, and the racing portfolio in UCB mode: MCT and
+// Min-Min always race as the safety net, while the UCB policy
+// (max_active = 1) gives the whole budget to the historically best of
+// {Struggle GA, async cMA, sync cMA}, warm-started from the previous
+// activation's elites. All runs share the arrival trace; --churn adds
+// machine failures and repairs.
+#include <algorithm>
 #include <iostream>
 
 #include "benchutil/table.h"
 #include "common/cli.h"
+#include "portfolio/portfolio.h"
 #include "sim/grid_simulator.h"
 
 int main(int argc, char** argv) {
@@ -76,7 +82,56 @@ int main(int argc, char** argv) {
   CmaBatchScheduler cma_sched(cma_config, cli.get_double("budget-ms"));
   const SimMetrics cma_metrics = simulate(cma_sched);
 
+  PortfolioConfig portfolio_config;
+  portfolio_config.budget_ms = cli.get_double("budget-ms");
+  portfolio_config.policy = PolicyKind::kUcb;
+  portfolio_config.ucb = UcbConfig{.exploration = 0.3, .max_active = 1};
+  portfolio_config.seed = sim_config.seed;
+  PortfolioBatchScheduler portfolio(
+      portfolio_config,
+      PortfolioBatchScheduler::default_members(portfolio_config));
+  const SimMetrics portfolio_metrics = simulate(portfolio);
+
   table.print(std::cout);
+
+  // --- Who won each activation inside the portfolio? ---
+  std::cout << "\nportfolio activations (winner per batch):\n";
+  TablePrinter race({"activation", "batch jobs", "winner", "batch fitness",
+                     "race (ms)"});
+  const auto& activations = portfolio.activations();
+  const std::size_t shown = std::min<std::size_t>(activations.size(), 12);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const ActivationRecord& r = activations[i];
+    race.add_row({std::to_string(r.activation),
+                  std::to_string(r.batch_jobs), r.winner_name,
+                  TablePrinter::num(r.best_fitness, 1),
+                  TablePrinter::num(r.race_ms, 1)});
+  }
+  race.print(std::cout);
+  if (activations.size() > shown) {
+    std::cout << "... (" << activations.size() - shown << " more)\n";
+  }
+  std::cout << "member scoreboard:";
+  for (const MemberStats& stat : portfolio.member_stats()) {
+    std::cout << "  " << stat.name << " " << stat.wins << "/" << stat.runs;
+  }
+  std::cout << "  (wins/races)\n";
+
+  // --- Cumulative outcome: portfolio vs the plain budgeted cMA. ---
+  const double cma_total_flow =
+      cma_metrics.mean_flowtime * cma_metrics.jobs_completed;
+  const double portfolio_total_flow =
+      portfolio_metrics.mean_flowtime * portfolio_metrics.jobs_completed;
+  std::cout << "\nportfolio vs cMA alone: cumulative makespan "
+            << TablePrinter::num(portfolio_metrics.makespan, 1) << " vs "
+            << TablePrinter::num(cma_metrics.makespan, 1)
+            << " s, cumulative flowtime "
+            << TablePrinter::num(portfolio_total_flow, 0) << " vs "
+            << TablePrinter::num(cma_total_flow, 0) << " s ("
+            << TablePrinter::pct((cma_total_flow - portfolio_total_flow) /
+                                     cma_total_flow * 100.0,
+                                 1)
+            << "% flowtime, positive = portfolio better)\n";
   const double best_heuristic_flow =
       std::min(mct_metrics.mean_flowtime, minmin_metrics.mean_flowtime);
   const double best_heuristic_makespan =

@@ -45,12 +45,40 @@ std::vector<Individual> CellularMemeticAlgorithm::initialize_population(
   return population;
 }
 
+void CellularMemeticAlgorithm::apply_warm_start(
+    std::vector<Individual>& population, std::span<const Schedule> warm,
+    const EtcMatrix& etc, EvolutionTracker* tracker) const {
+  // Cell 0 keeps the constructive seed; warm elites fill the next cells.
+  std::size_t cell = 1;
+  for (const Schedule& schedule : warm) {
+    if (cell >= population.size()) break;
+    if (schedule.num_jobs() != etc.num_jobs() ||
+        !schedule.complete(etc.num_machines())) {
+      throw std::invalid_argument(
+          "CellularMemeticAlgorithm: warm-start schedule does not fit the "
+          "instance");
+    }
+    population[cell] = make_individual(schedule, etc, config_.weights);
+    if (tracker != nullptr) {
+      tracker->count_evaluations();
+      tracker->offer(population[cell]);
+    }
+    ++cell;
+  }
+}
+
 EvolutionResult CellularMemeticAlgorithm::run(const EtcMatrix& etc) const {
+  return run(etc, {});
+}
+
+EvolutionResult CellularMemeticAlgorithm::run(
+    const EtcMatrix& etc, std::span<const Schedule> warm) const {
   Rng rng(config_.seed);
   EvolutionTracker tracker(config_.stop, config_.record_progress);
 
   // --- Initialize the mesh; improve every individual by local search. ---
   std::vector<Individual> population = initialize_population(etc, rng);
+  apply_warm_start(population, warm, etc, &tracker);
   ScheduleEvaluator evaluator(etc);
   for (Individual& individual : population) {
     evaluator.reset(individual.schedule);
@@ -58,6 +86,10 @@ EvolutionResult CellularMemeticAlgorithm::run(const EtcMatrix& etc) const {
     individual = individual_from_evaluator(evaluator, config_.weights);
     tracker.count_evaluations();
     tracker.offer(individual);
+    // Poll after the first offer so a cancelled run still returns a valid
+    // best; bounds the portfolio's deadline overshoot to one local-search
+    // pass instead of a whole-mesh initialization.
+    if (tracker.should_stop()) break;
   }
 
   const Topology topology(config_.pop_height, config_.pop_width,
@@ -114,7 +146,9 @@ EvolutionResult CellularMemeticAlgorithm::run(const EtcMatrix& etc) const {
     tracker.end_iteration();
     if (config_.observer) config_.observer(tracker.iterations(), population);
   }
-  return tracker.finish();
+  EvolutionResult result = tracker.finish();
+  if (config_.keep_final_population) result.population = std::move(population);
+  return result;
 }
 
 }  // namespace gridsched

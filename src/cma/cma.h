@@ -14,6 +14,9 @@
 // mut_order there; DESIGN.md section 4 records the decision.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "cma/config.h"
 #include "core/evolution.h"
 #include "etc/etc_matrix.h"
@@ -27,12 +30,29 @@ class CellularMemeticAlgorithm {
   /// Runs the full algorithm on an instance. Deterministic in config.seed.
   [[nodiscard]] EvolutionResult run(const EtcMatrix& etc) const;
 
+  /// Warm-started run: the mesh is built by `initialize_population` as
+  /// usual, then cells starting at index 1 are overwritten with the given
+  /// schedules (cell 0 keeps the LJFR-SJFR seed so the constructive anchor
+  /// survives a bad cache). Surplus schedules are ignored; schedules must
+  /// be complete for the instance. Deterministic in (config.seed, warm).
+  [[nodiscard]] EvolutionResult run(const EtcMatrix& etc,
+                                    std::span<const Schedule> warm) const;
+
   [[nodiscard]] const CmaConfig& config() const noexcept { return config_; }
 
   /// Builds the initial mesh population for an instance (exposed for tests
   /// and for warm-started dynamic scheduling).
   [[nodiscard]] std::vector<Individual> initialize_population(
       const EtcMatrix& etc, Rng& rng) const;
+
+  /// Overwrites mesh cells [1, 1 + warm.size()) with the warm schedules
+  /// (shared by the async and sync engines). Throws if a schedule does not
+  /// fit the instance. When a tracker is given, each inserted elite is
+  /// offered (and counted) immediately, so a cancellation during mesh
+  /// initialization can never discard a warm-start best.
+  void apply_warm_start(std::vector<Individual>& population,
+                        std::span<const Schedule> warm, const EtcMatrix& etc,
+                        EvolutionTracker* tracker = nullptr) const;
 
  private:
   CmaConfig config_;

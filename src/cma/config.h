@@ -73,6 +73,10 @@ struct CmaConfig {
   /// by default to keep inner-loop allocations away from timing runs).
   bool record_progress = false;
 
+  /// Copy the final mesh into EvolutionResult::population. The portfolio's
+  /// warm-start cache uses it to carry elites across grid activations.
+  bool keep_final_population = false;
+
   /// Optional hook invoked after every iteration with the live population
   /// (read-only). Used by the diversity study (bench/ablation_diversity)
   /// and available for custom instrumentation. Leave empty for zero cost.

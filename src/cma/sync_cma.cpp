@@ -39,6 +39,11 @@ SynchronousCellularMa::SynchronousCellularMa(CmaConfig config, int threads)
 }
 
 EvolutionResult SynchronousCellularMa::run(const EtcMatrix& etc) const {
+  return run(etc, {});
+}
+
+EvolutionResult SynchronousCellularMa::run(
+    const EtcMatrix& etc, std::span<const Schedule> warm) const {
   Rng init_rng(config_.seed);
   EvolutionTracker tracker(config_.stop, config_.record_progress);
 
@@ -46,6 +51,7 @@ EvolutionResult SynchronousCellularMa::run(const EtcMatrix& etc) const {
   const CellularMemeticAlgorithm initializer(config_);
   std::vector<Individual> current =
       initializer.initialize_population(etc, init_rng);
+  initializer.apply_warm_start(current, warm, etc, &tracker);
   {
     ScheduleEvaluator evaluator(etc);
     for (Individual& individual : current) {
@@ -55,6 +61,9 @@ EvolutionResult SynchronousCellularMa::run(const EtcMatrix& etc) const {
       individual = individual_from_evaluator(evaluator, config_.weights);
       tracker.count_evaluations();
       tracker.offer(individual);
+      // Same early-out as the asynchronous engine: keep cancellation
+      // overshoot to one local-search pass, never less than one offer.
+      if (tracker.should_stop()) break;
     }
   }
 
@@ -76,6 +85,15 @@ EvolutionResult SynchronousCellularMa::run(const EtcMatrix& etc) const {
   std::int64_t generation = 0;
   while (!tracker.should_stop()) {
     auto evolve_cell = [&](std::size_t cell_index) {
+      // In-generation stop poll: under the portfolio's deadline token a
+      // generation on a large batch can cost several budgets, so remaining
+      // cells carry their resident forward instead of evolving. Counters
+      // only advance between generations, so evaluation/iteration-bounded
+      // runs see a constant answer here and stay bitwise reproducible.
+      if (tracker.should_stop()) {
+        next[cell_index] = current[cell_index];
+        return;
+      }
       const int cell = static_cast<int>(cell_index);
       Rng rng = cell_rng(config_.seed, generation, cell);
       ScheduleEvaluator evaluator(etc);
@@ -120,7 +138,9 @@ EvolutionResult SynchronousCellularMa::run(const EtcMatrix& etc) const {
     tracker.end_iteration();
     if (config_.observer) config_.observer(tracker.iterations(), current);
   }
-  return tracker.finish();
+  EvolutionResult result = tracker.finish();
+  if (config_.keep_final_population) result.population = std::move(current);
+  return result;
 }
 
 }  // namespace gridsched

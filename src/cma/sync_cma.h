@@ -12,6 +12,8 @@
 // for any thread count (tests/test_sync_cma.cpp pins this).
 #pragma once
 
+#include <span>
+
 #include "cma/config.h"
 #include "common/thread_pool.h"
 #include "core/evolution.h"
@@ -26,6 +28,11 @@ class SynchronousCellularMa {
   explicit SynchronousCellularMa(CmaConfig config, int threads = 0);
 
   [[nodiscard]] EvolutionResult run(const EtcMatrix& etc) const;
+
+  /// Warm-started run; same semantics as the asynchronous engine (cell 0
+  /// keeps the constructive seed, cells 1.. take the warm schedules).
+  [[nodiscard]] EvolutionResult run(const EtcMatrix& etc,
+                                    std::span<const Schedule> warm) const;
 
   [[nodiscard]] const CmaConfig& config() const noexcept { return config_; }
 

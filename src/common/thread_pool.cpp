@@ -3,9 +3,32 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <string>
 #include <utility>
 
 namespace gridsched {
+namespace {
+
+std::string describe_errors(const std::vector<std::exception_ptr>& errors) {
+  std::string message =
+      "ThreadPool: " + std::to_string(errors.size()) + " tasks failed:";
+  for (const std::exception_ptr& error : errors) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      message += std::string(" [") + e.what() + "]";
+    } catch (...) {
+      message += " [non-standard exception]";
+    }
+  }
+  return message;
+}
+
+}  // namespace
+
+TaskGroupError::TaskGroupError(std::vector<std::exception_ptr> errors)
+    : std::runtime_error(describe_errors(errors)),
+      errors_(std::move(errors)) {}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -37,11 +60,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
-  if (first_error_) {
-    auto error = std::exchange(first_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(error);
-  }
+  if (errors_.empty()) return;
+  auto errors = std::exchange(errors_, {});
+  lock.unlock();
+  if (errors.size() == 1) std::rethrow_exception(errors.front());
+  throw TaskGroupError(std::move(errors));
 }
 
 void ThreadPool::parallel_for(std::size_t n,
@@ -75,7 +98,7 @@ void ThreadPool::worker_loop() {
       task();
     } catch (...) {
       std::scoped_lock lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      errors_.push_back(std::current_exception());
     }
     {
       std::scoped_lock lock(mutex_);

@@ -1,10 +1,12 @@
 // A small fixed-size thread pool.
 //
 // Used by the experiment harness to run independent algorithm repetitions in
-// parallel (each with its own split RNG stream), and by the synchronous cMA
-// variant to evaluate cell offspring concurrently. Tasks are plain
-// std::function jobs; exceptions thrown by a task are captured and rethrown
-// from wait_idle() so failures are never silently swallowed.
+// parallel (each with its own split RNG stream), by the synchronous cMA
+// variant to evaluate cell offspring concurrently, and by the portfolio
+// scheduler to race batch schedulers against each other. Tasks are plain
+// std::function jobs; exceptions thrown by tasks are captured and surfaced
+// by wait_idle() so failures are never silently swallowed — including when
+// SEVERAL tasks of the same wave fail (see wait_idle).
 #pragma once
 
 #include <condition_variable>
@@ -13,10 +15,29 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 namespace gridsched {
+
+/// Thrown by ThreadPool::wait_idle() when more than one task failed since
+/// the previous wait: carries every captured exception, in capture order,
+/// so concurrent failures are never dropped. A single failure is rethrown
+/// as its original type instead.
+class TaskGroupError : public std::runtime_error {
+ public:
+  explicit TaskGroupError(std::vector<std::exception_ptr> errors);
+
+  /// All captured task exceptions (size >= 2), first failure first.
+  [[nodiscard]] const std::vector<std::exception_ptr>& errors()
+      const noexcept {
+    return errors_;
+  }
+
+ private:
+  std::vector<std::exception_ptr> errors_;
+};
 
 class ThreadPool {
  public:
@@ -32,8 +53,11 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and all workers are idle. Rethrows the
-  /// first exception raised by any task since the previous wait_idle().
+  /// Blocks until the queue is empty and all workers are idle. If exactly
+  /// one task failed since the previous wait_idle(), rethrows that
+  /// exception as its original type; if several failed concurrently, throws
+  /// TaskGroupError carrying all of them in capture order. Either way the
+  /// error slate is wiped and the pool stays usable.
   void wait_idle();
 
   /// Runs fn(i) for i in [0, n), distributing indices over the pool, and
@@ -50,7 +74,7 @@ class ThreadPool {
   std::condition_variable idle_;
   std::size_t active_ = 0;
   bool stopping_ = false;
-  std::exception_ptr first_error_;
+  std::vector<std::exception_ptr> errors_;  // all failures since last wait
 };
 
 }  // namespace gridsched

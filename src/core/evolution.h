@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/stopwatch.h"
 #include "core/individual.h"
 
@@ -19,10 +20,15 @@ struct StopCondition {
   /// Stop after this many iterations without best-fitness improvement
   /// (0 = disabled). The Braun GA uses 150.
   std::int64_t max_stagnation = 0;
+  /// Cooperative external stop signal (invalid token = disabled). The
+  /// portfolio scheduler shares one token across every engine it races so
+  /// all of them stop at the activation deadline, however late they were
+  /// dequeued (see common/cancellation.h).
+  CancellationToken cancel{};
 
   [[nodiscard]] bool any_enabled() const noexcept {
     return max_time_ms > 0 || max_evaluations > 0 || max_iterations > 0 ||
-           max_stagnation > 0;
+           max_stagnation > 0 || cancel.valid();
   }
 };
 
@@ -42,6 +48,9 @@ struct EvolutionResult {
   std::int64_t iterations = 0;
   double elapsed_ms = 0.0;
   std::vector<ProgressPoint> progress;
+  /// Final population snapshot; only filled by engines whose config sets
+  /// `keep_final_population` (the warm-start cache feeds on it).
+  std::vector<Individual> population;
 };
 
 /// Bookkeeping helper used inside engine loops: tracks the best individual,
@@ -73,6 +82,7 @@ class EvolutionTracker {
   }
 
   [[nodiscard]] bool should_stop() const noexcept {
+    if (stop_.cancel.cancelled()) return true;
     if (stop_.max_time_ms > 0 && watch_.elapsed_ms() >= stop_.max_time_ms) {
       return true;
     }

@@ -1,0 +1,67 @@
+#include "portfolio/budget_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace gridsched {
+
+UcbPolicy::UcbPolicy(UcbConfig config) : config_(config) {
+  if (config_.max_active == 0) {
+    throw std::invalid_argument("UcbPolicy: max_active must be >= 1");
+  }
+  if (config_.exploration < 0) {
+    throw std::invalid_argument("UcbPolicy: exploration must be >= 0");
+  }
+}
+
+double UcbPolicy::score(std::size_t member) const {
+  const Arm& arm = arms_[member];
+  if (arm.plays == 0) return std::numeric_limits<double>::infinity();
+  const double bonus =
+      config_.exploration *
+      std::sqrt(std::log(static_cast<double>(std::max<std::int64_t>(
+                    total_plays_, 2))) /
+                static_cast<double>(arm.plays));
+  return arm.mean_reward() + bonus;
+}
+
+std::vector<double> UcbPolicy::plan(std::size_t num_members) {
+  if (arms_.size() < num_members) arms_.resize(num_members);
+  std::vector<std::size_t> order(num_members);
+  std::iota(order.begin(), order.end(), 0);
+  // Highest score first; ties break toward the lower index so planning is
+  // deterministic.
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return score(a) > score(b);
+                   });
+  std::vector<double> shares(num_members, 0.0);
+  const std::size_t active = std::min(config_.max_active, num_members);
+  for (std::size_t i = 0; i < active; ++i) shares[order[i]] = 1.0;
+  return shares;
+}
+
+void UcbPolicy::record(std::size_t member, double reward, double cost_ms) {
+  if (arms_.size() <= member) arms_.resize(member + 1);
+  Arm& arm = arms_[member];
+  ++arm.plays;
+  arm.total_reward += reward;
+  arm.total_cost_ms += cost_ms;
+  ++total_plays_;
+}
+
+std::unique_ptr<BudgetPolicy> make_policy(PolicyKind kind,
+                                          const UcbConfig& ucb) {
+  switch (kind) {
+    case PolicyKind::kStaticRace:
+      return std::make_unique<StaticRacePolicy>();
+    case PolicyKind::kUcb:
+      return std::make_unique<UcbPolicy>(ucb);
+  }
+  throw std::invalid_argument("make_policy: unknown policy kind");
+}
+
+}  // namespace gridsched

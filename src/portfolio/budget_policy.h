@@ -1,0 +1,103 @@
+// Budget allocation across portfolio members.
+//
+// No single scheduler dominates across batch sizes and grid consistency
+// classes, but on one grid the same member tends to keep winning — paying
+// the full race cost at every activation is wasted CPU once the ranking is
+// clear. A BudgetPolicy decides, per activation, which expensive members
+// run and what share of the wall-clock budget each gets; after the race it
+// receives each runner's reward (best_fitness / member_fitness, 1 for the
+// winner) to update its credit. Two policies:
+//
+//   StaticRacePolicy  everyone races with the full budget, every time —
+//                     the baseline, and the right choice for short runs.
+//   UcbPolicy         UCB1 over members: race the top `max_active` arms by
+//                     mean reward + exploration bonus. Unplayed arms score
+//                     +inf, so every member gets raced early; afterwards
+//                     the policy concentrates the budget on members that
+//                     keep producing winning or near-winning schedules.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace gridsched {
+
+enum class PolicyKind {
+  kStaticRace,
+  kUcb,
+};
+
+class BudgetPolicy {
+ public:
+  virtual ~BudgetPolicy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Share of the activation budget per member, in [0, 1]; 0 = skip this
+  /// activation. Called once per activation, before the race.
+  [[nodiscard]] virtual std::vector<double> plan(std::size_t num_members) = 0;
+
+  /// Credit update for one raced member. `reward` in (0, 1], 1 = winner;
+  /// `cost_ms` is the wall time the member actually spent.
+  virtual void record(std::size_t member, double reward, double cost_ms) = 0;
+};
+
+/// Full budget for everyone, unconditionally.
+class StaticRacePolicy final : public BudgetPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "static";
+  }
+  [[nodiscard]] std::vector<double> plan(std::size_t num_members) override {
+    return std::vector<double>(num_members, 1.0);
+  }
+  void record(std::size_t, double, double) override {}
+};
+
+struct UcbConfig {
+  /// Exploration constant `c` in  mean + c * sqrt(ln(T) / n).
+  double exploration = 0.5;
+  /// How many members race per activation once every arm has been tried.
+  std::size_t max_active = 2;
+};
+
+class UcbPolicy final : public BudgetPolicy {
+ public:
+  struct Arm {
+    std::int64_t plays = 0;
+    double total_reward = 0.0;
+    double total_cost_ms = 0.0;
+
+    [[nodiscard]] double mean_reward() const noexcept {
+      return plays > 0 ? total_reward / static_cast<double>(plays) : 0.0;
+    }
+  };
+
+  explicit UcbPolicy(UcbConfig config = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "ucb";
+  }
+  [[nodiscard]] std::vector<double> plan(std::size_t num_members) override;
+  void record(std::size_t member, double reward, double cost_ms) override;
+
+  /// UCB score of one arm given the current play totals (exposed for
+  /// tests; +inf for unplayed arms).
+  [[nodiscard]] double score(std::size_t member) const;
+
+  [[nodiscard]] const std::vector<Arm>& arms() const noexcept {
+    return arms_;
+  }
+
+ private:
+  UcbConfig config_;
+  std::vector<Arm> arms_;
+  std::int64_t total_plays_ = 0;
+};
+
+[[nodiscard]] std::unique_ptr<BudgetPolicy> make_policy(PolicyKind kind,
+                                                        const UcbConfig& ucb);
+
+}  // namespace gridsched

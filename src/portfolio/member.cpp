@@ -1,0 +1,105 @@
+#include "portfolio/member.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace gridsched {
+namespace {
+
+/// Elites for the cache: the final population sorted best-first, or just
+/// the best individual when the engine keeps no population.
+std::vector<Individual> rank_elites(EvolutionResult& result) {
+  if (result.population.empty()) return {result.best};
+  std::stable_sort(result.population.begin(), result.population.end(),
+                   [](const Individual& a, const Individual& b) {
+                     return a.fitness < b.fitness;
+                   });
+  return std::move(result.population);
+}
+
+}  // namespace
+
+HeuristicMember::HeuristicMember(HeuristicKind kind, FitnessWeights weights)
+    : kind_(kind), weights_(weights) {}
+
+std::string_view HeuristicMember::name() const noexcept {
+  return heuristic_name(kind_);
+}
+
+MemberResult HeuristicMember::solve(const EtcMatrix& etc,
+                                    const StopCondition& stop,
+                                    std::span<const Schedule> warm,
+                                    std::uint64_t seed) {
+  (void)stop;  // a single constructive pass cannot usefully be cancelled
+  (void)warm;
+  Stopwatch watch;
+  Rng rng(seed);
+  MemberResult result;
+  result.best =
+      make_individual(construct_schedule(kind_, etc, rng), etc, weights_);
+  result.elites = {result.best};
+  result.evaluations = 1;
+  result.elapsed_ms = watch.elapsed_ms();
+  return result;
+}
+
+CmaMember::CmaMember(CmaConfig config, bool synchronous)
+    : config_(std::move(config)),
+      synchronous_(synchronous),
+      name_(synchronous ? "cMA-sync" : "cMA") {}
+
+std::string_view CmaMember::name() const noexcept { return name_; }
+
+MemberResult CmaMember::solve(const EtcMatrix& etc, const StopCondition& stop,
+                              std::span<const Schedule> warm,
+                              std::uint64_t seed) {
+  Stopwatch watch;
+  CmaConfig config = config_;
+  config.stop = stop;
+  config.seed = seed;
+  config.record_progress = false;
+  config.keep_final_population = true;
+  // The portfolio already saturates the machine by racing members; the
+  // sync engine runs its generations sequentially inside its lane.
+  EvolutionResult evolved =
+      synchronous_ ? SynchronousCellularMa(config, /*threads=*/0).run(etc, warm)
+                   : CellularMemeticAlgorithm(config).run(etc, warm);
+  MemberResult result;
+  result.best = evolved.best;
+  result.evaluations = evolved.evaluations;
+  result.elites = rank_elites(evolved);
+  result.elapsed_ms = watch.elapsed_ms();
+  return result;
+}
+
+StruggleGaMember::StruggleGaMember(StruggleGaConfig config)
+    : config_(std::move(config)) {}
+
+std::string_view StruggleGaMember::name() const noexcept {
+  return "StruggleGA";
+}
+
+MemberResult StruggleGaMember::solve(const EtcMatrix& etc,
+                                     const StopCondition& stop,
+                                     std::span<const Schedule> warm,
+                                     std::uint64_t seed) {
+  (void)warm;  // the GA reseeds from heuristics; no mesh to warm-start
+  Stopwatch watch;
+  StruggleGaConfig config = config_;
+  config.stop = stop;
+  config.seed = seed;
+  config.record_progress = false;
+  config.population_size =
+      std::min(config.population_size, std::max(2, etc.num_jobs() * 4));
+  EvolutionResult evolved = StruggleGa(config).run(etc);
+  MemberResult result;
+  result.best = evolved.best;
+  result.evaluations = evolved.evaluations;
+  result.elites = {result.best};
+  result.elapsed_ms = watch.elapsed_ms();
+  return result;
+}
+
+}  // namespace gridsched

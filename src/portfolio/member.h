@@ -1,0 +1,108 @@
+// Portfolio members: the algorithms the racing scheduler can field.
+//
+// A member is a batch solver with a uniform contract: given the batch ETC,
+// a StopCondition (which carries the activation's shared cancellation
+// token), optional warm-start schedules, and a per-activation seed, return
+// your best individual plus the elites the warm-start cache may keep.
+// Members must honor the stop condition cooperatively — the portfolio
+// never kills threads — and must always return a complete schedule, even
+// when cancelled before their first iteration (every member here falls
+// back to a constructive solution at worst).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cma/cma.h"
+#include "cma/sync_cma.h"
+#include "core/individual.h"
+#include "etc/etc_matrix.h"
+#include "ga/struggle_ga.h"
+#include "heuristics/constructive.h"
+
+namespace gridsched {
+
+struct MemberResult {
+  Individual best;
+  std::vector<Individual> elites;  // candidates for the warm-start cache
+  std::int64_t evaluations = 0;
+  double elapsed_ms = 0.0;  // wall time spent inside solve()
+};
+
+class PortfolioMember {
+ public:
+  virtual ~PortfolioMember() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Members whose runtime is negligible against any realistic budget
+  /// (one-pass heuristics). The portfolio always races them and keeps the
+  /// budget policy focused on the expensive members.
+  [[nodiscard]] virtual bool negligible_cost() const noexcept {
+    return false;
+  }
+
+  /// Solves one batch. `stop` aggregates the member's own bounds with the
+  /// activation budget and cancellation token; `warm` may be empty.
+  [[nodiscard]] virtual MemberResult solve(const EtcMatrix& etc,
+                                           const StopCondition& stop,
+                                           std::span<const Schedule> warm,
+                                           std::uint64_t seed) = 0;
+};
+
+/// One-pass constructive heuristic (MCT, Min-Min, ...). Negligible cost.
+class HeuristicMember final : public PortfolioMember {
+ public:
+  explicit HeuristicMember(HeuristicKind kind, FitnessWeights weights = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] bool negligible_cost() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] MemberResult solve(const EtcMatrix& etc,
+                                   const StopCondition& stop,
+                                   std::span<const Schedule> warm,
+                                   std::uint64_t seed) override;
+
+ private:
+  HeuristicKind kind_;
+  FitnessWeights weights_;
+};
+
+/// Cellular memetic algorithm, asynchronous (the paper's engine) or
+/// synchronous sweep. Accepts warm starts into its mesh.
+class CmaMember final : public PortfolioMember {
+ public:
+  CmaMember(CmaConfig config, bool synchronous);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] MemberResult solve(const EtcMatrix& etc,
+                                   const StopCondition& stop,
+                                   std::span<const Schedule> warm,
+                                   std::uint64_t seed) override;
+
+ private:
+  CmaConfig config_;
+  bool synchronous_;
+  std::string name_;
+};
+
+/// Struggle GA baseline under the activation budget.
+class StruggleGaMember final : public PortfolioMember {
+ public:
+  explicit StruggleGaMember(StruggleGaConfig config);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] MemberResult solve(const EtcMatrix& etc,
+                                   const StopCondition& stop,
+                                   std::span<const Schedule> warm,
+                                   std::uint64_t seed) override;
+
+ private:
+  StruggleGaConfig config_;
+};
+
+}  // namespace gridsched

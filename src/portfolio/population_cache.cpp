@@ -1,0 +1,95 @@
+#include "portfolio/population_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace gridsched {
+
+PopulationCache::PopulationCache(int capacity) : capacity_(capacity) {
+  if (capacity <= 0) {
+    throw std::invalid_argument("PopulationCache: capacity must be > 0");
+  }
+}
+
+void PopulationCache::store(const BatchContext& context,
+                            std::span<const Individual> elites) {
+  if (elites.empty()) return;
+  std::vector<const Individual*> ranked;
+  ranked.reserve(elites.size());
+  for (const Individual& individual : elites) ranked.push_back(&individual);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Individual* a, const Individual* b) {
+                     return a->fitness < b->fitness;
+                   });
+  if (ranked.size() > static_cast<std::size_t>(capacity_)) {
+    ranked.resize(static_cast<std::size_t>(capacity_));
+  }
+  elites_.clear();
+  for (const Individual* individual : ranked) {
+    elites_.push_back(individual->schedule);
+  }
+  job_ids_ = context.job_ids;
+  machine_ids_ = context.machine_ids;
+}
+
+std::vector<Schedule> PopulationCache::warm_start(
+    const EtcMatrix& etc, const BatchContext& context) const {
+  if (elites_.empty()) return {};
+  const int new_jobs = etc.num_jobs();
+  const int new_machines = etc.num_machines();
+  const int old_jobs = static_cast<int>(job_ids_.size());
+  if (old_jobs == 0) return {};
+
+  // Global machine id -> new batch column (machines may have failed,
+  // recovered, or been reordered between activations).
+  std::unordered_map<int, MachineId> new_column_of;
+  new_column_of.reserve(context.machine_ids.size());
+  for (std::size_t column = 0; column < context.machine_ids.size(); ++column) {
+    new_column_of.emplace(context.machine_ids[column],
+                          static_cast<MachineId>(column));
+  }
+  // Global job id -> old batch row (for re-queued jobs).
+  std::unordered_map<int, JobId> old_row_of;
+  old_row_of.reserve(job_ids_.size());
+  for (std::size_t row = 0; row < job_ids_.size(); ++row) {
+    old_row_of.emplace(job_ids_[row], static_cast<JobId>(row));
+  }
+
+  // Deterministic fallback column per new job: its fastest machine.
+  auto fastest_column = [&](JobId job) {
+    MachineId best = 0;
+    for (MachineId m = 1; m < new_machines; ++m) {
+      if (etc(job, m) < etc(job, best)) best = m;
+    }
+    return best;
+  };
+
+  std::vector<Schedule> warm;
+  warm.reserve(elites_.size());
+  for (const Schedule& elite : elites_) {
+    Schedule mapped(new_jobs);
+    for (JobId job = 0; job < new_jobs; ++job) {
+      const int global_job =
+          job < static_cast<int>(context.job_ids.size())
+              ? context.job_ids[static_cast<std::size_t>(job)]
+              : job;
+      const auto seen = old_row_of.find(global_job);
+      const JobId old_row = seen != old_row_of.end()
+                                ? seen->second
+                                : static_cast<JobId>(job % old_jobs);
+      const int old_column = elite[old_row];
+      const int global_machine =
+          old_column < static_cast<int>(machine_ids_.size())
+              ? machine_ids_[static_cast<std::size_t>(old_column)]
+              : -1;
+      const auto still_there = new_column_of.find(global_machine);
+      mapped[job] = still_there != new_column_of.end() ? still_there->second
+                                                       : fastest_column(job);
+    }
+    warm.push_back(std::move(mapped));
+  }
+  return warm;
+}
+
+}  // namespace gridsched

@@ -1,0 +1,55 @@
+// Warm-start cache: elite schedules carried across grid activations.
+//
+// The dynamic grid hands the scheduler a fresh ETC sub-problem at every
+// activation, but consecutive activations are strongly related: the same
+// machines (minus churn) with updated backlogs, and occasionally the same
+// jobs (re-queued after a machine failure). The cache stores the best
+// individuals of the previous activation together with that batch's global
+// job/machine identities, and remaps them onto the next batch:
+//
+//   * a job that reappears (re-queued) keeps its previous machine when that
+//     machine is still in the new batch;
+//   * a new job inherits the assignment of the old batch row at its index
+//     modulo the old batch size — transferring the elite's load *pattern*
+//     (how many jobs each machine took) rather than job identity;
+//   * assignments to machines that left the grid fall back to the job's
+//     fastest machine in the new batch (MET rule), deterministically.
+//
+// The result seeds the cMA mesh via CellularMemeticAlgorithm::run(etc,
+// warm), so a 20 ms activation does not restart the search from scratch.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/individual.h"
+#include "sim/batch_scheduler.h"
+
+namespace gridsched {
+
+class PopulationCache {
+ public:
+  /// Keeps at most `capacity` elites per activation.
+  explicit PopulationCache(int capacity = 8);
+
+  /// Replaces the cache contents with the best `capacity` of `elites`
+  /// (by fitness), remembering the batch identities in `context`.
+  void store(const BatchContext& context, std::span<const Individual> elites);
+
+  /// Remaps the cached elites onto a new batch. Returns one complete
+  /// schedule per cached elite (best first); empty when nothing is cached.
+  [[nodiscard]] std::vector<Schedule> warm_start(
+      const EtcMatrix& etc, const BatchContext& context) const;
+
+  [[nodiscard]] bool empty() const noexcept { return elites_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return elites_.size(); }
+  [[nodiscard]] int capacity() const noexcept { return capacity_; }
+
+ private:
+  int capacity_;
+  std::vector<Schedule> elites_;  // sorted best-fitness-first
+  std::vector<int> job_ids_;      // previous batch row -> global job id
+  std::vector<int> machine_ids_;  // previous batch column -> global machine
+};
+
+}  // namespace gridsched

@@ -1,0 +1,168 @@
+#include "portfolio/portfolio.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/cancellation.h"
+#include "common/stopwatch.h"
+
+namespace gridsched {
+
+PortfolioBatchScheduler::PortfolioBatchScheduler(
+    PortfolioConfig config,
+    std::vector<std::unique_ptr<PortfolioMember>> members)
+    : config_(std::move(config)),
+      members_(std::move(members)),
+      policy_(make_policy(config_.policy, config_.ucb)),
+      cache_(config_.elite_capacity),
+      pool_(config_.threads),
+      name_(std::string("Portfolio(") + std::string(policy_->name()) + ")") {
+  if (members_.empty()) {
+    throw std::invalid_argument("Portfolio: need at least one member");
+  }
+  if (config_.budget_ms <= 0) {
+    throw std::invalid_argument("Portfolio: budget_ms must be > 0");
+  }
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    stats_.push_back(MemberStats{std::string(members_[i]->name())});
+    if (!members_[i]->negligible_cost()) expensive_.push_back(i);
+  }
+}
+
+std::vector<std::unique_ptr<PortfolioMember>>
+PortfolioBatchScheduler::default_members(const PortfolioConfig& config) {
+  std::vector<std::unique_ptr<PortfolioMember>> members;
+  members.push_back(
+      std::make_unique<HeuristicMember>(HeuristicKind::kMct, config.weights));
+  members.push_back(std::make_unique<HeuristicMember>(HeuristicKind::kMinMin,
+                                                      config.weights));
+  StruggleGaConfig ga;
+  ga.weights = config.weights;
+  members.push_back(std::make_unique<StruggleGaMember>(ga));
+  CmaConfig cma;  // Table 1 settings
+  cma.weights = config.weights;
+  members.push_back(std::make_unique<CmaMember>(cma, /*synchronous=*/false));
+  members.push_back(std::make_unique<CmaMember>(cma, /*synchronous=*/true));
+  return members;
+}
+
+std::string_view PortfolioBatchScheduler::name() const noexcept {
+  return name_;
+}
+
+Schedule PortfolioBatchScheduler::schedule_batch(const EtcMatrix& etc) {
+  return schedule_batch(etc, BatchContext::identity(etc, activation_));
+}
+
+Schedule PortfolioBatchScheduler::schedule_batch(const EtcMatrix& etc,
+                                                 const BatchContext& context) {
+  ++activation_;
+  // Degenerate batch: every member would return MCT's answer (or worse).
+  if (etc.num_jobs() == 1) {
+    Schedule s(1);
+    s[0] = mct(etc)[0];
+    return s;
+  }
+
+  const std::vector<Schedule> warm =
+      config_.warm_start ? cache_.warm_start(etc, context)
+                         : std::vector<Schedule>{};
+
+  // --- Decide who races: free members always, expensive ones by policy. ---
+  const std::vector<double> shares = policy_->plan(expensive_.size());
+  struct Runner {
+    std::size_t member;
+    double share = 1.0;
+  };
+  std::vector<Runner> runners;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i]->negligible_cost()) runners.push_back({i, 1.0});
+  }
+  for (std::size_t e = 0; e < expensive_.size(); ++e) {
+    if (shares[e] > 0) runners.push_back({expensive_[e], shares[e]});
+  }
+
+  // --- Race them under one deadline. ---
+  CancellationSource deadline;
+  deadline.set_deadline_in_ms(config_.budget_ms);
+  std::uint64_t seed_state =
+      config_.seed ^ (activation_ * 0x9e3779b97f4a7c15ULL);
+  std::vector<MemberResult> results(runners.size());
+  Stopwatch race_watch;
+  for (std::size_t slot = 0; slot < runners.size(); ++slot) {
+    const Runner runner = runners[slot];
+    StopCondition stop = config_.member_stop;
+    stop.cancel = deadline.token();
+    const double slice = config_.budget_ms * runner.share;
+    stop.max_time_ms =
+        stop.max_time_ms > 0 ? std::min(stop.max_time_ms, slice) : slice;
+    const std::uint64_t seed = splitmix64(seed_state);
+    PortfolioMember* member = members_[runner.member].get();
+    MemberResult* out = &results[slot];
+    pool_.submit([member, &etc, stop, &warm, seed, out] {
+      *out = member->solve(etc, stop, warm, seed);
+    });
+  }
+  pool_.wait_idle();
+  const double race_ms = race_watch.elapsed_ms();
+
+  // --- Pick the winner under the portfolio's own weights (members could
+  // carry different scalarizations; normalize before comparing). ---
+  std::vector<Individual> normalized(runners.size());
+  for (std::size_t slot = 0; slot < runners.size(); ++slot) {
+    normalized[slot] =
+        make_individual(results[slot].best.schedule, etc, config_.weights);
+  }
+  std::size_t winner_slot = 0;
+  for (std::size_t slot = 1; slot < runners.size(); ++slot) {
+    if (normalized[slot].fitness < normalized[winner_slot].fitness) {
+      winner_slot = slot;
+    }
+  }
+  const double best_fitness = normalized[winner_slot].fitness;
+
+  // --- Credit assignment and bookkeeping. ---
+  for (std::size_t slot = 0; slot < runners.size(); ++slot) {
+    const double reward = normalized[slot].fitness > 0
+                              ? best_fitness / normalized[slot].fitness
+                              : 1.0;
+    MemberStats& stat = stats_[runners[slot].member];
+    ++stat.runs;
+    if (slot == winner_slot) ++stat.wins;
+    stat.total_ms += results[slot].elapsed_ms;
+    stat.total_reward += reward;
+    stat.evaluations += results[slot].evaluations;
+    const auto expensive_index =
+        std::find(expensive_.begin(), expensive_.end(), runners[slot].member);
+    if (expensive_index != expensive_.end()) {
+      policy_->record(
+          static_cast<std::size_t>(expensive_index - expensive_.begin()),
+          reward, results[slot].elapsed_ms);
+    }
+  }
+
+  // --- Feed the warm-start cache with this activation's elites. ---
+  if (config_.warm_start) {
+    std::vector<Individual> elites;
+    for (MemberResult& result : results) {
+      for (Individual& individual : result.elites) {
+        elites.push_back(std::move(individual));
+      }
+    }
+    cache_.store(context, elites);
+  }
+
+  ActivationRecord record;
+  record.activation = context.activation;
+  record.batch_jobs = etc.num_jobs();
+  record.winner = static_cast<int>(runners[winner_slot].member);
+  record.winner_name = stats_[runners[winner_slot].member].name;
+  record.best_fitness = best_fitness;
+  record.race_ms = race_ms;
+  records_.push_back(std::move(record));
+
+  return std::move(normalized[winner_slot].schedule);
+}
+
+}  // namespace gridsched

@@ -1,0 +1,116 @@
+// The concurrent portfolio batch scheduler.
+//
+// At every grid activation the portfolio races a set of member algorithms
+// (constructive heuristics, Struggle GA, async/sync cMA) concurrently on a
+// thread pool, all under one shared wall-clock budget enforced by a
+// cancellation token (common/cancellation.h), and commits the schedule
+// with the best batch fitness. Cheap one-pass heuristics always race — they
+// are the safety net that makes the portfolio never worse than its best
+// constructive member — while a BudgetPolicy decides which expensive
+// members run (static: all of them; UCB: the historically most rewarding).
+// A PopulationCache carries each activation's elite schedules to the next,
+// remapped to the new batch, so the cMA members start from yesterday's
+// answer instead of from scratch.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "portfolio/budget_policy.h"
+#include "portfolio/member.h"
+#include "portfolio/population_cache.h"
+#include "sim/batch_scheduler.h"
+
+namespace gridsched {
+
+struct PortfolioConfig {
+  /// Wall-clock budget per activation (all members share the deadline).
+  double budget_ms = 25.0;
+  /// Racing pool width; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  PolicyKind policy = PolicyKind::kStaticRace;
+  UcbConfig ucb{};
+  /// Scalarization used to pick the winner; member configs should use the
+  /// same weights so cached elites rank consistently.
+  FitnessWeights weights{};
+  /// Extra bounds merged into every member's stop condition. Tests set
+  /// `max_evaluations` here (with a generous budget) to make a whole
+  /// portfolio run bitwise deterministic.
+  StopCondition member_stop{};
+  bool warm_start = true;
+  /// Elites kept per activation for warm-starting the next one.
+  int elite_capacity = 8;
+  std::uint64_t seed = 1;
+};
+
+/// Per-member aggregate over all activations so far.
+struct MemberStats {
+  std::string name;
+  int runs = 0;
+  int wins = 0;
+  double total_ms = 0.0;
+  double total_reward = 0.0;
+  std::int64_t evaluations = 0;
+
+  [[nodiscard]] double mean_reward() const noexcept {
+    return runs > 0 ? total_reward / runs : 0.0;
+  }
+};
+
+/// What happened in one activation (degenerate single-job batches are
+/// resolved by MCT directly and not recorded).
+struct ActivationRecord {
+  std::uint64_t activation = 0;
+  int batch_jobs = 0;
+  int winner = -1;  // member index
+  std::string winner_name;
+  double best_fitness = 0.0;
+  double race_ms = 0.0;  // wall time of the whole activation race
+};
+
+class PortfolioBatchScheduler final : public BatchScheduler {
+ public:
+  PortfolioBatchScheduler(PortfolioConfig config,
+                          std::vector<std::unique_ptr<PortfolioMember>> members);
+
+  /// MCT + Min-Min + Struggle GA + async cMA + sync cMA, all configured
+  /// with `config.weights` (paper Table 1 settings for the cMAs).
+  [[nodiscard]] static std::vector<std::unique_ptr<PortfolioMember>>
+  default_members(const PortfolioConfig& config);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+
+  [[nodiscard]] Schedule schedule_batch(const EtcMatrix& etc) override;
+  [[nodiscard]] Schedule schedule_batch(const EtcMatrix& etc,
+                                        const BatchContext& context) override;
+
+  [[nodiscard]] const std::vector<MemberStats>& member_stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const std::vector<ActivationRecord>& activations()
+      const noexcept {
+    return records_;
+  }
+  [[nodiscard]] const PortfolioConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const PopulationCache& cache() const noexcept {
+    return cache_;
+  }
+
+ private:
+  PortfolioConfig config_;
+  std::vector<std::unique_ptr<PortfolioMember>> members_;
+  std::vector<std::size_t> expensive_;  // member indices the policy governs
+  std::unique_ptr<BudgetPolicy> policy_;
+  PopulationCache cache_;
+  ThreadPool pool_;
+  std::vector<MemberStats> stats_;
+  std::vector<ActivationRecord> records_;
+  std::string name_;
+  std::uint64_t activation_ = 0;
+};
+
+}  // namespace gridsched

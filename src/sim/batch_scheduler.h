@@ -9,9 +9,11 @@
 // adapters below.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "cma/cma.h"
 #include "core/schedule.h"
@@ -20,6 +22,22 @@
 #include "heuristics/constructive.h"
 
 namespace gridsched {
+
+/// Identity of a batch within the surrounding grid: which global job each
+/// ETC row is, which grid machine each ETC column is, and the activation
+/// counter. Stateless schedulers ignore it; stateful ones (the portfolio's
+/// warm-start cache) use it to carry information across activations even as
+/// jobs come and go and machines fail and recover.
+struct BatchContext {
+  std::vector<int> job_ids;      // batch row -> global job id
+  std::vector<int> machine_ids;  // batch column -> global machine id
+  std::uint64_t activation = 0;
+
+  /// Identity context for a standalone batch (row i = job i, column j =
+  /// machine j) — what callers outside a simulator get by default.
+  [[nodiscard]] static BatchContext identity(const EtcMatrix& etc,
+                                             std::uint64_t activation = 0);
+};
 
 class BatchScheduler {
  public:
@@ -30,6 +48,14 @@ class BatchScheduler {
   /// Maps every job of `etc` (a batch of pending jobs x available machines,
   /// ready times already set) to a machine. Must return a complete schedule.
   [[nodiscard]] virtual Schedule schedule_batch(const EtcMatrix& etc) = 0;
+
+  /// Context-aware variant the simulator calls; the default forwards to the
+  /// context-free overload, so plain schedulers need not care.
+  [[nodiscard]] virtual Schedule schedule_batch(const EtcMatrix& etc,
+                                                const BatchContext& context) {
+    (void)context;
+    return schedule_batch(etc);
+  }
 };
 
 /// Wraps a constructive heuristic (MCT, Min-Min, ...).

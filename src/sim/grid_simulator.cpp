@@ -175,8 +175,12 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
     }
 
     // --- Run the scheduler on the batch. ---
+    BatchContext ctx;
+    ctx.job_ids = batch;
+    ctx.machine_ids = alive;
+    ctx.activation = static_cast<std::uint64_t>(metrics.activations);
     cpu.restart();
-    const Schedule plan = scheduler.schedule_batch(etc);
+    const Schedule plan = scheduler.schedule_batch(etc, ctx);
     metrics.scheduler_cpu_ms += cpu.elapsed_ms();
     if (!plan.complete(etc.num_machines()) ||
         plan.num_jobs() != etc.num_jobs()) {

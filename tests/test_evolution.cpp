@@ -108,6 +108,43 @@ TEST(EvolutionTracker, FinishPackagesCounters) {
   EXPECT_GE(result.elapsed_ms, 0.0);
 }
 
+TEST(StopCondition, CancellationTokenCountsAsEnabled) {
+  CancellationSource source;
+  StopCondition stop;
+  stop.cancel = source.token();
+  EXPECT_TRUE(stop.any_enabled());
+  EXPECT_FALSE(StopCondition{}.cancel.valid());
+}
+
+TEST(EvolutionTracker, CancellationStopsTheLoop) {
+  CancellationSource source;
+  StopCondition stop;
+  stop.cancel = source.token();
+  EvolutionTracker tracker(stop, false);
+  EXPECT_FALSE(tracker.should_stop());
+  source.request_cancel();
+  EXPECT_TRUE(tracker.should_stop());
+}
+
+TEST(EvolutionTracker, DeadlineTokenExpires) {
+  CancellationSource source;
+  source.set_deadline_in_ms(1.0);
+  StopCondition stop;
+  stop.cancel = source.token();
+  EvolutionTracker tracker(stop, false);
+  Stopwatch watch;
+  while (watch.elapsed_ms() < 2.0) {
+  }
+  EXPECT_TRUE(tracker.should_stop());
+  EXPECT_TRUE(source.cancel_requested());
+}
+
+TEST(CancellationToken, DefaultTokenNeverCancels) {
+  const CancellationToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+}
+
 TEST(EvolutionTracker, TimeBudgetEventuallyStops) {
   EvolutionTracker tracker(StopCondition{.max_time_ms = 1.0}, false);
   // Busy-wait just past the budget.

@@ -1,0 +1,395 @@
+#include "portfolio/portfolio.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "etc/instance.h"
+#include "sim/grid_simulator.h"
+
+namespace gridsched {
+namespace {
+
+EtcMatrix small_instance(int jobs = 48, int machines = 8,
+                         std::uint64_t seed = 3) {
+  InstanceSpec spec;
+  spec.num_jobs = jobs;
+  spec.num_machines = machines;
+  spec.seed = seed;
+  return generate_instance(spec);
+}
+
+/// A deterministic portfolio: generous wall budget, hard evaluation bound.
+PortfolioConfig deterministic_config() {
+  PortfolioConfig config;
+  config.budget_ms = 60'000.0;
+  config.threads = 2;
+  config.member_stop = StopCondition{.max_evaluations = 200};
+  config.seed = 11;
+  return config;
+}
+
+// ---------------------------------------------------------------- cache --
+
+TEST(PopulationCache, EmptyUntilStored) {
+  PopulationCache cache(4);
+  EXPECT_TRUE(cache.empty());
+  const EtcMatrix etc = small_instance(4, 2);
+  EXPECT_TRUE(cache.warm_start(etc, BatchContext::identity(etc)).empty());
+}
+
+TEST(PopulationCache, StoreKeepsOnlyTheBestCapacity) {
+  PopulationCache cache(2);
+  const EtcMatrix etc = small_instance(4, 2);
+  std::vector<Individual> elites;
+  for (int i = 0; i < 5; ++i) {
+    Individual ind;
+    ind.schedule = Schedule(4, static_cast<MachineId>(i % 2));
+    ind.fitness = 10.0 - i;  // later ones are better
+    elites.push_back(ind);
+  }
+  cache.store(BatchContext::identity(etc), elites);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PopulationCache, RequeuedJobKeepsItsMachineAcrossRemap) {
+  PopulationCache cache(4);
+  // Old batch: jobs {10, 11, 12} on grid machines {0, 1, 2}.
+  EtcMatrix old_etc(3, 3);
+  BatchContext old_ctx;
+  old_ctx.job_ids = {10, 11, 12};
+  old_ctx.machine_ids = {0, 1, 2};
+  Individual elite;
+  elite.schedule = Schedule(3);
+  elite.schedule[0] = 0;  // job 10 -> machine 0
+  elite.schedule[1] = 1;  // job 11 -> machine 1
+  elite.schedule[2] = 2;  // job 12 -> machine 2
+  elite.fitness = 1.0;
+  cache.store(old_ctx, {&elite, 1});
+
+  // New batch: job 12 re-queued plus a fresh job 20; machine 1 died, so
+  // columns now map to grid machines {0, 2}.
+  EtcMatrix new_etc(2, 2);
+  new_etc(0, 0) = 5.0;
+  new_etc(0, 1) = 1.0;
+  new_etc(1, 0) = 1.0;
+  new_etc(1, 1) = 5.0;
+  BatchContext new_ctx;
+  new_ctx.job_ids = {12, 20};
+  new_ctx.machine_ids = {0, 2};
+
+  const std::vector<Schedule> warm = cache.warm_start(new_etc, new_ctx);
+  ASSERT_EQ(warm.size(), 1u);
+  ASSERT_TRUE(warm[0].complete(2));
+  // Job 12 ran on grid machine 2, which is now column 1.
+  EXPECT_EQ(warm[0][0], 1);
+}
+
+TEST(PopulationCache, DeadMachineFallsBackToFastestColumn) {
+  PopulationCache cache(4);
+  EtcMatrix old_etc(1, 2);
+  BatchContext old_ctx;
+  old_ctx.job_ids = {7};
+  old_ctx.machine_ids = {4, 5};
+  Individual elite;
+  elite.schedule = Schedule(1);
+  elite.schedule[0] = 1;  // job 7 -> grid machine 5
+  elite.fitness = 1.0;
+  cache.store(old_ctx, {&elite, 1});
+
+  // Machine 5 is gone; the new batch sees machines {4, 6}; job 7 is
+  // fastest on column 1 (machine 6).
+  EtcMatrix new_etc(1, 2);
+  new_etc(0, 0) = 9.0;
+  new_etc(0, 1) = 2.0;
+  BatchContext new_ctx;
+  new_ctx.job_ids = {7};
+  new_ctx.machine_ids = {4, 6};
+
+  const std::vector<Schedule> warm = cache.warm_start(new_etc, new_ctx);
+  ASSERT_EQ(warm.size(), 1u);
+  EXPECT_EQ(warm[0][0], 1);
+}
+
+TEST(PopulationCache, NewJobsInheritThePatternAndStayComplete) {
+  PopulationCache cache(4);
+  EtcMatrix old_etc(2, 2);
+  BatchContext old_ctx = BatchContext::identity(old_etc);
+  Individual elite;
+  elite.schedule = Schedule(2);
+  elite.schedule[0] = 1;
+  elite.schedule[1] = 0;
+  elite.fitness = 1.0;
+  cache.store(old_ctx, {&elite, 1});
+
+  // Entirely fresh jobs, same machines: pattern transfer by row index.
+  EtcMatrix new_etc(5, 2);
+  BatchContext new_ctx;
+  new_ctx.job_ids = {100, 101, 102, 103, 104};
+  new_ctx.machine_ids = {0, 1};
+  const std::vector<Schedule> warm = cache.warm_start(new_etc, new_ctx);
+  ASSERT_EQ(warm.size(), 1u);
+  ASSERT_TRUE(warm[0].complete(2));
+  EXPECT_EQ(warm[0][0], 1);  // row 0 copies old row 0
+  EXPECT_EQ(warm[0][1], 0);  // row 1 copies old row 1
+  EXPECT_EQ(warm[0][2], 1);  // row 2 wraps to old row 0
+}
+
+// --------------------------------------------------------------- policy --
+
+TEST(UcbPolicy, ColdStartEventuallyPlaysEveryArm) {
+  UcbPolicy policy(UcbConfig{.exploration = 0.5, .max_active = 2});
+  std::vector<bool> played(4, false);
+  for (int round = 0; round < 4; ++round) {
+    const std::vector<double> shares = policy.plan(4);
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      if (shares[i] > 0) {
+        played[i] = true;
+        policy.record(i, 0.5, 1.0);
+      }
+    }
+  }
+  EXPECT_TRUE(std::all_of(played.begin(), played.end(),
+                          [](bool p) { return p; }));
+}
+
+TEST(UcbPolicy, RecordAccumulatesCredit) {
+  UcbPolicy policy;
+  (void)policy.plan(2);
+  policy.record(0, 1.0, 10.0);
+  policy.record(0, 0.5, 20.0);
+  policy.record(1, 0.25, 5.0);
+  ASSERT_EQ(policy.arms().size(), 2u);
+  EXPECT_EQ(policy.arms()[0].plays, 2);
+  EXPECT_DOUBLE_EQ(policy.arms()[0].mean_reward(), 0.75);
+  EXPECT_DOUBLE_EQ(policy.arms()[0].total_cost_ms, 30.0);
+  EXPECT_EQ(policy.arms()[1].plays, 1);
+  EXPECT_DOUBLE_EQ(policy.arms()[1].mean_reward(), 0.25);
+}
+
+TEST(UcbPolicy, ConcentratesOnTheRewardingArm) {
+  UcbPolicy policy(UcbConfig{.exploration = 0.05, .max_active = 1});
+  // Warm-up: every arm gets played once via the +inf cold-start score.
+  for (int round = 0; round < 3; ++round) {
+    const std::vector<double> shares = policy.plan(3);
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      if (shares[i] > 0) policy.record(i, i == 1 ? 1.0 : 0.1, 1.0);
+    }
+  }
+  // With low exploration, arm 1 must dominate the next rounds.
+  int arm1_plays = 0;
+  for (int round = 0; round < 10; ++round) {
+    const std::vector<double> shares = policy.plan(3);
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      if (shares[i] > 0) {
+        if (i == 1) ++arm1_plays;
+        policy.record(i, i == 1 ? 1.0 : 0.1, 1.0);
+      }
+    }
+  }
+  EXPECT_GE(arm1_plays, 9);
+}
+
+TEST(UcbPolicy, UnplayedArmScoresInfinite) {
+  UcbPolicy policy;
+  (void)policy.plan(2);
+  policy.record(0, 1.0, 1.0);
+  EXPECT_TRUE(std::isinf(policy.score(1)));
+  EXPECT_FALSE(std::isinf(policy.score(0)));
+}
+
+TEST(UcbPolicy, RejectsBadConfig) {
+  EXPECT_THROW(UcbPolicy(UcbConfig{.max_active = 0}), std::invalid_argument);
+  EXPECT_THROW(UcbPolicy(UcbConfig{.exploration = -1.0}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ portfolio --
+
+TEST(Portfolio, DeterministicUnderFixedSeed) {
+  const EtcMatrix etc = small_instance();
+  PortfolioConfig config = deterministic_config();
+
+  PortfolioBatchScheduler a(config,
+                            PortfolioBatchScheduler::default_members(config));
+  PortfolioBatchScheduler b(config,
+                            PortfolioBatchScheduler::default_members(config));
+  const Schedule plan_a = a.schedule_batch(etc);
+  const Schedule plan_b = b.schedule_batch(etc);
+  EXPECT_EQ(plan_a, plan_b);
+  ASSERT_EQ(a.activations().size(), 1u);
+  ASSERT_EQ(b.activations().size(), 1u);
+  EXPECT_EQ(a.activations()[0].winner, b.activations()[0].winner);
+  EXPECT_DOUBLE_EQ(a.activations()[0].best_fitness,
+                   b.activations()[0].best_fitness);
+
+  // And across consecutive activations (warm start included).
+  EXPECT_EQ(a.schedule_batch(etc), b.schedule_batch(etc));
+}
+
+TEST(Portfolio, NeverLosesToItsConstructiveMembers) {
+  const EtcMatrix etc = small_instance(64, 8);
+  PortfolioConfig config = deterministic_config();
+  config.member_stop = StopCondition{.max_evaluations = 60};  // starved
+  PortfolioBatchScheduler portfolio(
+      config, PortfolioBatchScheduler::default_members(config));
+  const Schedule plan = portfolio.schedule_batch(etc);
+  const Individual planned = make_individual(plan, etc, config.weights);
+  const Individual minmin =
+      make_individual(min_min(etc), etc, config.weights);
+  const Individual from_mct = make_individual(mct(etc), etc, config.weights);
+  EXPECT_LE(planned.fitness, minmin.fitness + 1e-9);
+  EXPECT_LE(planned.fitness, from_mct.fitness + 1e-9);
+}
+
+TEST(Portfolio, MembersRespectTheActivationBudget) {
+  const EtcMatrix etc = small_instance(96, 12);
+  PortfolioConfig config;
+  config.budget_ms = 50.0;
+  config.threads = 2;  // no member_stop: only the deadline bounds them
+  PortfolioBatchScheduler portfolio(
+      config, PortfolioBatchScheduler::default_members(config));
+  const Schedule plan = portfolio.schedule_batch(etc);
+  EXPECT_TRUE(plan.complete(etc.num_machines()));
+  // Cooperative cancellation: a member overshoots by at most one
+  // local-search pass plus scheduling jitter. The tolerance is deliberately
+  // loose (CI runners get preempted); what it must catch is a member
+  // ignoring the deadline and running to its own stop condition.
+  const double tolerance_ms = 2'000.0;
+  for (const MemberStats& stat : portfolio.member_stats()) {
+    if (stat.runs == 0) continue;
+    EXPECT_LE(stat.total_ms, config.budget_ms + tolerance_ms)
+        << stat.name << " overshot the activation budget";
+  }
+}
+
+TEST(Portfolio, WarmStartCacheFillsAndFeedsTheNextActivation) {
+  const EtcMatrix etc = small_instance(32, 6);
+  PortfolioConfig config = deterministic_config();
+  PortfolioBatchScheduler portfolio(
+      config, PortfolioBatchScheduler::default_members(config));
+  EXPECT_TRUE(portfolio.cache().empty());
+  (void)portfolio.schedule_batch(etc);
+  EXPECT_FALSE(portfolio.cache().empty());
+  // Second activation consumes the cache without blowing up, and still
+  // returns a complete schedule.
+  const Schedule plan = portfolio.schedule_batch(etc);
+  EXPECT_TRUE(plan.complete(etc.num_machines()));
+}
+
+TEST(Portfolio, UcbPolicySkipsMembersAndStillSchedules) {
+  const EtcMatrix etc = small_instance(32, 6);
+  PortfolioConfig config = deterministic_config();
+  config.policy = PolicyKind::kUcb;
+  config.ucb = UcbConfig{.exploration = 0.2, .max_active = 1};
+  PortfolioBatchScheduler portfolio(
+      config, PortfolioBatchScheduler::default_members(config));
+  EXPECT_EQ(portfolio.name(), "Portfolio(ucb)");
+  for (int i = 0; i < 4; ++i) {
+    const Schedule plan = portfolio.schedule_batch(etc);
+    EXPECT_TRUE(plan.complete(etc.num_machines()));
+  }
+  // Exactly one expensive member races per activation (plus the two free
+  // heuristics): per-activation runs sum to 3 members.
+  int expensive_runs = 0;
+  for (const MemberStats& stat : portfolio.member_stats()) {
+    if (stat.name != "MCT" && stat.name != "Min-Min") {
+      expensive_runs += stat.runs;
+    }
+  }
+  EXPECT_EQ(expensive_runs, 4);
+}
+
+TEST(Portfolio, SingleJobBatchShortcut) {
+  EtcMatrix etc(1, 3, {30, 10, 20});
+  PortfolioConfig config = deterministic_config();
+  PortfolioBatchScheduler portfolio(
+      config, PortfolioBatchScheduler::default_members(config));
+  const Schedule s = portfolio.schedule_batch(etc);
+  EXPECT_EQ(s[0], 1);
+}
+
+TEST(Portfolio, RejectsBadConfigs) {
+  PortfolioConfig config = deterministic_config();
+  EXPECT_THROW(PortfolioBatchScheduler(config, {}), std::invalid_argument);
+  config.budget_ms = 0.0;
+  EXPECT_THROW(PortfolioBatchScheduler(
+                   config, PortfolioBatchScheduler::default_members(config)),
+               std::invalid_argument);
+}
+
+TEST(Portfolio, RunsTheDynamicGridEndToEnd) {
+  SimConfig sim_config;
+  sim_config.horizon = 300.0;
+  sim_config.arrival_rate = 0.4;
+  sim_config.scheduler_period = 50.0;
+  sim_config.num_machines = 5;
+  sim_config.machine_mtbf = 120.0;  // churn exercises the machine remap
+  sim_config.machine_mttr = 40.0;
+  sim_config.seed = 17;
+  GridSimulator sim(sim_config);
+
+  PortfolioConfig config = deterministic_config();
+  config.member_stop = StopCondition{.max_evaluations = 120};
+  PortfolioBatchScheduler portfolio(
+      config, PortfolioBatchScheduler::default_members(config));
+  const SimMetrics metrics = sim.run(portfolio);
+  EXPECT_EQ(metrics.jobs_completed, metrics.jobs_arrived);
+  EXPECT_FALSE(portfolio.activations().empty());
+  for (const ActivationRecord& record : portfolio.activations()) {
+    EXPECT_GE(record.winner, 0);
+    EXPECT_FALSE(record.winner_name.empty());
+    EXPECT_GT(record.best_fitness, 0.0);
+  }
+}
+
+TEST(BatchContext, IdentityCoversTheMatrix) {
+  EtcMatrix etc(3, 2);
+  const BatchContext ctx = BatchContext::identity(etc, 5);
+  EXPECT_EQ(ctx.job_ids, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(ctx.machine_ids, (std::vector<int>{0, 1}));
+  EXPECT_EQ(ctx.activation, 5u);
+}
+
+// --------------------------------------------------- warm-started engine --
+
+TEST(CmaWarmStart, SeededScheduleBoundsTheResult) {
+  const EtcMatrix etc = small_instance(40, 8);
+  CmaConfig config;
+  config.stop = StopCondition{.max_evaluations = 30};
+  const Schedule seed_schedule = min_min(etc);
+  const Individual seeded =
+      make_individual(seed_schedule, etc, config.weights);
+  const std::vector<Schedule> warm{seed_schedule};
+  const EvolutionResult result =
+      CellularMemeticAlgorithm(config).run(etc, warm);
+  // The warm elite enters the mesh and is only ever improved.
+  EXPECT_LE(result.best.fitness, seeded.fitness + 1e-9);
+}
+
+TEST(CmaWarmStart, RejectsIllFittingSchedules) {
+  const EtcMatrix etc = small_instance(10, 4);
+  CmaConfig config;
+  config.stop = StopCondition{.max_evaluations = 10};
+  const std::vector<Schedule> wrong_size{Schedule(3, 0)};
+  EXPECT_THROW((void)CellularMemeticAlgorithm(config).run(etc, wrong_size),
+               std::invalid_argument);
+}
+
+TEST(CmaWarmStart, FinalPopulationExportedOnRequest) {
+  const EtcMatrix etc = small_instance(12, 4);
+  CmaConfig config;
+  config.stop = StopCondition{.max_evaluations = 40};
+  config.keep_final_population = true;
+  const EvolutionResult result = CellularMemeticAlgorithm(config).run(etc);
+  EXPECT_EQ(result.population.size(),
+            static_cast<std::size_t>(config.pop_height * config.pop_width));
+  CmaConfig plain = config;
+  plain.keep_final_population = false;
+  EXPECT_TRUE(CellularMemeticAlgorithm(plain).run(etc).population.empty());
+}
+
+}  // namespace
+}  // namespace gridsched

@@ -57,6 +57,60 @@ TEST(ThreadPool, TaskExceptionSurfacesInWaitIdle) {
   EXPECT_EQ(counter.load(), 1);
 }
 
+TEST(ThreadPool, SingleFailureRethrowsTheOriginalType) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::invalid_argument("typed"); });
+  EXPECT_THROW(pool.wait_idle(), std::invalid_argument);
+}
+
+TEST(ThreadPool, ConcurrentFailuresAllSurface) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 3; ++i) {
+    pool.submit([i] { throw std::runtime_error("boom " + std::to_string(i)); });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle must throw";
+  } catch (const TaskGroupError& group) {
+    EXPECT_EQ(group.errors().size(), 3u);
+    // The aggregate message names every failure.
+    const std::string what = group.what();
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_NE(what.find("boom " + std::to_string(i)), std::string::npos)
+          << what;
+    }
+    for (const std::exception_ptr& error : group.errors()) {
+      EXPECT_THROW(std::rethrow_exception(error), std::runtime_error);
+    }
+  }
+}
+
+TEST(ThreadPool, ErrorSlateIsWipedAfterGroupError) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("a"); });
+  pool.submit([] { throw std::runtime_error("b"); });
+  EXPECT_THROW(pool.wait_idle(), TaskGroupError);
+  // Pool stays usable and forgets the old errors.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, FailuresDoNotEatSucceedingTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    if (i % 5 == 0) {
+      pool.submit([] { throw std::runtime_error("x"); });
+    } else {
+      pool.submit([&counter] { ++counter; });
+    }
+  }
+  EXPECT_THROW(pool.wait_idle(), TaskGroupError);
+  EXPECT_EQ(counter.load(), 16);
+}
+
 TEST(ThreadPool, WaitIdleWithNothingQueuedReturns) {
   ThreadPool pool(2);
   pool.wait_idle();  // must not hang
