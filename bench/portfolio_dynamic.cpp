@@ -9,7 +9,8 @@
 // scheduler we accumulate the *batch fitness* of every activation's
 // committed schedule (the quantity the portfolio optimizes) next to the
 // end-to-end simulation metrics, and we track per-activation scheduling
-// latency against the configured budget.
+// latency against the configured budget. `--seeds N` repeats every
+// scenario over N seeds and reports mean ± 95% CI (common/stats).
 #include <algorithm>
 #include <functional>
 #include <iostream>
@@ -20,6 +21,7 @@
 
 #include "benchutil/table.h"
 #include "common/cli.h"
+#include "common/stats.h"
 #include "common/stopwatch.h"
 #include "portfolio/portfolio.h"
 #include "sim/grid_simulator.h"
@@ -73,8 +75,12 @@ struct Scenario {
 
 struct Outcome {
   std::string scheduler;
-  double cumulative_fitness = 0.0;
-  double max_latency_ms = 0.0;
+  RunningStats jobs;
+  RunningStats makespan;
+  RunningStats flowtime;
+  RunningStats cumulative_fitness;
+  RunningStats mean_latency_ms;
+  RunningStats max_latency_ms;
 };
 
 }  // namespace
@@ -89,7 +95,9 @@ int main(int argc, char** argv) {
   cli.flag("rate", "0.5", "job arrivals per simulated second");
   cli.flag("period", "60", "scheduler activation period (simulated s)");
   cli.flag("seed", "7", "simulation seed");
+  cli.flag("seeds", "1", "repetitions per scenario (mean ± 95% CI)");
   if (!cli.parse(argc, argv)) return 0;
+  const int seeds = static_cast<int>(cli.get_int("seeds"));
 
   const double budget_ms = cli.get_double("budget-ms");
   SimConfig base;
@@ -127,56 +135,77 @@ int main(int argc, char** argv) {
                         "cum batch fitness", "mean lat (ms)", "max lat (ms)"});
     std::vector<Outcome> outcomes;
 
-    auto simulate = [&](BatchScheduler& scheduler) {
-      BatchFitnessProbe probe(scheduler, FitnessWeights{});
-      GridSimulator sim(sim_config);  // same seed -> same arrival trace
-      const SimMetrics metrics = sim.run(probe);
-      table.add_row(
-          {std::string(scheduler.name()),
-           std::to_string(metrics.jobs_completed),
-           TablePrinter::num(metrics.makespan, 1),
-           TablePrinter::num(metrics.mean_flowtime, 1),
-           TablePrinter::num(probe.cumulative_fitness, 0),
-           TablePrinter::num(probe.activations > 0
-                                 ? probe.total_latency_ms / probe.activations
-                                 : 0.0,
-                             1),
-           TablePrinter::num(probe.max_latency_ms, 1)});
-      outcomes.push_back({std::string(scheduler.name()),
-                          probe.cumulative_fitness, probe.max_latency_ms});
+    // Schedulers are stateful (warm caches, UCB credit), so every seed
+    // repetition gets a freshly built one via its factory.
+    using SchedulerFactory = std::function<std::unique_ptr<BatchScheduler>(
+        std::uint64_t seed)>;
+    auto simulate = [&](const SchedulerFactory& make_scheduler) {
+      Outcome outcome;
+      for (int rep = 0; rep < seeds; ++rep) {
+        SimConfig run_sim = sim_config;
+        run_sim.seed = sim_config.seed + static_cast<std::uint64_t>(rep);
+        const std::unique_ptr<BatchScheduler> scheduler =
+            make_scheduler(run_sim.seed);
+        BatchFitnessProbe probe(*scheduler, FitnessWeights{});
+        GridSimulator sim(run_sim);  // same seed -> same arrival trace
+        const SimMetrics metrics = sim.run(probe);
+        outcome.scheduler = std::string(scheduler->name());
+        outcome.jobs.add(metrics.jobs_completed);
+        outcome.makespan.add(metrics.makespan);
+        outcome.flowtime.add(metrics.mean_flowtime);
+        outcome.cumulative_fitness.add(probe.cumulative_fitness);
+        outcome.mean_latency_ms.add(
+            probe.activations > 0
+                ? probe.total_latency_ms / probe.activations
+                : 0.0);
+        outcome.max_latency_ms.add(probe.max_latency_ms);
+      }
+      table.add_row({outcome.scheduler,
+                     TablePrinter::num(outcome.jobs.mean(), 0),
+                     TablePrinter::mean_ci(outcome.makespan, 1),
+                     TablePrinter::mean_ci(outcome.flowtime, 1),
+                     TablePrinter::mean_ci(outcome.cumulative_fitness, 0),
+                     TablePrinter::num(outcome.mean_latency_ms.mean(), 1),
+                     TablePrinter::num(outcome.max_latency_ms.max(), 1)});
+      outcomes.push_back(std::move(outcome));
     };
 
     // --- Single-algorithm baselines. ---
-    HeuristicBatchScheduler mct_sched(HeuristicKind::kMct);
-    simulate(mct_sched);
-    HeuristicBatchScheduler minmin_sched(HeuristicKind::kMinMin);
-    simulate(minmin_sched);
-    StruggleGaConfig ga_config;
-    StruggleGaBatchScheduler ga_sched(ga_config, budget_ms);
-    simulate(ga_sched);
-    CmaConfig cma_config;
-    CmaBatchScheduler cma_sched(cma_config, budget_ms);
-    simulate(cma_sched);
+    simulate([](std::uint64_t) {
+      return std::make_unique<HeuristicBatchScheduler>(HeuristicKind::kMct);
+    });
+    simulate([](std::uint64_t) {
+      return std::make_unique<HeuristicBatchScheduler>(HeuristicKind::kMinMin);
+    });
+    simulate([&](std::uint64_t) {
+      return std::make_unique<StruggleGaBatchScheduler>(StruggleGaConfig{},
+                                                        budget_ms);
+    });
+    simulate([&](std::uint64_t) {
+      return std::make_unique<CmaBatchScheduler>(CmaConfig{}, budget_ms);
+    });
     const std::size_t num_single = outcomes.size();
 
     // --- Portfolios. The static race fields every member concurrently;
     // UCB concentrates the budget on one expensive member per activation
     // (the right mode when cores are scarce) while MCT/Min-Min always
     // race as the safety net. ---
-    PortfolioConfig static_config;
-    static_config.budget_ms = budget_ms;
-    static_config.seed = sim_config.seed;
-    PortfolioBatchScheduler static_portfolio(
-        static_config,
-        PortfolioBatchScheduler::default_members(static_config));
-    simulate(static_portfolio);
-
-    PortfolioConfig ucb_config = static_config;
-    ucb_config.policy = PolicyKind::kUcb;
-    ucb_config.ucb = UcbConfig{.exploration = 0.3, .max_active = 1};
-    PortfolioBatchScheduler ucb_portfolio(
-        ucb_config, PortfolioBatchScheduler::default_members(ucb_config));
-    simulate(ucb_portfolio);
+    simulate([&](std::uint64_t seed) {
+      PortfolioConfig config;
+      config.budget_ms = budget_ms;
+      config.seed = seed;
+      return std::make_unique<PortfolioBatchScheduler>(
+          config, PortfolioBatchScheduler::default_members(config));
+    });
+    simulate([&](std::uint64_t seed) {
+      PortfolioConfig config;
+      config.budget_ms = budget_ms;
+      config.seed = seed;
+      config.policy = PolicyKind::kUcb;
+      config.ucb = UcbConfig{.exploration = 0.3, .max_active = 1};
+      return std::make_unique<PortfolioBatchScheduler>(
+          config, PortfolioBatchScheduler::default_members(config));
+    });
 
     std::cout << "--- " << scenario.name << " ---\n";
     table.print(std::cout);
@@ -184,30 +213,31 @@ int main(int argc, char** argv) {
     double best_single = std::numeric_limits<double>::infinity();
     std::string best_single_name;
     for (std::size_t i = 0; i < num_single; ++i) {
-      if (outcomes[i].cumulative_fitness < best_single) {
-        best_single = outcomes[i].cumulative_fitness;
+      if (outcomes[i].cumulative_fitness.mean() < best_single) {
+        best_single = outcomes[i].cumulative_fitness.mean();
         best_single_name = outcomes[i].scheduler;
       }
     }
     const Outcome* best_portfolio = &outcomes[num_single];
     for (std::size_t i = num_single; i < outcomes.size(); ++i) {
-      if (outcomes[i].cumulative_fitness <
-          best_portfolio->cumulative_fitness) {
+      if (outcomes[i].cumulative_fitness.mean() <
+          best_portfolio->cumulative_fitness.mean()) {
         best_portfolio = &outcomes[i];
       }
     }
-    const bool wins =
-        best_portfolio->cumulative_fitness <= best_single * (1.0 + 1e-9);
+    const bool wins = best_portfolio->cumulative_fitness.mean() <=
+                      best_single * (1.0 + 1e-9);
     if (wins) ++scenarios_where_portfolio_wins;
     std::cout << "verdict: " << best_portfolio->scheduler
               << (wins ? " matches or beats " : " trails ")
               << "the best single member (" << best_single_name << ") by "
-              << TablePrinter::pct((best_single -
-                                    best_portfolio->cumulative_fitness) /
-                                       best_single * 100.0,
-                                   2)
+              << TablePrinter::pct(
+                     (best_single -
+                      best_portfolio->cumulative_fitness.mean()) /
+                         best_single * 100.0,
+                     2)
               << "% cumulative batch fitness; max portfolio latency "
-              << TablePrinter::num(best_portfolio->max_latency_ms, 1)
+              << TablePrinter::num(best_portfolio->max_latency_ms.max(), 1)
               << " ms against a " << budget_ms << " ms budget\n\n";
   }
 

@@ -1,0 +1,256 @@
+// Sharded service vs single-portfolio dynamic scheduling.
+//
+//   $ ./sharded_service [--minutes 10] [--budget-ms 25] [--seeds 3]
+//
+// Two grid scenarios (consistent and inconsistent ETC) are replayed under
+// the sharded scheduling service at 1/2/4/8 shards crossed with the three
+// routing policies, all at EQUAL TOTAL BUDGET: the 1-shard baseline gives
+// its whole budget to one portfolio; N shards split the same budget over
+// the shards with work, activated one at a time on the shared pool. For
+// every configuration we report end-to-end makespan, mean flowtime,
+// utilization, scheduler CPU, the worst per-activation latency (sum of the
+// shard races of that activation), the worst single-shard budget overshoot
+// and the number of rebalancing migrations. `--seeds N` repeats every
+// configuration over N seeds and reports mean ± 95% CI (common/stats).
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "benchutil/table.h"
+#include "common/cli.h"
+#include "common/stats.h"
+#include "service/sharded_driver.h"
+
+namespace gridsched {
+namespace {
+
+struct Scenario {
+  std::string name;
+  double noise = 0.0;
+  int job_classes = 0;  // class-structured inconsistency (machine types)
+};
+
+struct RunOutcome {
+  double makespan = 0.0;
+  double flowtime = 0.0;
+  double utilization = 0.0;
+  double cpu_ms = 0.0;
+  double max_activation_ms = 0.0;  // worst sum of shard races, one activation
+  double max_overshoot_ms = 0.0;   // worst single shard race - its budget
+  int migrations = 0;
+};
+
+struct ConfigSummary {
+  RunningStats makespan;
+  RunningStats flowtime;
+  RunningStats utilization;
+  RunningStats cpu_ms;
+  RunningStats max_activation_ms;
+  RunningStats max_overshoot_ms;
+  RunningStats migrations;
+  // Raw per-seed values for paired comparisons (seed i of every
+  // configuration replays the same arrival trace).
+  std::vector<double> makespans;
+  std::vector<double> flowtimes;
+};
+
+/// Paired non-inferiority over seeds: "no worse" means the mean per-seed
+/// delta is within the parity margin, or its 95% CI still admits zero
+/// (the premium is not statistically distinguishable from none). The 2%
+/// margin is the usual parity treatment for makespan-class metrics:
+/// makespan is a max statistic, and the racing members are wall-clock
+/// budgeted, so the truncation point — and with it the committed
+/// schedule — jitters a little run to run even at a fixed seed.
+struct PairedDelta {
+  double mean = 0.0;
+  double ci = 0.0;
+
+  [[nodiscard]] bool no_worse() const noexcept {
+    return mean <= 2.0 || mean - ci <= 0.0;
+  }
+};
+
+PairedDelta paired_delta(const std::vector<double>& candidate,
+                         const std::vector<double>& baseline) {
+  std::vector<double> deltas;
+  for (std::size_t i = 0; i < candidate.size(); ++i) {
+    deltas.push_back(percent_delta(candidate[i], baseline[i]));
+  }
+  const Summary summary = summarize(deltas);
+  return {summary.mean, ci95_half_width(deltas.size(), summary.stddev)};
+}
+
+RunOutcome run_once(const SimConfig& sim_config,
+                    const ServiceConfig& service_config) {
+  GridSimulator sim(sim_config);
+  GridSchedulingService service(service_config);
+  const ShardedSimReport report = run_sharded(sim, service);
+
+  RunOutcome outcome;
+  outcome.makespan = report.global.makespan;
+  outcome.flowtime = report.global.mean_flowtime;
+  outcome.utilization = report.global.utilization;
+  outcome.cpu_ms = report.global.scheduler_cpu_ms;
+  outcome.migrations = report.migrations;
+  std::map<std::uint64_t, double> per_activation;
+  for (const ShardActivationRecord& record : service.shard_activations()) {
+    per_activation[record.activation] += record.race_ms;
+    outcome.max_overshoot_ms = std::max(outcome.max_overshoot_ms,
+                                        record.race_ms - record.budget_ms);
+  }
+  for (const auto& [activation, total_ms] : per_activation) {
+    outcome.max_activation_ms = std::max(outcome.max_activation_ms, total_ms);
+  }
+  return outcome;
+}
+
+}  // namespace
+}  // namespace gridsched
+
+int main(int argc, char** argv) {
+  using namespace gridsched;
+
+  // Defaults put the grid in the regime sharding exists for: a large
+  // machine pool with batch sizes where a global Min-Min pass no longer
+  // fits the activation budget (so the single queue must truncate or bust
+  // its latency), while a shard's sub-batch still solves exactly.
+  CliParser cli("Sharded scheduling service vs single-portfolio baseline");
+  cli.flag("minutes", "6", "simulated minutes of job arrivals");
+  cli.flag("budget-ms", "25", "total wall-clock budget per activation");
+  cli.flag("rate", "10", "job arrivals per simulated second");
+  cli.flag("period", "120", "scheduler activation period (simulated s)");
+  cli.flag("machines", "96", "grid machines");
+  cli.flag("imbalance", "2", "rebalancing imbalance factor (0 = off)");
+  cli.flag("noise", "0.15", "ETC pair noise of the inconsistent scenario");
+  cli.flag("class-speedup", "3", "matched-class speedup of the inconsistent "
+                                 "scenario (machine-type heterogeneity)");
+  cli.flag("seed", "7", "base simulation seed");
+  cli.flag("seeds", "3", "repetitions per configuration (mean ± 95% CI)");
+  cli.flag("lat-tolerance", "5", "verdict bound on shard budget overshoot "
+                                 "(ms); raise on noisy shared runners where "
+                                 "an OS stall can exceed the cooperative-"
+                                 "cancellation bound");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const double budget_ms = cli.get_double("budget-ms");
+  const int seeds = static_cast<int>(cli.get_int("seeds"));
+  SimConfig base;
+  base.horizon = cli.get_double("minutes") * 60.0;
+  base.arrival_rate = cli.get_double("rate");
+  base.scheduler_period = cli.get_double("period");
+  base.num_machines = static_cast<int>(cli.get_int("machines"));
+  base.mips_min = 500.0;
+  base.mips_max = 2'000.0;
+  base.seed = static_cast<std::uint64_t>(cli.get_double("seed"));
+
+  // The inconsistent grid is class-structured (3 interleaved machine
+  // types, class-matched jobs run 3x faster) with mild pair noise on top:
+  // machine orderings genuinely differ per job, yet a stride partition
+  // keeps every type in every shard — the inconsistency real
+  // heterogeneous grids have, and the regime sharding must survive.
+  const std::vector<Scenario> scenarios = {
+      {"consistent", 0.0, 0},
+      {"inconsistent", cli.get_double("noise"), 3},
+  };
+  const std::vector<int> shard_counts = {1, 2, 4, 8};
+
+  std::cout << "=== sharded service vs single portfolio ===\n"
+            << "total budget " << budget_ms << " ms/activation (split over "
+            << "active shards), " << base.num_machines << " machines, "
+            << base.arrival_rate << " jobs/s for " << base.horizon
+            << " s, period " << base.scheduler_period << " s, " << seeds
+            << " seed(s) from " << base.seed << "\n\n";
+
+  bool acceptance_ok = true;
+  for (const Scenario& scenario : scenarios) {
+    SimConfig sim_config = base;
+    sim_config.consistency_noise = scenario.noise;
+    sim_config.num_job_classes = scenario.job_classes;
+    sim_config.class_speedup = cli.get_double("class-speedup");
+
+    TablePrinter table({"shards", "routing", "makespan (s)", "flowtime (s)",
+                        "util", "cpu (ms)", "max act (ms)", "ovr (ms)",
+                        "migr"});
+    // (shards, routing) -> summary; the 1-shard baseline is routing-free.
+    std::map<std::pair<int, RoutingKind>, ConfigSummary> summaries;
+
+    for (const int num_shards : shard_counts) {
+      const std::span<const RoutingKind> kinds =
+          num_shards == 1
+              ? std::span<const RoutingKind>(all_routing_kinds().first(1))
+              : all_routing_kinds();
+      for (const RoutingKind routing : kinds) {
+        ConfigSummary& summary = summaries[{num_shards, routing}];
+        for (int rep = 0; rep < seeds; ++rep) {
+          SimConfig run_sim = sim_config;
+          run_sim.seed = sim_config.seed + static_cast<std::uint64_t>(rep);
+          ServiceConfig service_config;
+          service_config.num_shards = num_shards;
+          service_config.routing = routing;
+          service_config.total_budget_ms = budget_ms;
+          service_config.imbalance_factor = cli.get_double("imbalance");
+          service_config.seed = run_sim.seed;
+          const RunOutcome outcome = run_once(run_sim, service_config);
+          summary.makespan.add(outcome.makespan);
+          summary.flowtime.add(outcome.flowtime);
+          summary.makespans.push_back(outcome.makespan);
+          summary.flowtimes.push_back(outcome.flowtime);
+          summary.utilization.add(outcome.utilization);
+          summary.cpu_ms.add(outcome.cpu_ms);
+          summary.max_activation_ms.add(outcome.max_activation_ms);
+          summary.max_overshoot_ms.add(outcome.max_overshoot_ms);
+          summary.migrations.add(outcome.migrations);
+        }
+        table.add_row({std::to_string(num_shards),
+                       num_shards == 1 ? "(single queue)"
+                                       : std::string(routing_name(routing)),
+                       TablePrinter::mean_ci(summary.makespan, 1),
+                       TablePrinter::mean_ci(summary.flowtime, 1),
+                       TablePrinter::num(summary.utilization.mean(), 2),
+                       TablePrinter::num(summary.cpu_ms.mean(), 0),
+                       TablePrinter::num(summary.max_activation_ms.mean(), 1),
+                       TablePrinter::num(summary.max_overshoot_ms.mean(), 1),
+                       TablePrinter::num(summary.migrations.mean(), 0)});
+      }
+    }
+
+    std::cout << "--- " << scenario.name << " ---\n";
+    table.print(std::cout);
+
+    // Acceptance focus: 4 shards + least-backlog vs the 1-shard baseline
+    // at equal total budget (paired per seed — identical arrival traces),
+    // plus the latency contract: a shard must stay within its budget
+    // slice up to the cooperative-cancellation overshoot, which the
+    // single queue visibly cannot at these batch sizes.
+    const ConfigSummary& baseline =
+        summaries[{1, RoutingKind::kRoundRobin}];
+    const ConfigSummary& sharded =
+        summaries[{4, RoutingKind::kLeastBacklog}];
+    const PairedDelta mk = paired_delta(sharded.makespans,
+                                        baseline.makespans);
+    const PairedDelta ft = paired_delta(sharded.flowtimes,
+                                        baseline.flowtimes);
+    const double overshoot = sharded.max_overshoot_ms.max();
+    const bool latency_ok = overshoot <= cli.get_double("lat-tolerance");
+    const bool ok = mk.no_worse() && ft.no_worse() && latency_ok;
+    std::cout << "verdict: 4 shards x least-backlog vs single queue "
+              << "(paired over " << seeds << " seed(s)): makespan "
+              << TablePrinter::pct(mk.mean, 2) << "% ± "
+              << TablePrinter::num(mk.ci, 2) << ", flowtime "
+              << TablePrinter::pct(ft.mean, 2) << "% ± "
+              << TablePrinter::num(ft.ci, 2)
+              << "; worst shard budget overshoot "
+              << TablePrinter::num(overshoot, 2) << " ms (single queue "
+              << TablePrinter::num(baseline.max_overshoot_ms.max(), 2)
+              << " ms) -> " << (ok ? "OK" : "REGRESSION") << "\n\n";
+    if (!ok) acceptance_ok = false;
+  }
+
+  std::cout << (acceptance_ok
+                    ? "sharded service holds the single-queue baseline at "
+                      "equal total budget\n"
+                    : "sharded service REGRESSED against the single-queue "
+                      "baseline\n");
+  return acceptance_ok ? 0 : 1;
+}

@@ -89,4 +89,12 @@ std::string TablePrinter::pct(double value, int decimals) {
   return out.str();
 }
 
+std::string TablePrinter::mean_ci(const RunningStats& stats, int decimals) {
+  std::string out = num(stats.mean(), decimals);
+  if (stats.count() > 1) {
+    out += " ± " + num(ci95_half_width(stats), decimals);
+  }
+  return out;
+}
+
 }  // namespace gridsched

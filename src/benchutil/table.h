@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.h"
+
 namespace gridsched {
 
 class TablePrinter {
@@ -29,6 +31,9 @@ class TablePrinter {
   static std::string num(double value, int decimals = 3);
   /// Percent with sign, e.g. "+4.35" / "-0.59".
   static std::string pct(double value, int decimals = 2);
+  /// Mean with a 95% CI half-width when there is more than one sample,
+  /// e.g. "431.2 ± 12.7" — the cell format of every multi-seed bench.
+  static std::string mean_ci(const RunningStats& stats, int decimals = 3);
 
  private:
   std::vector<std::string> headers_;

@@ -82,7 +82,8 @@ EvolutionResult CellularMemeticAlgorithm::run(
   ScheduleEvaluator evaluator(etc);
   for (Individual& individual : population) {
     evaluator.reset(individual.schedule);
-    local_search(config_.local_search, config_.weights, evaluator, rng);
+    local_search(config_.local_search, config_.weights, evaluator, rng,
+                 config_.stop.cancel);
     individual = individual_from_evaluator(evaluator, config_.weights);
     tracker.count_evaluations();
     tracker.offer(individual);
@@ -102,7 +103,8 @@ EvolutionResult CellularMemeticAlgorithm::run(
   // is disabled — kept for ablation).
   auto improve_and_replace = [&](int cell, const Schedule& offspring) {
     evaluator.reset(offspring);
-    local_search(config_.local_search, config_.weights, evaluator, rng);
+    local_search(config_.local_search, config_.weights, evaluator, rng,
+                 config_.stop.cancel);
     Individual candidate = individual_from_evaluator(evaluator, config_.weights);
     tracker.count_evaluations();
     auto& resident = population[static_cast<std::size_t>(cell)];

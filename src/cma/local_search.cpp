@@ -164,11 +164,13 @@ std::string_view local_search_name(LocalSearchKind k) noexcept {
 
 LocalSearchStats local_search(const LocalSearchConfig& config,
                               const FitnessWeights& weights,
-                              ScheduleEvaluator& evaluator, Rng& rng) {
+                              ScheduleEvaluator& evaluator, Rng& rng,
+                              const CancellationToken& cancel) {
   LocalSearchStats stats;
   if (config.kind == LocalSearchKind::kNone) return stats;
 
   for (int it = 0; it < config.iterations; ++it) {
+    if (cancel.cancelled()) break;
     bool improved = false;
     switch (config.kind) {
       case LocalSearchKind::kLocalMove:

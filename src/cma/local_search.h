@@ -25,6 +25,7 @@
 
 #include <string_view>
 
+#include "common/cancellation.h"
 #include "common/rng.h"
 #include "core/evaluator.h"
 #include "core/fitness.h"
@@ -60,8 +61,13 @@ struct LocalSearchStats {
 /// Improves the evaluator's schedule in place. Never worsens the schedule
 /// under the configured objective. Stops early once an iteration finds no
 /// improving neighbor (the walk reached a local optimum for its operator).
+/// `cancel` is polled between neighborhood moves so a portfolio deadline
+/// cuts a pass short mid-walk instead of overshooting by a whole pass
+/// (matters once per-activation budgets drop below ~5 ms); the schedule is
+/// left in a valid, never-worse state at whatever move the poll fired.
 LocalSearchStats local_search(const LocalSearchConfig& config,
                               const FitnessWeights& weights,
-                              ScheduleEvaluator& evaluator, Rng& rng);
+                              ScheduleEvaluator& evaluator, Rng& rng,
+                              const CancellationToken& cancel = {});
 
 }  // namespace gridsched

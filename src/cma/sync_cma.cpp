@@ -57,7 +57,8 @@ EvolutionResult SynchronousCellularMa::run(
     for (Individual& individual : current) {
       evaluator.reset(individual.schedule);
       Rng rng = init_rng.split();
-      local_search(config_.local_search, config_.weights, evaluator, rng);
+      local_search(config_.local_search, config_.weights, evaluator, rng,
+                   config_.stop.cancel);
       individual = individual_from_evaluator(evaluator, config_.weights);
       tracker.count_evaluations();
       tracker.offer(individual);
@@ -114,7 +115,8 @@ EvolutionResult SynchronousCellularMa::run(
       if (rng.chance(mutation_probability)) {
         mutate(config_.mutation, evaluator, rng);
       }
-      local_search(config_.local_search, config_.weights, evaluator, rng);
+      local_search(config_.local_search, config_.weights, evaluator, rng,
+                   config_.stop.cancel);
       Individual candidate =
           individual_from_evaluator(evaluator, config_.weights);
 

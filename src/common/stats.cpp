@@ -74,4 +74,20 @@ double percent_delta(double a, double b) noexcept {
   return b != 0.0 ? (a - b) / b * 100.0 : 0.0;
 }
 
+double ci95_half_width(std::size_t n, double stddev) noexcept {
+  if (n < 2) return 0.0;
+  // Two-sided 95% Student-t quantiles, indexed by degrees of freedom - 1.
+  static constexpr double kT975[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  const std::size_t df = n - 1;
+  const double t = df <= 30 ? kT975[df - 1] : 1.96;
+  return t * stddev / std::sqrt(static_cast<double>(n));
+}
+
+double ci95_half_width(const RunningStats& stats) noexcept {
+  return ci95_half_width(stats.count(), stats.stddev());
+}
+
 }  // namespace gridsched

@@ -53,4 +53,14 @@ struct Summary {
 /// Delta(%) columns. Returns 0 when b == 0.
 [[nodiscard]] double percent_delta(double a, double b) noexcept;
 
+/// Half-width of the 95% confidence interval of the mean for `n` samples
+/// with sample standard deviation `stddev`: t_{0.975, n-1} * stddev /
+/// sqrt(n). Uses a small-sample t table up to 30 degrees of freedom and
+/// the normal quantile 1.96 beyond. Returns 0 for fewer than two samples
+/// (no interval can be formed).
+[[nodiscard]] double ci95_half_width(std::size_t n, double stddev) noexcept;
+
+/// Convenience overload over an accumulator.
+[[nodiscard]] double ci95_half_width(const RunningStats& stats) noexcept;
+
 }  // namespace gridsched

@@ -9,14 +9,18 @@ namespace gridsched {
 std::vector<Individual> seed_population(int size, const GaSeeding& seeding,
                                         const EtcMatrix& etc,
                                         const FitnessWeights& weights,
-                                        Rng& rng) {
+                                        Rng& rng,
+                                        const CancellationToken& cancel) {
   if (size <= 0) throw std::invalid_argument("seed_population: empty");
   std::vector<Individual> population;
   population.reserve(static_cast<std::size_t>(size));
   for (HeuristicKind kind : seeding.heuristic_seeds) {
     if (static_cast<int>(population.size()) >= size) break;
-    population.push_back(
-        make_individual(construct_schedule(kind, etc, rng), etc, weights));
+    if (cancel.cancelled()) break;  // random fill is all the budget allows
+    const Schedule seed = kind == HeuristicKind::kMinMin
+                              ? min_min(etc, cancel)
+                              : construct_schedule(kind, etc, rng);
+    population.push_back(make_individual(seed, etc, weights));
   }
   while (static_cast<int>(population.size()) < size) {
     population.push_back(make_individual(

@@ -24,10 +24,15 @@ struct GaSeeding {
 };
 
 /// Builds a population of `size` individuals: the heuristic seeds first,
-/// then uniform random schedules.
+/// then uniform random schedules. `cancel` keeps seeding inside an
+/// activation budget: once it fires, remaining heuristic seeds are skipped
+/// (the Min-Min seed itself runs budget-honoring) and the population is
+/// completed with cheap random schedules, so the caller always gets `size`
+/// evaluated individuals.
 [[nodiscard]] std::vector<Individual> seed_population(
     int size, const GaSeeding& seeding, const EtcMatrix& etc,
-    const FitnessWeights& weights, Rng& rng);
+    const FitnessWeights& weights, Rng& rng,
+    const CancellationToken& cancel = {});
 
 /// Roulette-wheel selection for minimization: each individual gets weight
 /// (worst - fitness + epsilon), so the best individual has the largest

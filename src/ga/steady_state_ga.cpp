@@ -33,7 +33,7 @@ EvolutionResult SteadyStateGa::run(const EtcMatrix& etc) const {
 
   std::vector<Individual> population =
       seed_population(config_.population_size, config_.seeding, etc,
-                      config_.weights, rng);
+                      config_.weights, rng, config_.stop.cancel);
   tracker.count_evaluations(config_.population_size);
   for (const auto& individual : population) tracker.offer(individual);
 

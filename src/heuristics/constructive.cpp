@@ -185,10 +185,45 @@ Schedule ljfr_sjfr(const EtcMatrix& etc) {
 }
 
 Schedule min_min(const EtcMatrix& etc) {
-  // Smallest best-completion first -> maximize the negated value.
-  return greedy_batch(etc, [](const LoadTracker& loads, JobId j, MachineId m) {
-    return -loads.completion_with(j, m);
-  });
+  // Delegation keeps the budget-honoring variant bit-identical by
+  // construction (an invalid token never fires, so the whole schedule is
+  // the committed prefix).
+  return min_min(etc, CancellationToken{});
+}
+
+Schedule min_min(const EtcMatrix& etc, const CancellationToken& cancel) {
+  Schedule schedule(etc.num_jobs());
+  LoadTracker loads(etc);
+  std::vector<JobId> unassigned(static_cast<std::size_t>(etc.num_jobs()));
+  std::iota(unassigned.begin(), unassigned.end(), 0);
+
+  while (!unassigned.empty() && !cancel.cancelled()) {
+    std::size_t pick_idx = 0;
+    double pick_score = std::numeric_limits<double>::infinity();
+    MachineId pick_machine = 0;
+    for (std::size_t i = 0; i < unassigned.size(); ++i) {
+      const JobId j = unassigned[i];
+      const MachineId m = loads.best_machine(j);
+      const double completion = loads.completion_with(j, m);
+      if (completion < pick_score) {
+        pick_score = completion;
+        pick_idx = i;
+        pick_machine = m;
+      }
+    }
+    loads.assign(schedule, unassigned[pick_idx], pick_machine);
+    unassigned[pick_idx] = unassigned.back();
+    unassigned.pop_back();
+  }
+
+  // Deadline fired mid-build: finish the tail with one MCT pass (id order,
+  // earliest completion given the loads committed so far). O(n m) — always
+  // affordable, and the schedule stays complete.
+  std::sort(unassigned.begin(), unassigned.end());
+  for (const JobId j : unassigned) {
+    loads.assign(schedule, j, loads.best_machine(j));
+  }
+  return schedule;
 }
 
 Schedule max_min(const EtcMatrix& etc) {

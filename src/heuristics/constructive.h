@@ -27,6 +27,7 @@
 #include <span>
 #include <string_view>
 
+#include "common/cancellation.h"
 #include "common/rng.h"
 #include "core/schedule.h"
 #include "etc/etc_matrix.h"
@@ -57,6 +58,17 @@ enum class HeuristicKind {
 
 [[nodiscard]] Schedule ljfr_sjfr(const EtcMatrix& etc);
 [[nodiscard]] Schedule min_min(const EtcMatrix& etc);
+
+/// Budget-honoring Min-Min: polls `cancel` between commit rounds and, once
+/// it fires, completes the remaining jobs with the MCT rule (each in id
+/// order to the machine that finishes it earliest given the loads built so
+/// far). Min-Min is O(n^2 m) — "negligible" only while batches are small;
+/// at production batch sizes an uncancellable Min-Min would bust any
+/// activation budget, silently converting a latency contract into a lie.
+/// The prefix it did commit is exactly plain Min-Min's, so an unfired
+/// token yields the identical schedule.
+[[nodiscard]] Schedule min_min(const EtcMatrix& etc,
+                               const CancellationToken& cancel);
 [[nodiscard]] Schedule max_min(const EtcMatrix& etc);
 [[nodiscard]] Schedule mct(const EtcMatrix& etc);
 [[nodiscard]] Schedule met(const EtcMatrix& etc);

@@ -20,12 +20,24 @@ UcbPolicy::UcbPolicy(UcbConfig config) : config_(config) {
 double UcbPolicy::score(std::size_t member) const {
   const Arm& arm = arms_[member];
   if (arm.plays == 0) return std::numeric_limits<double>::infinity();
+  double value = arm.mean_reward();
+  if (config_.cost_aware && total_plays_ > 0) {
+    // Reward per unit cost, rescaled by the policy-wide mean cost so the
+    // value stays on the reward scale (and equals the plain mean reward
+    // when every arm costs the same). The floor guards heuristically cheap
+    // arms whose measured cost rounds to ~0 ms.
+    constexpr double kMinCostMs = 1e-3;
+    const double mean_cost_all = std::max(
+        total_cost_ms_ / static_cast<double>(total_plays_), kMinCostMs);
+    const double mean_cost_arm = std::max(arm.mean_cost_ms(), kMinCostMs);
+    value *= mean_cost_all / mean_cost_arm;
+  }
   const double bonus =
       config_.exploration *
       std::sqrt(std::log(static_cast<double>(std::max<std::int64_t>(
                     total_plays_, 2))) /
                 static_cast<double>(arm.plays));
-  return arm.mean_reward() + bonus;
+  return value + bonus;
 }
 
 std::vector<double> UcbPolicy::plan(std::size_t num_members) {
@@ -51,6 +63,7 @@ void UcbPolicy::record(std::size_t member, double reward, double cost_ms) {
   arm.total_reward += reward;
   arm.total_cost_ms += cost_ms;
   ++total_plays_;
+  total_cost_ms_ += cost_ms;
 }
 
 std::unique_ptr<BudgetPolicy> make_policy(PolicyKind kind,

@@ -14,7 +14,11 @@
 //                     mean reward + exploration bonus. Unplayed arms score
 //                     +inf, so every member gets raced early; afterwards
 //                     the policy concentrates the budget on members that
-//                     keep producing winning or near-winning schedules.
+//                     keep producing winning or near-winning schedules. By
+//                     default the credit is cost-aware (reward scaled by
+//                     how cheap the arm is against the policy-wide mean
+//                     cost); `UcbConfig::cost_aware = false` restores the
+//                     original cost-blind ranking.
 #pragma once
 
 #include <cstdint>
@@ -61,6 +65,13 @@ struct UcbConfig {
   double exploration = 0.5;
   /// How many members race per activation once every arm has been tried.
   std::size_t max_active = 2;
+  /// Cost-aware credit: scale each arm's mean reward by how cheap it is
+  /// relative to the policy-wide mean cost (`mean_reward * mean_cost_all /
+  /// mean_cost_arm`), so a cheap member that nearly wins outranks an
+  /// expensive member that barely wins. When every arm costs the same this
+  /// reduces exactly to the plain mean reward. Set false for the original
+  /// cost-blind UCB1 ranking.
+  bool cost_aware = true;
 };
 
 class UcbPolicy final : public BudgetPolicy {
@@ -72,6 +83,9 @@ class UcbPolicy final : public BudgetPolicy {
 
     [[nodiscard]] double mean_reward() const noexcept {
       return plays > 0 ? total_reward / static_cast<double>(plays) : 0.0;
+    }
+    [[nodiscard]] double mean_cost_ms() const noexcept {
+      return plays > 0 ? total_cost_ms / static_cast<double>(plays) : 0.0;
     }
   };
 
@@ -95,6 +109,7 @@ class UcbPolicy final : public BudgetPolicy {
   UcbConfig config_;
   std::vector<Arm> arms_;
   std::int64_t total_plays_ = 0;
+  double total_cost_ms_ = 0.0;
 };
 
 [[nodiscard]] std::unique_ptr<BudgetPolicy> make_policy(PolicyKind kind,

@@ -32,13 +32,18 @@ MemberResult HeuristicMember::solve(const EtcMatrix& etc,
                                     const StopCondition& stop,
                                     std::span<const Schedule> warm,
                                     std::uint64_t seed) {
-  (void)stop;  // a single constructive pass cannot usefully be cancelled
   (void)warm;
   Stopwatch watch;
   Rng rng(seed);
   MemberResult result;
-  result.best =
-      make_individual(construct_schedule(kind_, etc, rng), etc, weights_);
+  // The O(nm) one-pass heuristics cannot usefully be cancelled, but
+  // Min-Min is O(n^2 m): on production-size batches it would bust the
+  // activation deadline by orders of magnitude, so it runs in its
+  // budget-honoring form (identical output while the token stays quiet).
+  const Schedule schedule = kind_ == HeuristicKind::kMinMin
+                                ? min_min(etc, stop.cancel)
+                                : construct_schedule(kind_, etc, rng);
+  result.best = make_individual(schedule, etc, weights_);
   result.elites = {result.best};
   result.evaluations = 1;
   result.elapsed_ms = watch.elapsed_ms();

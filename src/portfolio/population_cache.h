@@ -45,6 +45,16 @@ class PopulationCache {
   [[nodiscard]] std::size_t size() const noexcept { return elites_.size(); }
   [[nodiscard]] int capacity() const noexcept { return capacity_; }
 
+  /// Identities of the batch the current elites came from (diagnostics;
+  /// the sharded service's isolation tests assert a shard's cache only
+  /// ever sees that shard's jobs and machines).
+  [[nodiscard]] const std::vector<int>& stored_job_ids() const noexcept {
+    return job_ids_;
+  }
+  [[nodiscard]] const std::vector<int>& stored_machine_ids() const noexcept {
+    return machine_ids_;
+  }
+
  private:
   int capacity_;
   std::vector<Schedule> elites_;  // sorted best-fitness-first

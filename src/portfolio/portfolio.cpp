@@ -12,11 +12,29 @@ namespace gridsched {
 PortfolioBatchScheduler::PortfolioBatchScheduler(
     PortfolioConfig config,
     std::vector<std::unique_ptr<PortfolioMember>> members)
+    : PortfolioBatchScheduler(std::move(config), std::move(members),
+                              /*owned_pool=*/nullptr,
+                              /*shared_pool=*/nullptr) {}
+
+PortfolioBatchScheduler::PortfolioBatchScheduler(
+    PortfolioConfig config,
+    std::vector<std::unique_ptr<PortfolioMember>> members,
+    ThreadPool& shared_pool)
+    : PortfolioBatchScheduler(std::move(config), std::move(members),
+                              /*owned_pool=*/nullptr, &shared_pool) {}
+
+PortfolioBatchScheduler::PortfolioBatchScheduler(
+    PortfolioConfig config,
+    std::vector<std::unique_ptr<PortfolioMember>> members,
+    std::unique_ptr<ThreadPool> owned_pool, ThreadPool* shared_pool)
     : config_(std::move(config)),
       members_(std::move(members)),
       policy_(make_policy(config_.policy, config_.ucb)),
       cache_(config_.elite_capacity),
-      pool_(config_.threads),
+      owned_pool_(shared_pool != nullptr
+                      ? std::move(owned_pool)
+                      : std::make_unique<ThreadPool>(config_.threads)),
+      pool_(shared_pool != nullptr ? shared_pool : owned_pool_.get()),
       name_(std::string("Portfolio(") + std::string(policy_->name()) + ")") {
   if (members_.empty()) {
     throw std::invalid_argument("Portfolio: need at least one member");
@@ -28,6 +46,13 @@ PortfolioBatchScheduler::PortfolioBatchScheduler(
     stats_.push_back(MemberStats{std::string(members_[i]->name())});
     if (!members_[i]->negligible_cost()) expensive_.push_back(i);
   }
+}
+
+void PortfolioBatchScheduler::set_budget_ms(double budget_ms) {
+  if (budget_ms <= 0) {
+    throw std::invalid_argument("Portfolio: budget_ms must be > 0");
+  }
+  config_.budget_ms = budget_ms;
 }
 
 std::vector<std::unique_ptr<PortfolioMember>>
@@ -100,11 +125,11 @@ Schedule PortfolioBatchScheduler::schedule_batch(const EtcMatrix& etc,
     const std::uint64_t seed = splitmix64(seed_state);
     PortfolioMember* member = members_[runner.member].get();
     MemberResult* out = &results[slot];
-    pool_.submit([member, &etc, stop, &warm, seed, out] {
+    pool_->submit([member, &etc, stop, &warm, seed, out] {
       *out = member->solve(etc, stop, warm, seed);
     });
   }
-  pool_.wait_idle();
+  pool_->wait_idle();
   const double race_ms = race_watch.elapsed_ms();
 
   // --- Pick the winner under the portfolio's own weights (members could

@@ -75,6 +75,16 @@ class PortfolioBatchScheduler final : public BatchScheduler {
   PortfolioBatchScheduler(PortfolioConfig config,
                           std::vector<std::unique_ptr<PortfolioMember>> members);
 
+  /// Races on `shared_pool` instead of spawning an own pool. The sharded
+  /// service runs one portfolio per shard and activates them one shard at
+  /// a time, so N shards share one set of workers instead of oversubscribing
+  /// the host with N pools. The pool must outlive the scheduler; concurrent
+  /// schedule_batch calls on portfolios sharing a pool are not supported
+  /// (wait_idle drains the whole pool).
+  PortfolioBatchScheduler(PortfolioConfig config,
+                          std::vector<std::unique_ptr<PortfolioMember>> members,
+                          ThreadPool& shared_pool);
+
   /// MCT + Min-Min + Struggle GA + async cMA + sync cMA, all configured
   /// with `config.weights` (paper Table 1 settings for the cMAs).
   [[nodiscard]] static std::vector<std::unique_ptr<PortfolioMember>>
@@ -100,13 +110,24 @@ class PortfolioBatchScheduler final : public BatchScheduler {
     return cache_;
   }
 
+  /// Re-arms the per-activation budget. The sharded service splits its
+  /// total budget over the shards that have work, which varies activation
+  /// to activation.
+  void set_budget_ms(double budget_ms);
+
  private:
+  PortfolioBatchScheduler(PortfolioConfig config,
+                          std::vector<std::unique_ptr<PortfolioMember>> members,
+                          std::unique_ptr<ThreadPool> owned_pool,
+                          ThreadPool* shared_pool);
+
   PortfolioConfig config_;
   std::vector<std::unique_ptr<PortfolioMember>> members_;
   std::vector<std::size_t> expensive_;  // member indices the policy governs
   std::unique_ptr<BudgetPolicy> policy_;
   PopulationCache cache_;
-  ThreadPool pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // null when racing on a shared pool
+  ThreadPool* pool_;                        // owned or shared, never null
   std::vector<MemberStats> stats_;
   std::vector<ActivationRecord> records_;
   std::string name_;

@@ -1,0 +1,253 @@
+#include "service/grid_scheduling_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace gridsched {
+namespace {
+
+/// Portfolio knobs for one shard. The budget is a placeholder — the
+/// service re-arms it every activation with the fair share of its total.
+PortfolioConfig shard_portfolio_config(const ServiceConfig& service,
+                                       int shard) {
+  PortfolioConfig config;
+  config.budget_ms =
+      service.total_budget_ms / static_cast<double>(service.num_shards);
+  config.policy = service.policy;
+  config.ucb = service.ucb;
+  config.weights = service.weights;
+  config.member_stop = service.member_stop;
+  config.warm_start = service.warm_start;
+  config.elite_capacity = service.elite_capacity;
+  std::uint64_t state = service.seed ^ (static_cast<std::uint64_t>(shard) + 1) *
+                                           0x9e3779b97f4a7c15ULL;
+  config.seed = splitmix64(state);
+  return config;
+}
+
+/// Routing/rebalancing state of one available shard this activation. The
+/// authoritative load view (ready sums, routed work) lives in the
+/// parallel ShardSnapshot vector the router reads — keeping it in one
+/// place only, so there is no stale second copy to misread.
+struct ActiveShard {
+  int shard = 0;
+  std::vector<JobId> queue;  // batch rows, oldest first
+  int migrated_in = 0;
+  int migrated_out = 0;
+};
+
+}  // namespace
+
+GridSchedulingService::GridSchedulingService(ServiceConfig config)
+    : config_(std::move(config)),
+      pool_(config_.threads),
+      router_(make_routing_policy(config_.routing)),
+      name_(std::string("ShardedService(") +
+            std::to_string(config_.num_shards) + "x " +
+            std::string(routing_name(config_.routing)) + ")") {
+  if (config_.num_shards < 1) {
+    throw std::invalid_argument("Service: need at least one shard");
+  }
+  if (config_.total_budget_ms <= 0) {
+    throw std::invalid_argument("Service: total_budget_ms must be > 0");
+  }
+  if (config_.imbalance_factor != 0 && config_.imbalance_factor < 1.0) {
+    throw std::invalid_argument(
+        "Service: imbalance_factor must be 0 (off) or >= 1");
+  }
+  for (int shard = 0; shard < config_.num_shards; ++shard) {
+    PortfolioConfig portfolio = shard_portfolio_config(config_, shard);
+    shards_.push_back(std::make_unique<PortfolioBatchScheduler>(
+        portfolio, PortfolioBatchScheduler::default_members(portfolio),
+        pool_));
+    stats_.push_back(ShardStats{.shard = shard});
+  }
+}
+
+std::string_view GridSchedulingService::name() const noexcept { return name_; }
+
+int GridSchedulingService::shard_of_job(int global_job) const noexcept {
+  const auto it = shard_of_job_.find(global_job);
+  return it != shard_of_job_.end() ? it->second : -1;
+}
+
+Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc) {
+  return schedule_batch(etc, BatchContext::identity(etc, activation_));
+}
+
+Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
+                                               const BatchContext& context) {
+  if (context.job_ids.size() != static_cast<std::size_t>(etc.num_jobs()) ||
+      context.machine_ids.size() !=
+          static_cast<std::size_t>(etc.num_machines())) {
+    throw std::invalid_argument(
+        "Service: batch context does not match the ETC dimensions");
+  }
+  ++activation_;
+  // The job->shard map describes the current batch only; dropping older
+  // entries keeps a long-lived service's memory flat (finished jobs need
+  // no routing record, and a re-queued job re-enters routing anyway).
+  shard_of_job_.clear();
+  if (etc.num_jobs() == 0) return Schedule(0);
+
+  // --- Partition the batch's machines into their static shards. ---
+  std::vector<ShardSnapshot> snapshots;  // authoritative shard load view
+  std::vector<ActiveShard> active;       // only shards with alive machines
+  std::vector<int> active_index(static_cast<std::size_t>(config_.num_shards),
+                                -1);
+  for (int column = 0; column < etc.num_machines(); ++column) {
+    const int shard = shard_of_machine(context.machine_ids[
+        static_cast<std::size_t>(column)]);
+    if (active_index[static_cast<std::size_t>(shard)] < 0) {
+      active_index[static_cast<std::size_t>(shard)] =
+          static_cast<int>(active.size());
+      ActiveShard entry;
+      entry.shard = shard;
+      active.push_back(std::move(entry));
+      ShardSnapshot snapshot;
+      snapshot.shard = shard;
+      snapshots.push_back(std::move(snapshot));
+    }
+    ShardSnapshot& snapshot = snapshots[static_cast<std::size_t>(
+        active_index[static_cast<std::size_t>(shard)])];
+    snapshot.columns.push_back(column);
+    snapshot.ready_sum += etc.ready_time(static_cast<MachineId>(column));
+  }
+  // The simulator only activates on alive machines, so `active` cannot be
+  // empty here; a defensive check keeps misuse loud.
+  if (active.empty()) {
+    throw std::invalid_argument("Service: batch has no machines");
+  }
+
+  // --- Route every job to a shard. ---
+  for (JobId row = 0; row < etc.num_jobs(); ++row) {
+    const std::size_t pick = router_->route(row, etc, snapshots);
+    active[pick].queue.push_back(row);
+    snapshots[pick].routed_work +=
+        shard_work_estimate(etc, row, snapshots[pick]);
+    snapshots[pick].routed_jobs += 1;
+    shard_of_job_[context.job_ids[static_cast<std::size_t>(row)]] =
+        active[pick].shard;
+  }
+
+  // --- Rebalance: the hottest shard sheds its newest jobs to the
+  // lightest while the backlogs differ by more than the imbalance factor.
+  // Each migration must strictly shrink the hot/light spread, which
+  // guarantees termination and forbids ping-pong. ---
+  if (config_.imbalance_factor >= 1.0 && active.size() > 1) {
+    const std::size_t max_migrations =
+        static_cast<std::size_t>(etc.num_jobs());
+    for (std::size_t moves = 0; moves < max_migrations; ++moves) {
+      std::size_t hot = 0;
+      std::size_t light = 0;
+      for (std::size_t s = 1; s < snapshots.size(); ++s) {
+        if (snapshots[s].backlog() > snapshots[hot].backlog()) hot = s;
+        if (snapshots[s].backlog() < snapshots[light].backlog()) light = s;
+      }
+      if (active[hot].queue.empty() ||
+          snapshots[hot].backlog() <=
+              config_.imbalance_factor * snapshots[light].backlog() + 1e-12) {
+        break;
+      }
+      const JobId job = active[hot].queue.back();
+      const double out_work = shard_work_estimate(etc, job, snapshots[hot]);
+      const double in_work = shard_work_estimate(etc, job, snapshots[light]);
+      if (snapshots[light].backlog() + in_work >= snapshots[hot].backlog()) {
+        break;  // moving the job would just swap who is hot
+      }
+      active[hot].queue.pop_back();
+      active[light].queue.push_back(job);
+      snapshots[hot].routed_work -= out_work;
+      snapshots[hot].routed_jobs -= 1;
+      snapshots[light].routed_work += in_work;
+      snapshots[light].routed_jobs += 1;
+      active[hot].migrated_out += 1;
+      active[light].migrated_in += 1;
+      shard_of_job_[context.job_ids[static_cast<std::size_t>(job)]] =
+          active[light].shard;
+    }
+  }
+
+  // --- Race the shards, one at a time on the shared pool, each with a
+  // fair slice of the total budget. ---
+  std::size_t shards_with_work = 0;
+  for (const ActiveShard& entry : active) {
+    if (!entry.queue.empty()) ++shards_with_work;
+  }
+  const double slice =
+      config_.total_budget_ms / static_cast<double>(shards_with_work);
+
+  Schedule plan(etc.num_jobs());
+  for (std::size_t s = 0; s < active.size(); ++s) {
+    ActiveShard& entry = active[s];
+    if (entry.queue.empty()) {
+      // A shard that shed its whole queue still owes its migration
+      // counts (it may also have received jobs while it was light and
+      // shed them again once it turned hot).
+      ShardStats& stat = stats_[static_cast<std::size_t>(entry.shard)];
+      stat.migrated_in += entry.migrated_in;
+      stat.migrated_out += entry.migrated_out;
+      continue;
+    }
+    const ShardSnapshot& shard = snapshots[s];
+
+    EtcMatrix sub(static_cast<int>(entry.queue.size()),
+                  static_cast<int>(shard.columns.size()));
+    BatchContext sub_context;
+    sub_context.activation = context.activation;
+    for (std::size_t row = 0; row < entry.queue.size(); ++row) {
+      const JobId job = entry.queue[row];
+      sub_context.job_ids.push_back(
+          context.job_ids[static_cast<std::size_t>(job)]);
+      for (std::size_t column = 0; column < shard.columns.size(); ++column) {
+        sub(static_cast<JobId>(row), static_cast<MachineId>(column)) =
+            etc(job, static_cast<MachineId>(shard.columns[column]));
+      }
+    }
+    for (std::size_t column = 0; column < shard.columns.size(); ++column) {
+      sub.set_ready_time(static_cast<MachineId>(column),
+                         etc.ready_time(static_cast<MachineId>(
+                             shard.columns[column])));
+      sub_context.machine_ids.push_back(context.machine_ids[
+          static_cast<std::size_t>(shard.columns[column])]);
+    }
+
+    PortfolioBatchScheduler& scheduler =
+        *shards_[static_cast<std::size_t>(shard.shard)];
+    scheduler.set_budget_ms(slice);
+    Stopwatch watch;
+    const Schedule sub_plan = scheduler.schedule_batch(sub, sub_context);
+    const double race_ms = watch.elapsed_ms();
+
+    for (std::size_t row = 0; row < entry.queue.size(); ++row) {
+      plan[entry.queue[row]] = static_cast<MachineId>(
+          shard.columns[static_cast<std::size_t>(
+              sub_plan[static_cast<JobId>(row)])]);
+    }
+
+    ShardStats& stat = stats_[static_cast<std::size_t>(shard.shard)];
+    ++stat.activations;
+    stat.jobs_scheduled += static_cast<int>(entry.queue.size());
+    stat.migrated_in += entry.migrated_in;
+    stat.migrated_out += entry.migrated_out;
+    stat.total_race_ms += race_ms;
+    stat.max_race_ms = std::max(stat.max_race_ms, race_ms);
+    records_.push_back(ShardActivationRecord{
+        .activation = context.activation,
+        .shard = shard.shard,
+        .jobs = static_cast<int>(entry.queue.size()),
+        .migrated_in = entry.migrated_in,
+        .migrated_out = entry.migrated_out,
+        .backlog = shard.backlog(),
+        .budget_ms = slice,
+        .race_ms = race_ms,
+    });
+  }
+  return plan;
+}
+
+}  // namespace gridsched

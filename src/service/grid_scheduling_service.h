@@ -1,0 +1,140 @@
+// The sharded multi-queue scheduling service.
+//
+// PR 1's PortfolioBatchScheduler optimizes one batch queue; a
+// production-scale grid serves many. GridSchedulingService partitions the
+// grid's machines into `num_shards` static shards (grid machine id modulo
+// shard count, so a machine keeps its shard across failures and repairs)
+// and runs one full portfolio — with its own PopulationCache and budget
+// policy — per shard, all racing on ONE shared ThreadPool. Each arriving
+// job is routed to a shard by a pluggable RoutingPolicy; the service then
+// activates the shards one at a time, splitting its total wall-clock
+// budget evenly over the shards that actually have work, so N shards cost
+// the same real time as one portfolio with the whole budget.
+//
+// Cross-shard rebalancing runs at every activation boundary, after
+// routing and before the races: while the hottest shard's backlog (ready
+// times + estimated routed work) exceeds `imbalance_factor` times the
+// lightest shard's, the hot shard migrates its newest queued jobs to the
+// lightest shard — so a hot queue cannot starve while neighbors idle. A
+// migration only happens when it strictly shrinks the spread, which makes
+// the loop terminate without job ping-pong.
+//
+// The service is itself a BatchScheduler, so GridSimulator drives it
+// unchanged: machine failures shrink a shard's column set for the
+// activation, and re-queued jobs re-enter routing like any arrival (a
+// re-queued job may legitimately land on a new shard — its old machine may
+// be the dead one). ShardedSimDriver (sharded_driver.h) splits the
+// simulator's per-job records back into per-shard SimMetrics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "portfolio/portfolio.h"
+#include "service/routing_policy.h"
+
+namespace gridsched {
+
+struct ServiceConfig {
+  int num_shards = 4;
+  RoutingKind routing = RoutingKind::kLeastBacklog;
+  /// Wall-clock budget per service activation, split evenly over the
+  /// shards that have queued work (a lone active shard gets all of it).
+  double total_budget_ms = 25.0;
+  /// Rebalance trigger: migrate newest jobs away from the hottest shard
+  /// while its backlog exceeds `imbalance_factor` times the lightest
+  /// shard's. Must be >= 1; 0 disables rebalancing.
+  double imbalance_factor = 2.0;
+  /// Width of the shared racing pool; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Per-shard portfolio knobs (see PortfolioConfig).
+  PolicyKind policy = PolicyKind::kStaticRace;
+  UcbConfig ucb{};
+  FitnessWeights weights{};
+  StopCondition member_stop{};
+  bool warm_start = true;
+  int elite_capacity = 8;
+  std::uint64_t seed = 1;
+};
+
+/// One shard's slice of one service activation.
+struct ShardActivationRecord {
+  std::uint64_t activation = 0;
+  int shard = 0;
+  int jobs = 0;          // jobs raced by this shard (after rebalancing)
+  int migrated_in = 0;   // jobs received from hotter shards
+  int migrated_out = 0;  // jobs shed to lighter shards
+  double backlog = 0.0;  // ready-time sum + est. routed work, pre-race
+  double budget_ms = 0.0;
+  double race_ms = 0.0;  // wall time of this shard's portfolio race
+};
+
+/// Per-shard aggregate over all activations so far.
+struct ShardStats {
+  int shard = 0;
+  int activations = 0;  // activations in which the shard raced
+  int jobs_scheduled = 0;
+  int migrated_in = 0;
+  int migrated_out = 0;
+  double total_race_ms = 0.0;
+  double max_race_ms = 0.0;
+};
+
+class GridSchedulingService final : public BatchScheduler {
+ public:
+  explicit GridSchedulingService(ServiceConfig config);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+
+  [[nodiscard]] Schedule schedule_batch(const EtcMatrix& etc) override;
+  [[nodiscard]] Schedule schedule_batch(const EtcMatrix& etc,
+                                        const BatchContext& context) override;
+
+  [[nodiscard]] int num_shards() const noexcept { return config_.num_shards; }
+
+  /// Static machine partition: the shard that owns a grid machine.
+  [[nodiscard]] int shard_of_machine(int grid_machine) const noexcept {
+    return grid_machine % config_.num_shards;
+  }
+
+  /// Shard the job was routed to (after rebalancing) in the most recent
+  /// activation; -1 if that batch did not contain it. Scoped to one
+  /// batch so a long-lived service's memory stays flat.
+  [[nodiscard]] int shard_of_job(int global_job) const noexcept;
+
+  /// The portfolio serving one shard (its stats, activations and cache).
+  [[nodiscard]] const PortfolioBatchScheduler& shard_scheduler(
+      int shard) const {
+    return *shards_.at(static_cast<std::size_t>(shard));
+  }
+
+  [[nodiscard]] const std::vector<ShardStats>& shard_stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const std::vector<ShardActivationRecord>& shard_activations()
+      const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::string_view router_name() const noexcept {
+    return router_->name();
+  }
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  ServiceConfig config_;
+  ThreadPool pool_;  // shared by every shard's portfolio race
+  std::vector<std::unique_ptr<PortfolioBatchScheduler>> shards_;
+  std::unique_ptr<RoutingPolicy> router_;
+  std::vector<ShardStats> stats_;
+  std::vector<ShardActivationRecord> records_;
+  std::unordered_map<int, int> shard_of_job_;
+  std::string name_;
+  std::uint64_t activation_ = 0;
+};
+
+}  // namespace gridsched

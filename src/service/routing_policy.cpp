@@ -1,0 +1,110 @@
+#include "service/routing_policy.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace gridsched {
+
+std::string_view routing_name(RoutingKind kind) noexcept {
+  switch (kind) {
+    case RoutingKind::kRoundRobin: return "round-robin";
+    case RoutingKind::kLeastBacklog: return "least-backlog";
+    case RoutingKind::kBestFit: return "best-fit";
+    case RoutingKind::kShardMct: return "shard-mct";
+  }
+  return "?";
+}
+
+std::span<const RoutingKind> all_routing_kinds() noexcept {
+  static constexpr RoutingKind kAll[] = {
+      RoutingKind::kRoundRobin,
+      RoutingKind::kLeastBacklog,
+      RoutingKind::kBestFit,
+      RoutingKind::kShardMct,
+  };
+  return kAll;
+}
+
+double shard_work_estimate(const EtcMatrix& etc, JobId job,
+                           const ShardSnapshot& shard) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int column : shard.columns) {
+    best = std::min(best, etc(job, static_cast<MachineId>(column)));
+  }
+  return shard.columns.empty() ? 0.0 : best;
+}
+
+std::size_t RoundRobinRouting::route(JobId job, const EtcMatrix& etc,
+                                     std::span<const ShardSnapshot> shards) {
+  (void)job;
+  (void)etc;
+  const std::size_t pick = next_ % shards.size();
+  ++next_;
+  return pick;
+}
+
+std::size_t LeastBacklogRouting::route(JobId job, const EtcMatrix& etc,
+                                       std::span<const ShardSnapshot> shards) {
+  (void)job;
+  (void)etc;
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < shards.size(); ++s) {
+    if (shards[s].backlog() < shards[best].backlog()) best = s;
+  }
+  return best;
+}
+
+std::size_t BestFitRouting::route(JobId job, const EtcMatrix& etc,
+                                  std::span<const ShardSnapshot> shards) {
+  std::size_t best = 0;
+  double best_etc = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (int column : shards[s].columns) {
+      const double cost = etc(job, static_cast<MachineId>(column));
+      if (cost < best_etc) {
+        best_etc = cost;
+        best = s;
+      }
+    }
+  }
+  return best;
+}
+
+std::size_t ShardMctRouting::route(JobId job, const EtcMatrix& etc,
+                                   std::span<const ShardSnapshot> shards) {
+  std::size_t best = 0;
+  double best_completion = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    double min_etc = std::numeric_limits<double>::infinity();
+    for (int column : shards[s].columns) {
+      min_etc = std::min(min_etc, etc(job, static_cast<MachineId>(column)));
+    }
+    // Estimated completion: the shard's mean per-machine backlog (how long
+    // until *a* machine frees up) plus the job's best run time there.
+    const double completion =
+        shards[s].backlog() /
+            static_cast<double>(shards[s].columns.size()) +
+        min_etc;
+    if (completion < best_completion) {
+      best_completion = completion;
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<RoutingPolicy> make_routing_policy(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::kRoundRobin:
+      return std::make_unique<RoundRobinRouting>();
+    case RoutingKind::kLeastBacklog:
+      return std::make_unique<LeastBacklogRouting>();
+    case RoutingKind::kBestFit:
+      return std::make_unique<BestFitRouting>();
+    case RoutingKind::kShardMct:
+      return std::make_unique<ShardMctRouting>();
+  }
+  throw std::invalid_argument("make_routing_policy: unknown routing kind");
+}
+
+}  // namespace gridsched

@@ -1,0 +1,139 @@
+// Job routing across portfolio shards.
+//
+// The sharded scheduling service partitions the grid's machines into
+// shards and must decide, per arriving job, which shard's queue it joins.
+// A RoutingPolicy sees the batch ETC plus a snapshot of every *available*
+// shard (one with at least one alive machine this activation) and picks
+// one. Three built-ins:
+//
+//   RoundRobinRouting    cycle over the available shards — the oblivious
+//                        baseline, perfect spread by count, blind to load
+//                        and to ETC.
+//   LeastBacklogRouting  shard with the smallest backlog: sum of its
+//                        machines' ready times plus the estimated work
+//                        already routed to it this activation (without the
+//                        second term every job of a batch would pile onto
+//                        the shard that was lightest when the batch
+//                        opened).
+//   BestFitRouting       shard containing the machine with the lowest ETC
+//                        for this job — chases machine affinity on
+//                        inconsistent grids, ignoring load.
+//   ShardMctRouting      shard with the least estimated completion time
+//                        for the job: per-machine backlog plus the job's
+//                        best ETC in the shard — MCT lifted to shard
+//                        granularity, combining load AND affinity. On
+//                        inconsistent grids this is the policy that keeps
+//                        a sharded service at single-queue quality (see
+//                        bench/sharded_service).
+//
+// Ties break toward the lower shard id, so routing is deterministic given
+// the snapshots. Policies may be stateful (round-robin's cursor).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "etc/etc_matrix.h"
+
+namespace gridsched {
+
+enum class RoutingKind {
+  kRoundRobin,
+  kLeastBacklog,
+  kBestFit,
+  kShardMct,
+};
+
+[[nodiscard]] std::string_view routing_name(RoutingKind kind) noexcept;
+
+/// All routing kinds, in a stable display order.
+[[nodiscard]] std::span<const RoutingKind> all_routing_kinds() noexcept;
+
+/// What a routing policy knows about one shard at routing time. `columns`
+/// are batch ETC column indices (not grid machine ids), so policies can
+/// read ETC entries directly.
+struct ShardSnapshot {
+  int shard = 0;
+  std::vector<int> columns;  // batch columns of this shard's alive machines
+  double ready_sum = 0.0;    // sum of those machines' ready times
+  double routed_work = 0.0;  // est. work routed to the shard this activation
+  int routed_jobs = 0;
+
+  [[nodiscard]] double backlog() const noexcept {
+    return ready_sum + routed_work;
+  }
+};
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Picks the index *into `shards`* (not the shard id) for batch row
+  /// `job`. `shards` is never empty and every snapshot has at least one
+  /// column.
+  [[nodiscard]] virtual std::size_t route(
+      JobId job, const EtcMatrix& etc,
+      std::span<const ShardSnapshot> shards) = 0;
+};
+
+class RoundRobinRouting final : public RoutingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "round-robin";
+  }
+  [[nodiscard]] std::size_t route(JobId job, const EtcMatrix& etc,
+                                  std::span<const ShardSnapshot> shards)
+      override;
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class LeastBacklogRouting final : public RoutingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "least-backlog";
+  }
+  [[nodiscard]] std::size_t route(JobId job, const EtcMatrix& etc,
+                                  std::span<const ShardSnapshot> shards)
+      override;
+};
+
+class BestFitRouting final : public RoutingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "best-fit";
+  }
+  [[nodiscard]] std::size_t route(JobId job, const EtcMatrix& etc,
+                                  std::span<const ShardSnapshot> shards)
+      override;
+};
+
+class ShardMctRouting final : public RoutingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "shard-mct";
+  }
+  [[nodiscard]] std::size_t route(JobId job, const EtcMatrix& etc,
+                                  std::span<const ShardSnapshot> shards)
+      override;
+};
+
+[[nodiscard]] std::unique_ptr<RoutingPolicy> make_routing_policy(
+    RoutingKind kind);
+
+/// Work estimate the service books against a shard when it routes or
+/// migrates the job: the job's best ETC over the shard's machines. On
+/// heterogeneous grids the shard scheduler places a job at or near its
+/// best machine, so the min tracks realized cost far better than the mean
+/// (which counts machines the job will never run on, and systematically
+/// overestimates class-matched jobs — skewing least-backlog toward
+/// balancing fictional work).
+[[nodiscard]] double shard_work_estimate(const EtcMatrix& etc, JobId job,
+                                         const ShardSnapshot& shard);
+
+}  // namespace gridsched

@@ -1,0 +1,67 @@
+#include "service/sharded_driver.h"
+
+#include <algorithm>
+
+namespace gridsched {
+
+ShardedSimReport run_sharded(GridSimulator& sim,
+                             GridSchedulingService& service) {
+  ShardedSimReport report;
+  report.global = sim.run(service);
+  report.per_shard.assign(static_cast<std::size_t>(service.num_shards()),
+                          SimMetrics{});
+
+  // --- Job outcomes, attributed to the completing machine's shard. ---
+  std::vector<double> flow_sum(report.per_shard.size(), 0.0);
+  std::vector<double> wait_sum(report.per_shard.size(), 0.0);
+  for (const SimJobRecord& record : sim.job_records()) {
+    if (record.finish < 0) continue;
+    const auto shard = static_cast<std::size_t>(
+        service.shard_of_machine(record.machine));
+    SimMetrics& metrics = report.per_shard[shard];
+    ++metrics.jobs_completed;
+    metrics.jobs_requeued += record.attempts - 1;
+    flow_sum[shard] += record.flowtime();
+    wait_sum[shard] += record.wait();
+    metrics.max_flowtime = std::max(metrics.max_flowtime, record.flowtime());
+    metrics.makespan = std::max(metrics.makespan, record.finish);
+  }
+
+  // --- Shard-local machine utilization over the global elapsed time. ---
+  const std::vector<double>& busy = sim.machine_busy();
+  std::vector<double> busy_sum(report.per_shard.size(), 0.0);
+  std::vector<int> machine_count(report.per_shard.size(), 0);
+  for (std::size_t machine = 0; machine < busy.size(); ++machine) {
+    const auto shard = static_cast<std::size_t>(
+        service.shard_of_machine(static_cast<int>(machine)));
+    busy_sum[shard] += busy[machine];
+    machine_count[shard] += 1;
+  }
+
+  const double elapsed =
+      std::max(report.global.makespan, sim.config().horizon);
+  for (std::size_t shard = 0; shard < report.per_shard.size(); ++shard) {
+    SimMetrics& metrics = report.per_shard[shard];
+    if (metrics.jobs_completed > 0) {
+      metrics.mean_flowtime = flow_sum[shard] / metrics.jobs_completed;
+      metrics.mean_wait = wait_sum[shard] / metrics.jobs_completed;
+    }
+    if (machine_count[shard] > 0 && elapsed > 0) {
+      metrics.utilization =
+          busy_sum[shard] /
+          (elapsed * static_cast<double>(machine_count[shard]));
+    }
+  }
+
+  // --- Scheduler-side aggregates from the service's own books. ---
+  for (const ShardStats& stat : service.shard_stats()) {
+    SimMetrics& metrics = report.per_shard[static_cast<std::size_t>(
+        stat.shard)];
+    metrics.activations = stat.activations;
+    metrics.scheduler_cpu_ms = stat.total_race_ms;
+    report.migrations += stat.migrated_out;
+  }
+  return report;
+}
+
+}  // namespace gridsched

@@ -1,0 +1,38 @@
+// Thin driver gluing GridSimulator to the sharded service's reporting.
+//
+// The service is a BatchScheduler, so the simulator already pushes machine
+// failures, re-queues and per-job records through it unchanged. What the
+// simulator cannot produce on its own is the per-shard view: this driver
+// runs one simulation and then folds the simulator's per-job records and
+// per-machine busy times back onto the service's static machine partition,
+// yielding one SimMetrics per shard next to the global one. Jobs are
+// attributed to the shard of the machine that finally completed them
+// (identical to the service's own routing map except for jobs still
+// unfinished at the end of a no-drain run, which belong to no shard).
+#pragma once
+
+#include <vector>
+
+#include "service/grid_scheduling_service.h"
+#include "sim/grid_simulator.h"
+
+namespace gridsched {
+
+struct ShardedSimReport {
+  SimMetrics global;
+  /// Index = shard id. Per-shard fields: jobs_completed, jobs_requeued,
+  /// activations, mean/max flowtime, mean_wait, makespan, utilization and
+  /// scheduler_cpu_ms are shard-local; arrival/batch statistics stay 0
+  /// (arrivals are a property of the grid, not of a shard).
+  std::vector<SimMetrics> per_shard;
+  /// Jobs that crossed shards during rebalancing, summed over activations.
+  int migrations = 0;
+};
+
+/// Runs `sim` with `service` and splits the outcome per shard. The
+/// service's books (activations, migrations, race times) are cumulative,
+/// so pass a freshly constructed service for an exact per-run report.
+[[nodiscard]] ShardedSimReport run_sharded(GridSimulator& sim,
+                                           GridSchedulingService& service);
+
+}  // namespace gridsched

@@ -44,6 +44,11 @@ GridSimulator::GridSimulator(SimConfig config) : config_(std::move(config)) {
     throw std::invalid_argument(
         "SimConfig: mtbf and mttr must be enabled together");
   }
+  if (config_.num_job_classes < 0 ||
+      (config_.num_job_classes > 0 && config_.class_speedup < 1.0)) {
+    throw std::invalid_argument(
+        "SimConfig: class_speedup must be >= 1 when classes are enabled");
+  }
 }
 
 SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
@@ -75,9 +80,19 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
     t_arrival += arrival_rng.exponential(config_.arrival_rate);
   }
 
+  auto job_class = [&](int job_id) {
+    std::uint64_t state =
+        config_.seed ^ (static_cast<std::uint64_t>(job_id) * 0x2545f4914f6cdd1dULL);
+    return static_cast<int>(splitmix64(state) %
+                            static_cast<std::uint64_t>(config_.num_job_classes));
+  };
   auto etc_of = [&](int job_id, int machine) {
-    const double base = workloads[static_cast<std::size_t>(job_id)] /
-                        machines[static_cast<std::size_t>(machine)].mips;
+    double base = workloads[static_cast<std::size_t>(job_id)] /
+                  machines[static_cast<std::size_t>(machine)].mips;
+    if (config_.num_job_classes > 0 &&
+        machine % config_.num_job_classes == job_class(job_id)) {
+      base /= config_.class_speedup;
+    }
     if (config_.consistency_noise <= 0) return base;
     return base * std::exp(config_.consistency_noise *
                            pair_noise(config_.seed, job_id, machine));
@@ -246,8 +261,14 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
   if (metrics.activations > 0) {
     metrics.mean_batch_size = total_batch / metrics.activations;
   }
+  machine_busy_.clear();
+  machine_mips_.clear();
   double busy = 0.0;
-  for (const auto& m : machines) busy += m.busy_until_now;
+  for (const auto& m : machines) {
+    busy += m.busy_until_now;
+    machine_busy_.push_back(m.busy_until_now);
+    machine_mips_.push_back(m.mips);
+  }
   const double elapsed = std::max(metrics.makespan, config_.horizon);
   metrics.utilization =
       busy / (elapsed * static_cast<double>(config_.num_machines));

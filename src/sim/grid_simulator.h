@@ -10,10 +10,21 @@
 // execution is non-preemptive.
 //
 // ETC entries for a (job, machine) pair derive from job workload (MI) and
-// machine speed (MIPS), optionally distorted by a deterministic per-pair
-// noise factor that produces inconsistent-class behaviour
-// (`etc = workload / mips * exp(noise * z)`, z a hash-based standard
-// normal). noise = 0 yields a perfectly consistent grid.
+// machine speed (MIPS), optionally distorted by two independent
+// inconsistency mechanisms:
+//
+//   * class affinity (`num_job_classes` > 0): machines carry a hardware
+//     class (machine id modulo the class count, i.e. types interleave
+//     across the grid like alternating racks) and every job gets a
+//     deterministic class; a job on a class-matched machine runs
+//     `class_speedup` times faster. This is the structured inconsistency
+//     of real heterogeneous grids — orderings differ per job CLASS — and
+//     the regime QoS brokers partition work by.
+//   * per-pair noise (`consistency_noise` > 0): a deterministic hash
+//     normal distorts each pair, `etc *= exp(noise * z)` — unstructured
+//     inconsistency with no exploitable pattern.
+//
+// Both disabled yields a perfectly consistent grid.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +45,13 @@ struct SimConfig {
   double workload_log_mean = 10.0;  // exp(10) ~ 22k MI
   double workload_log_sigma = 0.8;
   double consistency_noise = 0.0;  // 0 = consistent grid; ~0.5 = inconsistent
+  // Class-structured inconsistency (0 disables): machine class = machine
+  // id % num_job_classes, job class hashed from the job id; a matched
+  // pair runs `class_speedup` x faster. Keep the class count coprime to
+  // the shard count when sharding (see docs/service.md) so every shard
+  // inherits every hardware class.
+  int num_job_classes = 0;
+  double class_speedup = 3.0;
   // Machine churn (0 disables): mean time between failures / to repair.
   double machine_mtbf = 0.0;
   double machine_mttr = 0.0;
@@ -86,11 +104,25 @@ class GridSimulator {
     return records_;
   }
 
+  /// Per-machine busy time (executed work, seconds) of the last run. The
+  /// sharded driver folds these into per-shard utilization; empty before
+  /// the first run.
+  [[nodiscard]] const std::vector<double>& machine_busy() const noexcept {
+    return machine_busy_;
+  }
+
+  /// The sampled MIPS rating of each machine (set on the first run).
+  [[nodiscard]] const std::vector<double>& machine_mips() const noexcept {
+    return machine_mips_;
+  }
+
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
 
  private:
   SimConfig config_;
   std::vector<SimJobRecord> records_;
+  std::vector<double> machine_busy_;
+  std::vector<double> machine_mips_;
 };
 
 }  // namespace gridsched

@@ -36,6 +36,23 @@ TEST(GaCommon, SeedPopulationInjectsHeuristicsThenRandom) {
   }
 }
 
+TEST(GaCommon, SeedPopulationCancelledFallsBackToRandomFill) {
+  const EtcMatrix etc = small_instance();
+  Rng rng(3);
+  const GaSeeding seeding{{HeuristicKind::kMinMin, HeuristicKind::kLjfrSjfr}};
+  CancellationSource source;
+  source.request_cancel();
+  // A fired budget skips the heuristic seeds entirely; the population is
+  // still full-size and fully evaluated (random schedules are cheap).
+  const auto population =
+      seed_population(6, seeding, etc, FitnessWeights{}, rng, source.token());
+  ASSERT_EQ(population.size(), 6u);
+  for (const auto& individual : population) {
+    EXPECT_TRUE(individual.schedule.complete(etc.num_machines()));
+    EXPECT_LT(individual.fitness, std::numeric_limits<double>::infinity());
+  }
+}
+
 TEST(GaCommon, SeedPopulationTruncatesExcessSeeds) {
   const EtcMatrix etc = small_instance();
   Rng rng(2);

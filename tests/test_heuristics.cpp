@@ -37,6 +37,33 @@ TEST(MinMin, PicksGloballySmallestCompletionFirst) {
   EXPECT_EQ(s[0], 1);
 }
 
+TEST(MinMin, BudgetHonoringFormMatchesPlainMinMinWhileTokenIsQuiet) {
+  InstanceSpec spec;
+  spec.num_jobs = 40;
+  spec.num_machines = 6;
+  spec.seed = 9;
+  const EtcMatrix etc = generate_instance(spec);
+  CancellationSource source;  // never fired, no deadline
+  EXPECT_EQ(min_min(etc, source.token()), min_min(etc));
+  EXPECT_EQ(min_min(etc, CancellationToken{}), min_min(etc));
+}
+
+TEST(MinMin, CancelledBuildStillReturnsACompleteSchedule) {
+  InstanceSpec spec;
+  spec.num_jobs = 40;
+  spec.num_machines = 6;
+  spec.seed = 9;
+  const EtcMatrix etc = generate_instance(spec);
+  CancellationSource source;
+  source.request_cancel();
+  // Pre-cancelled: zero Min-Min rounds run, the whole schedule is the MCT
+  // completion pass — complete, and exactly what plain MCT produces from
+  // empty loads (same id order, same earliest-completion rule).
+  const Schedule cancelled = min_min(etc, source.token());
+  ASSERT_TRUE(cancelled.complete(etc.num_machines()));
+  EXPECT_EQ(cancelled, mct(etc));
+}
+
 TEST(MaxMin, PlacesLongJobFirst) {
   //          m0   m1
   // job 0    10    9

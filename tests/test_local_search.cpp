@@ -217,6 +217,35 @@ TEST(LocalSearch, DeterministicInSeed) {
   EXPECT_EQ(run(42), run(42));
 }
 
+TEST(LocalSearch, PreCancelledTokenStopsBeforeTheFirstMove) {
+  const EtcMatrix etc = test_instance(32, 4);
+  Rng rng(7);
+  ScheduleEvaluator eval(etc);
+  const Schedule start =
+      Schedule::random(etc.num_jobs(), etc.num_machines(), rng);
+  eval.reset(start);
+  CancellationSource source;
+  source.request_cancel();
+  const LocalSearchConfig config{LocalSearchKind::kLmcts, 5};
+  const auto stats = local_search(config, kWeights, eval, rng, source.token());
+  // The poll fires between neighborhood moves, so an already-expired
+  // budget costs zero previews and leaves the schedule untouched.
+  EXPECT_EQ(stats.iterations_run, 0);
+  EXPECT_EQ(stats.previews, 0);
+  EXPECT_EQ(eval.schedule(), start);
+}
+
+TEST(LocalSearch, InvalidTokenKeepsTheFullWalk) {
+  const EtcMatrix etc = test_instance(32, 4);
+  Rng rng(7);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+  const LocalSearchConfig config{LocalSearchKind::kSteepestLocalMove, 3};
+  const auto stats =
+      local_search(config, kWeights, eval, rng, CancellationToken{});
+  EXPECT_EQ(stats.iterations_run, 3);
+}
+
 TEST(LocalSearch, NamesAreStable) {
   EXPECT_EQ(local_search_name(LocalSearchKind::kNone), "None");
   EXPECT_EQ(local_search_name(LocalSearchKind::kLocalMove), "LM");

@@ -192,6 +192,40 @@ TEST(UcbPolicy, ConcentratesOnTheRewardingArm) {
   EXPECT_GE(arm1_plays, 9);
 }
 
+TEST(UcbPolicy, CostAwareCreditPrefersTheCheapNearWinner) {
+  // Arm 0 nearly wins for 5 ms; arm 1 barely wins for 50 ms. Cost-blind
+  // UCB ranks 1 above 0; cost-aware credit inverts that.
+  const auto feed = [](UcbPolicy& policy) {
+    for (int round = 0; round < 5; ++round) {
+      policy.record(0, 0.9, 5.0);
+      policy.record(1, 1.0, 50.0);
+    }
+  };
+  UcbPolicy cost_aware(
+      UcbConfig{.exploration = 0.0, .max_active = 1, .cost_aware = true});
+  (void)cost_aware.plan(2);
+  feed(cost_aware);
+  EXPECT_GT(cost_aware.score(0), cost_aware.score(1));
+
+  UcbPolicy cost_blind(
+      UcbConfig{.exploration = 0.0, .max_active = 1, .cost_aware = false});
+  (void)cost_blind.plan(2);
+  feed(cost_blind);
+  EXPECT_LT(cost_blind.score(0), cost_blind.score(1));
+}
+
+TEST(UcbPolicy, CostAwareReducesToMeanRewardOnEqualCosts) {
+  UcbPolicy policy(
+      UcbConfig{.exploration = 0.0, .max_active = 1, .cost_aware = true});
+  (void)policy.plan(2);
+  for (int round = 0; round < 4; ++round) {
+    policy.record(0, 0.8, 10.0);
+    policy.record(1, 0.5, 10.0);
+  }
+  EXPECT_NEAR(policy.score(0), 0.8, 1e-12);
+  EXPECT_NEAR(policy.score(1), 0.5, 1e-12);
+}
+
 TEST(UcbPolicy, UnplayedArmScoresInfinite) {
   UcbPolicy policy;
   (void)policy.plan(2);
@@ -300,6 +334,29 @@ TEST(Portfolio, UcbPolicySkipsMembersAndStillSchedules) {
     }
   }
   EXPECT_EQ(expensive_runs, 4);
+}
+
+TEST(Portfolio, SharedPoolMatchesOwnedPool) {
+  const EtcMatrix etc = small_instance();
+  PortfolioConfig config = deterministic_config();
+  PortfolioBatchScheduler owned(
+      config, PortfolioBatchScheduler::default_members(config));
+  ThreadPool shared(2);
+  PortfolioBatchScheduler on_shared(
+      config, PortfolioBatchScheduler::default_members(config), shared);
+  // Evaluation-bounded members are deterministic regardless of which pool
+  // executes them, so the two portfolios must agree bitwise.
+  EXPECT_EQ(owned.schedule_batch(etc), on_shared.schedule_batch(etc));
+  EXPECT_EQ(owned.schedule_batch(etc), on_shared.schedule_batch(etc));
+}
+
+TEST(Portfolio, SetBudgetRearmsTheDeadline) {
+  PortfolioConfig config = deterministic_config();
+  PortfolioBatchScheduler portfolio(
+      config, PortfolioBatchScheduler::default_members(config));
+  portfolio.set_budget_ms(123.0);
+  EXPECT_DOUBLE_EQ(portfolio.config().budget_ms, 123.0);
+  EXPECT_THROW(portfolio.set_budget_ms(0.0), std::invalid_argument);
 }
 
 TEST(Portfolio, SingleJobBatchShortcut) {

@@ -110,6 +110,28 @@ TEST(Percentile, ClampsOutOfRangeP) {
   EXPECT_DOUBLE_EQ(percentile(values, 150.0), 2.0);
 }
 
+TEST(Ci95, ZeroBelowTwoSamples) {
+  EXPECT_EQ(ci95_half_width(0, 5.0), 0.0);
+  EXPECT_EQ(ci95_half_width(1, 5.0), 0.0);
+}
+
+TEST(Ci95, MatchesTheStudentTTable) {
+  // n = 2 -> df = 1 -> t = 12.706; half width = t * s / sqrt(2).
+  EXPECT_NEAR(ci95_half_width(2, 1.0), 12.706 / std::sqrt(2.0), 1e-9);
+  // n = 10 -> df = 9 -> t = 2.262.
+  EXPECT_NEAR(ci95_half_width(10, 2.0), 2.262 * 2.0 / std::sqrt(10.0), 1e-9);
+  // Large n falls back to the normal quantile.
+  EXPECT_NEAR(ci95_half_width(100, 1.0), 1.96 / 10.0, 1e-9);
+}
+
+TEST(Ci95, AccumulatorOverloadAgreesWithTheScalarForm) {
+  RunningStats stats;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(ci95_half_width(stats),
+                   ci95_half_width(stats.count(), stats.stddev()));
+  EXPECT_GT(ci95_half_width(stats), 0.0);
+}
+
 TEST(PercentDelta, MatchesPaperConvention) {
   // Table 2 reports |GA - cMA| style percentages; percent_delta(a, b) is
   // the signed (a-b)/b * 100.
