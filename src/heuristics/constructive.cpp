@@ -56,16 +56,45 @@ class LoadTracker {
   std::vector<double> completion_;
 };
 
+/// Deadline tail of the O(n^2 m) batch heuristics: one MCT pass over the
+/// not-yet-committed jobs (id order, earliest completion given the loads
+/// built so far). O(n m) — always affordable, and the schedule stays
+/// complete.
+void mct_tail(Schedule& schedule, LoadTracker& loads,
+              std::vector<JobId>& unassigned) {
+  std::sort(unassigned.begin(), unassigned.end());
+  for (const JobId j : unassigned) {
+    loads.assign(schedule, j, loads.best_machine(j));
+  }
+  unassigned.clear();
+}
+
+/// How often the O(n m) one-pass heuristics poll the token: rarely enough
+/// that the clock read disappears against the per-job column scan.
+constexpr JobId kPollStride = 64;
+
+/// Deadline tail of the one-pass heuristics: remaining jobs round-robin
+/// over the machines, O(1) per job and load-blind — the cheapest complete
+/// assignment there is.
+void round_robin_tail(Schedule& schedule, LoadTracker& loads,
+                      const EtcMatrix& etc, JobId from) {
+  for (JobId j = from; j < etc.num_jobs(); ++j) {
+    loads.assign(schedule, j, j % etc.num_machines());
+  }
+}
+
 /// Shared skeleton of Min-Min / Max-Min / Sufferage: repeatedly score every
-/// unassigned job and commit the one chosen by `pick_larger_score`.
+/// unassigned job and commit the one chosen by `pick_larger_score`; once
+/// `cancel` fires, the remaining jobs fall to the MCT tail.
 template <typename ScoreFn>
-Schedule greedy_batch(const EtcMatrix& etc, ScoreFn score_job) {
+Schedule greedy_batch(const EtcMatrix& etc, const CancellationToken& cancel,
+                      ScoreFn score_job) {
   Schedule schedule(etc.num_jobs());
   LoadTracker loads(etc);
   std::vector<JobId> unassigned(static_cast<std::size_t>(etc.num_jobs()));
   std::iota(unassigned.begin(), unassigned.end(), 0);
 
-  while (!unassigned.empty()) {
+  while (!unassigned.empty() && !cancel.cancelled()) {
     std::size_t pick_idx = 0;
     double pick_score = -std::numeric_limits<double>::infinity();
     MachineId pick_machine = 0;
@@ -83,6 +112,7 @@ Schedule greedy_batch(const EtcMatrix& etc, ScoreFn score_job) {
     unassigned[pick_idx] = unassigned.back();
     unassigned.pop_back();
   }
+  mct_tail(schedule, loads, unassigned);
   return schedule;
 }
 
@@ -114,14 +144,19 @@ std::span<const HeuristicKind> all_heuristics() noexcept {
 
 Schedule construct_schedule(HeuristicKind kind, const EtcMatrix& etc,
                             Rng& rng) {
+  return construct_schedule(kind, etc, rng, CancellationToken{});
+}
+
+Schedule construct_schedule(HeuristicKind kind, const EtcMatrix& etc,
+                            Rng& rng, const CancellationToken& cancel) {
   switch (kind) {
-    case HeuristicKind::kLjfrSjfr: return ljfr_sjfr(etc);
-    case HeuristicKind::kMinMin: return min_min(etc);
-    case HeuristicKind::kMaxMin: return max_min(etc);
-    case HeuristicKind::kMct: return mct(etc);
-    case HeuristicKind::kMet: return met(etc);
-    case HeuristicKind::kOlb: return olb(etc);
-    case HeuristicKind::kSufferage: return sufferage(etc);
+    case HeuristicKind::kLjfrSjfr: return ljfr_sjfr(etc, cancel);
+    case HeuristicKind::kMinMin: return min_min(etc, cancel);
+    case HeuristicKind::kMaxMin: return max_min(etc, cancel);
+    case HeuristicKind::kMct: return mct(etc, cancel);
+    case HeuristicKind::kMet: return met(etc, cancel);
+    case HeuristicKind::kOlb: return olb(etc, cancel);
+    case HeuristicKind::kSufferage: return sufferage(etc, cancel);
     case HeuristicKind::kRandom:
       return Schedule::random(etc.num_jobs(), etc.num_machines(), rng);
   }
@@ -129,6 +164,10 @@ Schedule construct_schedule(HeuristicKind kind, const EtcMatrix& etc,
 }
 
 Schedule ljfr_sjfr(const EtcMatrix& etc) {
+  return ljfr_sjfr(etc, CancellationToken{});
+}
+
+Schedule ljfr_sjfr(const EtcMatrix& etc, const CancellationToken& cancel) {
   const int n = etc.num_jobs();
   const int m = etc.num_machines();
   Schedule schedule(n);
@@ -175,11 +214,21 @@ Schedule ljfr_sjfr(const EtcMatrix& etc) {
   // Phase 2: each step the least-loaded machine takes, alternately, the
   // shortest remaining job (SJFR) then the longest (LJFR).
   bool take_shortest = true;
+  JobId since_poll = 0;
   while (lo < hi) {
+    if (++since_poll >= kPollStride) {
+      since_poll = 0;
+      if (cancel.cancelled()) break;
+    }
     const MachineId target = loads.earliest_free();
     const JobId job = take_shortest ? jobs[lo++] : jobs[--hi];
     loads.assign(schedule, job, target);
     take_shortest = !take_shortest;
+  }
+  // Deadline fired: the remaining window goes round-robin over machines.
+  for (std::size_t i = lo; i < hi; ++i) {
+    loads.assign(schedule, jobs[i],
+                 static_cast<MachineId>(i - lo) % etc.num_machines());
   }
   return schedule;
 }
@@ -216,25 +265,28 @@ Schedule min_min(const EtcMatrix& etc, const CancellationToken& cancel) {
     unassigned.pop_back();
   }
 
-  // Deadline fired mid-build: finish the tail with one MCT pass (id order,
-  // earliest completion given the loads committed so far). O(n m) — always
-  // affordable, and the schedule stays complete.
-  std::sort(unassigned.begin(), unassigned.end());
-  for (const JobId j : unassigned) {
-    loads.assign(schedule, j, loads.best_machine(j));
-  }
+  mct_tail(schedule, loads, unassigned);
   return schedule;
 }
 
 Schedule max_min(const EtcMatrix& etc) {
-  return greedy_batch(etc, [](const LoadTracker& loads, JobId j, MachineId m) {
+  return max_min(etc, CancellationToken{});
+}
+
+Schedule max_min(const EtcMatrix& etc, const CancellationToken& cancel) {
+  return greedy_batch(etc, cancel,
+                      [](const LoadTracker& loads, JobId j, MachineId m) {
     return loads.completion_with(j, m);
   });
 }
 
 Schedule sufferage(const EtcMatrix& etc) {
-  return greedy_batch(etc, [&etc](const LoadTracker& loads, JobId j,
-                                  MachineId best) {
+  return sufferage(etc, CancellationToken{});
+}
+
+Schedule sufferage(const EtcMatrix& etc, const CancellationToken& cancel) {
+  return greedy_batch(etc, cancel, [&etc](const LoadTracker& loads, JobId j,
+                                          MachineId best) {
     double best_c = loads.completion_with(j, best);
     double second = std::numeric_limits<double>::infinity();
     for (MachineId m = 0; m < etc.num_machines(); ++m) {
@@ -248,19 +300,31 @@ Schedule sufferage(const EtcMatrix& etc) {
   });
 }
 
-Schedule mct(const EtcMatrix& etc) {
+Schedule mct(const EtcMatrix& etc) { return mct(etc, CancellationToken{}); }
+
+Schedule mct(const EtcMatrix& etc, const CancellationToken& cancel) {
   Schedule schedule(etc.num_jobs());
   LoadTracker loads(etc);
   for (JobId j = 0; j < etc.num_jobs(); ++j) {
+    if (j % kPollStride == 0 && cancel.cancelled()) {
+      round_robin_tail(schedule, loads, etc, j);
+      return schedule;
+    }
     loads.assign(schedule, j, loads.best_machine(j));
   }
   return schedule;
 }
 
-Schedule met(const EtcMatrix& etc) {
+Schedule met(const EtcMatrix& etc) { return met(etc, CancellationToken{}); }
+
+Schedule met(const EtcMatrix& etc, const CancellationToken& cancel) {
   Schedule schedule(etc.num_jobs());
   LoadTracker loads(etc);
   for (JobId j = 0; j < etc.num_jobs(); ++j) {
+    if (j % kPollStride == 0 && cancel.cancelled()) {
+      round_robin_tail(schedule, loads, etc, j);
+      return schedule;
+    }
     const auto row = etc.row(j);
     const auto it = std::min_element(row.begin(), row.end());
     loads.assign(schedule, j,
@@ -269,10 +333,16 @@ Schedule met(const EtcMatrix& etc) {
   return schedule;
 }
 
-Schedule olb(const EtcMatrix& etc) {
+Schedule olb(const EtcMatrix& etc) { return olb(etc, CancellationToken{}); }
+
+Schedule olb(const EtcMatrix& etc, const CancellationToken& cancel) {
   Schedule schedule(etc.num_jobs());
   LoadTracker loads(etc);
   for (JobId j = 0; j < etc.num_jobs(); ++j) {
+    if (j % kPollStride == 0 && cancel.cancelled()) {
+      round_robin_tail(schedule, loads, etc, j);
+      return schedule;
+    }
     loads.assign(schedule, j, loads.earliest_free());
   }
   return schedule;

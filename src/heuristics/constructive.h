@@ -56,23 +56,48 @@ enum class HeuristicKind {
 [[nodiscard]] Schedule construct_schedule(HeuristicKind kind,
                                           const EtcMatrix& etc, Rng& rng);
 
-[[nodiscard]] Schedule ljfr_sjfr(const EtcMatrix& etc);
-[[nodiscard]] Schedule min_min(const EtcMatrix& etc);
+/// Budget-honoring variant: threads `cancel` into the heuristic (see the
+/// per-function contracts below). kRandom is O(n) and ignores the token.
+[[nodiscard]] Schedule construct_schedule(HeuristicKind kind,
+                                          const EtcMatrix& etc, Rng& rng,
+                                          const CancellationToken& cancel);
 
-/// Budget-honoring Min-Min: polls `cancel` between commit rounds and, once
-/// it fires, completes the remaining jobs with the MCT rule (each in id
-/// order to the machine that finishes it earliest given the loads built so
-/// far). Min-Min is O(n^2 m) — "negligible" only while batches are small;
-/// at production batch sizes an uncancellable Min-Min would bust any
-/// activation budget, silently converting a latency contract into a lie.
-/// The prefix it did commit is exactly plain Min-Min's, so an unfired
-/// token yields the identical schedule.
+// Every heuristic has a budget-honoring overload taking a
+// CancellationToken. The shared contract, mirrored from Min-Min's: the
+// committed prefix is exactly what the plain form would have built, so an
+// unfired (or invalid) token yields the identical schedule, and a fired
+// one still returns a COMPLETE schedule via a strictly cheaper tail rule:
+//
+//   * the O(n^2 m) batch heuristics (Min-Min, Max-Min, Sufferage) poll
+//     between commit rounds and finish the tail with one O(n m) MCT pass
+//     (remaining jobs in id order, each to the machine that completes it
+//     earliest given the loads built so far);
+//   * the O(n m) one-pass heuristics (MCT, MET, OLB, LJFR-SJFR) poll
+//     every few jobs and dump the tail round-robin over the machines —
+//     O(1) per job, load-blind, but any complete answer beats busting
+//     the activation deadline (the portfolio's ensemble rule discards a
+//     degraded member result whenever a better one finished in time).
+
+[[nodiscard]] Schedule ljfr_sjfr(const EtcMatrix& etc);
+[[nodiscard]] Schedule ljfr_sjfr(const EtcMatrix& etc,
+                                 const CancellationToken& cancel);
+[[nodiscard]] Schedule min_min(const EtcMatrix& etc);
 [[nodiscard]] Schedule min_min(const EtcMatrix& etc,
                                const CancellationToken& cancel);
 [[nodiscard]] Schedule max_min(const EtcMatrix& etc);
+[[nodiscard]] Schedule max_min(const EtcMatrix& etc,
+                               const CancellationToken& cancel);
 [[nodiscard]] Schedule mct(const EtcMatrix& etc);
+[[nodiscard]] Schedule mct(const EtcMatrix& etc,
+                           const CancellationToken& cancel);
 [[nodiscard]] Schedule met(const EtcMatrix& etc);
+[[nodiscard]] Schedule met(const EtcMatrix& etc,
+                           const CancellationToken& cancel);
 [[nodiscard]] Schedule olb(const EtcMatrix& etc);
+[[nodiscard]] Schedule olb(const EtcMatrix& etc,
+                           const CancellationToken& cancel);
 [[nodiscard]] Schedule sufferage(const EtcMatrix& etc);
+[[nodiscard]] Schedule sufferage(const EtcMatrix& etc,
+                                 const CancellationToken& cancel);
 
 }  // namespace gridsched

@@ -36,13 +36,13 @@ MemberResult HeuristicMember::solve(const EtcMatrix& etc,
   Stopwatch watch;
   Rng rng(seed);
   MemberResult result;
-  // The O(nm) one-pass heuristics cannot usefully be cancelled, but
-  // Min-Min is O(n^2 m): on production-size batches it would bust the
-  // activation deadline by orders of magnitude, so it runs in its
-  // budget-honoring form (identical output while the token stays quiet).
-  const Schedule schedule = kind_ == HeuristicKind::kMinMin
-                                ? min_min(etc, stop.cancel)
-                                : construct_schedule(kind_, etc, rng);
+  // Every heuristic runs in its budget-honoring form: identical output
+  // while the token stays quiet, a complete schedule from a cheap tail
+  // rule once the activation deadline fires (the O(n^2 m) batch
+  // heuristics would otherwise bust it by orders of magnitude on
+  // production-size batches, and even the O(n m) passes hurt at 10^5
+  // jobs).
+  const Schedule schedule = construct_schedule(kind_, etc, rng, stop.cancel);
   result.best = make_individual(schedule, etc, weights_);
   result.elites = {result.best};
   result.evaluations = 1;

@@ -8,6 +8,7 @@ ShardedSimReport run_sharded(GridSimulator& sim,
                              GridSchedulingService& service) {
   ShardedSimReport report;
   report.global = sim.run(service);
+  report.workload = std::string(sim.workload_name());
   report.per_shard.assign(static_cast<std::size_t>(service.num_shards()),
                           SimMetrics{});
 

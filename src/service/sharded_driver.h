@@ -11,6 +11,7 @@
 // unfinished at the end of a no-drain run, which belong to no shard).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "service/grid_scheduling_service.h"
@@ -20,6 +21,9 @@ namespace gridsched {
 
 struct ShardedSimReport {
   SimMetrics global;
+  /// Which workload source fed the run ("poisson", "bursty", "trace", ...)
+  /// so multi-scenario benches can label rows from the report alone.
+  std::string workload;
   /// Index = shard id. Per-shard fields: jobs_completed, jobs_requeued,
   /// activations, mean/max flowtime, mean_wait, makespan, utilization and
   /// scheduler_cpu_ms are shard-local; arrival/batch statistics stay 0

@@ -36,8 +36,10 @@ GridSimulator::GridSimulator(SimConfig config) : config_(std::move(config)) {
   if (config_.num_machines <= 0) {
     throw std::invalid_argument("SimConfig: need at least one machine");
   }
-  if (config_.arrival_rate <= 0 || config_.horizon <= 0 ||
-      config_.scheduler_period <= 0) {
+  // arrival_rate only feeds the default Poisson stream; a config with an
+  // explicit workload source may leave it at anything.
+  if ((!config_.workload && config_.arrival_rate <= 0) ||
+      config_.horizon <= 0 || config_.scheduler_period <= 0) {
     throw std::invalid_argument("SimConfig: rates and horizon must be > 0");
   }
   if ((config_.machine_mtbf > 0) != (config_.machine_mttr > 0)) {
@@ -65,32 +67,53 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
     m.mips = machine_rng.uniform(config_.mips_min, config_.mips_max);
   }
 
-  // --- Pre-generate the arrival stream over the horizon. ---
-  records_.clear();
-  std::vector<double> workloads;
-  double t_arrival = arrival_rng.exponential(config_.arrival_rate);
-  while (t_arrival < config_.horizon) {
-    SimJobRecord record;
-    record.id = static_cast<int>(records_.size());
-    record.arrival = t_arrival;
-    records_.push_back(record);
-    workloads.push_back(std::exp(
-        workload_rng.normal(config_.workload_log_mean,
-                            config_.workload_log_sigma)));
-    t_arrival += arrival_rng.exponential(config_.arrival_rate);
+  // --- Materialize the arrival stream over the horizon. ---
+  if (config_.workload) {
+    trace_ = config_.workload->generate(config_.horizon, arrival_rng,
+                                        workload_rng);
+  } else {
+    PoissonWorkload poisson(
+        config_.arrival_rate,
+        LogNormalSize{config_.workload_log_mean, config_.workload_log_sigma});
+    trace_ = poisson.generate(config_.horizon, arrival_rng, workload_rng);
   }
-
-  auto job_class = [&](int job_id) {
+  records_.clear();
+  auto hashed_class = [&](int job_id) {
     std::uint64_t state =
         config_.seed ^ (static_cast<std::uint64_t>(job_id) * 0x2545f4914f6cdd1dULL);
     return static_cast<int>(splitmix64(state) %
                             static_cast<std::uint64_t>(config_.num_job_classes));
   };
+  for (std::size_t i = 0; i < trace_.size(); ++i) {
+    TraceJob& job = trace_[i];
+    // Negated comparisons reject NaN alongside genuine range violations.
+    if (!(job.arrival >= 0) || !std::isfinite(job.arrival) ||
+        !(job.workload_mi > 0) || !std::isfinite(job.workload_mi) ||
+        (i > 0 && job.arrival < trace_[i - 1].arrival)) {
+      throw std::runtime_error(
+          "GridSimulator: workload source produced an invalid stream "
+          "(arrivals must be finite, sorted and >= 0, sizes finite > 0)");
+    }
+    SimJobRecord record;
+    record.id = static_cast<int>(i);
+    record.arrival = job.arrival;
+    records_.push_back(record);
+    // Resolve the effective class now so arrival_trace() records exactly
+    // what the ETCs below use: a trace-supplied class wins; otherwise the
+    // historical per-id hash.
+    if (config_.num_job_classes > 0) {
+      job.job_class = job.job_class >= 0
+                          ? job.job_class % config_.num_job_classes
+                          : hashed_class(record.id);
+    }
+  }
+
   auto etc_of = [&](int job_id, int machine) {
-    double base = workloads[static_cast<std::size_t>(job_id)] /
-                  machines[static_cast<std::size_t>(machine)].mips;
+    const TraceJob& job = trace_[static_cast<std::size_t>(job_id)];
+    double base =
+        job.workload_mi / machines[static_cast<std::size_t>(machine)].mips;
     if (config_.num_job_classes > 0 &&
-        machine % config_.num_job_classes == job_class(job_id)) {
+        machine % config_.num_job_classes == job.job_class) {
       base /= config_.class_speedup;
     }
     if (config_.consistency_noise <= 0) return base;

@@ -1,13 +1,22 @@
 // Event-driven dynamic grid simulator.
 //
 // Models the scenario the paper positions the cMA for: independent jobs
-// arrive continuously (Poisson process), and every `scheduler_period`
-// simulated seconds the batch scheduler is activated on the jobs that
-// arrived since the last activation (plus any re-queued ones). Ready times
-// passed to the scheduler encode each machine's current backlog, exactly as
-// in Eq. 1 of the paper. Machines can optionally fail and recover
-// (exponential MTBF/MTTR); jobs on a failed machine are re-queued, since
-// execution is non-preemptive.
+// arrive continuously, and every `scheduler_period` simulated seconds the
+// batch scheduler is activated on the jobs that arrived since the last
+// activation (plus any re-queued ones). Ready times passed to the
+// scheduler encode each machine's current backlog, exactly as in Eq. 1 of
+// the paper. Machines can optionally fail and recover (exponential
+// MTBF/MTTR); jobs on a failed machine are re-queued, since execution is
+// non-preemptive.
+//
+// The arrival stream comes from a pluggable WorkloadSource
+// (workload/workload_source.h): trace replay, bursty, diurnal,
+// heavy-tailed, flash-crowd, or — when `SimConfig::workload` is unset —
+// the historical Poisson process with LogNormal sizes, reproduced draw
+// for draw. Whatever produced it, the materialized stream of the last run
+// is exposed via `arrival_trace()` with effective job classes filled in,
+// so any run can be recorded (workload/trace_io.h) and replayed
+// bit-for-bit.
 //
 // ETC entries for a (job, machine) pair derive from job workload (MI) and
 // machine speed (MIPS), optionally distorted by two independent
@@ -28,9 +37,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string_view>
 #include <vector>
 
 #include "sim/batch_scheduler.h"
+#include "workload/workload_source.h"
 
 namespace gridsched {
 
@@ -57,6 +69,12 @@ struct SimConfig {
   double machine_mttr = 0.0;
   bool drain = true;  // keep activating past the horizon until queue empties
   std::uint64_t seed = 1;
+  /// Arrival stream. Unset = Poisson(arrival_rate) with
+  /// LogNormal(workload_log_mean, workload_log_sigma) sizes, exactly the
+  /// stream this simulator always produced. Shared so SimConfig stays
+  /// copyable (benches clone a base config per run); sources are
+  /// stateless across runs.
+  std::shared_ptr<WorkloadSource> workload;
 };
 
 /// Per-job outcome record.
@@ -104,6 +122,19 @@ class GridSimulator {
     return records_;
   }
 
+  /// The materialized arrival stream of the last run, with the job class
+  /// each ETC actually used filled in (when classes are enabled).
+  /// `write_trace(out, sim.arrival_trace())` re-emits the run as a trace
+  /// that TraceWorkloadSource replays bit-for-bit under the same config.
+  [[nodiscard]] const std::vector<TraceJob>& arrival_trace() const noexcept {
+    return trace_;
+  }
+
+  /// Name of the configured workload source ("poisson" when unset).
+  [[nodiscard]] std::string_view workload_name() const noexcept {
+    return config_.workload ? config_.workload->name() : "poisson";
+  }
+
   /// Per-machine busy time (executed work, seconds) of the last run. The
   /// sharded driver folds these into per-shard utilization; empty before
   /// the first run.
@@ -121,6 +152,7 @@ class GridSimulator {
  private:
   SimConfig config_;
   std::vector<SimJobRecord> records_;
+  std::vector<TraceJob> trace_;
   std::vector<double> machine_busy_;
   std::vector<double> machine_mips_;
 };

@@ -1,0 +1,160 @@
+#include "workload/trace_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "common/csv.h"
+
+namespace gridsched {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("trace line " + std::to_string(line) + ": " + what);
+}
+
+std::string_view trimmed(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    fields.push_back(trimmed(line.substr(start, comma - start)));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return fields;
+}
+
+double parse_double(std::string_view field, std::size_t line,
+                    const char* column) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    fail(line, std::string(column) + " is not a number: '" +
+                   std::string(field) + "'");
+  }
+  return value;
+}
+
+int parse_class(std::string_view field, std::size_t line) {
+  if (field.empty()) return -1;  // unclassed
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    fail(line, "class is not an integer: '" + std::string(field) + "'");
+  }
+  if (value < -1) fail(line, "class must be >= -1");
+  return value;
+}
+
+/// A header row is any row whose first field is not parseable as a
+/// double. Parsing (rather than sniffing the first character) keeps
+/// "nan"/"inf" and empty fields on the data path, where the validator
+/// rejects them with a line number instead of silently eating the row.
+bool looks_like_header(std::string_view first_field) {
+  if (first_field.empty()) return false;
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(
+      first_field.data(), first_field.data() + first_field.size(), value);
+  return ec != std::errc{} || ptr != first_field.data() + first_field.size();
+}
+
+}  // namespace
+
+std::vector<TraceJob> read_trace(std::istream& in) {
+  std::vector<TraceJob> jobs;
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t columns = 0;  // fixed by the header or the first data row
+  bool seen_rows = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view content = trimmed(line);
+    if (content.empty() || content.front() == '#' || content.front() == ';') {
+      continue;
+    }
+    const std::vector<std::string_view> fields = split_fields(content);
+    if (fields.size() != 2 && fields.size() != 3) {
+      fail(line_no, "expected 2 or 3 columns, got " +
+                        std::to_string(fields.size()));
+    }
+    if (!seen_rows && looks_like_header(fields[0])) {
+      seen_rows = true;
+      columns = fields.size();
+      continue;
+    }
+    if (columns == 0) columns = fields.size();
+    seen_rows = true;
+    if (fields.size() != columns) {
+      fail(line_no, "row has " + std::to_string(fields.size()) +
+                        " columns, trace has " + std::to_string(columns));
+    }
+    TraceJob job;
+    job.arrival = parse_double(fields[0], line_no, "arrival");
+    job.workload_mi = parse_double(fields[1], line_no, "workload_mi");
+    if (fields.size() == 3) job.job_class = parse_class(fields[2], line_no);
+    // Negated comparisons so NaN (which from_chars happily parses) is
+    // rejected too — a NaN arrival would break the sort's strict weak
+    // ordering and strand the job outside every batch.
+    if (!(job.arrival >= 0) || !std::isfinite(job.arrival)) {
+      fail(line_no, "arrival must be finite and >= 0");
+    }
+    if (!(job.workload_mi > 0) || !std::isfinite(job.workload_mi)) {
+      fail(line_no, "workload_mi must be finite and > 0");
+    }
+    jobs.push_back(job);
+  }
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const TraceJob& a, const TraceJob& b) {
+                     return a.arrival < b.arrival;
+                   });
+  return jobs;
+}
+
+std::vector<TraceJob> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_trace_file: cannot open " + path);
+  return read_trace(in);
+}
+
+void write_trace(std::ostream& out, std::span<const TraceJob> jobs) {
+  const bool with_class =
+      std::any_of(jobs.begin(), jobs.end(),
+                  [](const TraceJob& job) { return job.job_class >= 0; });
+  out << "# gridsched trace v1, " << jobs.size() << " jobs\n";
+  out << (with_class ? "arrival,workload_mi,class\n" : "arrival,workload_mi\n");
+  for (const TraceJob& job : jobs) {
+    out << CsvWriter::field(job.arrival) << ','
+        << CsvWriter::field(job.workload_mi);
+    if (with_class) {
+      out << ',';
+      if (job.job_class >= 0) out << job.job_class;
+    }
+    out << '\n';
+  }
+}
+
+void write_trace_file(const std::string& path,
+                      std::span<const TraceJob> jobs) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_trace_file: cannot open " + path);
+  write_trace(out, jobs);
+}
+
+}  // namespace gridsched

@@ -1,0 +1,47 @@
+// Trace serialization: the on-disk workload format.
+//
+// A gridsched trace is a CSV file with one row per job (see
+// docs/workloads.md for the full spec):
+//
+//     # comment lines start with '#' or ';'
+//     arrival,workload_mi,class
+//     0.42,22026.465794806718,1
+//     1.07,18033.744927828524,
+//
+// The header row is optional (a row whose first field parses as a double
+// is data); the `class` column is optional and an empty or -1 field means
+// "unclassed" (the simulator hashes a class when classes are enabled).
+// Rows are stably sorted by arrival on read — real cluster logs
+// interleave slightly — so job ids always follow arrival order. Doubles
+// are written with round-trip precision: a recorded run replayed through
+// TraceWorkloadSource reproduces the original per-job records bit for bit
+// (enforced by tests/test_workload.cpp).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "workload/workload_source.h"
+
+namespace gridsched {
+
+/// Parses a trace. Throws std::runtime_error naming the offending line on
+/// malformed input (wrong column count, unparsable numbers, negative
+/// arrivals, non-positive sizes). An input with no data rows is a valid
+/// empty trace.
+[[nodiscard]] std::vector<TraceJob> read_trace(std::istream& in);
+
+/// File variant; also throws when the file cannot be opened.
+[[nodiscard]] std::vector<TraceJob> read_trace_file(const std::string& path);
+
+/// Writes jobs in the format above, with round-trip double precision. The
+/// `class` column is emitted only when at least one job carries a class.
+void write_trace(std::ostream& out, std::span<const TraceJob> jobs);
+
+/// File variant; throws std::runtime_error when the file cannot be opened.
+void write_trace_file(const std::string& path,
+                      std::span<const TraceJob> jobs);
+
+}  // namespace gridsched

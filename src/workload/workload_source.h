@@ -1,0 +1,240 @@
+// Workload sources: who arrives when, and how big they are.
+//
+// The dynamic-grid benches so far exercised one arrival pattern — the
+// Poisson process hard-coded into GridSimulator. Real grid traffic is
+// bursty, diurnal and heavy-tailed, and scheduler rankings flip under
+// those patterns, so the simulator now delegates its arrival stream to a
+// pluggable WorkloadSource. A source materializes the full stream over
+// the horizon as `TraceJob`s (arrival time, job size in MI, optional job
+// class); the simulator validates it, resolves effective job classes, and
+// exposes the stream back via `GridSimulator::arrival_trace()` so any run
+// can be re-emitted as a trace (workload/trace_io.h) and replayed
+// bit-for-bit through TraceWorkloadSource.
+//
+// Built-in sources:
+//
+//   PoissonWorkload     exponential inter-arrivals, LogNormal sizes — the
+//                       simulator's historical default, reproduced draw
+//                       for draw (a SimConfig without a source behaves
+//                       exactly as before).
+//   BurstyWorkload      on/off Markov-modulated Poisson: exponential
+//                       burst/gap phases, high rate inside a burst.
+//   DiurnalWorkload     sinusoidally rate-modulated Poisson (thinning),
+//                       the day/night cycle of user-facing grids.
+//   HeavyTailWorkload   Poisson arrivals with bounded-Pareto sizes — a
+//                       few elephants dominate the total work.
+//   FlashCrowdWorkload  baseline Poisson plus one spike window at a
+//                       multiple of the base rate.
+//   TraceWorkloadSource replays a recorded or imported trace verbatim.
+//
+// `make_workload` builds any synthetic kind calibrated so its expected
+// arrival volume over the horizon matches a plain Poisson process at the
+// given rate — scenarios compare at equal offered load.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gridsched {
+
+/// One arriving job of a workload trace.
+struct TraceJob {
+  double arrival = 0.0;      // seconds since simulation start
+  double workload_mi = 0.0;  // job size, millions of instructions
+  /// Job class for class-structured grids; -1 = unspecified (the
+  /// simulator hashes one from the job id, as it always did).
+  int job_class = -1;
+
+  friend bool operator==(const TraceJob&, const TraceJob&) = default;
+};
+
+class WorkloadSource {
+ public:
+  virtual ~WorkloadSource() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Materializes every arrival in [0, horizon), sorted by arrival time
+  /// with positive sizes (the simulator validates and throws otherwise).
+  /// The two streams are the simulator's seed-split generators — using
+  /// them keeps a run bitwise reproducible from SimConfig::seed; sources
+  /// that replay recorded data ignore them.
+  [[nodiscard]] virtual std::vector<TraceJob> generate(
+      double horizon, Rng& arrival_rng, Rng& workload_rng) = 0;
+};
+
+/// LogNormal(log_mean, log_sigma) job sizes, shared by every synthetic
+/// source except the heavy-tailed one.
+struct LogNormalSize {
+  double log_mean = 10.0;  // exp(10) ~ 22k MI
+  double log_sigma = 0.8;
+};
+
+class PoissonWorkload final : public WorkloadSource {
+ public:
+  PoissonWorkload(double rate, LogNormalSize size) noexcept
+      : rate_(rate), size_(size) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "poisson";
+  }
+  [[nodiscard]] std::vector<TraceJob> generate(double horizon,
+                                               Rng& arrival_rng,
+                                               Rng& workload_rng) override;
+
+ private:
+  double rate_;
+  LogNormalSize size_;
+};
+
+/// On/off Markov-modulated Poisson process: phases alternate between a
+/// burst (rate `on_rate`, mean length `mean_on`) and a gap (`off_rate`,
+/// `mean_off`), with exponentially distributed phase lengths.
+struct BurstyConfig {
+  double on_rate = 1.7;
+  double off_rate = 0.1;
+  double mean_on = 30.0;   // seconds
+  double mean_off = 90.0;  // seconds
+  LogNormalSize size{};
+};
+
+class BurstyWorkload final : public WorkloadSource {
+ public:
+  explicit BurstyWorkload(BurstyConfig config);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "bursty";
+  }
+  [[nodiscard]] std::vector<TraceJob> generate(double horizon,
+                                               Rng& arrival_rng,
+                                               Rng& workload_rng) override;
+
+ private:
+  BurstyConfig config_;
+};
+
+/// Sinusoidal rate modulation: rate(t) = base * (1 + amplitude *
+/// sin(2 pi t / period + phase)). Sampled by thinning (Lewis-Shedler), so
+/// the stream stays exact for any modulation depth.
+struct DiurnalConfig {
+  double base_rate = 0.5;  // long-run mean jobs/s
+  double amplitude = 0.8;  // in [0, 1): peak rate = base * (1 + amplitude)
+  double period = 600.0;   // seconds per day/night cycle
+  double phase = 0.0;      // radians
+  LogNormalSize size{};
+};
+
+class DiurnalWorkload final : public WorkloadSource {
+ public:
+  explicit DiurnalWorkload(DiurnalConfig config);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "diurnal";
+  }
+  [[nodiscard]] std::vector<TraceJob> generate(double horizon,
+                                               Rng& arrival_rng,
+                                               Rng& workload_rng) override;
+
+ private:
+  DiurnalConfig config_;
+};
+
+/// Poisson arrivals with bounded-Pareto sizes: P(X > x) ~ x^-alpha on
+/// [min_mi, max_mi]. The truncation keeps a sampled elephant from turning
+/// a finite-horizon simulation into one endless job.
+struct HeavyTailConfig {
+  double rate = 0.5;
+  double alpha = 1.5;      // tail index; heavier as it approaches 1
+  double min_mi = 1e4;     // smallest job size
+  double max_mi = 1e7;     // truncation point
+};
+
+class HeavyTailWorkload final : public WorkloadSource {
+ public:
+  explicit HeavyTailWorkload(HeavyTailConfig config);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "heavy-tail";
+  }
+  [[nodiscard]] std::vector<TraceJob> generate(double horizon,
+                                               Rng& arrival_rng,
+                                               Rng& workload_rng) override;
+
+ private:
+  HeavyTailConfig config_;
+};
+
+/// Baseline Poisson with one flash-crowd window: inside
+/// [begin_frac, begin_frac + duration_frac) * horizon the rate jumps to
+/// `spike_multiplier` times the base rate.
+struct FlashCrowdConfig {
+  double base_rate = 0.5;
+  double spike_multiplier = 5.0;
+  double begin_frac = 0.4;     // window start, fraction of the horizon
+  double duration_frac = 0.1;  // window length, fraction of the horizon
+  LogNormalSize size{};
+};
+
+class FlashCrowdWorkload final : public WorkloadSource {
+ public:
+  explicit FlashCrowdWorkload(FlashCrowdConfig config);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "flash-crowd";
+  }
+  [[nodiscard]] std::vector<TraceJob> generate(double horizon,
+                                               Rng& arrival_rng,
+                                               Rng& workload_rng) override;
+
+ private:
+  FlashCrowdConfig config_;
+};
+
+/// Replays a fixed trace (recorded by the simulator or read from a file).
+/// Jobs are stably sorted by arrival on construction; generate() returns
+/// the prefix with arrival < horizon and ignores both generators.
+class TraceWorkloadSource final : public WorkloadSource {
+ public:
+  explicit TraceWorkloadSource(std::vector<TraceJob> jobs);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "trace";
+  }
+  [[nodiscard]] std::vector<TraceJob> generate(double horizon,
+                                               Rng& arrival_rng,
+                                               Rng& workload_rng) override;
+
+  [[nodiscard]] const std::vector<TraceJob>& jobs() const noexcept {
+    return jobs_;
+  }
+
+ private:
+  std::vector<TraceJob> jobs_;
+};
+
+enum class WorkloadKind {
+  kPoisson,
+  kBursty,
+  kDiurnal,
+  kHeavyTail,
+  kFlashCrowd,
+};
+
+[[nodiscard]] std::string_view workload_name(WorkloadKind kind) noexcept;
+
+/// All synthetic kinds, in a stable display order.
+[[nodiscard]] std::span<const WorkloadKind> all_workload_kinds() noexcept;
+
+/// Builds a synthetic source of `kind` calibrated to offer the same
+/// expected arrival volume as a Poisson process at `rate` over `horizon`
+/// (diurnal gets whole modulation cycles; bursty a 25% duty cycle; the
+/// heavy tail a bounded Pareto whose mean approximates the LogNormal's).
+[[nodiscard]] std::unique_ptr<WorkloadSource> make_workload(
+    WorkloadKind kind, double rate, double horizon, LogNormalSize size = {});
+
+}  // namespace gridsched

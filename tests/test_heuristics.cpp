@@ -64,6 +64,74 @@ TEST(MinMin, CancelledBuildStillReturnsACompleteSchedule) {
   EXPECT_EQ(cancelled, mct(etc));
 }
 
+TEST(Heuristics, BudgetHonoringFormsMatchPlainWhileTokenIsQuiet) {
+  InstanceSpec spec;
+  spec.num_jobs = 40;
+  spec.num_machines = 6;
+  spec.seed = 9;
+  const EtcMatrix etc = generate_instance(spec);
+  CancellationSource source;  // never fired, no deadline
+  for (HeuristicKind kind : all_heuristics()) {
+    Rng plain_rng(21);
+    Rng live_rng(21);
+    Rng invalid_rng(21);
+    const Schedule plain = construct_schedule(kind, etc, plain_rng);
+    EXPECT_EQ(construct_schedule(kind, etc, live_rng, source.token()), plain)
+        << heuristic_name(kind);
+    EXPECT_EQ(construct_schedule(kind, etc, invalid_rng, CancellationToken{}),
+              plain)
+        << heuristic_name(kind);
+  }
+}
+
+TEST(Heuristics, CancelledBuildsStillReturnCompleteSchedules) {
+  InstanceSpec spec;
+  spec.num_jobs = 200;  // past the one-pass poll stride
+  spec.num_machines = 6;
+  spec.seed = 9;
+  const EtcMatrix etc = generate_instance(spec);
+  CancellationSource source;
+  source.request_cancel();
+  for (HeuristicKind kind : all_heuristics()) {
+    Rng rng(22);
+    const Schedule s = construct_schedule(kind, etc, rng, source.token());
+    EXPECT_TRUE(s.complete(etc.num_machines())) << heuristic_name(kind);
+  }
+}
+
+TEST(Heuristics, CancelledBatchHeuristicsFallBackToTheMctTail) {
+  InstanceSpec spec;
+  spec.num_jobs = 40;
+  spec.num_machines = 6;
+  spec.seed = 9;
+  const EtcMatrix etc = generate_instance(spec);
+  CancellationSource source;
+  source.request_cancel();
+  // Pre-cancelled: zero commit rounds run, so the whole schedule is the
+  // MCT completion pass — exactly plain MCT from empty loads.
+  EXPECT_EQ(max_min(etc, source.token()), mct(etc));
+  EXPECT_EQ(sufferage(etc, source.token()), mct(etc));
+}
+
+TEST(Heuristics, CancelledOnePassHeuristicsFallBackToRoundRobin) {
+  InstanceSpec spec;
+  spec.num_jobs = 40;
+  spec.num_machines = 6;
+  spec.seed = 9;
+  const EtcMatrix etc = generate_instance(spec);
+  CancellationSource source;
+  source.request_cancel();
+  // Pre-cancelled one-pass heuristics poll before the first assignment and
+  // dump everything round-robin: job j on machine j mod m.
+  for (const Schedule& s :
+       {mct(etc, source.token()), met(etc, source.token()),
+        olb(etc, source.token())}) {
+    for (JobId j = 0; j < etc.num_jobs(); ++j) {
+      EXPECT_EQ(s[j], j % etc.num_machines());
+    }
+  }
+}
+
 TEST(MaxMin, PlacesLongJobFirst) {
   //          m0   m1
   // job 0    10    9

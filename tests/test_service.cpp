@@ -287,6 +287,98 @@ TEST(Service, WarmStartCachesAreShardIsolated) {
   EXPECT_TRUE(plan.complete(etc.num_machines()));
 }
 
+TEST(Service, AllJobsOnOneShardLosesAndDuplicatesNothing) {
+  // Best-fit with rebalancing off funnels the whole batch onto shard 0
+  // (machine 0 dominates); the starved shard must simply sit out, with
+  // every job scheduled exactly once on the hot shard.
+  EtcMatrix etc(15, 4);
+  for (JobId job = 0; job < etc.num_jobs(); ++job) {
+    for (MachineId machine = 0; machine < etc.num_machines(); ++machine) {
+      etc(job, machine) = machine == 0 ? 5.0 : 50.0;
+    }
+  }
+  ServiceConfig config = deterministic_config(2);
+  config.routing = RoutingKind::kBestFit;
+  config.imbalance_factor = 0.0;
+  GridSchedulingService service(config);
+  const Schedule plan = service.schedule_batch(etc);
+  ASSERT_TRUE(plan.complete(etc.num_machines()));
+  int scheduled = 0;
+  for (const ShardStats& stat : service.shard_stats()) {
+    scheduled += stat.jobs_scheduled;
+    if (stat.shard == 1) {
+      EXPECT_EQ(stat.jobs_scheduled, 0);
+    }
+  }
+  EXPECT_EQ(scheduled, etc.num_jobs());
+  for (JobId job = 0; job < etc.num_jobs(); ++job) {
+    EXPECT_EQ(service.shard_of_job(job), 0);
+    EXPECT_EQ(service.shard_of_machine(plan[job]), 0);
+  }
+}
+
+TEST(Service, ShardWithNoMachinesNeverReceivesAJob) {
+  // 4 shards over 3 machines: shard 3 owns no machine at all, ever — the
+  // degenerate partition a mis-sized deployment produces. The router must
+  // skip it and still place the full batch.
+  const EtcMatrix etc = small_instance(18, 3);
+  for (const RoutingKind routing : all_routing_kinds()) {
+    ServiceConfig config = deterministic_config(4);
+    config.routing = routing;
+    GridSchedulingService service(config);
+    const Schedule plan = service.schedule_batch(etc);
+    ASSERT_TRUE(plan.complete(etc.num_machines()))
+        << routing_name(routing);
+    int scheduled = 0;
+    for (const ShardStats& stat : service.shard_stats()) {
+      scheduled += stat.jobs_scheduled;
+      if (stat.shard == 3) {
+        EXPECT_EQ(stat.jobs_scheduled, 0) << routing_name(routing);
+        EXPECT_EQ(stat.activations, 0) << routing_name(routing);
+      }
+    }
+    EXPECT_EQ(scheduled, etc.num_jobs()) << routing_name(routing);
+    for (JobId job = 0; job < etc.num_jobs(); ++job) {
+      EXPECT_EQ(service.shard_of_machine(plan[job]),
+                service.shard_of_job(job))
+          << routing_name(routing);
+    }
+  }
+}
+
+TEST(Service, RebalancingWithAnEmptyHotShardIsANoOp) {
+  // Shard 0 is hottest by backlog (huge ready times) yet holds zero queued
+  // jobs this activation — there is nothing to shed, and the rebalancer
+  // must neither crash nor conjure migrations from the empty queue.
+  EtcMatrix etc(10, 4);
+  for (JobId job = 0; job < etc.num_jobs(); ++job) {
+    for (MachineId machine = 0; machine < etc.num_machines(); ++machine) {
+      // Shard 1's machines (1, 3) dominate for every job.
+      etc(job, machine) = machine % 2 == 1 ? 4.0 : 40.0;
+    }
+  }
+  etc.set_ready_time(0, 500.0);  // shard 0 drowning in old backlog
+  etc.set_ready_time(2, 500.0);
+  ServiceConfig config = deterministic_config(2);
+  config.routing = RoutingKind::kBestFit;
+  config.imbalance_factor = 1.5;
+  GridSchedulingService service(config);
+  const Schedule plan = service.schedule_batch(etc);
+  ASSERT_TRUE(plan.complete(etc.num_machines()));
+  int scheduled = 0;
+  for (const ShardStats& stat : service.shard_stats()) {
+    scheduled += stat.jobs_scheduled;
+    if (stat.shard == 0) {
+      EXPECT_EQ(stat.migrated_out, 0) << "shed from an empty queue";
+      EXPECT_EQ(stat.jobs_scheduled, 0);
+    }
+  }
+  EXPECT_EQ(scheduled, etc.num_jobs());
+  for (JobId job = 0; job < etc.num_jobs(); ++job) {
+    EXPECT_EQ(service.shard_of_job(job), 1);
+  }
+}
+
 TEST(Service, SingleShardDegeneratesToOnePortfolio) {
   const EtcMatrix etc = small_instance(16, 4);
   GridSchedulingService service(deterministic_config(1));

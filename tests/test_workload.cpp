@@ -1,0 +1,422 @@
+#include "workload/workload_source.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "sim/grid_simulator.h"
+#include "workload/trace_io.h"
+
+namespace gridsched {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(GRIDSCHED_TEST_DATA_DIR) + "/" + name;
+}
+
+bool sorted_by_arrival(const std::vector<TraceJob>& jobs) {
+  return std::is_sorted(jobs.begin(), jobs.end(),
+                        [](const TraceJob& a, const TraceJob& b) {
+                          return a.arrival < b.arrival;
+                        });
+}
+
+// ------------------------------------------------------- trace parsing --
+
+TEST(TraceIo, ReadsTwoColumnFixture) {
+  const std::vector<TraceJob> jobs =
+      read_trace_file(fixture("trace_no_class.csv"));
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_DOUBLE_EQ(jobs[0].arrival, 0.5);
+  EXPECT_DOUBLE_EQ(jobs[0].workload_mi, 1000.0);
+  EXPECT_EQ(jobs[0].job_class, -1);
+  EXPECT_DOUBLE_EQ(jobs[1].workload_mi, 2500.75);
+  EXPECT_DOUBLE_EQ(jobs[2].arrival, 7.0);
+}
+
+TEST(TraceIo, ReadsClassColumnWithEmptyFieldAsUnclassed) {
+  const std::vector<TraceJob> jobs =
+      read_trace_file(fixture("trace_with_class.csv"));
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_EQ(jobs[0].job_class, 0);
+  EXPECT_EQ(jobs[1].job_class, 2);
+  EXPECT_EQ(jobs[2].job_class, -1);  // empty field
+  EXPECT_EQ(jobs[3].job_class, 1);
+}
+
+TEST(TraceIo, SortsOutOfOrderArrivalsStably) {
+  const std::vector<TraceJob> jobs =
+      read_trace_file(fixture("trace_out_of_order.csv"));
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_TRUE(sorted_by_arrival(jobs));
+  // Stable: the two ties at t=1 keep their file order (200 before 400).
+  EXPECT_DOUBLE_EQ(jobs[0].workload_mi, 200.0);
+  EXPECT_DOUBLE_EQ(jobs[1].workload_mi, 400.0);
+  EXPECT_DOUBLE_EQ(jobs[3].arrival, 5.0);
+}
+
+TEST(TraceIo, MalformedRowThrowsNamingTheLine) {
+  try {
+    (void)read_trace_file(fixture("trace_malformed.csv"));
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(TraceIo, EmptyTraceIsValid) {
+  EXPECT_TRUE(read_trace_file(fixture("trace_empty.csv")).empty());
+}
+
+TEST(TraceIo, HeaderIsOptional) {
+  std::istringstream in("0.5,100\n1.5,200\n");
+  const std::vector<TraceJob> jobs = read_trace(in);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_DOUBLE_EQ(jobs[1].arrival, 1.5);
+}
+
+TEST(TraceIo, RejectsBadRows) {
+  std::istringstream wrong_columns("arrival,workload_mi\n1.0,2.0,3,4\n");
+  EXPECT_THROW((void)read_trace(wrong_columns), std::runtime_error);
+  std::istringstream mixed_columns("0.5,100,1\n1.0,200\n");
+  EXPECT_THROW((void)read_trace(mixed_columns), std::runtime_error);
+  std::istringstream negative_arrival("-1.0,100\n");
+  EXPECT_THROW((void)read_trace(negative_arrival), std::runtime_error);
+  std::istringstream zero_size("1.0,0\n");
+  EXPECT_THROW((void)read_trace(zero_size), std::runtime_error);
+  std::istringstream bad_class("1.0,100,fast\n");
+  EXPECT_THROW((void)read_trace(bad_class), std::runtime_error);
+  // from_chars parses "nan"/"inf" as doubles; the validator must still
+  // reject them (a NaN arrival breaks sorting and strands the job) —
+  // even in the first row, which the optional-header heuristic must not
+  // swallow (a header is a row that does NOT parse as a double).
+  std::istringstream nan_arrival("0.5,100\nnan,100\n");
+  EXPECT_THROW((void)read_trace(nan_arrival), std::runtime_error);
+  std::istringstream nan_first_row("nan,100\n");
+  EXPECT_THROW((void)read_trace(nan_first_row), std::runtime_error);
+  std::istringstream inf_size("1.0,inf\n");
+  EXPECT_THROW((void)read_trace(inf_size), std::runtime_error);
+  std::istringstream empty_first_field(",100\n");
+  EXPECT_THROW((void)read_trace(empty_first_field), std::runtime_error);
+}
+
+TEST(TraceIo, WriteReadRoundTripIsExact) {
+  std::vector<TraceJob> jobs;
+  Rng rng(33);
+  for (int i = 0; i < 50; ++i) {
+    TraceJob job;
+    job.arrival = static_cast<double>(i) + rng.uniform();
+    job.workload_mi = std::exp(rng.normal(10.0, 0.8));
+    job.job_class = i % 3 == 0 ? -1 : i % 3;
+    jobs.push_back(job);
+  }
+  std::ostringstream out;
+  write_trace(out, jobs);
+  std::istringstream in(out.str());
+  const std::vector<TraceJob> back = read_trace(in);
+  ASSERT_EQ(back.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(back[i], jobs[i]) << "job " << i << " mutated in round-trip";
+  }
+}
+
+TEST(TraceIo, ClasslessTraceOmitsTheClassColumn) {
+  const std::vector<TraceJob> jobs = {{1.0, 100.0, -1}, {2.0, 200.0, -1}};
+  std::ostringstream out;
+  write_trace(out, jobs);
+  EXPECT_EQ(out.str().find("class"), std::string::npos);
+}
+
+// -------------------------------------------------- synthetic sources --
+
+std::vector<TraceJob> generate(WorkloadSource& source, double horizon,
+                               std::uint64_t seed = 5) {
+  Rng rng(seed);
+  Rng arrival_rng = rng.split();
+  Rng workload_rng = rng.split();
+  return source.generate(horizon, arrival_rng, workload_rng);
+}
+
+TEST(WorkloadSources, EveryKindGeneratesAValidStreamAtMatchedLoad) {
+  const double horizon = 2'000.0;
+  const double rate = 0.5;
+  for (const WorkloadKind kind : all_workload_kinds()) {
+    const auto source = make_workload(kind, rate, horizon);
+    EXPECT_EQ(source->name(), workload_name(kind));
+    const std::vector<TraceJob> jobs = generate(*source, horizon);
+    ASSERT_FALSE(jobs.empty()) << workload_name(kind);
+    EXPECT_TRUE(sorted_by_arrival(jobs)) << workload_name(kind);
+    for (const TraceJob& job : jobs) {
+      ASSERT_GE(job.arrival, 0.0);
+      ASSERT_LT(job.arrival, horizon);
+      ASSERT_GT(job.workload_mi, 0.0);
+    }
+    // Calibration: expected volume = rate * horizon = 1000 jobs. Bursty
+    // gets a much wider band — its phases scale with the horizon (~3
+    // on/off cycles whatever the length), so phase luck moves the
+    // realized count by multiples, not percent.
+    const double count = static_cast<double>(jobs.size());
+    const bool bursty = kind == WorkloadKind::kBursty;
+    EXPECT_GT(count, (bursty ? 0.2 : 0.45) * rate * horizon)
+        << workload_name(kind);
+    EXPECT_LT(count, (bursty ? 4.0 : 1.8) * rate * horizon)
+        << workload_name(kind);
+  }
+}
+
+TEST(WorkloadSources, GenerationIsDeterministicInTheSeed) {
+  for (const WorkloadKind kind : all_workload_kinds()) {
+    const auto source = make_workload(kind, 0.5, 500.0);
+    EXPECT_EQ(generate(*source, 500.0, 9), generate(*source, 500.0, 9))
+        << workload_name(kind);
+  }
+}
+
+TEST(WorkloadSources, BurstyConcentratesArrivalsMoreThanPoisson) {
+  // Dispersion test: cut the horizon into windows; an on/off process has a
+  // much higher variance-to-mean ratio of per-window counts than Poisson
+  // (for which it is ~1).
+  const double horizon = 4'000.0;
+  const auto dispersion = [&](WorkloadKind kind) {
+    const auto source = make_workload(kind, 0.5, horizon);
+    const std::vector<TraceJob> jobs = generate(*source, horizon, 3);
+    const int windows = 40;
+    std::vector<double> counts(windows, 0.0);
+    for (const TraceJob& job : jobs) {
+      const int w = std::min(
+          windows - 1, static_cast<int>(job.arrival / horizon *
+                                        static_cast<double>(windows)));
+      counts[static_cast<std::size_t>(w)] += 1.0;
+    }
+    double mean = 0.0;
+    for (const double c : counts) mean += c;
+    mean /= windows;
+    double var = 0.0;
+    for (const double c : counts) var += (c - mean) * (c - mean);
+    var /= windows - 1;
+    return var / mean;
+  };
+  EXPECT_GT(dispersion(WorkloadKind::kBursty),
+            3.0 * dispersion(WorkloadKind::kPoisson));
+}
+
+TEST(WorkloadSources, DiurnalPeaksWhereTheSineDoes) {
+  // period = horizon / 2 and phase 0: the first quarter-cycle [0, h/8) is
+  // the rising peak, [h/4, 3h/8) the trough.
+  const double horizon = 8'000.0;
+  const auto source = make_workload(WorkloadKind::kDiurnal, 0.5, horizon);
+  const std::vector<TraceJob> jobs = generate(*source, horizon, 11);
+  int peak = 0;
+  int trough = 0;
+  for (const TraceJob& job : jobs) {
+    if (job.arrival < horizon / 8.0) ++peak;
+    if (job.arrival >= horizon / 4.0 && job.arrival < 3.0 * horizon / 8.0) {
+      ++trough;
+    }
+  }
+  EXPECT_GT(peak, 2 * trough);
+}
+
+TEST(WorkloadSources, FlashCrowdSpikesInsideItsWindow) {
+  const double horizon = 4'000.0;
+  const auto source = make_workload(WorkloadKind::kFlashCrowd, 0.5, horizon);
+  const std::vector<TraceJob> jobs = generate(*source, horizon, 13);
+  // Default window [0.4, 0.5) * horizon at 5x the base rate; compare with
+  // the same-sized window right before it.
+  int inside = 0;
+  int before = 0;
+  for (const TraceJob& job : jobs) {
+    const double frac = job.arrival / horizon;
+    if (frac >= 0.4 && frac < 0.5) ++inside;
+    if (frac >= 0.3 && frac < 0.4) ++before;
+  }
+  EXPECT_GT(inside, 3 * before);
+}
+
+TEST(WorkloadSources, HeavyTailHasElephants) {
+  const double horizon = 4'000.0;
+  const auto pareto = make_workload(WorkloadKind::kHeavyTail, 0.5, horizon);
+  const std::vector<TraceJob> jobs = generate(*pareto, horizon, 17);
+  std::vector<double> sizes;
+  for (const TraceJob& job : jobs) sizes.push_back(job.workload_mi);
+  std::sort(sizes.begin(), sizes.end());
+  const double median = sizes[sizes.size() / 2];
+  const double max = sizes.back();
+  // A LogNormal(10, 0.8) max/median over ~2000 draws sits around 10-20x;
+  // the bounded Pareto's elephants dwarf that.
+  EXPECT_GT(max / median, 50.0);
+}
+
+TEST(TraceWorkloadSource, FiltersToTheHorizonAndIgnoresRngs) {
+  TraceWorkloadSource source({{1.0, 10.0, -1}, {5.0, 20.0, -1},
+                              {50.0, 30.0, -1}});
+  const std::vector<TraceJob> jobs = generate(source, 10.0);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_DOUBLE_EQ(jobs[1].arrival, 5.0);
+}
+
+// --------------------------------------------- simulator integration --
+
+SimConfig replay_sim() {
+  SimConfig config;
+  config.horizon = 400.0;
+  config.arrival_rate = 0.5;
+  config.scheduler_period = 40.0;
+  config.num_machines = 6;
+  config.consistency_noise = 0.2;
+  config.num_job_classes = 3;
+  config.machine_mtbf = 150.0;  // churn must survive the round-trip too
+  config.machine_mttr = 30.0;
+  config.seed = 42;
+  return config;
+}
+
+void expect_identical_runs(const SimMetrics& a, const SimMetrics& b,
+                           const GridSimulator& sim_a,
+                           const GridSimulator& sim_b) {
+  // Bit-identical, not approximately equal: everything but the wall-clock
+  // scheduler_cpu_ms must reproduce exactly.
+  EXPECT_EQ(a.jobs_arrived, b.jobs_arrived);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.jobs_requeued, b.jobs_requeued);
+  EXPECT_EQ(a.activations, b.activations);
+  EXPECT_EQ(a.mean_flowtime, b.mean_flowtime);
+  EXPECT_EQ(a.mean_wait, b.mean_wait);
+  EXPECT_EQ(a.mean_slowdown, b.mean_slowdown);
+  EXPECT_EQ(a.max_flowtime, b.max_flowtime);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.utilization, b.utilization);
+  const auto& records_a = sim_a.job_records();
+  const auto& records_b = sim_b.job_records();
+  ASSERT_EQ(records_a.size(), records_b.size());
+  for (std::size_t i = 0; i < records_a.size(); ++i) {
+    EXPECT_EQ(records_a[i].id, records_b[i].id);
+    EXPECT_EQ(records_a[i].arrival, records_b[i].arrival);
+    EXPECT_EQ(records_a[i].start, records_b[i].start);
+    EXPECT_EQ(records_a[i].finish, records_b[i].finish);
+    EXPECT_EQ(records_a[i].machine, records_b[i].machine);
+    EXPECT_EQ(records_a[i].attempts, records_b[i].attempts);
+  }
+}
+
+TEST(DeterministicReplay, RecordedPoissonRunReplaysBitForBit) {
+  // The tentpole regression: record a run (classes + noise + churn all
+  // on), serialize the trace through text, replay it, and demand the
+  // identical per-job records and metrics.
+  const SimConfig config = replay_sim();
+  GridSimulator recorded(config);
+  HeuristicBatchScheduler sched_a(HeuristicKind::kMinMin);
+  const SimMetrics original = recorded.run(sched_a);
+  ASSERT_GT(original.jobs_arrived, 0);
+  ASSERT_GT(original.jobs_requeued, 0) << "churn never fired; weak test";
+
+  std::ostringstream out;
+  write_trace(out, recorded.arrival_trace());
+  std::istringstream in(out.str());
+
+  SimConfig replay_config = config;
+  replay_config.workload =
+      std::make_shared<TraceWorkloadSource>(read_trace(in));
+  GridSimulator replayed(replay_config);
+  HeuristicBatchScheduler sched_b(HeuristicKind::kMinMin);
+  const SimMetrics replay = replayed.run(sched_b);
+
+  expect_identical_runs(original, replay, recorded, replayed);
+}
+
+TEST(DeterministicReplay, ExplicitPoissonSourceMatchesTheLegacyDefault) {
+  // A SimConfig without a source and one with the equivalent
+  // PoissonWorkload must be the same simulation.
+  const SimConfig config = replay_sim();
+  GridSimulator legacy(config);
+  HeuristicBatchScheduler sched_a(HeuristicKind::kMct);
+  const SimMetrics a = legacy.run(sched_a);
+
+  SimConfig explicit_config = config;
+  explicit_config.workload = std::make_shared<PoissonWorkload>(
+      config.arrival_rate,
+      LogNormalSize{config.workload_log_mean, config.workload_log_sigma});
+  GridSimulator with_source(explicit_config);
+  HeuristicBatchScheduler sched_b(HeuristicKind::kMct);
+  const SimMetrics b = with_source.run(sched_b);
+
+  expect_identical_runs(a, b, legacy, with_source);
+}
+
+TEST(GridSimulator, ArrivalTraceRecordsEffectiveClasses) {
+  SimConfig config = replay_sim();
+  config.machine_mtbf = 0.0;
+  config.machine_mttr = 0.0;
+  GridSimulator sim(config);
+  HeuristicBatchScheduler scheduler(HeuristicKind::kMct);
+  (void)sim.run(scheduler);
+  ASSERT_FALSE(sim.arrival_trace().empty());
+  for (const TraceJob& job : sim.arrival_trace()) {
+    EXPECT_GE(job.job_class, 0);
+    EXPECT_LT(job.job_class, config.num_job_classes);
+  }
+}
+
+TEST(GridSimulator, TraceSuppliedClassesWinOverTheHash) {
+  SimConfig config;
+  config.horizon = 100.0;
+  config.scheduler_period = 20.0;
+  config.num_machines = 4;
+  config.num_job_classes = 2;
+  config.workload = std::make_shared<TraceWorkloadSource>(std::vector<TraceJob>{
+      {1.0, 500.0, 1}, {2.0, 600.0, -1}, {3.0, 700.0, 5}});
+  GridSimulator sim(config);
+  HeuristicBatchScheduler scheduler(HeuristicKind::kMct);
+  (void)sim.run(scheduler);
+  const auto& trace = sim.arrival_trace();
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].job_class, 1);   // explicit, kept
+  EXPECT_GE(trace[1].job_class, 0);   // unclassed, hash filled one in
+  EXPECT_LT(trace[1].job_class, 2);
+  EXPECT_EQ(trace[2].job_class, 1);   // out of range, wrapped modulo
+}
+
+TEST(GridSimulator, EmptyTraceRunsToCompletionWithZeroJobs) {
+  SimConfig config;
+  config.horizon = 100.0;
+  config.scheduler_period = 20.0;
+  config.num_machines = 2;
+  config.arrival_rate = 0.0;  // meaningless (and allowed) with a source
+  config.workload =
+      std::make_shared<TraceWorkloadSource>(std::vector<TraceJob>{});
+  GridSimulator sim(config);
+  HeuristicBatchScheduler scheduler(HeuristicKind::kMct);
+  const SimMetrics metrics = sim.run(scheduler);
+  EXPECT_EQ(metrics.jobs_arrived, 0);
+  EXPECT_EQ(metrics.jobs_completed, 0);
+  EXPECT_EQ(metrics.activations, 0);
+}
+
+TEST(GridSimulator, RejectsAnInvalidSourceStream) {
+  SimConfig config;
+  config.horizon = 100.0;
+  config.num_machines = 2;
+  // TraceWorkloadSource sorts, so feed the simulator a broken stream via a
+  // stub source instead.
+  class BrokenSource final : public WorkloadSource {
+   public:
+    [[nodiscard]] std::string_view name() const noexcept override {
+      return "broken";
+    }
+    [[nodiscard]] std::vector<TraceJob> generate(double, Rng&,
+                                                 Rng&) override {
+      return {{5.0, 100.0, -1}, {1.0, 100.0, -1}};  // unsorted
+    }
+  };
+  config.workload = std::make_shared<BrokenSource>();
+  GridSimulator sim(config);
+  HeuristicBatchScheduler scheduler(HeuristicKind::kMct);
+  EXPECT_THROW((void)sim.run(scheduler), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gridsched
