@@ -115,6 +115,12 @@ Schedule PortfolioBatchScheduler::schedule_batch(const EtcMatrix& etc,
       config_.seed ^ (activation_ * 0x9e3779b97f4a7c15ULL);
   std::vector<MemberResult> results(runners.size());
   Stopwatch race_watch;
+  // The race runs in its own task group: waiting drains THIS portfolio's
+  // members only (helping on the calling thread), so several portfolios —
+  // the sharded service's concurrent shard activations — can share one
+  // pool without false barriers, and a member failure here never leaks
+  // into a neighboring race.
+  TaskGroup race = pool_->make_group();
   for (std::size_t slot = 0; slot < runners.size(); ++slot) {
     const Runner runner = runners[slot];
     StopCondition stop = config_.member_stop;
@@ -125,11 +131,11 @@ Schedule PortfolioBatchScheduler::schedule_batch(const EtcMatrix& etc,
     const std::uint64_t seed = splitmix64(seed_state);
     PortfolioMember* member = members_[runner.member].get();
     MemberResult* out = &results[slot];
-    pool_->submit([member, &etc, stop, &warm, seed, out] {
+    pool_->submit(race, [member, &etc, stop, &warm, seed, out] {
       *out = member->solve(etc, stop, warm, seed);
     });
   }
-  pool_->wait_idle();
+  race.wait();
   const double race_ms = race_watch.elapsed_ms();
 
   // --- Pick the winner under the portfolio's own weights (members could

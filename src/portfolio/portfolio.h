@@ -76,11 +76,12 @@ class PortfolioBatchScheduler final : public BatchScheduler {
                           std::vector<std::unique_ptr<PortfolioMember>> members);
 
   /// Races on `shared_pool` instead of spawning an own pool. The sharded
-  /// service runs one portfolio per shard and activates them one shard at
-  /// a time, so N shards share one set of workers instead of oversubscribing
-  /// the host with N pools. The pool must outlive the scheduler; concurrent
-  /// schedule_batch calls on portfolios sharing a pool are not supported
-  /// (wait_idle drains the whole pool).
+  /// service runs one portfolio per shard, so N shards share one set of
+  /// workers instead of oversubscribing the host with N pools. Each race
+  /// waits on its own TaskGroup, so portfolios sharing a pool may run
+  /// schedule_batch CONCURRENTLY (one call per portfolio instance) — the
+  /// service overlaps whole shard activations this way. The pool must
+  /// outlive the scheduler.
   PortfolioBatchScheduler(PortfolioConfig config,
                           std::vector<std::unique_ptr<PortfolioMember>> members,
                           ThreadPool& shared_pool);
@@ -114,6 +115,13 @@ class PortfolioBatchScheduler final : public BatchScheduler {
   /// total budget over the shards that have work, which varies activation
   /// to activation.
   void set_budget_ms(double budget_ms);
+
+  /// Replaces the warm-start cache wholesale. The sharded service uses
+  /// this when it splits a shard: the child portfolio inherits a copy of
+  /// the parent's elites, whose remapping machinery (MET fallback for
+  /// departed machines, pattern transfer for new jobs) absorbs the
+  /// partition change at the next activation.
+  void seed_cache(const PopulationCache& cache) { cache_ = cache; }
 
  private:
   PortfolioBatchScheduler(PortfolioConfig config,

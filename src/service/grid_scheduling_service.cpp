@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 #include "common/rng.h"
@@ -40,6 +41,23 @@ struct ActiveShard {
   int migrated_out = 0;
 };
 
+/// One shard's race, built serially and filled concurrently: the
+/// mutex-free slot the folding step reads after the task groups drain.
+struct ShardRace {
+  std::size_t active_index = 0;  // into the `active`/`snapshots` vectors
+  EtcMatrix sub;
+  BatchContext sub_context;
+  Schedule plan;
+  double race_ms = 0.0;
+};
+
+/// Alive-machine view of one shard while deciding splits and merges.
+struct ShardLoad {
+  int shard = 0;
+  int alive = 0;
+  double ready_sum = 0.0;
+};
+
 }  // namespace
 
 GridSchedulingService::GridSchedulingService(ServiceConfig config)
@@ -59,20 +77,191 @@ GridSchedulingService::GridSchedulingService(ServiceConfig config)
     throw std::invalid_argument(
         "Service: imbalance_factor must be 0 (off) or >= 1");
   }
-  for (int shard = 0; shard < config_.num_shards; ++shard) {
-    PortfolioConfig portfolio = shard_portfolio_config(config_, shard);
-    shards_.push_back(std::make_unique<PortfolioBatchScheduler>(
-        portfolio, PortfolioBatchScheduler::default_members(portfolio),
-        pool_));
-    stats_.push_back(ShardStats{.shard = shard});
+  if (config_.split_above_machines < 0 || config_.merge_below_machines < 0) {
+    throw std::invalid_argument("Service: shard-scaling bounds must be >= 0");
   }
+  if (config_.split_above_machines > 0 && config_.merge_below_machines > 0 &&
+      config_.split_above_machines < 2 * config_.merge_below_machines) {
+    // A split leaves the mean at least half its old value, so this gap
+    // guarantees one activation cannot split and merge in a cycle.
+    throw std::invalid_argument(
+        "Service: split_above_machines must be at least twice "
+        "merge_below_machines");
+  }
+  if (config_.max_shards < config_.num_shards) {
+    throw std::invalid_argument(
+        "Service: max_shards must be >= the initial num_shards");
+  }
+  for (int shard = 0; shard < config_.num_shards; ++shard) {
+    (void)add_shard_slot();
+  }
+}
+
+int GridSchedulingService::add_shard_slot() {
+  const int shard = static_cast<int>(shards_.size());
+  PortfolioConfig portfolio = shard_portfolio_config(config_, shard);
+  shards_.push_back(std::make_unique<PortfolioBatchScheduler>(
+      portfolio, PortfolioBatchScheduler::default_members(portfolio), pool_));
+  stats_.push_back(ShardStats{.shard = shard});
+  return shard;
 }
 
 std::string_view GridSchedulingService::name() const noexcept { return name_; }
 
+int GridSchedulingService::shard_of_machine(int grid_machine) const noexcept {
+  const auto it = machine_shard_.find(grid_machine);
+  return it != machine_shard_.end() ? it->second
+                                    : grid_machine % config_.num_shards;
+}
+
 int GridSchedulingService::shard_of_job(int global_job) const noexcept {
   const auto it = shard_of_job_.find(global_job);
   return it != shard_of_job_.end() ? it->second : -1;
+}
+
+void GridSchedulingService::adopt_new_machines(
+    const std::vector<int>& machine_ids) {
+  for (const int machine : machine_ids) {
+    machine_shard_.try_emplace(machine, machine % config_.num_shards);
+  }
+}
+
+void GridSchedulingService::maybe_resize(const EtcMatrix& etc,
+                                         const BatchContext& context) {
+  if (config_.split_above_machines <= 0 && config_.merge_below_machines <= 0) {
+    return;
+  }
+  const int alive_total = static_cast<int>(context.machine_ids.size());
+  const std::unordered_set<int> alive_ids(context.machine_ids.begin(),
+                                          context.machine_ids.end());
+  // Bounded walk: each iteration either splits (capped by max_shards) or
+  // merges (capped by the active count), and the ctor's bound gap forbids
+  // a split/merge cycle.
+  for (int step = 0; step < 2 * config_.max_shards; ++step) {
+    // Alive-machine census of the current partition.
+    std::vector<ShardLoad> loads(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      loads[s].shard = static_cast<int>(s);
+    }
+    for (int column = 0; column < etc.num_machines(); ++column) {
+      const auto shard = static_cast<std::size_t>(shard_of_machine(
+          context.machine_ids[static_cast<std::size_t>(column)]));
+      loads[shard].alive += 1;
+      loads[shard].ready_sum += etc.ready_time(static_cast<MachineId>(column));
+    }
+    std::vector<ShardLoad> active;
+    for (const ShardLoad& load : loads) {
+      if (load.alive > 0) active.push_back(load);
+    }
+    const double mean = static_cast<double>(alive_total) /
+                        static_cast<double>(active.size());
+
+    if (config_.split_above_machines > 0 &&
+        static_cast<int>(shards_.size()) < config_.max_shards &&
+        mean > static_cast<double>(config_.split_above_machines)) {
+      // Split the hottest shard (largest alive backlog; ties toward more
+      // machines, then the lower id) that has at least two machines.
+      const ShardLoad* hot = nullptr;
+      for (const ShardLoad& load : active) {
+        if (load.alive < 2) continue;
+        if (hot == nullptr || load.ready_sum > hot->ready_sum ||
+            (load.ready_sum == hot->ready_sum && load.alive > hot->alive)) {
+          hot = &load;
+        }
+      }
+      if (hot == nullptr) return;
+      // Recycle an empty slot if one exists (a previous merge left it),
+      // else grow.
+      int child = -1;
+      std::vector<bool> owns_machine(shards_.size(), false);
+      for (const auto& [machine, shard] : machine_shard_) {
+        owns_machine[static_cast<std::size_t>(shard)] = true;
+      }
+      for (std::size_t s = 0; s < owns_machine.size(); ++s) {
+        if (!owns_machine[s]) {
+          child = static_cast<int>(s);
+          break;
+        }
+      }
+      if (child < 0) child = add_shard_slot();
+      // Move every second of the parent's ALIVE machines and every
+      // second of its dead ones (each list sorted by id) — alternating
+      // within each list preserves interleaved hardware-class diversity
+      // the way the static modulo partition does, and splitting the
+      // lists separately guarantees the child receives real capacity (a
+      // parity cut over the mixed list could hand it only corpses,
+      // leaving the alive mean unchanged and the loop splitting the same
+      // parent again). Dead machines move too so repairs rejoin a
+      // coherent partition.
+      std::vector<int> owned_alive;
+      std::vector<int> owned_dead;
+      for (const auto& [machine, shard] : machine_shard_) {
+        if (shard != hot->shard) continue;
+        (alive_ids.count(machine) > 0 ? owned_alive : owned_dead)
+            .push_back(machine);
+      }
+      std::sort(owned_alive.begin(), owned_alive.end());
+      std::sort(owned_dead.begin(), owned_dead.end());
+      int moved = 0;
+      for (std::size_t i = 1; i < owned_alive.size(); i += 2) {
+        machine_shard_[owned_alive[i]] = child;
+        ++moved;
+      }
+      for (std::size_t i = 1; i < owned_dead.size(); i += 2) {
+        machine_shard_[owned_dead[i]] = child;
+        ++moved;
+      }
+      // The child's portfolio warms up from a copy of the parent's cache;
+      // the cache's remapping (MET fallback, pattern transfer) absorbs
+      // the machine move at its next activation.
+      shards_[static_cast<std::size_t>(child)]->seed_cache(
+          shards_[static_cast<std::size_t>(hot->shard)]->cache());
+      resizes_.push_back(ShardResizeEvent{
+          .activation = context.activation,
+          .split = true,
+          .from_shard = hot->shard,
+          .to_shard = child,
+          .machines_moved = moved,
+          .alive_machines = alive_total,
+      });
+      continue;
+    }
+
+    if (config_.merge_below_machines > 0 && active.size() > 1 &&
+        mean < static_cast<double>(config_.merge_below_machines)) {
+      // Merge the two lightest shards (smallest alive backlog; ties
+      // toward fewer machines, then the lower id). The lower-id one
+      // absorbs, so long-lived shard identities stay stable.
+      std::sort(active.begin(), active.end(),
+                [](const ShardLoad& a, const ShardLoad& b) {
+                  if (a.ready_sum != b.ready_sum)
+                    return a.ready_sum < b.ready_sum;
+                  if (a.alive != b.alive) return a.alive < b.alive;
+                  return a.shard < b.shard;
+                });
+      const int first = active[0].shard;
+      const int second = active[1].shard;
+      const int absorber = std::min(first, second);
+      const int emptied = std::max(first, second);
+      int moved = 0;
+      for (auto& [machine, shard] : machine_shard_) {
+        if (shard == emptied) {
+          shard = absorber;
+          ++moved;
+        }
+      }
+      resizes_.push_back(ShardResizeEvent{
+          .activation = context.activation,
+          .split = false,
+          .from_shard = emptied,
+          .to_shard = absorber,
+          .machines_moved = moved,
+          .alive_machines = alive_total,
+      });
+      continue;
+    }
+    return;
+  }
 }
 
 Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc) {
@@ -87,6 +276,25 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
     throw std::invalid_argument(
         "Service: batch context does not match the ETC dimensions");
   }
+  // Class info must be coherent before anything indexes by class: the
+  // simulator resolves classes modulo num_job_classes, but this is a
+  // public BatchScheduler entry point, and an out-of-range class would
+  // otherwise index the per-class books out of bounds. -1 (unclassed) is
+  // legal and routes classless.
+  if (context.num_job_classes > 0) {
+    if (!context.job_classes.empty() &&
+        context.job_classes.size() !=
+            static_cast<std::size_t>(etc.num_jobs())) {
+      throw std::invalid_argument(
+          "Service: job_classes must be empty or one entry per batch job");
+    }
+    for (const int job_class : context.job_classes) {
+      if (job_class < -1 || job_class >= context.num_job_classes) {
+        throw std::invalid_argument(
+            "Service: job class out of range for num_job_classes");
+      }
+    }
+  }
   ++activation_;
   // The job->shard map describes the current batch only; dropping older
   // entries keeps a long-lived service's memory flat (finished jobs need
@@ -94,14 +302,24 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
   shard_of_job_.clear();
   if (etc.num_jobs() == 0) return Schedule(0);
 
-  // --- Partition the batch's machines into their static shards. ---
+  adopt_new_machines(context.machine_ids);
+  maybe_resize(etc, context);
+
+  const int num_classes = context.num_job_classes;
+  auto job_class_of = [&](JobId row) {
+    return static_cast<std::size_t>(row) < context.job_classes.size()
+               ? context.job_classes[static_cast<std::size_t>(row)]
+               : -1;
+  };
+
+  // --- Partition the batch's machines into their shards. ---
   std::vector<ShardSnapshot> snapshots;  // authoritative shard load view
   std::vector<ActiveShard> active;       // only shards with alive machines
-  std::vector<int> active_index(static_cast<std::size_t>(config_.num_shards),
-                                -1);
+  std::vector<int> active_index(shards_.size(), -1);
   for (int column = 0; column < etc.num_machines(); ++column) {
-    const int shard = shard_of_machine(context.machine_ids[
-        static_cast<std::size_t>(column)]);
+    const int machine =
+        context.machine_ids[static_cast<std::size_t>(column)];
+    const int shard = shard_of_machine(machine);
     if (active_index[static_cast<std::size_t>(shard)] < 0) {
       active_index[static_cast<std::size_t>(shard)] =
           static_cast<int>(active.size());
@@ -110,12 +328,23 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
       active.push_back(std::move(entry));
       ShardSnapshot snapshot;
       snapshot.shard = shard;
+      if (num_classes > 0) {
+        snapshot.class_machines.assign(static_cast<std::size_t>(num_classes),
+                                       0);
+        snapshot.class_routed_work.assign(
+            static_cast<std::size_t>(num_classes), 0.0);
+        snapshot.class_speedup = context.class_speedup;
+      }
       snapshots.push_back(std::move(snapshot));
     }
     ShardSnapshot& snapshot = snapshots[static_cast<std::size_t>(
         active_index[static_cast<std::size_t>(shard)])];
     snapshot.columns.push_back(column);
     snapshot.ready_sum += etc.ready_time(static_cast<MachineId>(column));
+    if (num_classes > 0) {
+      snapshot.class_machines[static_cast<std::size_t>(machine %
+                                                       num_classes)] += 1;
+    }
   }
   // The simulator only activates on alive machines, so `active` cannot be
   // empty here; a defensive check keeps misuse loud.
@@ -125,11 +354,16 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
 
   // --- Route every job to a shard. ---
   for (JobId row = 0; row < etc.num_jobs(); ++row) {
-    const std::size_t pick = router_->route(row, etc, snapshots);
+    const RoutedJob job(row, job_class_of(row));
+    const std::size_t pick = router_->route(job, etc, snapshots);
     active[pick].queue.push_back(row);
-    snapshots[pick].routed_work +=
-        shard_work_estimate(etc, row, snapshots[pick]);
+    const double work = shard_work_estimate(etc, job, snapshots[pick]);
+    snapshots[pick].routed_work += work;
     snapshots[pick].routed_jobs += 1;
+    if (job.job_class >= 0 && !snapshots[pick].class_routed_work.empty()) {
+      snapshots[pick].class_routed_work[static_cast<std::size_t>(
+          job.job_class)] += work;
+    }
     shard_of_job_[context.job_ids[static_cast<std::size_t>(row)]] =
         active[pick].shard;
   }
@@ -153,35 +387,39 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
               config_.imbalance_factor * snapshots[light].backlog() + 1e-12) {
         break;
       }
-      const JobId job = active[hot].queue.back();
+      const RoutedJob job(active[hot].queue.back(),
+                          job_class_of(active[hot].queue.back()));
       const double out_work = shard_work_estimate(etc, job, snapshots[hot]);
       const double in_work = shard_work_estimate(etc, job, snapshots[light]);
       if (snapshots[light].backlog() + in_work >= snapshots[hot].backlog()) {
         break;  // moving the job would just swap who is hot
       }
       active[hot].queue.pop_back();
-      active[light].queue.push_back(job);
+      active[light].queue.push_back(job.row);
       snapshots[hot].routed_work -= out_work;
       snapshots[hot].routed_jobs -= 1;
       snapshots[light].routed_work += in_work;
       snapshots[light].routed_jobs += 1;
+      if (job.job_class >= 0) {
+        const auto job_class = static_cast<std::size_t>(job.job_class);
+        if (!snapshots[hot].class_routed_work.empty()) {
+          snapshots[hot].class_routed_work[job_class] -= out_work;
+        }
+        if (!snapshots[light].class_routed_work.empty()) {
+          snapshots[light].class_routed_work[job_class] += in_work;
+        }
+      }
       active[hot].migrated_out += 1;
       active[light].migrated_in += 1;
-      shard_of_job_[context.job_ids[static_cast<std::size_t>(job)]] =
+      shard_of_job_[context.job_ids[static_cast<std::size_t>(job.row)]] =
           active[light].shard;
     }
   }
 
-  // --- Race the shards, one at a time on the shared pool, each with a
-  // fair slice of the total budget. ---
-  std::size_t shards_with_work = 0;
-  for (const ActiveShard& entry : active) {
-    if (!entry.queue.empty()) ++shards_with_work;
-  }
-  const double slice =
-      config_.total_budget_ms / static_cast<double>(shards_with_work);
-
-  Schedule plan(etc.num_jobs());
+  // --- Build every racing shard's sub-problem (serially — cheap), then
+  // race them on the shared pool, one TaskGroup per shard, folding the
+  // results from the per-shard slots afterwards. ---
+  std::vector<ShardRace> races;
   for (std::size_t s = 0; s < active.size(); ++s) {
     ActiveShard& entry = active[s];
     if (entry.queue.empty()) {
@@ -194,48 +432,101 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
       continue;
     }
     const ShardSnapshot& shard = snapshots[s];
-
-    EtcMatrix sub(static_cast<int>(entry.queue.size()),
-                  static_cast<int>(shard.columns.size()));
-    BatchContext sub_context;
-    sub_context.activation = context.activation;
+    ShardRace race;
+    race.active_index = s;
+    race.sub = EtcMatrix(static_cast<int>(entry.queue.size()),
+                         static_cast<int>(shard.columns.size()));
+    race.sub_context.activation = context.activation;
+    race.sub_context.num_job_classes = context.num_job_classes;
+    race.sub_context.class_speedup = context.class_speedup;
     for (std::size_t row = 0; row < entry.queue.size(); ++row) {
       const JobId job = entry.queue[row];
-      sub_context.job_ids.push_back(
+      race.sub_context.job_ids.push_back(
           context.job_ids[static_cast<std::size_t>(job)]);
+      if (num_classes > 0) {
+        race.sub_context.job_classes.push_back(job_class_of(job));
+      }
       for (std::size_t column = 0; column < shard.columns.size(); ++column) {
-        sub(static_cast<JobId>(row), static_cast<MachineId>(column)) =
+        race.sub(static_cast<JobId>(row), static_cast<MachineId>(column)) =
             etc(job, static_cast<MachineId>(shard.columns[column]));
       }
     }
     for (std::size_t column = 0; column < shard.columns.size(); ++column) {
-      sub.set_ready_time(static_cast<MachineId>(column),
-                         etc.ready_time(static_cast<MachineId>(
-                             shard.columns[column])));
-      sub_context.machine_ids.push_back(context.machine_ids[
+      race.sub.set_ready_time(static_cast<MachineId>(column),
+                              etc.ready_time(static_cast<MachineId>(
+                                  shard.columns[column])));
+      race.sub_context.machine_ids.push_back(context.machine_ids[
           static_cast<std::size_t>(shard.columns[column])]);
     }
+    races.push_back(std::move(race));
+  }
 
-    PortfolioBatchScheduler& scheduler =
-        *shards_[static_cast<std::size_t>(shard.shard)];
-    scheduler.set_budget_ms(slice);
-    Stopwatch watch;
-    const Schedule sub_plan = scheduler.schedule_batch(sub, sub_context);
-    const double race_ms = watch.elapsed_ms();
+  const double slice =
+      config_.total_budget_ms / static_cast<double>(races.size());
+  const bool concurrent = config_.concurrent_shards && races.size() > 1;
+  Stopwatch activation_watch;
+  if (concurrent) {
+    // One group per shard: a group's wait drains exactly that shard's
+    // race, so the activations overlap instead of queueing behind a
+    // whole-pool barrier. Budgets are armed serially before any race
+    // starts (the portfolios are only ever touched by their own task).
+    std::vector<TaskGroup> groups;
+    groups.reserve(races.size());
+    for (ShardRace& race : races) {
+      PortfolioBatchScheduler* scheduler =
+          shards_[static_cast<std::size_t>(
+                      active[race.active_index].shard)].get();
+      scheduler->set_budget_ms(slice);
+      groups.push_back(pool_.make_group());
+      ShardRace* slot = &race;
+      pool_.submit(groups.back(), [scheduler, slot] {
+        Stopwatch watch;
+        slot->plan = scheduler->schedule_batch(slot->sub, slot->sub_context);
+        slot->race_ms = watch.elapsed_ms();
+      });
+    }
+    // Wait on EVERY group even when one throws — the others still hold
+    // references into `races` — then rethrow with the multi-failure
+    // contract.
+    std::vector<std::exception_ptr> failures;
+    for (TaskGroup& group : groups) {
+      try {
+        group.wait();
+      } catch (...) {
+        failures.push_back(std::current_exception());
+      }
+    }
+    if (failures.size() == 1) std::rethrow_exception(failures.front());
+    if (failures.size() > 1) throw TaskGroupError(std::move(failures));
+  } else {
+    for (ShardRace& race : races) {
+      PortfolioBatchScheduler& scheduler = *shards_[static_cast<std::size_t>(
+          active[race.active_index].shard)];
+      scheduler.set_budget_ms(slice);
+      Stopwatch watch;
+      race.plan = scheduler.schedule_batch(race.sub, race.sub_context);
+      race.race_ms = watch.elapsed_ms();
+    }
+  }
+  const double wall_ms = activation_watch.elapsed_ms();
 
+  // --- Fold the slots back into the global plan and the books. ---
+  Schedule plan(etc.num_jobs());
+  for (const ShardRace& race : races) {
+    const ActiveShard& entry = active[race.active_index];
+    const ShardSnapshot& shard = snapshots[race.active_index];
     for (std::size_t row = 0; row < entry.queue.size(); ++row) {
       plan[entry.queue[row]] = static_cast<MachineId>(
           shard.columns[static_cast<std::size_t>(
-              sub_plan[static_cast<JobId>(row)])]);
+              race.plan[static_cast<JobId>(row)])]);
     }
-
     ShardStats& stat = stats_[static_cast<std::size_t>(shard.shard)];
     ++stat.activations;
     stat.jobs_scheduled += static_cast<int>(entry.queue.size());
     stat.migrated_in += entry.migrated_in;
     stat.migrated_out += entry.migrated_out;
-    stat.total_race_ms += race_ms;
-    stat.max_race_ms = std::max(stat.max_race_ms, race_ms);
+    stat.total_race_ms += race.race_ms;
+    stat.max_race_ms = std::max(stat.max_race_ms, race.race_ms);
     records_.push_back(ShardActivationRecord{
         .activation = context.activation,
         .shard = shard.shard,
@@ -244,9 +535,15 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
         .migrated_out = entry.migrated_out,
         .backlog = shard.backlog(),
         .budget_ms = slice,
-        .race_ms = race_ms,
+        .race_ms = race.race_ms,
     });
   }
+  service_records_.push_back(ServiceActivationRecord{
+      .activation = context.activation,
+      .shards_raced = static_cast<int>(races.size()),
+      .wall_ms = wall_ms,
+      .concurrent = concurrent,
+  });
   return plan;
 }
 

@@ -2,14 +2,28 @@
 //
 // PR 1's PortfolioBatchScheduler optimizes one batch queue; a
 // production-scale grid serves many. GridSchedulingService partitions the
-// grid's machines into `num_shards` static shards (grid machine id modulo
+// grid's machines into shards and runs one full portfolio — with its own
+// PopulationCache and budget policy — per shard, all racing on ONE shared
+// ThreadPool. Each arriving job is routed to a shard by a pluggable
+// RoutingPolicy; the service then activates every shard with work
+// CONCURRENTLY — one TaskGroup per shard, results folded from a per-shard
+// slot array after the groups drain — splitting its total wall-clock
+// budget evenly over those shards. Overlapped races mean an activation's
+// wall-clock is the *slice*, not the sum of slices; `concurrent_shards =
+// false` restores the PR 2 one-at-a-time behavior (bench/sharded_service
+// measures the overlap win between the two).
+//
+// The machine partition starts static (grid machine id modulo the initial
 // shard count, so a machine keeps its shard across failures and repairs)
-// and runs one full portfolio — with its own PopulationCache and budget
-// policy — per shard, all racing on ONE shared ThreadPool. Each arriving
-// job is routed to a shard by a pluggable RoutingPolicy; the service then
-// activates the shards one at a time, splitting its total wall-clock
-// budget evenly over the shards that actually have work, so N shards cost
-// the same real time as one portfolio with the whole budget.
+// and can SCALE DYNAMICALLY: at an activation boundary, when machine
+// churn pushes the mean alive-machines-per-shard above
+// `split_above_machines`, the hottest shard (by ready-time backlog)
+// splits — every second of its machines moves to a fresh (or recycled
+// empty) shard whose portfolio inherits a copy of the parent's warm-start
+// cache — and when the mean falls below `merge_below_machines`, the two
+// lightest shards merge (the lighter one's machines fold into the other;
+// the emptied slot idles at zero cost until a split recycles it). Both
+// bounds zero disables scaling and the partition is exactly PR 2's.
 //
 // Cross-shard rebalancing runs at every activation boundary, after
 // routing and before the races: while the hottest shard's backlog (ready
@@ -23,8 +37,11 @@
 // unchanged: machine failures shrink a shard's column set for the
 // activation, and re-queued jobs re-enter routing like any arrival (a
 // re-queued job may legitimately land on a new shard — its old machine may
-// be the dead one). ShardedSimDriver (sharded_driver.h) splits the
-// simulator's per-job records back into per-shard SimMetrics.
+// be the dead one). On class-structured grids the simulator reports job
+// classes through BatchContext, enabling class-aware routing
+// (RoutingKind::kClassBacklog) and class-corrected work estimates.
+// ShardedSimDriver (sharded_driver.h) splits the simulator's per-job
+// records back into per-shard and per-class SimMetrics.
 #pragma once
 
 #include <memory>
@@ -39,6 +56,7 @@
 namespace gridsched {
 
 struct ServiceConfig {
+  /// Initial shard count; dynamic scaling (below) may grow it.
   int num_shards = 4;
   RoutingKind routing = RoutingKind::kLeastBacklog;
   /// Wall-clock budget per service activation, split evenly over the
@@ -50,6 +68,18 @@ struct ServiceConfig {
   double imbalance_factor = 2.0;
   /// Width of the shared racing pool; 0 = hardware concurrency.
   std::size_t threads = 0;
+  /// Overlap the shard races on the shared pool (one TaskGroup per
+  /// shard). false = activate shards one at a time — same schedules on a
+  /// deterministic config, but the activation wall-clock is the SUM of
+  /// the slices instead of the slice.
+  bool concurrent_shards = true;
+  /// Dynamic shard scaling at activation boundaries (0 disables each
+  /// bound): split the hottest shard while mean alive machines per active
+  /// shard exceeds `split_above_machines` (up to `max_shards`); merge the
+  /// two lightest while it falls below `merge_below_machines`.
+  int split_above_machines = 0;
+  int merge_below_machines = 0;
+  int max_shards = 32;
   /// Per-shard portfolio knobs (see PortfolioConfig).
   PolicyKind policy = PolicyKind::kStaticRace;
   UcbConfig ucb{};
@@ -70,6 +100,27 @@ struct ShardActivationRecord {
   double backlog = 0.0;  // ready-time sum + est. routed work, pre-race
   double budget_ms = 0.0;
   double race_ms = 0.0;  // wall time of this shard's portfolio race
+};
+
+/// One whole service activation: how many shards raced and how long the
+/// activation took end to end. Under concurrent activation `wall_ms`
+/// tracks the budget slice (races overlap); sequentially it tracks the
+/// sum of the races — the contrast bench/sharded_service reports.
+struct ServiceActivationRecord {
+  std::uint64_t activation = 0;
+  int shards_raced = 0;
+  double wall_ms = 0.0;
+  bool concurrent = false;
+};
+
+/// One dynamic shard-scaling step (split or merge) and what moved.
+struct ShardResizeEvent {
+  std::uint64_t activation = 0;
+  bool split = false;      // true = split, false = merge
+  int from_shard = 0;      // split: the parent; merge: the emptied shard
+  int to_shard = 0;        // split: the child; merge: the absorber
+  int machines_moved = 0;
+  int alive_machines = 0;  // grid pool size that triggered the step
 };
 
 /// Per-shard aggregate over all activations so far.
@@ -93,12 +144,16 @@ class GridSchedulingService final : public BatchScheduler {
   [[nodiscard]] Schedule schedule_batch(const EtcMatrix& etc,
                                         const BatchContext& context) override;
 
-  [[nodiscard]] int num_shards() const noexcept { return config_.num_shards; }
-
-  /// Static machine partition: the shard that owns a grid machine.
-  [[nodiscard]] int shard_of_machine(int grid_machine) const noexcept {
-    return grid_machine % config_.num_shards;
+  /// Current shard-slot count (grows on splits; merged slots persist,
+  /// empty, until a split recycles them).
+  [[nodiscard]] int num_shards() const noexcept {
+    return static_cast<int>(shards_.size());
   }
+
+  /// The shard currently owning a grid machine. Machines the service
+  /// never saw default to the static partition (id modulo the initial
+  /// shard count) — identical to the full map when scaling is disabled.
+  [[nodiscard]] int shard_of_machine(int grid_machine) const noexcept;
 
   /// Shard the job was routed to (after rebalancing) in the most recent
   /// activation; -1 if that batch did not contain it. Scoped to one
@@ -118,6 +173,14 @@ class GridSchedulingService final : public BatchScheduler {
       const noexcept {
     return records_;
   }
+  [[nodiscard]] const std::vector<ServiceActivationRecord>&
+  service_activations() const noexcept {
+    return service_records_;
+  }
+  [[nodiscard]] const std::vector<ShardResizeEvent>& resize_events()
+      const noexcept {
+    return resizes_;
+  }
   [[nodiscard]] std::string_view router_name() const noexcept {
     return router_->name();
   }
@@ -126,12 +189,22 @@ class GridSchedulingService final : public BatchScheduler {
   }
 
  private:
+  /// Adds one shard slot (portfolio + stats); returns its id.
+  int add_shard_slot();
+  /// Assigns never-seen machines to their static default shard.
+  void adopt_new_machines(const std::vector<int>& machine_ids);
+  /// Split/merge pass for this activation's alive machine set.
+  void maybe_resize(const EtcMatrix& etc, const BatchContext& context);
+
   ServiceConfig config_;
   ThreadPool pool_;  // shared by every shard's portfolio race
   std::vector<std::unique_ptr<PortfolioBatchScheduler>> shards_;
   std::unique_ptr<RoutingPolicy> router_;
   std::vector<ShardStats> stats_;
   std::vector<ShardActivationRecord> records_;
+  std::vector<ServiceActivationRecord> service_records_;
+  std::vector<ShardResizeEvent> resizes_;
+  std::unordered_map<int, int> machine_shard_;  // grid machine -> shard
   std::unordered_map<int, int> shard_of_job_;
   std::string name_;
   std::uint64_t activation_ = 0;

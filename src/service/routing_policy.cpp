@@ -2,8 +2,36 @@
 
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace gridsched {
+namespace {
+
+/// The job's best ETC over the shard's machines, uncorrected — the real
+/// cost of running the job THERE (routing scores want this; backlog
+/// bookings want the class-corrected shard_work_estimate instead).
+double shard_min_etc(const EtcMatrix& etc, JobId job,
+                     const ShardSnapshot& shard) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int column : shard.columns) {
+    best = std::min(best, etc(job, static_cast<MachineId>(column)));
+  }
+  return shard.columns.empty() ? 0.0 : best;
+}
+
+/// The least-backlog pick (ties toward the lower index) — the shared
+/// definition behind LeastBacklogRouting AND class-backlog's classless
+/// fallback, so the documented "degrades to least-backlog" guarantee
+/// cannot silently diverge.
+std::size_t least_backlog_index(std::span<const ShardSnapshot> shards) {
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < shards.size(); ++s) {
+    if (shards[s].backlog() < shards[best].backlog()) best = s;
+  }
+  return best;
+}
+
+}  // namespace
 
 std::string_view routing_name(RoutingKind kind) noexcept {
   switch (kind) {
@@ -11,6 +39,7 @@ std::string_view routing_name(RoutingKind kind) noexcept {
     case RoutingKind::kLeastBacklog: return "least-backlog";
     case RoutingKind::kBestFit: return "best-fit";
     case RoutingKind::kShardMct: return "shard-mct";
+    case RoutingKind::kClassBacklog: return "class-backlog";
   }
   return "?";
 }
@@ -21,20 +50,39 @@ std::span<const RoutingKind> all_routing_kinds() noexcept {
       RoutingKind::kLeastBacklog,
       RoutingKind::kBestFit,
       RoutingKind::kShardMct,
+      RoutingKind::kClassBacklog,
   };
   return kAll;
 }
 
-double shard_work_estimate(const EtcMatrix& etc, JobId job,
-                           const ShardSnapshot& shard) {
-  double best = std::numeric_limits<double>::infinity();
-  for (int column : shard.columns) {
-    best = std::min(best, etc(job, static_cast<MachineId>(column)));
+RoutingKind routing_kind_from_name(std::string_view name) {
+  for (const RoutingKind kind : all_routing_kinds()) {
+    if (routing_name(kind) == name) return kind;
   }
-  return shard.columns.empty() ? 0.0 : best;
+  std::string message = "unknown routing policy '";
+  message += name;
+  message += "'; valid:";
+  for (const RoutingKind kind : all_routing_kinds()) {
+    message += ' ';
+    message += routing_name(kind);
+  }
+  throw std::invalid_argument(message);
 }
 
-std::size_t RoundRobinRouting::route(JobId job, const EtcMatrix& etc,
+double shard_work_estimate(const EtcMatrix& etc, RoutedJob job,
+                           const ShardSnapshot& shard) {
+  double best = shard_min_etc(etc, job.row, shard);
+  // Normalize class-starved bookings to matched-machine seconds (see the
+  // header): only when classes are reported, the job is classed, and the
+  // shard holds none of its machines.
+  if (job.job_class >= 0 && !shard.class_machines.empty() &&
+      !shard.has_class(job.job_class) && shard.class_speedup > 1.0) {
+    best /= shard.class_speedup;
+  }
+  return best;
+}
+
+std::size_t RoundRobinRouting::route(RoutedJob job, const EtcMatrix& etc,
                                      std::span<const ShardSnapshot> shards) {
   (void)job;
   (void)etc;
@@ -43,24 +91,20 @@ std::size_t RoundRobinRouting::route(JobId job, const EtcMatrix& etc,
   return pick;
 }
 
-std::size_t LeastBacklogRouting::route(JobId job, const EtcMatrix& etc,
+std::size_t LeastBacklogRouting::route(RoutedJob job, const EtcMatrix& etc,
                                        std::span<const ShardSnapshot> shards) {
   (void)job;
   (void)etc;
-  std::size_t best = 0;
-  for (std::size_t s = 1; s < shards.size(); ++s) {
-    if (shards[s].backlog() < shards[best].backlog()) best = s;
-  }
-  return best;
+  return least_backlog_index(shards);
 }
 
-std::size_t BestFitRouting::route(JobId job, const EtcMatrix& etc,
+std::size_t BestFitRouting::route(RoutedJob job, const EtcMatrix& etc,
                                   std::span<const ShardSnapshot> shards) {
   std::size_t best = 0;
   double best_etc = std::numeric_limits<double>::infinity();
   for (std::size_t s = 0; s < shards.size(); ++s) {
     for (int column : shards[s].columns) {
-      const double cost = etc(job, static_cast<MachineId>(column));
+      const double cost = etc(job.row, static_cast<MachineId>(column));
       if (cost < best_etc) {
         best_etc = cost;
         best = s;
@@ -70,23 +114,56 @@ std::size_t BestFitRouting::route(JobId job, const EtcMatrix& etc,
   return best;
 }
 
-std::size_t ShardMctRouting::route(JobId job, const EtcMatrix& etc,
+std::size_t ShardMctRouting::route(RoutedJob job, const EtcMatrix& etc,
                                    std::span<const ShardSnapshot> shards) {
   std::size_t best = 0;
   double best_completion = std::numeric_limits<double>::infinity();
   for (std::size_t s = 0; s < shards.size(); ++s) {
-    double min_etc = std::numeric_limits<double>::infinity();
-    for (int column : shards[s].columns) {
-      min_etc = std::min(min_etc, etc(job, static_cast<MachineId>(column)));
-    }
     // Estimated completion: the shard's mean per-machine backlog (how long
     // until *a* machine frees up) plus the job's best run time there.
     const double completion =
         shards[s].backlog() /
             static_cast<double>(shards[s].columns.size()) +
-        min_etc;
+        shard_min_etc(etc, job.row, shards[s]);
     if (completion < best_completion) {
       best_completion = completion;
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::size_t ClassBacklogRouting::route(RoutedJob job, const EtcMatrix& etc,
+                                       std::span<const ShardSnapshot> shards) {
+  // Classless job, or a grid without reported classes: per-class queues
+  // do not exist, so fall back to plain least-backlog.
+  if (job.job_class < 0 || shards.front().class_machines.empty()) {
+    return least_backlog_index(shards);
+  }
+  const auto job_class = static_cast<std::size_t>(job.job_class);
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const ShardSnapshot& shard = shards[s];
+    const double congestion =
+        shard.backlog() / static_cast<double>(shard.columns.size());
+    // My class's queue depth on its matched machines. A shard with no
+    // matched machine carries the whole class queue on one virtual slot —
+    // the class effectively has a single (slow) lane there.
+    const double matched =
+        shard.has_class(job.job_class)
+            ? static_cast<double>(
+                  shard.class_machines[job_class])
+            : 1.0;
+    const double class_queue =
+        (job_class < shard.class_routed_work.size()
+             ? shard.class_routed_work[job_class]
+             : 0.0) /
+        matched;
+    const double score =
+        congestion + class_queue + shard_min_etc(etc, job.row, shard);
+    if (score < best_score) {
+      best_score = score;
       best = s;
     }
   }
@@ -103,6 +180,8 @@ std::unique_ptr<RoutingPolicy> make_routing_policy(RoutingKind kind) {
       return std::make_unique<BestFitRouting>();
     case RoutingKind::kShardMct:
       return std::make_unique<ShardMctRouting>();
+    case RoutingKind::kClassBacklog:
+      return std::make_unique<ClassBacklogRouting>();
   }
   throw std::invalid_argument("make_routing_policy: unknown routing kind");
 }

@@ -4,7 +4,7 @@
 // shards and must decide, per arriving job, which shard's queue it joins.
 // A RoutingPolicy sees the batch ETC plus a snapshot of every *available*
 // shard (one with at least one alive machine this activation) and picks
-// one. Three built-ins:
+// one. Five built-ins:
 //
 //   RoundRobinRouting    cycle over the available shards — the oblivious
 //                        baseline, perfect spread by count, blind to load
@@ -25,6 +25,13 @@
 //                        inconsistent grids this is the policy that keeps
 //                        a sharded service at single-queue quality (see
 //                        bench/sharded_service).
+//   ClassBacklogRouting  least per-CLASS completion estimate: the shard's
+//                        general congestion, plus how deep the job's own
+//                        class queue already is on that shard's matched
+//                        machines, plus the job's real cost there — the
+//                        QoS "partition by user class" policy for
+//                        class-structured grids. Classless jobs degrade
+//                        to least-backlog.
 //
 // Ties break toward the lower shard id, so routing is deterministic given
 // the snapshots. Policies may be stateful (round-robin's cursor).
@@ -44,6 +51,7 @@ enum class RoutingKind {
   kLeastBacklog,
   kBestFit,
   kShardMct,
+  kClassBacklog,
 };
 
 [[nodiscard]] std::string_view routing_name(RoutingKind kind) noexcept;
@@ -51,18 +59,51 @@ enum class RoutingKind {
 /// All routing kinds, in a stable display order.
 [[nodiscard]] std::span<const RoutingKind> all_routing_kinds() noexcept;
 
+/// Parses a display name ("least-backlog", "class-backlog", ...) back to
+/// its kind; throws std::invalid_argument on an unknown name, listing the
+/// valid ones (CLI surfaces pick routing policies by name).
+[[nodiscard]] RoutingKind routing_kind_from_name(std::string_view name);
+
+/// The job a routing decision is about: its batch ETC row plus its class
+/// on class-structured grids (-1 = unclassed). Implicitly constructible
+/// from a bare row so class-oblivious callers just pass the JobId.
+struct RoutedJob {
+  JobId row = 0;
+  int job_class = -1;
+
+  // NOLINTNEXTLINE(google-explicit-constructor): a bare row IS a routed
+  // job on classless grids; the implicit form keeps old call sites valid.
+  RoutedJob(JobId row) noexcept : row(row) {}
+  RoutedJob(JobId row, int job_class) noexcept
+      : row(row), job_class(job_class) {}
+};
+
 /// What a routing policy knows about one shard at routing time. `columns`
 /// are batch ETC column indices (not grid machine ids), so policies can
-/// read ETC entries directly.
+/// read ETC entries directly. The class fields are filled only on
+/// class-structured grids (empty vectors otherwise).
 struct ShardSnapshot {
   int shard = 0;
   std::vector<int> columns;  // batch columns of this shard's alive machines
   double ready_sum = 0.0;    // sum of those machines' ready times
   double routed_work = 0.0;  // est. work routed to the shard this activation
   int routed_jobs = 0;
+  /// Alive machines per hardware class in this shard (index = class).
+  std::vector<int> class_machines;
+  /// Estimated work routed per job class this activation (index = class).
+  std::vector<double> class_routed_work;
+  /// Matched-pair speedup of the grid (1 = classless).
+  double class_speedup = 1.0;
 
   [[nodiscard]] double backlog() const noexcept {
     return ready_sum + routed_work;
+  }
+
+  /// Whether the shard holds at least one alive machine of `job_class`.
+  [[nodiscard]] bool has_class(int job_class) const noexcept {
+    return job_class >= 0 &&
+           job_class < static_cast<int>(class_machines.size()) &&
+           class_machines[static_cast<std::size_t>(job_class)] > 0;
   }
 };
 
@@ -72,11 +113,10 @@ class RoutingPolicy {
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
-  /// Picks the index *into `shards`* (not the shard id) for batch row
-  /// `job`. `shards` is never empty and every snapshot has at least one
-  /// column.
+  /// Picks the index *into `shards`* (not the shard id) for `job`.
+  /// `shards` is never empty and every snapshot has at least one column.
   [[nodiscard]] virtual std::size_t route(
-      JobId job, const EtcMatrix& etc,
+      RoutedJob job, const EtcMatrix& etc,
       std::span<const ShardSnapshot> shards) = 0;
 };
 
@@ -85,7 +125,7 @@ class RoundRobinRouting final : public RoutingPolicy {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "round-robin";
   }
-  [[nodiscard]] std::size_t route(JobId job, const EtcMatrix& etc,
+  [[nodiscard]] std::size_t route(RoutedJob job, const EtcMatrix& etc,
                                   std::span<const ShardSnapshot> shards)
       override;
 
@@ -98,7 +138,7 @@ class LeastBacklogRouting final : public RoutingPolicy {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "least-backlog";
   }
-  [[nodiscard]] std::size_t route(JobId job, const EtcMatrix& etc,
+  [[nodiscard]] std::size_t route(RoutedJob job, const EtcMatrix& etc,
                                   std::span<const ShardSnapshot> shards)
       override;
 };
@@ -108,7 +148,7 @@ class BestFitRouting final : public RoutingPolicy {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "best-fit";
   }
-  [[nodiscard]] std::size_t route(JobId job, const EtcMatrix& etc,
+  [[nodiscard]] std::size_t route(RoutedJob job, const EtcMatrix& etc,
                                   std::span<const ShardSnapshot> shards)
       override;
 };
@@ -118,7 +158,25 @@ class ShardMctRouting final : public RoutingPolicy {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "shard-mct";
   }
-  [[nodiscard]] std::size_t route(JobId job, const EtcMatrix& etc,
+  [[nodiscard]] std::size_t route(RoutedJob job, const EtcMatrix& etc,
+                                  std::span<const ShardSnapshot> shards)
+      override;
+};
+
+/// Per-class backlog routing: score(s) = the shard's mean per-machine
+/// backlog (general congestion) + the job's class queue depth on the
+/// shard's matched machines (class_routed_work / matched machines; a
+/// shard with NO matched machine carries the whole class queue on one
+/// virtual slot, so class-starved shards repel the class) + the job's
+/// real best ETC there. Minimizing that estimate gives every job class
+/// its own view of the queues — the paper-adjacent QoS partition-by-class
+/// story — while classless jobs fall back to plain least-backlog.
+class ClassBacklogRouting final : public RoutingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "class-backlog";
+  }
+  [[nodiscard]] std::size_t route(RoutedJob job, const EtcMatrix& etc,
                                   std::span<const ShardSnapshot> shards)
       override;
 };
@@ -130,10 +188,17 @@ class ShardMctRouting final : public RoutingPolicy {
 /// migrates the job: the job's best ETC over the shard's machines. On
 /// heterogeneous grids the shard scheduler places a job at or near its
 /// best machine, so the min tracks realized cost far better than the mean
-/// (which counts machines the job will never run on, and systematically
-/// overestimates class-matched jobs — skewing least-backlog toward
-/// balancing fictional work).
-[[nodiscard]] double shard_work_estimate(const EtcMatrix& etc, JobId job,
+/// (which counts machines the job will never run on).
+///
+/// Class correction: when the simulator reports classes and the shard
+/// holds NO machine of the job's class, the raw minimum is the off-class
+/// time — `class_speedup` times the matched-machine cost the same job
+/// books on a class-complete shard. Booking it raw makes least-backlog
+/// read a class-starved shard as several times busier per routed job than
+/// a matched shard absorbing identical intrinsic work, over-diverting the
+/// jobs that follow; dividing by the speedup keeps every booking in
+/// matched-machine seconds so backlogs stay comparable across shards.
+[[nodiscard]] double shard_work_estimate(const EtcMatrix& etc, RoutedJob job,
                                          const ShardSnapshot& shard);
 
 }  // namespace gridsched

@@ -9,6 +9,8 @@ ShardedSimReport run_sharded(GridSimulator& sim,
   ShardedSimReport report;
   report.global = sim.run(service);
   report.workload = std::string(sim.workload_name());
+  // num_shards() reflects the end-of-run partition (splits may have grown
+  // it); merged-away slots simply report zeros.
   report.per_shard.assign(static_cast<std::size_t>(service.num_shards()),
                           SimMetrics{});
 
@@ -26,6 +28,43 @@ ShardedSimReport run_sharded(GridSimulator& sim,
     wait_sum[shard] += record.wait();
     metrics.max_flowtime = std::max(metrics.max_flowtime, record.flowtime());
     metrics.makespan = std::max(metrics.makespan, record.finish);
+  }
+
+  // --- Job outcomes again, grouped by job class (class-structured runs
+  // only: the simulator resolves every job's effective class into the
+  // arrival trace, so the record index addresses it directly). ---
+  const std::vector<TraceJob>& trace = sim.arrival_trace();
+  const int num_classes = sim.config().num_job_classes;
+  if (num_classes > 0) {
+    report.per_class.assign(static_cast<std::size_t>(num_classes),
+                            SimMetrics{});
+    std::vector<double> class_flow(report.per_class.size(), 0.0);
+    std::vector<double> class_wait(report.per_class.size(), 0.0);
+    for (const SimJobRecord& record : sim.job_records()) {
+      const int job_class =
+          trace[static_cast<std::size_t>(record.id)].job_class;
+      if (job_class < 0 || job_class >= num_classes) continue;
+      SimMetrics& metrics =
+          report.per_class[static_cast<std::size_t>(job_class)];
+      ++metrics.jobs_arrived;
+      if (record.finish < 0) continue;
+      ++metrics.jobs_completed;
+      metrics.jobs_requeued += record.attempts - 1;
+      class_flow[static_cast<std::size_t>(job_class)] += record.flowtime();
+      class_wait[static_cast<std::size_t>(job_class)] += record.wait();
+      metrics.max_flowtime = std::max(metrics.max_flowtime,
+                                      record.flowtime());
+      metrics.makespan = std::max(metrics.makespan, record.finish);
+    }
+    for (std::size_t job_class = 0; job_class < report.per_class.size();
+         ++job_class) {
+      SimMetrics& metrics = report.per_class[job_class];
+      if (metrics.jobs_completed > 0) {
+        metrics.mean_flowtime = class_flow[job_class] /
+                                metrics.jobs_completed;
+        metrics.mean_wait = class_wait[job_class] / metrics.jobs_completed;
+      }
+    }
   }
 
   // --- Shard-local machine utilization over the global elapsed time. ---

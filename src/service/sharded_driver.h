@@ -2,13 +2,17 @@
 //
 // The service is a BatchScheduler, so the simulator already pushes machine
 // failures, re-queues and per-job records through it unchanged. What the
-// simulator cannot produce on its own is the per-shard view: this driver
-// runs one simulation and then folds the simulator's per-job records and
-// per-machine busy times back onto the service's static machine partition,
-// yielding one SimMetrics per shard next to the global one. Jobs are
-// attributed to the shard of the machine that finally completed them
-// (identical to the service's own routing map except for jobs still
-// unfinished at the end of a no-drain run, which belong to no shard).
+// simulator cannot produce on its own is the per-shard and per-class view:
+// this driver runs one simulation and then folds the simulator's per-job
+// records and per-machine busy times back onto the service's machine
+// partition (one SimMetrics per shard next to the global one) and onto the
+// workload's job classes (one SimMetrics per class — the view class-aware
+// routing is judged by). Jobs are attributed to the shard of the machine
+// that finally completed them, under the machine partition as it stands at
+// the END of the run (identical to the service's own routing map except
+// for jobs still unfinished at the end of a no-drain run, which belong to
+// no shard; with dynamic split/merge enabled, jobs completed before a
+// resize are attributed to their machine's final shard).
 #pragma once
 
 #include <string>
@@ -29,13 +33,20 @@ struct ShardedSimReport {
   /// scheduler_cpu_ms are shard-local; arrival/batch statistics stay 0
   /// (arrivals are a property of the grid, not of a shard).
   std::vector<SimMetrics> per_shard;
+  /// Index = job class; empty on classless runs. Per-class fields:
+  /// jobs_arrived, jobs_completed, jobs_requeued, mean/max flowtime,
+  /// mean_wait and makespan; grid-level fields (utilization, activations)
+  /// stay 0. Macro-averaging mean_flowtime over classes is the QoS view
+  /// bench/sharded_service's class-routing verdict uses.
+  std::vector<SimMetrics> per_class;
   /// Jobs that crossed shards during rebalancing, summed over activations.
   int migrations = 0;
 };
 
-/// Runs `sim` with `service` and splits the outcome per shard. The
-/// service's books (activations, migrations, race times) are cumulative,
-/// so pass a freshly constructed service for an exact per-run report.
+/// Runs `sim` with `service` and splits the outcome per shard and per job
+/// class. The service's books (activations, migrations, race times) are
+/// cumulative, so pass a freshly constructed service for an exact per-run
+/// report.
 [[nodiscard]] ShardedSimReport run_sharded(GridSimulator& sim,
                                            GridSchedulingService& service);
 

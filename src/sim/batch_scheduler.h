@@ -32,6 +32,15 @@ struct BatchContext {
   std::vector<int> job_ids;      // batch row -> global job id
   std::vector<int> machine_ids;  // batch column -> global machine id
   std::uint64_t activation = 0;
+  /// Class structure of the batch on class-structured grids (see
+  /// SimConfig::num_job_classes); empty/zero on classless grids. A
+  /// machine's hardware class is `machine_id % num_job_classes` — the
+  /// simulator's interleaved-rack convention — so the sharded service's
+  /// class-aware routing can see which shards hold a job's matched
+  /// machines and correct its work estimates by `class_speedup`.
+  std::vector<int> job_classes;  // batch row -> job class
+  int num_job_classes = 0;
+  double class_speedup = 1.0;
 
   /// Identity context for a standalone batch (row i = job i, column j =
   /// machine j) — what callers outside a simulator get by default.

@@ -217,6 +217,15 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
     ctx.job_ids = batch;
     ctx.machine_ids = alive;
     ctx.activation = static_cast<std::uint64_t>(metrics.activations);
+    if (config_.num_job_classes > 0) {
+      ctx.num_job_classes = config_.num_job_classes;
+      ctx.class_speedup = config_.class_speedup;
+      ctx.job_classes.reserve(batch.size());
+      for (const int job : batch) {
+        ctx.job_classes.push_back(
+            trace_[static_cast<std::size_t>(job)].job_class);
+      }
+    }
     cpu.restart();
     const Schedule plan = scheduler.schedule_batch(etc, ctx);
     metrics.scheduler_cpu_ms += cpu.elapsed_ms();

@@ -172,6 +172,45 @@ std::vector<TraceJob> FlashCrowdWorkload::generate(double horizon,
                         workload_rng);
 }
 
+ClassMixWorkload::ClassMixWorkload(std::shared_ptr<WorkloadSource> base,
+                                   std::vector<double> weights)
+    : base_(std::move(base)) {
+  require(base_ != nullptr, "ClassMixWorkload: base source must not be null");
+  require(!weights.empty(), "ClassMixWorkload: need at least one class");
+  double total = 0.0;
+  for (const double weight : weights) {
+    require(weight >= 0.0, "ClassMixWorkload: weights must be >= 0");
+    total += weight;
+  }
+  require(total > 0.0, "ClassMixWorkload: weights must sum to > 0");
+  double cumulative = 0.0;
+  for (const double weight : weights) {
+    cumulative += weight / total;
+    cumulative_.push_back(cumulative);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding at the top bin
+  name_ = "class-mix(" + std::string(base_->name()) + ")";
+}
+
+std::vector<TraceJob> ClassMixWorkload::generate(double horizon,
+                                                 Rng& arrival_rng,
+                                                 Rng& workload_rng) {
+  std::vector<TraceJob> jobs = base_->generate(horizon, arrival_rng,
+                                               workload_rng);
+  // One class draw per job, AFTER the base stream is fully materialized:
+  // the wrapped source sees exactly the generator states it would see
+  // unwrapped, so wrapping never perturbs arrivals or sizes.
+  for (TraceJob& job : jobs) {
+    const double u = workload_rng.uniform();
+    // upper_bound, so zero-weight classes are unreachable even at u == 0
+    // (u < 1 and the top bin is exactly 1, so a bin always exists).
+    const auto bin = std::upper_bound(cumulative_.begin(), cumulative_.end(),
+                                      u);
+    job.job_class = static_cast<int>(bin - cumulative_.begin());
+  }
+  return jobs;
+}
+
 TraceWorkloadSource::TraceWorkloadSource(std::vector<TraceJob> jobs)
     : jobs_(std::move(jobs)) {
   // Real logs interleave slightly; a stable sort restores arrival order

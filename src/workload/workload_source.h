@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -193,6 +194,41 @@ class FlashCrowdWorkload final : public WorkloadSource {
 
  private:
   FlashCrowdConfig config_;
+};
+
+/// Wraps any source and assigns every job's class by per-class arrival
+/// rate weights — class i with probability weights[i] / sum(weights) —
+/// instead of the simulator's per-id hash (which yields a uniform mix).
+/// This is the workload that makes class-aware routing measurable: a
+/// skewed mix (say 70% class 0 on a grid where only half the machines
+/// match class 0) is exactly the regime where per-class backlog routing
+/// beats total-backlog routing. Class draws come from the workload
+/// stream, one per job, after the base source generated its jobs, so a
+/// class-mix run stays bitwise reproducible from SimConfig::seed; classes
+/// round-trip through the CSV trace class column (record -> replay keeps
+/// them verbatim, and trace classes win over the id hash).
+class ClassMixWorkload final : public WorkloadSource {
+ public:
+  /// `weights[c]` is class c's relative arrival rate; must be non-empty,
+  /// non-negative, with a positive sum.
+  ClassMixWorkload(std::shared_ptr<WorkloadSource> base,
+                   std::vector<double> weights);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] std::vector<TraceJob> generate(double horizon,
+                                               Rng& arrival_rng,
+                                               Rng& workload_rng) override;
+
+  [[nodiscard]] int num_classes() const noexcept {
+    return static_cast<int>(cumulative_.size());
+  }
+
+ private:
+  std::shared_ptr<WorkloadSource> base_;
+  std::vector<double> cumulative_;  // normalized cumulative weights
+  std::string name_;                // "class-mix(<base>)"
 };
 
 /// Replays a fixed trace (recorded by the simulator or read from a file).

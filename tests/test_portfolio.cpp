@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <thread>
 
 #include "etc/instance.h"
 #include "sim/grid_simulator.h"
@@ -348,6 +349,39 @@ TEST(Portfolio, SharedPoolMatchesOwnedPool) {
   // executes them, so the two portfolios must agree bitwise.
   EXPECT_EQ(owned.schedule_batch(etc), on_shared.schedule_batch(etc));
   EXPECT_EQ(owned.schedule_batch(etc), on_shared.schedule_batch(etc));
+}
+
+TEST(Portfolio, TwoPortfoliosRaceConcurrentlyOnOneSharedPool) {
+  // Group-scoped racing is what makes this legal: each schedule_batch
+  // waits on its own TaskGroup instead of draining the shared pool, so
+  // two portfolios may race at the same time — the sharded service's
+  // concurrent shard activation relies on exactly this.
+  const EtcMatrix etc_a = small_instance(48, 8, 3);
+  const EtcMatrix etc_b = small_instance(40, 6, 9);
+  PortfolioConfig config = deterministic_config();
+
+  // Reference answers from solo runs.
+  PortfolioBatchScheduler solo_a(
+      config, PortfolioBatchScheduler::default_members(config));
+  PortfolioBatchScheduler solo_b(
+      config, PortfolioBatchScheduler::default_members(config));
+  const Schedule want_a = solo_a.schedule_batch(etc_a);
+  const Schedule want_b = solo_b.schedule_batch(etc_b);
+
+  ThreadPool shared(2);
+  PortfolioBatchScheduler concurrent_a(
+      config, PortfolioBatchScheduler::default_members(config), shared);
+  PortfolioBatchScheduler concurrent_b(
+      config, PortfolioBatchScheduler::default_members(config), shared);
+  Schedule got_a;
+  std::thread racer([&] { got_a = concurrent_a.schedule_batch(etc_a); });
+  const Schedule got_b = concurrent_b.schedule_batch(etc_b);
+  racer.join();
+  // Evaluation-bounded members are deterministic regardless of pool
+  // sharing and interleaving, so both concurrent races must agree bitwise
+  // with their solo references.
+  EXPECT_EQ(got_a, want_a);
+  EXPECT_EQ(got_b, want_b);
 }
 
 TEST(Portfolio, SetBudgetRearmsTheDeadline) {

@@ -135,6 +135,78 @@ TEST(RoutingPolicy, ShardWorkEstimateIsTheBestEtcInTheShard) {
   EXPECT_DOUBLE_EQ(shard_work_estimate(etc, 0, snapshot(1, {2}, 0.0)), 100.0);
 }
 
+TEST(RoutingPolicy, ShardWorkEstimateNormalizesClassStarvedShards) {
+  EtcMatrix etc(1, 2);
+  etc(0, 0) = 30.0;  // off-class machine: 3x the matched cost
+  etc(0, 1) = 10.0;
+  ShardSnapshot starved = snapshot(0, {0}, 0.0);
+  starved.class_machines = {0, 1};  // no machine of class 0 here
+  starved.class_speedup = 3.0;
+  ShardSnapshot matched = snapshot(1, {1}, 0.0);
+  matched.class_machines = {1, 0};
+  matched.class_speedup = 3.0;
+  // A class-0 job books matched-machine seconds on BOTH shards: the
+  // starved shard's off-class minimum is divided by the speedup, so
+  // least-backlog compares like with like instead of reading the starved
+  // shard as 3x busier per routed job.
+  EXPECT_DOUBLE_EQ(shard_work_estimate(etc, RoutedJob(0, 0), starved), 10.0);
+  EXPECT_DOUBLE_EQ(shard_work_estimate(etc, RoutedJob(0, 0), matched), 10.0);
+  // Classless jobs and classless grids keep the raw minimum.
+  EXPECT_DOUBLE_EQ(shard_work_estimate(etc, RoutedJob(0, -1), starved), 30.0);
+  EXPECT_DOUBLE_EQ(shard_work_estimate(etc, 0, snapshot(0, {0}, 0.0)), 30.0);
+}
+
+TEST(RoutingPolicy, ClassBacklogPrefersTheShardWithTheClassQueueFree) {
+  ClassBacklogRouting router;
+  EtcMatrix etc(1, 2);
+  etc(0, 0) = 10.0;  // class-0 job runs equally fast on both shards...
+  etc(0, 1) = 10.0;
+  ShardSnapshot busy_for_class = snapshot(0, {0}, 0.0);
+  busy_for_class.class_machines = {1, 0};
+  busy_for_class.class_routed_work = {50.0, 0.0};  // class 0 queue is deep
+  busy_for_class.routed_work = 50.0;
+  ShardSnapshot free_for_class = snapshot(1, {1}, 40.0);
+  free_for_class.class_machines = {1, 0};
+  free_for_class.class_routed_work = {0.0, 0.0};
+  // Total backlogs are comparable (50 vs 40) but shard 0's class-0 lane is
+  // saturated; the class router must see past the totals.
+  EXPECT_EQ(router.route(RoutedJob(0, 0), etc,
+                         std::vector<ShardSnapshot>{busy_for_class,
+                                                    free_for_class}),
+            1u);
+  // A classless job degrades to least-backlog and picks the lighter total.
+  EXPECT_EQ(router.route(RoutedJob(0, -1), etc,
+                         std::vector<ShardSnapshot>{busy_for_class,
+                                                    free_for_class}),
+            1u);
+}
+
+TEST(RoutingPolicy, ClassBacklogAvoidsClassStarvedShardsWhenCostly) {
+  ClassBacklogRouting router;
+  EtcMatrix etc(1, 2);
+  etc(0, 0) = 30.0;  // shard 0 lacks the class: 3x slower
+  etc(0, 1) = 10.0;
+  ShardSnapshot starved = snapshot(0, {0}, 0.0);
+  starved.class_machines = {0, 1};
+  starved.class_routed_work = {0.0, 0.0};
+  starved.class_speedup = 3.0;
+  ShardSnapshot matched = snapshot(1, {1}, 0.0);
+  matched.class_machines = {1, 0};
+  matched.class_routed_work = {0.0, 0.0};
+  matched.class_speedup = 3.0;
+  EXPECT_EQ(router.route(RoutedJob(0, 0), etc,
+                         std::vector<ShardSnapshot>{starved, matched}),
+            1u);
+}
+
+TEST(RoutingPolicy, RoutingKindRoundTripsThroughItsName) {
+  for (const RoutingKind kind : all_routing_kinds()) {
+    EXPECT_EQ(routing_kind_from_name(routing_name(kind)), kind);
+  }
+  EXPECT_THROW((void)routing_kind_from_name("no-such-policy"),
+               std::invalid_argument);
+}
+
 // --------------------------------------------------------------- service --
 
 TEST(Service, RejectsBadConfigs) {
@@ -388,6 +460,202 @@ TEST(Service, SingleShardDegeneratesToOnePortfolio) {
   EXPECT_EQ(service.shard_activations()[0].jobs, etc.num_jobs());
   EXPECT_DOUBLE_EQ(service.shard_activations()[0].budget_ms,
                    service.config().total_budget_ms);
+}
+
+TEST(Service, ConcurrentAndSequentialActivationAgree) {
+  // With evaluation-bounded members the committed schedules are
+  // deterministic, so overlapping the shard races must not change them —
+  // the no-job-lost-or-duplicated contract of concurrent activation.
+  const EtcMatrix etc = small_instance(36, 8);
+  ServiceConfig sequential = deterministic_config(4);
+  sequential.concurrent_shards = false;
+  ServiceConfig concurrent = deterministic_config(4);
+  concurrent.concurrent_shards = true;
+  GridSchedulingService service_seq(sequential);
+  GridSchedulingService service_conc(concurrent);
+  for (int round = 0; round < 3; ++round) {
+    const Schedule plan_seq = service_seq.schedule_batch(etc);
+    const Schedule plan_conc = service_conc.schedule_batch(etc);
+    EXPECT_EQ(plan_seq, plan_conc) << "round " << round;
+  }
+  ASSERT_FALSE(service_conc.service_activations().empty());
+  for (const ServiceActivationRecord& record :
+       service_conc.service_activations()) {
+    EXPECT_TRUE(record.concurrent);
+    EXPECT_GT(record.shards_raced, 1);
+  }
+  for (const ServiceActivationRecord& record :
+       service_seq.service_activations()) {
+    EXPECT_FALSE(record.concurrent);
+  }
+}
+
+TEST(Service, ClassBacklogRoutingKeepsClassedJobsOnMatchedShards) {
+  // 2 shards x 2 classes with the interleaved conventions: shard 0 owns
+  // machines {0, 2} — but classes also alternate, so make the partition
+  // class-pure by hand: machines 0,2 (class 0) vs 1,3 (class 1) happen to
+  // be exactly the static id%2 shards. Matched pairs run 3x faster.
+  EtcMatrix etc(8, 4);
+  BatchContext context = BatchContext::identity(etc);
+  context.num_job_classes = 2;
+  context.class_speedup = 3.0;
+  for (JobId job = 0; job < etc.num_jobs(); ++job) {
+    const int job_class = job % 2;
+    context.job_classes.push_back(job_class);
+    for (MachineId machine = 0; machine < etc.num_machines(); ++machine) {
+      const bool matched = machine % 2 == job_class;
+      etc(job, machine) = matched ? 10.0 : 30.0;
+    }
+  }
+  ServiceConfig config = deterministic_config(2);
+  config.routing = RoutingKind::kClassBacklog;
+  config.imbalance_factor = 0.0;  // keep the routing decision untouched
+  GridSchedulingService service(config);
+  const Schedule plan = service.schedule_batch(etc, context);
+  ASSERT_TRUE(plan.complete(etc.num_machines()));
+  for (JobId job = 0; job < etc.num_jobs(); ++job) {
+    // Machine m has class m % 2; shard s == class s here.
+    EXPECT_EQ(service.shard_of_job(job), job % 2)
+        << "job " << job << " routed off its class shard";
+    EXPECT_EQ(plan[job] % 2, job % 2) << "job " << job << " ran off-class";
+  }
+}
+
+TEST(Service, RejectsIncoherentJobClasses) {
+  const EtcMatrix etc = small_instance(4, 4);
+  GridSchedulingService service(deterministic_config(2));
+  BatchContext context = BatchContext::identity(etc);
+  context.num_job_classes = 2;
+  context.class_speedup = 3.0;
+  context.job_classes = {0, 1, 5, 0};  // 5 is out of range
+  EXPECT_THROW((void)service.schedule_batch(etc, context),
+               std::invalid_argument);
+  context.job_classes = {0, 1};  // wrong length
+  EXPECT_THROW((void)service.schedule_batch(etc, context),
+               std::invalid_argument);
+  context.job_classes = {0, 1, -1, 0};  // -1 = unclassed is legal
+  EXPECT_TRUE(
+      service.schedule_batch(etc, context).complete(etc.num_machines()));
+}
+
+TEST(Service, SplitGrowsThePartitionWhenThePoolOutgrowsTheBound) {
+  ServiceConfig config = deterministic_config(2);
+  config.split_above_machines = 4;
+  config.max_shards = 4;
+  GridSchedulingService service(config);
+  const EtcMatrix etc = small_instance(32, 16);
+  const Schedule plan = service.schedule_batch(etc);
+  ASSERT_TRUE(plan.complete(etc.num_machines()));
+  // 16 machines / 2 shards = 8 > 4 -> split; 16/3 = 5.3 > 4 -> split;
+  // 16/4 = 4, not above the bound -> stop at the cap.
+  EXPECT_EQ(service.num_shards(), 4);
+  ASSERT_EQ(service.resize_events().size(), 2u);
+  for (const ShardResizeEvent& event : service.resize_events()) {
+    EXPECT_TRUE(event.split);
+    EXPECT_GT(event.machines_moved, 0);
+    EXPECT_EQ(event.alive_machines, 16);
+  }
+  // No job lost or duplicated across the resized partition.
+  int scheduled = 0;
+  for (const ShardStats& stat : service.shard_stats()) {
+    scheduled += stat.jobs_scheduled;
+  }
+  EXPECT_EQ(scheduled, etc.num_jobs());
+  for (JobId job = 0; job < etc.num_jobs(); ++job) {
+    EXPECT_EQ(service.shard_of_machine(plan[job]), service.shard_of_job(job));
+  }
+}
+
+TEST(Service, SplitMovesAliveCapacityNotJustCorpses) {
+  ServiceConfig config = deterministic_config(1);
+  config.split_above_machines = 4;
+  config.max_shards = 2;
+  GridSchedulingService service(config);
+  // Batch 1: machines 0..3 — exactly at the bound, no split; the
+  // partition map learns them.
+  const EtcMatrix first = small_instance(8, 4);
+  (void)service.schedule_batch(first);
+  ASSERT_TRUE(service.resize_events().empty());
+  // Batch 2: machines 1 and 3 are dead, 4/6/8 joined — 5 alive machines
+  // on one shard trips the split. A parity cut over the MIXED owned list
+  // {0,1,2,3,4,6,8} would hand the child {1,3,6}: two corpses and one
+  // machine. The cut must run over the alive list, so the child inherits
+  // real capacity.
+  const EtcMatrix second = small_instance(10, 5, 7);
+  BatchContext context = BatchContext::identity(second);
+  context.machine_ids = {0, 2, 4, 6, 8};
+  const Schedule plan = service.schedule_batch(second, context);
+  ASSERT_TRUE(plan.complete(second.num_machines()));
+  ASSERT_EQ(service.resize_events().size(), 1u);
+  const ShardResizeEvent& split = service.resize_events().front();
+  EXPECT_TRUE(split.split);
+  int child_alive = 0;
+  for (const int machine : context.machine_ids) {
+    if (service.shard_of_machine(machine) == split.to_shard) ++child_alive;
+  }
+  EXPECT_EQ(child_alive, 2);
+  EXPECT_EQ(service.shard_of_machine(2), split.to_shard);
+  EXPECT_EQ(service.shard_of_machine(6), split.to_shard);
+}
+
+TEST(Service, MergeFoldsTheLightShardsWhenMachinesVanish) {
+  ServiceConfig config = deterministic_config(4);
+  config.merge_below_machines = 3;
+  GridSchedulingService service(config);
+  // Only 4 machines for 4 shards: mean 1 < 3 -> merge until the mean
+  // clears the bound (4/2 = 2 < 3, 4/1 = 4 -> one shard absorbs all).
+  const EtcMatrix etc = small_instance(12, 4);
+  const Schedule plan = service.schedule_batch(etc);
+  ASSERT_TRUE(plan.complete(etc.num_machines()));
+  ASSERT_EQ(service.resize_events().size(), 3u);
+  for (const ShardResizeEvent& event : service.resize_events()) {
+    EXPECT_FALSE(event.split);
+  }
+  // Every machine now lives on one shard, and the whole batch ran there.
+  const int owner = service.shard_of_machine(0);
+  for (int machine = 1; machine < etc.num_machines(); ++machine) {
+    EXPECT_EQ(service.shard_of_machine(machine), owner);
+  }
+  int scheduled = 0;
+  for (const ShardStats& stat : service.shard_stats()) {
+    scheduled += stat.jobs_scheduled;
+    if (stat.shard != owner) {
+      EXPECT_EQ(stat.jobs_scheduled, 0);
+    }
+  }
+  EXPECT_EQ(scheduled, etc.num_jobs());
+}
+
+TEST(Service, SplitMigratesTheWarmStartCache) {
+  ServiceConfig config = deterministic_config(2);
+  config.split_above_machines = 6;
+  config.max_shards = 3;
+  GridSchedulingService service(config);
+  // First activation: 8 machines / 2 shards = 4, under the bound — the
+  // caches fill without any resize.
+  const EtcMatrix small = small_instance(24, 8);
+  (void)service.schedule_batch(small);
+  EXPECT_EQ(service.num_shards(), 2);
+  EXPECT_FALSE(service.shard_scheduler(0).cache().empty());
+  // Second activation arrives with 16 machines: 16/2 = 8 > 6 -> split.
+  // The child shard must inherit a COPY of the parent's elites, not start
+  // cold.
+  const EtcMatrix big = small_instance(48, 16, 5);
+  (void)service.schedule_batch(big);
+  ASSERT_EQ(service.num_shards(), 3);
+  ASSERT_FALSE(service.resize_events().empty());
+  const ShardResizeEvent& split = service.resize_events().front();
+  EXPECT_TRUE(split.split);
+  EXPECT_EQ(split.to_shard, 2);
+  EXPECT_FALSE(service.shard_scheduler(2).cache().empty())
+      << "split child started with a cold cache";
+}
+
+TEST(Service, RejectsOscillatingScalingBounds) {
+  ServiceConfig config = deterministic_config(2);
+  config.split_above_machines = 5;
+  config.merge_below_machines = 4;  // less than twice the merge bound
+  EXPECT_THROW(GridSchedulingService{config}, std::invalid_argument);
 }
 
 // ---------------------------------------------------------------- driver --

@@ -328,6 +328,106 @@ TEST(DeterministicReplay, RecordedPoissonRunReplaysBitForBit) {
   expect_identical_runs(original, replay, recorded, replayed);
 }
 
+// ----------------------------------------------------------- class mix --
+
+TEST(ClassMixWorkload, AssignsClassesByRateWeights) {
+  ClassMixWorkload mix(std::make_shared<PoissonWorkload>(5.0, LogNormalSize{}),
+                       {3.0, 1.0});
+  EXPECT_EQ(mix.name(), "class-mix(poisson)");
+  EXPECT_EQ(mix.num_classes(), 2);
+  Rng arrivals(7);
+  Rng sizes(8);
+  const std::vector<TraceJob> jobs = mix.generate(2'000.0, arrivals, sizes);
+  ASSERT_GT(jobs.size(), 1'000u);
+  int class_zero = 0;
+  for (const TraceJob& job : jobs) {
+    ASSERT_GE(job.job_class, 0);
+    ASSERT_LT(job.job_class, 2);
+    if (job.job_class == 0) ++class_zero;
+  }
+  // 75/25 split: with ~10k draws the observed share sits well within a
+  // few percent of the weight ratio.
+  const double share = static_cast<double>(class_zero) /
+                       static_cast<double>(jobs.size());
+  EXPECT_NEAR(share, 0.75, 0.05);
+}
+
+TEST(ClassMixWorkload, ZeroWeightClassesAreNeverDrawn) {
+  ClassMixWorkload mix(std::make_shared<PoissonWorkload>(2.0, LogNormalSize{}),
+                       {0.0, 1.0, 0.0});
+  Rng arrivals(3);
+  Rng sizes(4);
+  for (const TraceJob& job : mix.generate(500.0, arrivals, sizes)) {
+    EXPECT_EQ(job.job_class, 1);
+  }
+}
+
+TEST(ClassMixWorkload, WrappingDoesNotPerturbTheBaseStream) {
+  // The wrapper draws classes only after the base stream is materialized,
+  // so arrivals and sizes are bit-identical to the unwrapped source.
+  Rng arrivals_a(11);
+  Rng sizes_a(12);
+  PoissonWorkload plain(1.0, LogNormalSize{});
+  const std::vector<TraceJob> bare = plain.generate(300.0, arrivals_a,
+                                                    sizes_a);
+  Rng arrivals_b(11);
+  Rng sizes_b(12);
+  ClassMixWorkload mix(std::make_shared<PoissonWorkload>(1.0,
+                                                         LogNormalSize{}),
+                       {1.0, 1.0});
+  const std::vector<TraceJob> mixed = mix.generate(300.0, arrivals_b,
+                                                   sizes_b);
+  ASSERT_EQ(bare.size(), mixed.size());
+  for (std::size_t i = 0; i < bare.size(); ++i) {
+    EXPECT_EQ(bare[i].arrival, mixed[i].arrival);
+    EXPECT_EQ(bare[i].workload_mi, mixed[i].workload_mi);
+  }
+}
+
+TEST(ClassMixWorkload, RejectsBadWeightsAndNullBase) {
+  const auto base = std::make_shared<PoissonWorkload>(1.0, LogNormalSize{});
+  EXPECT_THROW(ClassMixWorkload(nullptr, {1.0}), std::invalid_argument);
+  EXPECT_THROW(ClassMixWorkload(base, {}), std::invalid_argument);
+  EXPECT_THROW(ClassMixWorkload(base, {1.0, -0.5}), std::invalid_argument);
+  EXPECT_THROW(ClassMixWorkload(base, {0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(DeterministicReplay, ClassMixRoundTripsThroughTheTraceClassColumn) {
+  // The class-mix classes must survive record -> CSV -> replay verbatim:
+  // trace-supplied classes win over the id hash, so the replayed run is
+  // bit-identical, ETCs and all.
+  SimConfig config = replay_sim();
+  config.workload = std::make_shared<ClassMixWorkload>(
+      std::make_shared<PoissonWorkload>(
+          config.arrival_rate,
+          LogNormalSize{config.workload_log_mean, config.workload_log_sigma}),
+      std::vector<double>{0.6, 0.3, 0.1});
+  GridSimulator recorded(config);
+  HeuristicBatchScheduler sched_a(HeuristicKind::kMinMin);
+  const SimMetrics original = recorded.run(sched_a);
+  ASSERT_GT(original.jobs_arrived, 0);
+
+  std::ostringstream out;
+  write_trace(out, recorded.arrival_trace());
+  std::istringstream in(out.str());
+
+  SimConfig replay_config = config;
+  replay_config.workload =
+      std::make_shared<TraceWorkloadSource>(read_trace(in));
+  GridSimulator replayed(replay_config);
+  HeuristicBatchScheduler sched_b(HeuristicKind::kMinMin);
+  const SimMetrics replay = replayed.run(sched_b);
+
+  expect_identical_runs(original, replay, recorded, replayed);
+  // The skew survives: class 0 dominates the recorded trace.
+  int class_zero = 0;
+  for (const TraceJob& job : recorded.arrival_trace()) {
+    if (job.job_class == 0) ++class_zero;
+  }
+  EXPECT_GT(class_zero, static_cast<int>(
+      recorded.arrival_trace().size() / 3));
+}
+
 TEST(DeterministicReplay, ExplicitPoissonSourceMatchesTheLegacyDefault) {
   // A SimConfig without a source and one with the equivalent
   // PoissonWorkload must be the same simulation.
