@@ -33,6 +33,47 @@ void PopulationCache::store(const BatchContext& context,
   machine_ids_ = context.machine_ids;
 }
 
+bool PopulationCache::erase_job(int global_job) {
+  const auto it = std::find(job_ids_.begin(), job_ids_.end(), global_job);
+  if (it == job_ids_.end()) return false;
+  const auto row = static_cast<JobId>(it - job_ids_.begin());
+  job_ids_.erase(it);
+  for (Schedule& elite : elites_) {
+    Schedule shrunk(elite.num_jobs() - 1);
+    for (JobId job = 0, kept = 0; job < elite.num_jobs(); ++job) {
+      if (job == row) continue;
+      shrunk[kept++] = elite[job];
+    }
+    elite = std::move(shrunk);
+  }
+  return true;
+}
+
+void PopulationCache::adopt_job(int global_job, int global_machine) {
+  if (elites_.empty()) return;
+  auto column_it =
+      std::find(machine_ids_.begin(), machine_ids_.end(), global_machine);
+  if (column_it == machine_ids_.end()) {
+    machine_ids_.push_back(global_machine);
+    column_it = machine_ids_.end() - 1;
+  }
+  const auto column =
+      static_cast<MachineId>(column_it - machine_ids_.begin());
+  const auto row_it = std::find(job_ids_.begin(), job_ids_.end(), global_job);
+  if (row_it != job_ids_.end()) {
+    const auto row = static_cast<JobId>(row_it - job_ids_.begin());
+    for (Schedule& elite : elites_) elite[row] = column;
+    return;
+  }
+  job_ids_.push_back(global_job);
+  for (Schedule& elite : elites_) {
+    Schedule grown(static_cast<int>(job_ids_.size()));
+    for (JobId job = 0; job < elite.num_jobs(); ++job) grown[job] = elite[job];
+    grown[static_cast<JobId>(job_ids_.size() - 1)] = column;
+    elite = std::move(grown);
+  }
+}
+
 std::vector<Schedule> PopulationCache::warm_start(
     const EtcMatrix& etc, const BatchContext& context) const {
   if (elites_.empty()) return {};

@@ -41,6 +41,20 @@ class PopulationCache {
   [[nodiscard]] std::vector<Schedule> warm_start(
       const EtcMatrix& etc, const BatchContext& context) const;
 
+  /// Drops a job from the stored batch: its row leaves `stored_job_ids`
+  /// and every elite. Returns false (no-op) when the job is not stored.
+  /// The sharded service calls this on the VICTIM shard's cache when a
+  /// drain-tail steal moves the job to another shard, so a stolen job is
+  /// remembered by exactly one cache.
+  bool erase_job(int global_job);
+
+  /// Adds (or reassigns) a job in the stored batch: every elite maps it to
+  /// `global_machine`, which joins `stored_machine_ids` if new. No-op on
+  /// an empty cache — there is no elite to extend. The THIEF shard's cache
+  /// learns a stolen job this way: if churn re-queues the job, the warm
+  /// start remembers the machine it actually landed on.
+  void adopt_job(int global_job, int global_machine);
+
   [[nodiscard]] bool empty() const noexcept { return elites_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return elites_.size(); }
   [[nodiscard]] int capacity() const noexcept { return capacity_; }

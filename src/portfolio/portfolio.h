@@ -111,6 +111,14 @@ class PortfolioBatchScheduler final : public BatchScheduler {
     return cache_;
   }
 
+  /// Mutable cache view for the sharded service's stolen-job handoff: when
+  /// a drain-tail steal moves a committed job to another shard, the victim
+  /// portfolio's cache drops the job and the thief's adopts it on the
+  /// machine it landed on (PopulationCache::erase_job / adopt_job), so the
+  /// one-cache-per-job isolation invariant survives stealing and a churn
+  /// re-queue warm-starts from where the job actually ran.
+  [[nodiscard]] PopulationCache& cache() noexcept { return cache_; }
+
   /// Re-arms the per-activation budget. The sharded service splits its
   /// total budget over the shards that have work, which varies activation
   /// to activation.

@@ -1,6 +1,7 @@
 #include "service/grid_scheduling_service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <unordered_set>
 #include <utility>
@@ -88,6 +89,16 @@ GridSchedulingService::GridSchedulingService(ServiceConfig config)
         "Service: split_above_machines must be at least twice "
         "merge_below_machines");
   }
+  if (config_.resize_cooldown < 0) {
+    throw std::invalid_argument("Service: resize_cooldown must be >= 0");
+  }
+  // Negated form rejects NaN too: a NaN band would turn both triggers
+  // into NaN comparisons that never fire — silently disabling scaling. A
+  // band of 1 would push the merge trigger to zero and below — the merge
+  // bound could never fire again, silently.
+  if (!(config_.resize_band >= 0.0 && config_.resize_band < 1.0)) {
+    throw std::invalid_argument("Service: resize_band must be in [0, 1)");
+  }
   if (config_.max_shards < config_.num_shards) {
     throw std::invalid_argument(
         "Service: max_shards must be >= the initial num_shards");
@@ -131,9 +142,41 @@ void GridSchedulingService::maybe_resize(const EtcMatrix& etc,
   if (config_.split_above_machines <= 0 && config_.merge_below_machines <= 0) {
     return;
   }
+  // Hysteresis, part 1: a resize opens a cooldown window — the partition
+  // gets `resize_cooldown` activations to settle (caches re-warm, backlogs
+  // redistribute) before the census may trigger again.
+  if (config_.resize_cooldown > 0 && resized_ever_ &&
+      activation_ - last_resize_activation_ <=
+          static_cast<std::uint64_t>(config_.resize_cooldown)) {
+    return;
+  }
+  // Hysteresis, part 2: band-widened triggers. A pool hovering exactly at
+  // a bound (churn flipping one machine in and out) stays put; only a
+  // clear excursion past the band resizes.
+  const double split_trigger =
+      static_cast<double>(config_.split_above_machines) *
+      (1.0 + config_.resize_band);
+  const double merge_trigger =
+      static_cast<double>(config_.merge_below_machines) *
+      (1.0 - config_.resize_band);
   const int alive_total = static_cast<int>(context.machine_ids.size());
   const std::unordered_set<int> alive_ids(context.machine_ids.begin(),
                                           context.machine_ids.end());
+  // Grid machine id -> reported MIPS, built lazily: only a split that
+  // actually fires consumes it, and the steady state (no resize) should
+  // not pay a per-activation map build. Empty map = unreported; the
+  // split cut then balances counts, which is the old parity behavior.
+  std::unordered_map<int, double> mips_of;
+  bool mips_mapped = false;
+  const auto ensure_mips_map = [&] {
+    if (mips_mapped) return;
+    mips_mapped = true;
+    for (std::size_t column = 0; column < context.machine_mips.size();
+         ++column) {
+      mips_of.emplace(context.machine_ids[column],
+                      context.machine_mips[column]);
+    }
+  };
   // Bounded walk: each iteration either splits (capped by max_shards) or
   // merges (capped by the active count), and the ctor's bound gap forbids
   // a split/merge cycle.
@@ -158,7 +201,7 @@ void GridSchedulingService::maybe_resize(const EtcMatrix& etc,
 
     if (config_.split_above_machines > 0 &&
         static_cast<int>(shards_.size()) < config_.max_shards &&
-        mean > static_cast<double>(config_.split_above_machines)) {
+        mean > split_trigger) {
       // Split the hottest shard (largest alive backlog; ties toward more
       // machines, then the lower id) that has at least two machines.
       const ShardLoad* hot = nullptr;
@@ -184,15 +227,27 @@ void GridSchedulingService::maybe_resize(const EtcMatrix& etc,
         }
       }
       if (child < 0) child = add_shard_slot();
-      // Move every second of the parent's ALIVE machines and every
-      // second of its dead ones (each list sorted by id) — alternating
-      // within each list preserves interleaved hardware-class diversity
-      // the way the static modulo partition does, and splitting the
-      // lists separately guarantees the child receives real capacity (a
-      // parity cut over the mixed list could hand it only corpses,
-      // leaving the alive mean unchanged and the loop splitting the same
-      // parent again). Dead machines move too so repairs rejoin a
-      // coherent partition.
+      // Cut the parent's ALIVE machines into two load-balanced halves.
+      // The greedy runs PER hardware class with class-local MIPS sums —
+      // heaviest machine first, each to the class's lighter side — so
+      // every class with two or more machines lands on BOTH sides
+      // (diversity first: a globally-balanced cut could strand a whole
+      // class on one shard, recreating the off-class regime class-aware
+      // routing exists to avoid). Class-local ties (including each
+      // class's first machine, and every machine when speeds are
+      // unreported and all weights are 1) fall through to the globally
+      // lighter side, then to the parent — which is what makes the
+      // classless equal-weight cut reduce to the old id-parity
+      // alternation, and hands singleton classes to whichever side is
+      // lighter overall. The child is guaranteed real capacity: the
+      // second machine of the first multi-machine class (or the second
+      // singleton) always lands on it. Splitting the alive list
+      // separately from the dead one matters for the same reason it
+      // always did — a cut over the mixed list could hand the child only
+      // corpses, leaving the alive mean unchanged and the loop splitting
+      // the same parent again. Dead machines still move by id parity (no
+      // reported speed) so repairs rejoin a coherent partition.
+      ensure_mips_map();
       std::vector<int> owned_alive;
       std::vector<int> owned_dead;
       for (const auto& [machine, shard] : machine_shard_) {
@@ -200,13 +255,51 @@ void GridSchedulingService::maybe_resize(const EtcMatrix& etc,
         (alive_ids.count(machine) > 0 ? owned_alive : owned_dead)
             .push_back(machine);
       }
-      std::sort(owned_alive.begin(), owned_alive.end());
-      std::sort(owned_dead.begin(), owned_dead.end());
+      const int num_classes = context.num_job_classes;
+      auto weight_of = [&](int machine) {
+        const auto it = mips_of.find(machine);
+        return it != mips_of.end() ? it->second : 1.0;
+      };
+      auto class_of = [&](int machine) {
+        return num_classes > 0 ? machine % num_classes : 0;
+      };
+      std::sort(owned_alive.begin(), owned_alive.end(),
+                [&](int a, int b) {
+                  const int class_a = class_of(a);
+                  const int class_b = class_of(b);
+                  if (class_a != class_b) return class_a < class_b;
+                  const double weight_a = weight_of(a);
+                  const double weight_b = weight_of(b);
+                  if (weight_a != weight_b) return weight_a > weight_b;
+                  return a < b;
+                });
       int moved = 0;
-      for (std::size_t i = 1; i < owned_alive.size(); i += 2) {
-        machine_shard_[owned_alive[i]] = child;
-        ++moved;
+      double parent_mips = 0.0;
+      double child_mips = 0.0;
+      double class_parent = 0.0;
+      double class_child = 0.0;
+      int current_class = -1;
+      for (const int machine : owned_alive) {
+        if (class_of(machine) != current_class) {
+          current_class = class_of(machine);
+          class_parent = 0.0;
+          class_child = 0.0;
+        }
+        const double weight = weight_of(machine);
+        const bool to_child =
+            class_child != class_parent ? class_child < class_parent
+                                        : child_mips < parent_mips;
+        if (to_child) {
+          machine_shard_[machine] = child;
+          class_child += weight;
+          child_mips += weight;
+          ++moved;
+        } else {
+          class_parent += weight;
+          parent_mips += weight;
+        }
       }
+      std::sort(owned_dead.begin(), owned_dead.end());
       for (std::size_t i = 1; i < owned_dead.size(); i += 2) {
         machine_shard_[owned_dead[i]] = child;
         ++moved;
@@ -224,11 +317,13 @@ void GridSchedulingService::maybe_resize(const EtcMatrix& etc,
           .machines_moved = moved,
           .alive_machines = alive_total,
       });
+      resized_ever_ = true;
+      last_resize_activation_ = activation_;
       continue;
     }
 
     if (config_.merge_below_machines > 0 && active.size() > 1 &&
-        mean < static_cast<double>(config_.merge_below_machines)) {
+        mean < merge_trigger) {
       // Merge the two lightest shards (smallest alive backlog; ties
       // toward fewer machines, then the lower id). The lower-id one
       // absorbs, so long-lived shard identities stay stable.
@@ -258,6 +353,8 @@ void GridSchedulingService::maybe_resize(const EtcMatrix& etc,
           .machines_moved = moved,
           .alive_machines = alive_total,
       });
+      resized_ever_ = true;
+      last_resize_activation_ = activation_;
       continue;
     }
     return;
@@ -275,6 +372,27 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
           static_cast<std::size_t>(etc.num_machines())) {
     throw std::invalid_argument(
         "Service: batch context does not match the ETC dimensions");
+  }
+  // machine_mips is indexed alongside machine_ids by the split cut; a
+  // caller reporting speeds for a different machine set (say the full
+  // grid while machine_ids holds only the alive subset) would silently
+  // weight the wrong machines.
+  if (!context.machine_mips.empty()) {
+    if (context.machine_mips.size() !=
+        static_cast<std::size_t>(etc.num_machines())) {
+      throw std::invalid_argument(
+          "Service: machine_mips must be empty or one entry per batch "
+          "machine");
+    }
+    for (const double mips : context.machine_mips) {
+      // Negated comparison rejects NaN too. A zero or garbage rating
+      // would freeze the greedy split cut's running sums and hand the
+      // child shard no alive capacity.
+      if (!(mips > 0.0) || !std::isfinite(mips)) {
+        throw std::invalid_argument(
+            "Service: machine_mips entries must be finite and > 0");
+      }
+    }
   }
   // Class info must be coherent before anything indexes by class: the
   // simulator resolves classes modulo num_job_classes, but this is a
@@ -508,8 +626,6 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
       race.race_ms = watch.elapsed_ms();
     }
   }
-  const double wall_ms = activation_watch.elapsed_ms();
-
   // --- Fold the slots back into the global plan and the books. ---
   Schedule plan(etc.num_jobs());
   for (const ShardRace& race : races) {
@@ -538,11 +654,59 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
         .race_ms = race.race_ms,
     });
   }
+  // --- Drain-tail work stealing: with the races committed, the exact
+  // per-machine drain times are known; while a FOREIGN machine can finish
+  // one of the critical machine's jobs strictly earlier, the job moves
+  // there (plan_drain_steals). This is where a dying queue stops being a
+  // one-partition problem: once neighbors drain, their idle machines
+  // absorb the last shard's stragglers. Every move updates the job map,
+  // the steal books, and hands the job's cache entry from the victim
+  // portfolio to the thief's, so at most one cache knows each job.
+  int jobs_stolen = 0;
+  if (config_.drain_steal && active.size() > 1) {
+    std::vector<int> column_shard(
+        static_cast<std::size_t>(etc.num_machines()));
+    for (int column = 0; column < etc.num_machines(); ++column) {
+      column_shard[static_cast<std::size_t>(column)] = shard_of_machine(
+          context.machine_ids[static_cast<std::size_t>(column)]);
+    }
+    const std::vector<StealMove> steals =
+        plan_drain_steals(etc, plan, column_shard, etc.num_jobs());
+    for (const StealMove& steal : steals) {
+      plan[steal.row] = static_cast<MachineId>(steal.to_column);
+      const int job = context.job_ids[static_cast<std::size_t>(steal.row)];
+      shard_of_job_[job] = steal.to_shard;
+      stats_[static_cast<std::size_t>(steal.from_shard)].stolen_out += 1;
+      stats_[static_cast<std::size_t>(steal.to_shard)].stolen_in += 1;
+      // Hand the warm-start entry to the thief — but only when its cache
+      // has elites to extend (adopt_job is a no-op on an empty cache, and
+      // erasing first would drop the entry from EVERY cache). When the
+      // thief cannot hold it, the victim keeps the entry: at most one
+      // cache knows the job either way, and a stale hint beats none.
+      PopulationCache& victim_cache =
+          shards_[static_cast<std::size_t>(steal.from_shard)]->cache();
+      PopulationCache& thief_cache =
+          shards_[static_cast<std::size_t>(steal.to_shard)]->cache();
+      if (!thief_cache.empty() && victim_cache.erase_job(job)) {
+        thief_cache.adopt_job(
+            job, context.machine_ids[static_cast<std::size_t>(
+                     steal.to_column)]);
+      }
+    }
+    jobs_stolen = static_cast<int>(steals.size());
+  }
+
+  // The activation wall stops HERE so the record owns every serial cost
+  // of the activation — fold and steal pass included, not just the
+  // overlapped races. A regression that made stealing slow must show up
+  // in the bench's activation-wall columns, not hide behind them.
+  const double wall_ms = activation_watch.elapsed_ms();
   service_records_.push_back(ServiceActivationRecord{
       .activation = context.activation,
       .shards_raced = static_cast<int>(races.size()),
       .wall_ms = wall_ms,
       .concurrent = concurrent,
+      .jobs_stolen = jobs_stolen,
   });
   return plan;
 }

@@ -18,12 +18,28 @@
 // and can SCALE DYNAMICALLY: at an activation boundary, when machine
 // churn pushes the mean alive-machines-per-shard above
 // `split_above_machines`, the hottest shard (by ready-time backlog)
-// splits — every second of its machines moves to a fresh (or recycled
-// empty) shard whose portfolio inherits a copy of the parent's warm-start
-// cache — and when the mean falls below `merge_below_machines`, the two
-// lightest shards merge (the lighter one's machines fold into the other;
-// the emptied slot idles at zero cost until a split recycles it). Both
-// bounds zero disables scaling and the partition is exactly PR 2's.
+// splits — its alive machines are cut into MIPS-balanced, class-diverse
+// halves (count-balanced when speeds are unreported) and one half moves
+// to a fresh (or recycled empty) shard whose portfolio inherits a copy of
+// the parent's warm-start cache — and when the mean falls below
+// `merge_below_machines`, the two lightest shards merge (the lighter
+// one's machines fold into the other; the emptied slot idles at zero cost
+// until a split recycles it). Both bounds zero disables scaling and the
+// partition is exactly PR 2's. Resize decisions carry HYSTERESIS: each
+// trigger has a threshold band, and any resize opens a cooldown window of
+// `resize_cooldown` activations, so churn noise hovering at a bound
+// cannot flap split/merge across consecutive activations.
+//
+// With `drain_steal` enabled, a cross-shard WORK-STEALING pass runs after
+// the races commit: at the drain tail (arrivals stopped, most queues
+// empty), the straggler shard's jobs spill onto neighbors' idle machines
+// whenever the exact completion estimate there is strictly earlier —
+// reclaiming the makespan residue a strict partition pays once the dying
+// queue no longer spans the full pool (see plan_drain_steals and
+// bench/sharded_service's steal-on/off drain-tail verdict). Stolen jobs
+// are handed off between the shard caches (the victim keeps the entry
+// when the thief has no cache to extend), so at most one warm-start
+// cache knows each job.
 //
 // Cross-shard rebalancing runs at every activation boundary, after
 // routing and before the races: while the hottest shard's backlog (ready
@@ -76,10 +92,32 @@ struct ServiceConfig {
   /// Dynamic shard scaling at activation boundaries (0 disables each
   /// bound): split the hottest shard while mean alive machines per active
   /// shard exceeds `split_above_machines` (up to `max_shards`); merge the
-  /// two lightest while it falls below `merge_below_machines`.
+  /// two lightest while it falls below `merge_below_machines`. Splits cut
+  /// the parent's alive machines into MIPS-balanced halves when the batch
+  /// context reports machine speeds (count-balanced otherwise), preserving
+  /// hardware-class diversity on class-structured grids.
   int split_above_machines = 0;
   int merge_below_machines = 0;
   int max_shards = 32;
+  /// Resize hysteresis. A split or merge opens a cooldown window of
+  /// `resize_cooldown` activations during which no further resize fires
+  /// (0 = react every activation), and both triggers carry a threshold
+  /// band: a split needs the mean to exceed `split_above_machines` by the
+  /// band fraction, a merge to undercut `merge_below_machines` by it.
+  /// Together they keep a churn-noisy pool that hovers at a bound from
+  /// flapping split/merge across consecutive activations.
+  int resize_cooldown = 2;
+  double resize_band = 0.1;
+  /// Cross-shard drain-tail work stealing. After the shard races commit,
+  /// the service re-examines the exact per-machine drain times: while the
+  /// critical machine (the activation's straggler) holds a job that some
+  /// FOREIGN machine could finish strictly earlier, the job moves there —
+  /// so once a neighbor's queue has drained, the dying queue spreads over
+  /// the full machine pool instead of one partition. Scoring uses real
+  /// ETC entries, so class affinity is respected (see plan_drain_steals);
+  /// stolen jobs are handed off between the shard caches. Off by default:
+  /// the strict partition keeps the PR 2/4 invariants bitwise.
+  bool drain_steal = false;
   /// Per-shard portfolio knobs (see PortfolioConfig).
   PolicyKind policy = PolicyKind::kStaticRace;
   UcbConfig ucb{};
@@ -105,12 +143,16 @@ struct ShardActivationRecord {
 /// One whole service activation: how many shards raced and how long the
 /// activation took end to end. Under concurrent activation `wall_ms`
 /// tracks the budget slice (races overlap); sequentially it tracks the
-/// sum of the races — the contrast bench/sharded_service reports.
+/// sum of the races — the contrast bench/sharded_service reports. Either
+/// way it includes the serial tail of the activation (result fold and,
+/// when enabled, the drain-steal pass), so a slow steal pass cannot hide
+/// from the latency books.
 struct ServiceActivationRecord {
   std::uint64_t activation = 0;
   int shards_raced = 0;
   double wall_ms = 0.0;
   bool concurrent = false;
+  int jobs_stolen = 0;  // drain-tail steal MOVES applied after the races
 };
 
 /// One dynamic shard-scaling step (split or merge) and what moved.
@@ -130,6 +172,9 @@ struct ShardStats {
   int jobs_scheduled = 0;
   int migrated_in = 0;
   int migrated_out = 0;
+  int stolen_in = 0;   // steal moves landing here (a re-stolen job counts
+                       // once per move, like a re-migrated one)
+  int stolen_out = 0;  // steal moves this shard's stragglers lost
   double total_race_ms = 0.0;
   double max_race_ms = 0.0;
 };
@@ -155,9 +200,10 @@ class GridSchedulingService final : public BatchScheduler {
   /// shard count) — identical to the full map when scaling is disabled.
   [[nodiscard]] int shard_of_machine(int grid_machine) const noexcept;
 
-  /// Shard the job was routed to (after rebalancing) in the most recent
-  /// activation; -1 if that batch did not contain it. Scoped to one
-  /// batch so a long-lived service's memory stays flat.
+  /// Shard whose machine executes the job in the most recent activation —
+  /// the routed shard after rebalancing, or the thief shard when a
+  /// drain-tail steal moved the job; -1 if that batch did not contain it.
+  /// Scoped to one batch so a long-lived service's memory stays flat.
   [[nodiscard]] int shard_of_job(int global_job) const noexcept;
 
   /// The portfolio serving one shard (its stats, activations and cache).
@@ -208,6 +254,9 @@ class GridSchedulingService final : public BatchScheduler {
   std::unordered_map<int, int> shard_of_job_;
   std::string name_;
   std::uint64_t activation_ = 0;
+  // Hysteresis: the activation of the last split/merge (cooldown anchor).
+  std::uint64_t last_resize_activation_ = 0;
+  bool resized_ever_ = false;
 };
 
 }  // namespace gridsched

@@ -1,5 +1,6 @@
 #include "service/routing_policy.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -80,6 +81,69 @@ double shard_work_estimate(const EtcMatrix& etc, RoutedJob job,
     best /= shard.class_speedup;
   }
   return best;
+}
+
+std::vector<StealMove> plan_drain_steals(const EtcMatrix& etc,
+                                         const Schedule& plan,
+                                         std::span<const int> column_shard,
+                                         int max_moves) {
+  std::vector<StealMove> moves;
+  if (etc.num_jobs() == 0 || etc.num_machines() < 2 || max_moves <= 0) {
+    return moves;
+  }
+  // Exact drain times and per-machine job lists of the committed plan.
+  std::vector<double> completion(static_cast<std::size_t>(etc.num_machines()));
+  for (MachineId machine = 0; machine < etc.num_machines(); ++machine) {
+    completion[static_cast<std::size_t>(machine)] = etc.ready_time(machine);
+  }
+  std::vector<std::vector<JobId>> on_machine(
+      static_cast<std::size_t>(etc.num_machines()));
+  for (JobId job = 0; job < etc.num_jobs(); ++job) {
+    const auto machine = static_cast<std::size_t>(plan[job]);
+    completion[machine] += etc(job, plan[job]);
+    on_machine[machine].push_back(job);
+  }
+  // The 1e-9 slack keeps float-identical completions from trading jobs
+  // forever; every accepted move must shrink the tail by a real amount.
+  constexpr double kGain = 1e-9;
+  while (static_cast<int>(moves.size()) < max_moves) {
+    std::size_t critical = 0;
+    for (std::size_t m = 1; m < completion.size(); ++m) {
+      if (completion[m] > completion[critical]) critical = m;
+    }
+    if (on_machine[critical].empty()) break;
+    const int victim_shard = column_shard[critical];
+    JobId best_job = -1;
+    std::size_t best_target = 0;
+    double best_finish = completion[critical] - kGain;
+    for (const JobId job : on_machine[critical]) {
+      for (std::size_t target = 0; target < completion.size(); ++target) {
+        if (column_shard[target] == victim_shard) continue;
+        const double finish =
+            completion[target] + etc(job, static_cast<MachineId>(target));
+        if (finish < best_finish) {
+          best_finish = finish;
+          best_job = job;
+          best_target = target;
+        }
+      }
+    }
+    if (best_job < 0) break;  // the straggler machine cannot shed profitably
+    completion[critical] -= etc(best_job, static_cast<MachineId>(critical));
+    completion[best_target] +=
+        etc(best_job, static_cast<MachineId>(best_target));
+    auto& queue = on_machine[critical];
+    queue.erase(std::find(queue.begin(), queue.end(), best_job));
+    on_machine[best_target].push_back(best_job);
+    moves.push_back(StealMove{
+        .row = best_job,
+        .from_column = static_cast<int>(critical),
+        .to_column = static_cast<int>(best_target),
+        .from_shard = victim_shard,
+        .to_shard = column_shard[best_target],
+    });
+  }
+  return moves;
 }
 
 std::size_t RoundRobinRouting::route(RoutedJob job, const EtcMatrix& etc,

@@ -42,6 +42,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/schedule.h"
 #include "etc/etc_matrix.h"
 
 namespace gridsched {
@@ -200,5 +201,50 @@ class ClassBacklogRouting final : public RoutingPolicy {
 /// matched-machine seconds so backlogs stay comparable across shards.
 [[nodiscard]] double shard_work_estimate(const EtcMatrix& etc, RoutedJob job,
                                          const ShardSnapshot& shard);
+
+/// One accepted drain-tail steal: the job at batch row `row`, committed to
+/// batch column `from_column` by its shard's race, moves to `to_column` —
+/// a machine of a DIFFERENT shard that drains earlier and can absorb the
+/// job without becoming the new straggler.
+struct StealMove {
+  JobId row = 0;
+  int from_column = 0;
+  int to_column = 0;
+  int from_shard = 0;
+  int to_shard = 0;
+};
+
+/// Plans the cross-shard drain-tail steal pass over a committed plan.
+///
+/// Completion estimates are exact here: a machine's drain time is its
+/// ready time plus the summed ETC of the jobs the plan put on it (the
+/// execution order on one machine does not change when it drains). The
+/// pass repeatedly takes the CRITICAL machine — the one defining the
+/// activation's drain tail — and moves one of its jobs to the foreign
+/// machine minimizing `completion + etc(job, there)`, accepting the move
+/// only when that estimate lands strictly below the critical machine's
+/// old drain time. That acceptance rule is the whole contract:
+///
+///   * the donor pair's max completion strictly shrinks, so the global
+///     drain tail is monotonically non-increasing and the pass cannot
+///     ping-pong a job back at the same activation;
+///   * only cross-shard moves are considered — intra-shard placement is
+///     the shard portfolio's job, and second-guessing it here would just
+///     re-run local search serially;
+///   * class affinity costs nothing extra: the scoring uses the job's
+///     REAL ETC on the candidate machine, which already carries the
+///     class-speedup structure (an off-class machine only wins when its
+///     queue is so short that even the speedup-corrected cost — the same
+///     correction `shard_work_estimate` applies to routing books — still
+///     beats every matched alternative).
+///
+/// `column_shard[c]` is the owning shard of batch column `c`. At most
+/// `max_moves` moves are planned (a cap, not a target; the pass stops as
+/// soon as the critical machine cannot shed profitably). The plan itself
+/// is NOT mutated — the service applies the returned moves so its books
+/// (job map, steal stats, cache handoff) stay in one place.
+[[nodiscard]] std::vector<StealMove> plan_drain_steals(
+    const EtcMatrix& etc, const Schedule& plan,
+    std::span<const int> column_shard, int max_moves);
 
 }  // namespace gridsched

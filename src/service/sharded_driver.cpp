@@ -100,6 +100,7 @@ ShardedSimReport run_sharded(GridSimulator& sim,
     metrics.activations = stat.activations;
     metrics.scheduler_cpu_ms = stat.total_race_ms;
     report.migrations += stat.migrated_out;
+    report.steals += stat.stolen_out;
   }
   return report;
 }

@@ -41,6 +41,9 @@ struct ShardedSimReport {
   std::vector<SimMetrics> per_class;
   /// Jobs that crossed shards during rebalancing, summed over activations.
   int migrations = 0;
+  /// Jobs that crossed shards via drain-tail work stealing (post-race
+  /// moves onto a neighbor's earlier-draining machine), summed likewise.
+  int steals = 0;
 };
 
 /// Runs `sim` with `service` and splits the outcome per shard and per job

@@ -41,6 +41,12 @@ struct BatchContext {
   std::vector<int> job_classes;  // batch row -> job class
   int num_job_classes = 0;
   double class_speedup = 1.0;
+  /// MIPS rating per batch column (empty = unknown; identity contexts and
+  /// hand-built batches leave it so). The sharded service's load-weighted
+  /// split cuts balance summed MIPS instead of machine counts when the
+  /// simulator reports them — a shard of 4 slow machines is NOT the equal
+  /// of a shard of 4 fast ones.
+  std::vector<double> machine_mips;
 
   /// Identity context for a standalone batch (row i = job i, column j =
   /// machine j) — what callers outside a simulator get by default.

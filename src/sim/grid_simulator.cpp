@@ -216,6 +216,11 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
     BatchContext ctx;
     ctx.job_ids = batch;
     ctx.machine_ids = alive;
+    ctx.machine_mips.reserve(alive.size());
+    for (const int machine : alive) {
+      ctx.machine_mips.push_back(
+          machines[static_cast<std::size_t>(machine)].mips);
+    }
     ctx.activation = static_cast<std::uint64_t>(metrics.activations);
     if (config_.num_job_classes > 0) {
       ctx.num_job_classes = config_.num_job_classes;

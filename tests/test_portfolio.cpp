@@ -138,6 +138,76 @@ TEST(PopulationCache, NewJobsInheritThePatternAndStayComplete) {
   EXPECT_EQ(warm[0][2], 1);  // row 2 wraps to old row 0
 }
 
+TEST(PopulationCache, EraseJobDropsTheRowEverywhere) {
+  PopulationCache cache(4);
+  EtcMatrix old_etc(3, 2);
+  BatchContext old_ctx;
+  old_ctx.job_ids = {10, 11, 12};
+  old_ctx.machine_ids = {0, 1};
+  Individual elite;
+  elite.schedule = Schedule(3);
+  elite.schedule[0] = 0;
+  elite.schedule[1] = 1;
+  elite.schedule[2] = 0;
+  elite.fitness = 1.0;
+  cache.store(old_ctx, {&elite, 1});
+
+  EXPECT_FALSE(cache.erase_job(99));  // unknown job: no-op
+  EXPECT_TRUE(cache.erase_job(11));
+  ASSERT_EQ(cache.stored_job_ids(), (std::vector<int>{10, 12}));
+  // Re-queued job 12 still remaps to its machine after the erase: the
+  // surviving rows shifted coherently.
+  EtcMatrix new_etc(1, 2);
+  BatchContext new_ctx;
+  new_ctx.job_ids = {12};
+  new_ctx.machine_ids = {0, 1};
+  const std::vector<Schedule> warm = cache.warm_start(new_etc, new_ctx);
+  ASSERT_EQ(warm.size(), 1u);
+  EXPECT_EQ(warm[0][0], 0);
+}
+
+TEST(PopulationCache, AdoptJobAddsOrReassignsOnEveryElite) {
+  PopulationCache cache(4);
+  EtcMatrix old_etc(2, 2);
+  BatchContext old_ctx;
+  old_ctx.job_ids = {10, 11};
+  old_ctx.machine_ids = {0, 1};
+  Individual elite;
+  elite.schedule = Schedule(2);
+  elite.schedule[0] = 0;
+  elite.schedule[1] = 1;
+  elite.fitness = 1.0;
+  cache.store(old_ctx, {&elite, 1});
+
+  // A stolen job lands on grid machine 5 — new to this cache's batch.
+  cache.adopt_job(42, 5);
+  ASSERT_EQ(cache.stored_job_ids(), (std::vector<int>{10, 11, 42}));
+  ASSERT_EQ(cache.stored_machine_ids(), (std::vector<int>{0, 1, 5}));
+  // A re-queue of job 42 with machine 5 alive warm-starts onto it.
+  EtcMatrix new_etc(1, 2);
+  BatchContext new_ctx;
+  new_ctx.job_ids = {42};
+  new_ctx.machine_ids = {1, 5};
+  std::vector<Schedule> warm = cache.warm_start(new_etc, new_ctx);
+  ASSERT_EQ(warm.size(), 1u);
+  EXPECT_EQ(warm[0][0], 1);  // machine 5 = new column 1
+
+  // Adopting a job the cache already stores reassigns it in place.
+  cache.adopt_job(10, 1);
+  ASSERT_EQ(cache.stored_job_ids(), (std::vector<int>{10, 11, 42}));
+  new_ctx.job_ids = {10};
+  new_ctx.machine_ids = {0, 1};
+  warm = cache.warm_start(new_etc, new_ctx);
+  ASSERT_EQ(warm.size(), 1u);
+  EXPECT_EQ(warm[0][0], 1);
+
+  // An empty cache has no elite to extend: adopt is a documented no-op.
+  PopulationCache fresh(2);
+  fresh.adopt_job(1, 2);
+  EXPECT_TRUE(fresh.empty());
+  EXPECT_TRUE(fresh.stored_job_ids().empty());
+}
+
 // --------------------------------------------------------------- policy --
 
 TEST(UcbPolicy, ColdStartEventuallyPlaysEveryArm) {

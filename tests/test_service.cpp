@@ -4,12 +4,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <vector>
 
 #include "etc/instance.h"
 #include "service/sharded_driver.h"
 #include "sim/grid_simulator.h"
+#include "workload/workload_source.h"
 
 namespace gridsched {
 namespace {
@@ -31,6 +33,20 @@ ServiceConfig deterministic_config(int shards) {
   config.member_stop = StopCondition{.max_evaluations = 150};
   config.seed = 11;
   return config;
+}
+
+/// The canonical dying-queue shape: every job is fastest on machine 0, so
+/// an affinity router piles the whole batch onto machine 0's shard while
+/// the rest of the pool idles — the fixture behind the rebalancing and
+/// drain-steal tests.
+EtcMatrix dying_queue_etc(int jobs = 12, int machines = 4) {
+  EtcMatrix etc(jobs, machines);
+  for (JobId job = 0; job < etc.num_jobs(); ++job) {
+    for (MachineId machine = 0; machine < etc.num_machines(); ++machine) {
+      etc(job, machine) = machine == 0 ? 10.0 : 40.0;
+    }
+  }
+  return etc;
 }
 
 ShardSnapshot snapshot(int shard, std::vector<int> columns, double ready_sum,
@@ -199,6 +215,88 @@ TEST(RoutingPolicy, ClassBacklogAvoidsClassStarvedShardsWhenCostly) {
             1u);
 }
 
+TEST(RoutingPolicy, PlanDrainStealsSpreadsTheStragglerQueue) {
+  // Four equal jobs piled on shard 0's lone machine while shard 1 idles:
+  // the steal pass must level the pair — two jobs move, and the third
+  // candidate is rejected because the thief would become the straggler.
+  EtcMatrix etc(4, 2);
+  for (JobId job = 0; job < etc.num_jobs(); ++job) {
+    etc(job, 0) = 10.0;
+    etc(job, 1) = 10.0;
+  }
+  const Schedule plan(4, 0);
+  const std::vector<int> column_shard = {0, 1};
+  const std::vector<StealMove> moves =
+      plan_drain_steals(etc, plan, column_shard, 100);
+  ASSERT_EQ(moves.size(), 2u);
+  for (const StealMove& move : moves) {
+    EXPECT_EQ(move.from_column, 0);
+    EXPECT_EQ(move.to_column, 1);
+    EXPECT_EQ(move.from_shard, 0);
+    EXPECT_EQ(move.to_shard, 1);
+  }
+  EXPECT_NE(moves[0].row, moves[1].row);
+}
+
+TEST(RoutingPolicy, PlanDrainStealsIsCrossShardOnly) {
+  // Same straggler pile-up, but both machines belong to one shard:
+  // intra-shard placement is the portfolio's job, so nothing moves.
+  EtcMatrix etc(4, 2);
+  for (JobId job = 0; job < etc.num_jobs(); ++job) {
+    etc(job, 0) = 10.0;
+    etc(job, 1) = 10.0;
+  }
+  const Schedule plan(4, 0);
+  const std::vector<int> same_shard = {0, 0};
+  EXPECT_TRUE(plan_drain_steals(etc, plan, same_shard, 100).empty());
+}
+
+TEST(RoutingPolicy, PlanDrainStealsRespectsClassAffinity) {
+  // The neighbor is off-class (3x slower): it only wins the steal when
+  // its queue is short enough that even the off-class cost still beats
+  // the straggler's drain time — the real-ETC scoring carries the class
+  // structure for free.
+  EtcMatrix short_queue(3, 2);
+  for (JobId job = 0; job < short_queue.num_jobs(); ++job) {
+    short_queue(job, 0) = 10.0;  // matched machine
+    short_queue(job, 1) = 30.0;  // off-class machine
+  }
+  const std::vector<int> column_shard = {0, 1};
+  // Three matched jobs drain at 30; the off-class alternative ties at 30
+  // and a tie is no gain: stay home.
+  EXPECT_TRUE(plan_drain_steals(short_queue, Schedule(3, 0), column_shard,
+                                100)
+                  .empty());
+  // A fourth job pushes the matched drain to 40: now one off-class steal
+  // (finishing at 30) strictly helps, and exactly one fires.
+  EtcMatrix long_queue(4, 2);
+  for (JobId job = 0; job < long_queue.num_jobs(); ++job) {
+    long_queue(job, 0) = 10.0;
+    long_queue(job, 1) = 30.0;
+  }
+  const std::vector<StealMove> moves =
+      plan_drain_steals(long_queue, Schedule(4, 0), column_shard, 100);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].to_column, 1);
+}
+
+TEST(RoutingPolicy, PlanDrainStealsPrefersTheMatchedNeighbor) {
+  // Two idle foreign machines, one matched and one off-class: the steal
+  // lands on the matched one (earliest finish), not just any idle slot.
+  EtcMatrix etc(4, 3);
+  for (JobId job = 0; job < etc.num_jobs(); ++job) {
+    etc(job, 0) = 10.0;  // the straggler shard's machine
+    etc(job, 1) = 30.0;  // off-class neighbor
+    etc(job, 2) = 10.0;  // matched neighbor
+  }
+  const std::vector<int> column_shard = {0, 1, 2};
+  const std::vector<StealMove> moves =
+      plan_drain_steals(etc, Schedule(4, 0), column_shard, 100);
+  ASSERT_FALSE(moves.empty());
+  EXPECT_EQ(moves.front().to_column, 2);
+  EXPECT_EQ(moves.front().to_shard, 2);
+}
+
 TEST(RoutingPolicy, RoutingKindRoundTripsThroughItsName) {
   for (const RoutingKind kind : all_routing_kinds()) {
     EXPECT_EQ(routing_kind_from_name(routing_name(kind)), kind);
@@ -282,12 +380,7 @@ TEST(Service, RebalancingShedsTheHotShard) {
   // Jobs are uniformly fastest on machine 0, so best-fit piles the whole
   // batch onto shard 0 while shard 1 idles — exactly the starvation case
   // rebalancing exists for.
-  EtcMatrix etc(12, 4);
-  for (JobId job = 0; job < etc.num_jobs(); ++job) {
-    for (MachineId machine = 0; machine < etc.num_machines(); ++machine) {
-      etc(job, machine) = machine == 0 ? 10.0 : 40.0;
-    }
-  }
+  const EtcMatrix etc = dying_queue_etc();
   ServiceConfig config = deterministic_config(2);
   config.routing = RoutingKind::kBestFit;
   config.imbalance_factor = 1.5;
@@ -316,12 +409,7 @@ TEST(Service, RebalancingShedsTheHotShard) {
 }
 
 TEST(Service, DisabledRebalancingNeverMigrates) {
-  EtcMatrix etc(12, 4);
-  for (JobId job = 0; job < etc.num_jobs(); ++job) {
-    for (MachineId machine = 0; machine < etc.num_machines(); ++machine) {
-      etc(job, machine) = machine == 0 ? 10.0 : 40.0;
-    }
-  }
+  const EtcMatrix etc = dying_queue_etc();
   ServiceConfig config = deterministic_config(2);
   config.routing = RoutingKind::kBestFit;
   config.imbalance_factor = 0.0;
@@ -655,6 +743,319 @@ TEST(Service, RejectsOscillatingScalingBounds) {
   ServiceConfig config = deterministic_config(2);
   config.split_above_machines = 5;
   config.merge_below_machines = 4;  // less than twice the merge bound
+  EXPECT_THROW(GridSchedulingService{config}, std::invalid_argument);
+}
+
+TEST(Service, DrainStealSpreadsTheDyingQueueOverThePool) {
+  // Best-fit with rebalancing off piles the whole batch onto shard 0
+  // (machine 0 dominates): the canonical drain-tail shape — one dying
+  // queue, idle neighbors. With stealing on, the straggler machine's jobs
+  // spill onto shard 1's idle machines, each job still executed exactly
+  // once on the machine the (post-steal) job map names.
+  const EtcMatrix etc = dying_queue_etc();
+  ServiceConfig config = deterministic_config(2);
+  config.routing = RoutingKind::kBestFit;
+  config.imbalance_factor = 0.0;
+  config.drain_steal = true;
+  GridSchedulingService service(config);
+  const Schedule plan = service.schedule_batch(etc);
+  ASSERT_TRUE(plan.complete(etc.num_machines()));
+
+  int stolen_out = 0;
+  int stolen_in = 0;
+  for (const ShardStats& stat : service.shard_stats()) {
+    stolen_out += stat.stolen_out;
+    stolen_in += stat.stolen_in;
+  }
+  EXPECT_GT(stolen_out, 0) << "the dying queue never borrowed a neighbor";
+  EXPECT_EQ(stolen_out, stolen_in);
+  ASSERT_FALSE(service.service_activations().empty());
+  EXPECT_EQ(service.service_activations().back().jobs_stolen, stolen_out);
+  // Post-steal coherence: the job map names the shard whose machine runs
+  // each job, and at least one job genuinely crossed the partition.
+  int crossed = 0;
+  for (JobId job = 0; job < etc.num_jobs(); ++job) {
+    EXPECT_EQ(service.shard_of_machine(plan[job]), service.shard_of_job(job));
+    if (service.shard_of_job(job) == 1) ++crossed;
+  }
+  EXPECT_GT(crossed, 0);
+}
+
+TEST(Service, DrainStealOffKeepsTheStrictPartition) {
+  // The identical pile-up with stealing off (the default) must keep every
+  // job inside its routed shard — the PR 2 partition contract, bitwise.
+  const EtcMatrix etc = dying_queue_etc();
+  ServiceConfig config = deterministic_config(2);
+  config.routing = RoutingKind::kBestFit;
+  config.imbalance_factor = 0.0;
+  GridSchedulingService service(config);
+  const Schedule plan = service.schedule_batch(etc);
+  ASSERT_TRUE(plan.complete(etc.num_machines()));
+  for (const ShardStats& stat : service.shard_stats()) {
+    EXPECT_EQ(stat.stolen_out, 0);
+    EXPECT_EQ(stat.stolen_in, 0);
+  }
+  for (JobId job = 0; job < etc.num_jobs(); ++job) {
+    EXPECT_EQ(service.shard_of_job(job), 0);
+  }
+  ASSERT_FALSE(service.service_activations().empty());
+  EXPECT_EQ(service.service_activations().back().jobs_stolen, 0);
+}
+
+TEST(Service, DrainStealHandsOffTheWarmStartCache) {
+  // Activation 1 (balanced) fills both shard caches; activation 2 piles
+  // everything onto shard 0 and steals spill onto shard 1. Every stolen
+  // job must move cache homes: adopted by the thief, erased from the
+  // victim — one cache per job, even across steals.
+  ServiceConfig config = deterministic_config(2);
+  config.routing = RoutingKind::kBestFit;
+  config.imbalance_factor = 0.0;
+  config.drain_steal = true;
+  GridSchedulingService service(config);
+  // Half the jobs are fastest on shard 0's machine 0, half on shard 1's
+  // machine 1, so best-fit splits the batch evenly and both races store
+  // elites (and the level completion profile leaves nothing to steal).
+  EtcMatrix balanced(16, 4);
+  for (JobId job = 0; job < balanced.num_jobs(); ++job) {
+    const MachineId home = job < 8 ? 1 : 0;
+    for (MachineId machine = 0; machine < balanced.num_machines();
+         ++machine) {
+      balanced(job, machine) = machine == home ? 10.0 : 20.0;
+    }
+  }
+  (void)service.schedule_batch(balanced);
+  ASSERT_FALSE(service.shard_scheduler(1).cache().empty());
+
+  const EtcMatrix skewed = dying_queue_etc();
+  (void)service.schedule_batch(skewed);
+  std::vector<int> stolen_jobs;
+  for (JobId job = 0; job < skewed.num_jobs(); ++job) {
+    if (service.shard_of_job(job) == 1) stolen_jobs.push_back(job);
+  }
+  ASSERT_FALSE(stolen_jobs.empty()) << "no steal to hand a cache entry off";
+  const auto& victim_jobs = service.shard_scheduler(0).cache().stored_job_ids();
+  const auto& thief_jobs = service.shard_scheduler(1).cache().stored_job_ids();
+  for (const int job : stolen_jobs) {
+    EXPECT_EQ(std::count(victim_jobs.begin(), victim_jobs.end(), job), 0)
+        << "job " << job << " still cached on the victim shard";
+    EXPECT_EQ(std::count(thief_jobs.begin(), thief_jobs.end(), job), 1)
+        << "job " << job << " not adopted by the thief shard";
+  }
+}
+
+TEST(Service, StealOnWithChurnAndClassesReplaysExactly) {
+  // The record -> replay equality check under the full production mix:
+  // machine churn (re-queues), job classes, class-aware routing and
+  // stealing on. Every job executes exactly once per attempt chain, and
+  // replaying the recorded arrival trace through a fresh service
+  // reproduces the run record for record — stealing is deterministic.
+  SimConfig sim_config;
+  sim_config.horizon = 300.0;
+  sim_config.arrival_rate = 0.5;
+  sim_config.scheduler_period = 50.0;
+  sim_config.num_machines = 8;
+  sim_config.machine_mtbf = 150.0;
+  sim_config.machine_mttr = 40.0;
+  sim_config.num_job_classes = 2;
+  sim_config.class_speedup = 3.0;
+  sim_config.seed = 23;
+
+  ServiceConfig config = deterministic_config(2);
+  config.routing = RoutingKind::kClassBacklog;
+  config.drain_steal = true;
+  config.member_stop = StopCondition{.max_evaluations = 120};
+
+  GridSimulator sim(sim_config);
+  GridSchedulingService service(config);
+  const ShardedSimReport report = run_sharded(sim, service);
+  EXPECT_EQ(report.global.jobs_completed, report.global.jobs_arrived);
+  EXPECT_GT(report.steals, 0) << "scenario never exercised the steal path";
+  const std::vector<SimJobRecord> recorded = sim.job_records();
+
+  SimConfig replay_config = sim_config;
+  replay_config.workload =
+      std::make_shared<TraceWorkloadSource>(sim.arrival_trace());
+  GridSimulator replayed(replay_config);
+  GridSchedulingService fresh(config);
+  const ShardedSimReport replay = run_sharded(replayed, fresh);
+  EXPECT_EQ(replay.global.jobs_completed, report.global.jobs_completed);
+  EXPECT_EQ(replay.steals, report.steals);
+  ASSERT_EQ(replayed.job_records().size(), recorded.size());
+  for (std::size_t i = 0; i < recorded.size(); ++i) {
+    const SimJobRecord& a = recorded[i];
+    const SimJobRecord& b = replayed.job_records()[i];
+    EXPECT_EQ(a.machine, b.machine) << "job " << i;
+    EXPECT_EQ(a.attempts, b.attempts) << "job " << i;
+    EXPECT_DOUBLE_EQ(a.start, b.start) << "job " << i;
+    EXPECT_DOUBLE_EQ(a.finish, b.finish) << "job " << i;
+  }
+}
+
+TEST(Service, DrainStealKeepsTheEntryWhenTheThiefCacheIsEmpty) {
+  // The canonical donor shape: shard 1 idles, never races, so its cache
+  // is empty and cannot adopt. The handoff must then leave the stolen
+  // jobs' entries with the victim instead of erasing them from every
+  // cache — at most one cache knows a job, never zero by accident.
+  const EtcMatrix etc = dying_queue_etc();
+  ServiceConfig config = deterministic_config(2);
+  config.routing = RoutingKind::kBestFit;
+  config.imbalance_factor = 0.0;
+  config.drain_steal = true;
+  GridSchedulingService service(config);
+  (void)service.schedule_batch(etc);
+  int stolen = 0;
+  for (const ShardStats& stat : service.shard_stats()) stolen += stat.stolen_out;
+  ASSERT_GT(stolen, 0);
+  EXPECT_TRUE(service.shard_scheduler(1).cache().empty());
+  const auto& victim_jobs = service.shard_scheduler(0).cache().stored_job_ids();
+  for (JobId job = 0; job < etc.num_jobs(); ++job) {
+    if (service.shard_of_job(job) != 1) continue;
+    EXPECT_EQ(std::count(victim_jobs.begin(), victim_jobs.end(), job), 1)
+        << "stolen job " << job << " vanished from every cache";
+  }
+}
+
+TEST(Service, RejectsMismatchedMachineMips) {
+  const EtcMatrix etc = small_instance(4, 4);
+  GridSchedulingService service(deterministic_config(2));
+  BatchContext context = BatchContext::identity(etc);
+  context.machine_mips = {1000.0, 1000.0};  // 2 entries for 4 machines
+  EXPECT_THROW((void)service.schedule_batch(etc, context),
+               std::invalid_argument);
+  // Zero, negative and NaN ratings would freeze the greedy split cut.
+  context.machine_mips = {1000.0, 0.0, 1000.0, 1000.0};
+  EXPECT_THROW((void)service.schedule_batch(etc, context),
+               std::invalid_argument);
+  context.machine_mips = {1000.0, 1000.0,
+                          std::numeric_limits<double>::quiet_NaN(), 1000.0};
+  EXPECT_THROW((void)service.schedule_batch(etc, context),
+               std::invalid_argument);
+  context.machine_mips = {1000.0, 1000.0, 1000.0, 1000.0};
+  EXPECT_TRUE(
+      service.schedule_batch(etc, context).complete(etc.num_machines()));
+}
+
+TEST(Service, ResizeCooldownSuppressesFlapping) {
+  // A pool that collapses right after a split would, without hysteresis,
+  // merge at the very next activation — the flap the cooldown exists to
+  // stop. The merge must wait out the window, then fire.
+  ServiceConfig config = deterministic_config(1);
+  config.split_above_machines = 4;
+  config.merge_below_machines = 2;
+  config.max_shards = 2;
+  config.resize_cooldown = 3;
+  config.resize_band = 0.0;
+  GridSchedulingService service(config);
+
+  // Activation 1: 10 machines on one shard -> split.
+  (void)service.schedule_batch(small_instance(20, 10));
+  ASSERT_EQ(service.resize_events().size(), 1u);
+  EXPECT_TRUE(service.resize_events().front().split);
+
+  // Activations 2-4: the pool collapses to 3 machines (mean 1.5 < 2 would
+  // merge immediately) — the cooldown holds the partition still.
+  const EtcMatrix shrunk = small_instance(6, 3, 9);
+  BatchContext context = BatchContext::identity(shrunk);
+  context.machine_ids = {0, 1, 2};
+  for (int activation = 2; activation <= 4; ++activation) {
+    (void)service.schedule_batch(shrunk, context);
+    EXPECT_EQ(service.resize_events().size(), 1u)
+        << "resize fired inside the cooldown window (activation "
+        << activation << ")";
+  }
+
+  // Activation 5: the window has passed and the shrunken pool is still
+  // below the bound -> the merge finally fires.
+  (void)service.schedule_batch(shrunk, context);
+  ASSERT_EQ(service.resize_events().size(), 2u);
+  EXPECT_FALSE(service.resize_events().back().split);
+}
+
+TEST(Service, ResizeBandWidensTheTriggers) {
+  // split_above 4 with a 25% band means the census must exceed 5, not 4:
+  // a pool hovering just past the raw bound stays put.
+  ServiceConfig config = deterministic_config(1);
+  config.split_above_machines = 4;
+  config.resize_cooldown = 0;
+  config.resize_band = 0.25;
+  GridSchedulingService service(config);
+  (void)service.schedule_batch(small_instance(10, 5));
+  EXPECT_TRUE(service.resize_events().empty())
+      << "split fired inside the threshold band";
+  (void)service.schedule_batch(small_instance(12, 6, 5));
+  ASSERT_EQ(service.resize_events().size(), 1u);
+  EXPECT_TRUE(service.resize_events().front().split);
+}
+
+TEST(Service, SplitCutsBalanceMipsWhenReported) {
+  // One 3000-MIPS machine against five smaller ones: an id-parity cut
+  // would hand the child 2000 MIPS and leave 4000 behind; the weighted
+  // cut isolates the heavyweight and gives the child the other five —
+  // both halves at exactly 3000 MIPS.
+  ServiceConfig config = deterministic_config(1);
+  config.split_above_machines = 4;
+  config.resize_band = 0.0;
+  config.max_shards = 2;
+  GridSchedulingService service(config);
+  const EtcMatrix etc = small_instance(12, 6);
+  BatchContext context = BatchContext::identity(etc);
+  context.machine_mips = {3000.0, 500.0, 500.0, 500.0, 500.0, 1000.0};
+  const Schedule plan = service.schedule_batch(etc, context);
+  ASSERT_TRUE(plan.complete(etc.num_machines()));
+  ASSERT_EQ(service.resize_events().size(), 1u);
+  const ShardResizeEvent& split = service.resize_events().front();
+  EXPECT_TRUE(split.split);
+  EXPECT_EQ(split.machines_moved, 5);
+  EXPECT_EQ(service.shard_of_machine(0), split.from_shard);
+  for (int machine = 1; machine < 6; ++machine) {
+    EXPECT_EQ(service.shard_of_machine(machine), split.to_shard)
+        << "machine " << machine;
+  }
+}
+
+TEST(Service, SplitCutKeepsEveryClassOnBothSides) {
+  // One heavyweight class-0 machine against three class-1 machines: a
+  // purely global MIPS balance would hand ALL of class 1 to the child and
+  // leave the parent class-starved for it. The per-class greedy must put
+  // class 1 on both sides (the singleton class 0 cannot split) while
+  // still weighting the cut.
+  ServiceConfig config = deterministic_config(1);
+  config.split_above_machines = 3;
+  config.resize_band = 0.0;
+  config.max_shards = 2;
+  GridSchedulingService service(config);
+  const EtcMatrix etc = small_instance(10, 4);
+  BatchContext context = BatchContext::identity(etc);
+  context.machine_ids = {0, 1, 3, 5};  // class = id % 2: one 0, three 1s
+  context.num_job_classes = 2;
+  context.class_speedup = 3.0;
+  context.machine_mips = {2000.0, 700.0, 700.0, 700.0};
+  const Schedule plan = service.schedule_batch(etc, context);
+  ASSERT_TRUE(plan.complete(etc.num_machines()));
+  ASSERT_EQ(service.resize_events().size(), 1u);
+  const ShardResizeEvent& split = service.resize_events().front();
+  int parent_class1 = 0;
+  int child_class1 = 0;
+  for (const int machine : {1, 3, 5}) {
+    (service.shard_of_machine(machine) == split.to_shard ? child_class1
+                                                         : parent_class1) += 1;
+  }
+  EXPECT_GT(parent_class1, 0) << "parent lost its whole class-1 slice";
+  EXPECT_GT(child_class1, 0) << "child received no class-1 machine";
+}
+
+TEST(Service, RejectsBadHysteresis) {
+  ServiceConfig config = deterministic_config(2);
+  config.resize_cooldown = -1;
+  EXPECT_THROW(GridSchedulingService{config}, std::invalid_argument);
+  config = deterministic_config(2);
+  config.resize_band = 1.0;
+  EXPECT_THROW(GridSchedulingService{config}, std::invalid_argument);
+  config = deterministic_config(2);
+  config.resize_band = -0.1;
+  EXPECT_THROW(GridSchedulingService{config}, std::invalid_argument);
+  config = deterministic_config(2);
+  config.resize_band = std::numeric_limits<double>::quiet_NaN();
   EXPECT_THROW(GridSchedulingService{config}, std::invalid_argument);
 }
 
