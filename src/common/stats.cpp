@@ -44,6 +44,59 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+namespace {
+
+// log(kMaxValue / kMinValue), the histogram's span in natural-log space.
+const double kLogSpan =
+    std::log(LatencyHistogram::kMaxValue / LatencyHistogram::kMinValue);
+
+std::size_t bucket_of(double value) noexcept {
+  if (!(value >= LatencyHistogram::kMinValue)) return 0;  // also NaN
+  if (value >= LatencyHistogram::kMaxValue) {
+    return LatencyHistogram::kBuckets - 1;
+  }
+  const double frac = std::log(value / LatencyHistogram::kMinValue) / kLogSpan;
+  const auto index = static_cast<std::size_t>(
+      frac * static_cast<double>(LatencyHistogram::kBuckets));
+  return std::min(index, LatencyHistogram::kBuckets - 1);
+}
+
+/// Geometric midpoint of a bucket — the representative value reported for
+/// any percentile that lands in it.
+double bucket_value(std::size_t index) noexcept {
+  const double width = kLogSpan / static_cast<double>(
+                                      LatencyHistogram::kBuckets);
+  return LatencyHistogram::kMinValue *
+         std::exp((static_cast<double>(index) + 0.5) * width);
+}
+
+}  // namespace
+
+void LatencyHistogram::add(double value) noexcept {
+  ++counts_[bucket_of(value)];
+  ++count_;
+}
+
+double LatencyHistogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample, 1-based; p=0 picks the first sample's
+  // bucket, p=100 the last's.
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= std::max<std::uint64_t>(target, 1)) return bucket_value(i);
+  }
+  return bucket_value(kBuckets - 1);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+}
+
 Summary summarize(std::span<const double> values) {
   Summary s;
   if (values.empty()) return s;

@@ -1,7 +1,9 @@
 // Streaming and batch statistics used by the experiment harness.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -31,6 +33,42 @@ class RunningStats {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+/// Fixed-memory log-spaced histogram for latency-style metrics. 128
+/// geometric buckets span [1e-3, 1e5) (eight decades, ~15% bucket width),
+/// with underflow clamped into the first bucket and overflow into the
+/// last — recording never fails and never allocates, so per-shard and
+/// per-class metrics structs can carry one by value. Percentiles are
+/// answered at bucket resolution (geometric bucket midpoint), which is
+/// plenty for p50/p99 tables; exact means stay with RunningStats.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 128;
+  static constexpr double kMinValue = 1e-3;
+  static constexpr double kMaxValue = 1e5;
+
+  /// Records one sample. Non-finite and negative samples clamp into the
+  /// boundary buckets (NaN lands in the first).
+  void add(double value) noexcept;
+
+  /// Value at percentile p in [0, 100]; 0 when empty.
+  [[nodiscard]] double percentile(double p) const noexcept;
+  [[nodiscard]] double p50() const noexcept { return percentile(50.0); }
+  [[nodiscard]] double p99() const noexcept { return percentile(99.0); }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// Adds another histogram's counts (parallel/per-shard reduction).
+  void merge(const LatencyHistogram& other) noexcept;
+
+  friend bool operator==(const LatencyHistogram&,
+                         const LatencyHistogram&) = default;
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
 };
 
 /// Summary of a finished sample set.

@@ -1,6 +1,9 @@
 #include "core/pareto.h"
 
 #include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
 
 namespace gridsched {
 
@@ -72,6 +75,64 @@ double hypervolume(std::span<const Individual> front,
               (reference.flowtime - clean[i].objectives.flowtime);
   }
   return volume;
+}
+
+bool dominates(std::span<const double> a, std::span<const double> b) noexcept {
+  assert(a.size() == b.size());
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::size_t> pareto_front_indices(
+    std::span<const std::vector<double>> points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      dominated = j != i && dominates(points[j], points[i]);
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::vector<double> crowding_distances(
+    std::span<const std::vector<double>> points) {
+  const std::size_t n = points.size();
+  std::vector<double> distance(n, 0.0);
+  if (n == 0) return distance;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (n <= 2) {
+    std::fill(distance.begin(), distance.end(), kInf);
+    return distance;
+  }
+  const std::size_t dims = points.front().size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    // Stable, so equal keys keep index order and the boundary picks (and
+    // thus the distances) are deterministic under ties.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return points[a][d] < points[b][d];
+                     });
+    const double spread = points[order.back()][d] - points[order.front()][d];
+    // A fully tied objective carries no crowding information; skipping it
+    // (instead of crowning two arbitrary tied points "boundary") keeps
+    // the result independent of sort order among equal keys.
+    if (spread <= 0.0) continue;
+    distance[order.front()] = kInf;
+    distance[order.back()] = kInf;
+    for (std::size_t k = 1; k + 1 < n; ++k) {
+      distance[order[k]] +=
+          (points[order[k + 1]][d] - points[order[k - 1]][d]) / spread;
+    }
+  }
+  return distance;
 }
 
 }  // namespace gridsched

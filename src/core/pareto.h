@@ -53,4 +53,32 @@ class ParetoArchive {
 [[nodiscard]] double hypervolume(std::span<const Individual> front,
                                  const Objectives& reference);
 
+// --- N-objective generalization -------------------------------------
+//
+// The QoS layer (src/qos/qos.h) scores schedules on (makespan, missed
+// deadlines, cost) — three objectives, so the bi-objective Objectives
+// overloads above no longer fit. These point-vector variants accept any
+// number of objectives (all minimized). A point is a span/vector of
+// doubles; every point in one call must have the same dimension.
+
+/// True when `a` is no worse than `b` on every objective and strictly
+/// better on at least one. One-dimensional points degenerate to plain
+/// `a < b`; equal points never dominate each other.
+[[nodiscard]] bool dominates(std::span<const double> a,
+                             std::span<const double> b) noexcept;
+
+/// Indices of the non-dominated subset of `points`, ascending. Duplicate
+/// points are mutually non-dominating, so every copy of a non-dominated
+/// point is kept.
+[[nodiscard]] std::vector<std::size_t> pareto_front_indices(
+    std::span<const std::vector<double>> points);
+
+/// NSGA-II crowding distance of each point within its set (assumed to be
+/// one front). Boundary points (an extreme on any objective) get
+/// +infinity; interior points sum normalized neighbor gaps per objective.
+/// Objectives with zero spread contribute nothing (ties crowd to zero,
+/// not NaN).
+[[nodiscard]] std::vector<double> crowding_distances(
+    std::span<const std::vector<double>> points);
+
 }  // namespace gridsched

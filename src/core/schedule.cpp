@@ -7,7 +7,7 @@ Schedule::Schedule(int num_jobs, MachineId fill)
 
 bool Schedule::complete(int num_machines) const noexcept {
   for (MachineId m : assign_) {
-    if (m < 0 || m >= num_machines) return false;
+    if ((m < 0 || m >= num_machines) && m != kRejected) return false;
   }
   return !assign_.empty();
 }

@@ -15,6 +15,12 @@ namespace gridsched {
 
 class Schedule {
  public:
+  /// Gene value for a job rejected by admission control (src/qos/
+  /// admission.h): deliberately not scheduled, as opposed to -1 =
+  /// not scheduled *yet*. complete() accepts it; schedulers never emit
+  /// it — only the service's ingress does.
+  static constexpr MachineId kRejected = -2;
+
   Schedule() = default;
 
   /// Creates a schedule of `num_jobs` genes, all set to `fill` (default -1 =
@@ -36,7 +42,9 @@ class Schedule {
     return assign_;
   }
 
-  /// True when every job is assigned to a machine in [0, num_machines).
+  /// True when every job is assigned to a machine in [0, num_machines)
+  /// or explicitly rejected (kRejected). -1/unassigned genes make a
+  /// schedule incomplete.
   [[nodiscard]] bool complete(int num_machines) const noexcept;
 
   /// Number of genes in which two schedules differ (used by the Struggle

@@ -6,6 +6,7 @@
 
 #include "common/cancellation.h"
 #include "common/stopwatch.h"
+#include "qos/qos.h"
 
 namespace gridsched {
 
@@ -145,10 +146,28 @@ Schedule PortfolioBatchScheduler::schedule_batch(const EtcMatrix& etc,
     normalized[slot] =
         make_individual(results[slot].best.schedule, etc, config_.weights);
   }
+  // QoS batches (any finite relative deadline) pick the winner on the
+  // (makespan, missed deadlines, cost) Pareto front instead of scalar
+  // fitness alone — a member that keeps one more promise beats one that
+  // shaved a second of makespan. Without deadlines the front degenerates
+  // and the historical min-fitness scan runs untouched, so non-QoS runs
+  // are bitwise identical to before.
+  const bool qos = qos_active(context.job_deadlines);
+  std::vector<QosOutcome> qos_outcomes;
   std::size_t winner_slot = 0;
-  for (std::size_t slot = 1; slot < runners.size(); ++slot) {
-    if (normalized[slot].fitness < normalized[winner_slot].fitness) {
-      winner_slot = slot;
+  if (qos) {
+    qos_outcomes.reserve(runners.size());
+    for (const Individual& candidate : normalized) {
+      qos_outcomes.push_back(evaluate_qos(candidate.schedule, etc,
+                                          context.job_deadlines,
+                                          context.machine_cost_rates));
+    }
+    winner_slot = pick_qos_winner(normalized, qos_outcomes);
+  } else {
+    for (std::size_t slot = 1; slot < runners.size(); ++slot) {
+      if (normalized[slot].fitness < normalized[winner_slot].fitness) {
+        winner_slot = slot;
+      }
     }
   }
   const double best_fitness = normalized[winner_slot].fitness;
@@ -191,6 +210,11 @@ Schedule PortfolioBatchScheduler::schedule_batch(const EtcMatrix& etc,
   record.winner_name = stats_[runners[winner_slot].member].name;
   record.best_fitness = best_fitness;
   record.race_ms = race_ms;
+  if (qos) {
+    record.qos_pareto = true;
+    record.winner_missed = qos_outcomes[winner_slot].missed;
+    record.winner_cost = qos_outcomes[winner_slot].total_cost;
+  }
   records_.push_back(std::move(record));
 
   return std::move(normalized[winner_slot].schedule);

@@ -68,6 +68,12 @@ struct ActivationRecord {
   std::string winner_name;
   double best_fitness = 0.0;
   double race_ms = 0.0;  // wall time of the whole activation race
+  /// True when the batch carried finite deadlines and the winner was
+  /// picked on the (makespan, missed, cost) Pareto front (src/qos/qos.h)
+  /// instead of scalar fitness; the winner's promise outcomes follow.
+  bool qos_pareto = false;
+  int winner_missed = 0;
+  double winner_cost = 0.0;
 };
 
 class PortfolioBatchScheduler final : public BatchScheduler {

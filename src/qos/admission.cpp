@@ -1,0 +1,48 @@
+#include "qos/admission.h"
+
+#include <cmath>
+
+namespace gridsched {
+
+double AdmissionController::spent(int user) const noexcept {
+  const auto it = spent_.find(user);
+  return it != spent_.end() ? it->second : 0.0;
+}
+
+AdmissionDecision AdmissionController::admit(double deadline_rel,
+                                            double best_etc,
+                                            double mean_backlog, int user,
+                                            double budget,
+                                            double cost_estimate) {
+  if (!config_.enabled) {
+    ++stats_.accepted;
+    return AdmissionDecision::kAccept;
+  }
+  // Budget gate first: an exhausted account is rejected no matter how
+  // generous its deadline — the user already consumed what they paid for.
+  if (user >= 0 && budget >= 0 && spent(user) + cost_estimate > budget) {
+    ++stats_.rejected_budget;
+    return AdmissionDecision::kReject;
+  }
+  const bool has_deadline = std::isfinite(deadline_rel);
+  // A job is "doomed" when it cannot finish by its deadline even if it
+  // started this instant on its best machine. Shedding is restricted to
+  // doomed jobs so every rejection frees capacity without costing a
+  // deadline that could still have been met.
+  const bool doomed = has_deadline && deadline_rel < best_etc;
+  const bool overloaded = config_.overload_backlog > 0 &&
+                          mean_backlog > config_.overload_backlog;
+  if (doomed && overloaded) {
+    ++stats_.rejected_overload;
+    return AdmissionDecision::kReject;
+  }
+  if (user >= 0) spent_[user] += cost_estimate;
+  if (doomed) {
+    ++stats_.degraded;
+    return AdmissionDecision::kBestEffort;
+  }
+  ++stats_.accepted;
+  return AdmissionDecision::kAccept;
+}
+
+}  // namespace gridsched

@@ -1,0 +1,84 @@
+// Admission control at service ingress.
+//
+// Under overload a scheduler that admits everything misses *every*
+// deadline a little instead of keeping most of them: doomed jobs occupy
+// machines that promised work needed. The AdmissionController triages
+// each job at routing time into one of three states:
+//
+//   kAccept      scheduled normally (deadline jobs keep deadline-aware
+//                treatment downstream).
+//   kBestEffort  deadline stripped for scheduling purposes: the job still
+//                runs, but no longer competes as urgent. Applied to
+//                deadline jobs that cannot possibly finish in time even
+//                if started immediately on the best machine — honesty
+//                about a promise already broken. Degraded jobs still
+//                count as misses in SLO reports; degradation protects the
+//                *other* deadlines, it does not hide the miss.
+//   kReject      dropped at ingress. Two triggers: (a) the submitting
+//                user's cost budget is exhausted (Buyya-style
+//                deadline-and-budget constraint), charged per admitted
+//                job from an estimated cost; (b) overload shedding — the
+//                batch backlog exceeds `overload_backlog` seconds per
+//                machine AND the job's deadline cannot be met even at the
+//                mean backlog, i.e. the job is both doomed and arriving
+//                at the worst time. Best-effort jobs (no deadline) are
+//                never rejected, so admission cannot trade throughput of
+//                patient work for SLO optics.
+//
+// Rejected jobs surface as Schedule::kRejected genes in the service's
+// plan; the simulator records them (`SimJobRecord::rejected`, counted in
+// `SimMetrics::jobs_rejected`) and SLO reports count their deadlines as
+// missed.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace gridsched {
+
+enum class AdmissionDecision { kAccept, kBestEffort, kReject };
+
+struct AdmissionConfig {
+  bool enabled = false;
+  /// Mean per-machine backlog (seconds of queued work) above which the
+  /// service counts as overloaded and sheds doomed deadline jobs.
+  /// <= 0 disables overload shedding (budget rejection still applies).
+  double overload_backlog = 0.0;
+};
+
+struct AdmissionStats {
+  std::int64_t accepted = 0;
+  std::int64_t degraded = 0;
+  std::int64_t rejected_budget = 0;
+  std::int64_t rejected_overload = 0;
+
+  [[nodiscard]] std::int64_t rejected() const noexcept {
+    return rejected_budget + rejected_overload;
+  }
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config) : config_(config) {}
+
+  /// Triage one job at an activation.
+  ///   deadline_rel   deadline minus now (relative slack); non-finite or
+  ///                  negative-infinite semantics: +inf = no deadline.
+  ///   best_etc       smallest ETC of the job across live machines.
+  ///   mean_backlog   mean per-machine ready time of the batch.
+  ///   user/budget    budget account; user < 0 or budget < 0 = unlimited.
+  ///   cost_estimate  cost charged to the user's account if admitted.
+  [[nodiscard]] AdmissionDecision admit(double deadline_rel, double best_etc,
+                                        double mean_backlog, int user,
+                                        double budget, double cost_estimate);
+
+  [[nodiscard]] const AdmissionStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] double spent(int user) const noexcept;
+
+ private:
+  AdmissionConfig config_;
+  AdmissionStats stats_;
+  std::unordered_map<int, double> spent_;  // user -> charged cost
+};
+
+}  // namespace gridsched

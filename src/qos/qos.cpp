@@ -1,0 +1,96 @@
+#include "qos/qos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "core/pareto.h"
+
+namespace gridsched {
+
+bool qos_active(std::span<const double> job_deadlines) noexcept {
+  return std::any_of(job_deadlines.begin(), job_deadlines.end(),
+                     [](double d) { return std::isfinite(d); });
+}
+
+QosOutcome evaluate_qos(const Schedule& schedule, const EtcMatrix& etc,
+                        std::span<const double> job_deadlines,
+                        std::span<const double> machine_cost_rates) {
+  if (!job_deadlines.empty() &&
+      job_deadlines.size() != static_cast<std::size_t>(etc.num_jobs())) {
+    throw std::invalid_argument("evaluate_qos: deadlines/jobs mismatch");
+  }
+  if (!machine_cost_rates.empty() &&
+      machine_cost_rates.size() !=
+          static_cast<std::size_t>(etc.num_machines())) {
+    throw std::invalid_argument("evaluate_qos: cost rates/machines mismatch");
+  }
+
+  QosOutcome outcome;
+  // Per-machine job lists in SPT order — the commit order both the
+  // simulator and ScheduleEvaluator use, so "would this assignment miss
+  // the deadline" agrees with what the simulator will actually record.
+  std::vector<std::vector<std::pair<double, JobId>>> per_machine(
+      static_cast<std::size_t>(etc.num_machines()));
+  for (JobId job = 0; job < etc.num_jobs(); ++job) {
+    const MachineId machine = schedule[job];
+    if (machine < 0 || machine >= etc.num_machines()) continue;  // rejected
+    const double cost_rate =
+        machine_cost_rates.empty()
+            ? 0.0
+            : machine_cost_rates[static_cast<std::size_t>(machine)];
+    outcome.total_cost += etc(job, machine) * cost_rate;
+    per_machine[static_cast<std::size_t>(machine)].emplace_back(
+        etc(job, machine), job);
+  }
+  for (MachineId machine = 0; machine < etc.num_machines(); ++machine) {
+    auto& jobs = per_machine[static_cast<std::size_t>(machine)];
+    std::sort(jobs.begin(), jobs.end());
+    double cursor = etc.ready_time(machine);
+    for (const auto& [cost, job] : jobs) {
+      cursor += cost;
+      if (job_deadlines.empty()) continue;
+      const double deadline = job_deadlines[static_cast<std::size_t>(job)];
+      if (!std::isfinite(deadline)) continue;
+      ++outcome.deadline_jobs;
+      if (cursor > deadline) {
+        ++outcome.missed;
+        const double tardiness = cursor - deadline;
+        outcome.total_tardiness += tardiness;
+        outcome.max_tardiness = std::max(outcome.max_tardiness, tardiness);
+      }
+    }
+  }
+  return outcome;
+}
+
+std::size_t pick_qos_winner(std::span<const Individual> candidates,
+                            std::span<const QosOutcome> outcomes) {
+  if (candidates.empty() || candidates.size() != outcomes.size()) {
+    throw std::invalid_argument(
+        "pick_qos_winner: need parallel non-empty candidates/outcomes");
+  }
+  std::vector<std::vector<double>> points;
+  points.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    points.push_back({candidates[i].objectives.makespan,
+                      static_cast<double>(outcomes[i].missed),
+                      outcomes[i].total_cost});
+  }
+  const std::vector<std::size_t> front = pareto_front_indices(points);
+  // Within the front, promises first: fewest misses, then scalar fitness
+  // (the pre-QoS ranking), then cost; the index itself makes ties total.
+  std::size_t best = front.front();
+  for (const std::size_t i : front) {
+    const auto key = [&](std::size_t k) {
+      return std::make_tuple(outcomes[k].missed, candidates[k].fitness,
+                             outcomes[k].total_cost, k);
+    };
+    if (key(i) < key(best)) best = i;
+  }
+  return best;
+}
+
+}  // namespace gridsched

@@ -1,0 +1,102 @@
+// QoS model: per-job promises and the objective layer that scores them.
+//
+// The paper's scheduler minimizes makespan/flowtime, which treats every
+// job as equally urgent and every machine-second as free. A production
+// grid sells *promises*: a deadline ("finish by t"), a cost budget ("my
+// jobs may consume at most B cost units"), and a job class (affinity with
+// part of the fleet). This header defines
+//
+//   QosSpec       one job's promises, carried by TraceJob through the
+//                 trace CSV (workload/trace_io.h) so QoS-annotated runs
+//                 record -> replay bit for bit, and
+//   QosOutcome    what a candidate schedule would do to those promises:
+//                 deadline-miss count/rate, tardiness, and cost, computed
+//                 under the same per-machine SPT commit order the
+//                 simulator uses (core/evaluator.h conventions), and
+//   pick_qos_winner  portfolio winner selection on the (makespan,
+//                 missed, cost) Pareto front (core/pareto.h) instead of
+//                 scalar fitness alone — the first consumer of the
+//                 multi-objective machinery.
+//
+// Deadlines are passed to schedulers as *relative* slack (absolute
+// deadline minus the activation time) in BatchContext::job_deadlines, so
+// completion times — which are relative to the activation — compare
+// against them directly. An entry of +infinity (or any non-finite value)
+// means "no deadline"; an empty vector means the run carries no QoS at
+// all. Costs come from BatchContext::machine_cost_rates (cost units per
+// busy second, typically proportional to machine speed a la Buyya's
+// cost-time optimisation); an empty vector prices every machine at zero.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/individual.h"
+#include "core/schedule.h"
+#include "etc/etc_matrix.h"
+#include "workload/workload_source.h"
+
+namespace gridsched {
+
+/// One job's QoS promises, mirroring the optional TraceJob fields.
+struct QosSpec {
+  double deadline = -1.0;  // absolute sim seconds; < 0 = best effort
+  double budget = -1.0;    // user's cost budget; < 0 = unlimited
+  int user = -1;           // budget account; -1 = anonymous
+  int job_class = -1;
+
+  [[nodiscard]] bool has_deadline() const noexcept { return deadline >= 0; }
+  [[nodiscard]] bool has_budget() const noexcept { return budget >= 0; }
+
+  [[nodiscard]] static QosSpec from_trace(const TraceJob& job) noexcept {
+    return {job.deadline, job.budget, job.user, job.job_class};
+  }
+};
+
+/// What one schedule does to a batch's promises.
+struct QosOutcome {
+  int deadline_jobs = 0;     // rows with a finite relative deadline
+  int missed = 0;            // of those, completions past the deadline
+  double total_tardiness = 0.0;
+  double max_tardiness = 0.0;
+  double total_cost = 0.0;   // sum over rows of ETC * machine cost rate
+
+  [[nodiscard]] double miss_rate() const noexcept {
+    return deadline_jobs > 0
+               ? static_cast<double>(missed) / deadline_jobs
+               : 0.0;
+  }
+};
+
+/// True when at least one entry is a real (finite) deadline — the switch
+/// that turns on Pareto winner selection in the portfolio.
+[[nodiscard]] bool qos_active(std::span<const double> job_deadlines) noexcept;
+
+/// Scores `schedule` against relative deadlines and machine cost rates.
+/// Completion times follow the simulator's commit convention: each
+/// machine runs its assigned rows in SPT (ascending ETC) order starting
+/// from its ready time. `job_deadlines` is per-row (empty = none
+/// anywhere; non-finite entry = no deadline for that row);
+/// `machine_cost_rates` is per-column (empty = all zero). Rows with an
+/// unassigned/rejected gene are skipped.
+[[nodiscard]] QosOutcome evaluate_qos(
+    const Schedule& schedule, const EtcMatrix& etc,
+    std::span<const double> job_deadlines,
+    std::span<const double> machine_cost_rates);
+
+/// Picks the portfolio winner among raced candidates on (makespan,
+/// missed, cost) dominance: the non-dominated subset is computed with
+/// core/pareto.h's n-objective front, then ties inside the front break
+/// lexicographically by (missed, scalar fitness, cost, slot index) — the
+/// service would rather keep a promise than shave a second of makespan.
+/// `candidates` and `outcomes` are parallel arrays; requires both
+/// non-empty and the same length.
+[[nodiscard]] std::size_t pick_qos_winner(
+    std::span<const Individual> candidates,
+    std::span<const QosOutcome> outcomes);
+
+/// Sentinel for "no deadline" inside a non-empty deadline vector.
+inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+}  // namespace gridsched

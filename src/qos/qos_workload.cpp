@@ -1,0 +1,52 @@
+#include "qos/qos_workload.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace gridsched {
+namespace {
+
+void require(bool ok, const char* message) {
+  if (!ok) throw std::invalid_argument(message);
+}
+
+}  // namespace
+
+QosWorkload::QosWorkload(std::shared_ptr<WorkloadSource> base,
+                         QosWorkloadConfig config)
+    : base_(std::move(base)), config_(config) {
+  require(base_ != nullptr, "QosWorkload: base source must not be null");
+  require(config_.deadline_fraction >= 0 && config_.deadline_fraction <= 1,
+          "QosWorkload: deadline_fraction must be in [0, 1]");
+  require(config_.slack_min > 0 && config_.slack_max >= config_.slack_min,
+          "QosWorkload: need 0 < slack_min <= slack_max");
+  require(config_.reference_mips > 0,
+          "QosWorkload: reference_mips must be > 0");
+  require(config_.num_users >= 0, "QosWorkload: num_users must be >= 0");
+  name_ = "qos(" + std::string(base_->name()) + ")";
+}
+
+std::vector<TraceJob> QosWorkload::generate(double horizon, Rng& arrival_rng,
+                                            Rng& workload_rng) {
+  std::vector<TraceJob> jobs = base_->generate(horizon, arrival_rng,
+                                               workload_rng);
+  // All QoS draws come after the base stream is fully materialized (same
+  // discipline as ClassMixWorkload): the wrapped source sees exactly the
+  // generator states it would see unwrapped.
+  for (TraceJob& job : jobs) {
+    if (workload_rng.chance(config_.deadline_fraction)) {
+      const double service = job.workload_mi / config_.reference_mips;
+      const double slack =
+          workload_rng.uniform(config_.slack_min, config_.slack_max);
+      job.deadline = job.arrival + slack * service;
+    }
+    if (config_.num_users > 0) {
+      job.user = workload_rng.uniform_int(0, config_.num_users - 1);
+      if (config_.user_budget >= 0) job.budget = config_.user_budget;
+    }
+  }
+  return jobs;
+}
+
+}  // namespace gridsched

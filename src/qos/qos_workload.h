@@ -1,0 +1,56 @@
+// QoS-annotating workload wrapper.
+//
+// Takes any WorkloadSource and stamps QoS promises onto its jobs:
+// a fraction of jobs get a deadline proportional to their own service
+// time (deadline = arrival + slack * workload_mi / reference_mips, slack
+// uniform in [slack_min, slack_max]), and jobs are attributed to a small
+// user population for budget accounting. Like ClassMixWorkload, every
+// QoS draw happens AFTER the base source materialized its stream, so
+// wrapping never perturbs the base arrivals/sizes/classes, and the
+// annotations ride the trace CSV's deadline/budget/user columns —
+// a QoS run records -> replays bit for bit.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "workload/workload_source.h"
+
+namespace gridsched {
+
+struct QosWorkloadConfig {
+  /// Fraction of jobs carrying a deadline, in [0, 1].
+  double deadline_fraction = 0.7;
+  /// Deadline slack multipliers over the job's reference service time.
+  double slack_min = 1.5;
+  double slack_max = 4.0;
+  /// MIPS used to turn workload_mi into the reference service time a
+  /// deadline scales from. Pick a fast machine's rating for tight
+  /// deadlines, a slow one's for loose.
+  double reference_mips = 1000.0;
+  /// Users jobs are attributed to (round-robin accounts, uniform draw).
+  /// 0 leaves every job anonymous.
+  int num_users = 0;
+  /// Per-user cost budget stamped on every attributed job; < 0 =
+  /// unlimited (no budget column emitted).
+  double user_budget = -1.0;
+};
+
+class QosWorkload final : public WorkloadSource {
+ public:
+  QosWorkload(std::shared_ptr<WorkloadSource> base, QosWorkloadConfig config);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] std::vector<TraceJob> generate(double horizon,
+                                               Rng& arrival_rng,
+                                               Rng& workload_rng) override;
+
+ private:
+  std::shared_ptr<WorkloadSource> base_;
+  QosWorkloadConfig config_;
+  std::string name_;  // "qos(<base>)"
+};
+
+}  // namespace gridsched

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <unordered_set>
 #include <utility>
@@ -65,6 +66,7 @@ GridSchedulingService::GridSchedulingService(ServiceConfig config)
     : config_(std::move(config)),
       pool_(config_.threads),
       router_(make_routing_policy(config_.routing)),
+      admission_(config_.admission),
       name_(std::string("ShardedService(") +
             std::to_string(config_.num_shards) + "x " +
             std::string(routing_name(config_.routing)) + ")") {
@@ -113,7 +115,9 @@ int GridSchedulingService::add_shard_slot() {
   PortfolioConfig portfolio = shard_portfolio_config(config_, shard);
   shards_.push_back(std::make_unique<PortfolioBatchScheduler>(
       portfolio, PortfolioBatchScheduler::default_members(portfolio), pool_));
-  stats_.push_back(ShardStats{.shard = shard});
+  ShardStats stat;
+  stat.shard = shard;
+  stats_.push_back(std::move(stat));
   return shard;
 }
 
@@ -394,6 +398,32 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
       }
     }
   }
+  // QoS vectors are indexed by batch row/column below (admission, the
+  // deadline-aware router, sub-context slicing); a size mismatch would
+  // silently read the wrong job's promise.
+  if (!context.job_deadlines.empty() &&
+      context.job_deadlines.size() !=
+          static_cast<std::size_t>(etc.num_jobs())) {
+    throw std::invalid_argument(
+        "Service: job_deadlines must be empty or one entry per batch job");
+  }
+  if (!context.machine_cost_rates.empty() &&
+      context.machine_cost_rates.size() !=
+          static_cast<std::size_t>(etc.num_machines())) {
+    throw std::invalid_argument(
+        "Service: machine_cost_rates must be empty or one entry per batch "
+        "machine");
+  }
+  if ((!context.job_users.empty() &&
+       context.job_users.size() !=
+           static_cast<std::size_t>(etc.num_jobs())) ||
+      (!context.job_budgets.empty() &&
+       context.job_budgets.size() !=
+           static_cast<std::size_t>(etc.num_jobs()))) {
+    throw std::invalid_argument(
+        "Service: job_users/job_budgets must be empty or one entry per "
+        "batch job");
+  }
   // Class info must be coherent before anything indexes by class: the
   // simulator resolves classes modulo num_job_classes, but this is a
   // public BatchScheduler entry point, and an out-of-range class would
@@ -470,9 +500,76 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
     throw std::invalid_argument("Service: batch has no machines");
   }
 
-  // --- Route every job to a shard. ---
+  // --- Admission triage at ingress, before any routing. Rejected rows
+  // never enter a shard queue (their gene becomes kRejected at the fold);
+  // degraded rows keep running but with the deadline stripped, so they
+  // stop competing for the urgent machines downstream. ---
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto deadline_of = [&](JobId row) {
+    return static_cast<std::size_t>(row) < context.job_deadlines.size()
+               ? context.job_deadlines[static_cast<std::size_t>(row)]
+               : kInf;
+  };
+  std::vector<bool> row_rejected(static_cast<std::size_t>(etc.num_jobs()),
+                                 false);
+  std::vector<bool> row_degraded(static_cast<std::size_t>(etc.num_jobs()),
+                                 false);
+  int jobs_rejected = 0;
+  if (config_.admission.enabled) {
+    double ready_sum = 0.0;
+    for (MachineId column = 0; column < etc.num_machines(); ++column) {
+      ready_sum += etc.ready_time(column);
+    }
+    const double mean_backlog =
+        ready_sum / static_cast<double>(etc.num_machines());
+    for (JobId row = 0; row < etc.num_jobs(); ++row) {
+      double best_etc = kInf;
+      for (MachineId column = 0; column < etc.num_machines(); ++column) {
+        best_etc = std::min(best_etc, etc(row, column));
+      }
+      // Cheapest money cost of the row anywhere — what the budget account
+      // is charged on acceptance. Zero when costs are not modelled, so
+      // budget rejection never fires on a cost-free grid.
+      double cost_estimate = 0.0;
+      if (!context.machine_cost_rates.empty()) {
+        cost_estimate = kInf;
+        for (MachineId column = 0; column < etc.num_machines(); ++column) {
+          cost_estimate = std::min(
+              cost_estimate,
+              etc(row, column) *
+                  context.machine_cost_rates[static_cast<std::size_t>(
+                      column)]);
+        }
+      }
+      const auto index = static_cast<std::size_t>(row);
+      const int user =
+          index < context.job_users.size() ? context.job_users[index] : -1;
+      const double budget = index < context.job_budgets.size()
+                                ? context.job_budgets[index]
+                                : -1.0;
+      switch (admission_.admit(deadline_of(row), best_etc, mean_backlog,
+                               user, budget, cost_estimate)) {
+        case AdmissionDecision::kReject:
+          row_rejected[index] = true;
+          ++jobs_rejected;
+          break;
+        case AdmissionDecision::kBestEffort:
+          row_degraded[index] = true;
+          break;
+        case AdmissionDecision::kAccept:
+          break;
+      }
+    }
+  }
+  auto routed_deadline_of = [&](JobId row) {
+    return row_degraded[static_cast<std::size_t>(row)] ? kInf
+                                                       : deadline_of(row);
+  };
+
+  // --- Route every admitted job to a shard. ---
   for (JobId row = 0; row < etc.num_jobs(); ++row) {
-    const RoutedJob job(row, job_class_of(row));
+    if (row_rejected[static_cast<std::size_t>(row)]) continue;
+    const RoutedJob job(row, job_class_of(row), routed_deadline_of(row));
     const std::size_t pick = router_->route(job, etc, snapshots);
     active[pick].queue.push_back(row);
     const double work = shard_work_estimate(etc, job, snapshots[pick]);
@@ -564,6 +661,11 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
       if (num_classes > 0) {
         race.sub_context.job_classes.push_back(job_class_of(job));
       }
+      if (!context.job_deadlines.empty()) {
+        // Degraded rows pass +infinity: the shard's Pareto race must not
+        // chase a promise admission already declared broken.
+        race.sub_context.job_deadlines.push_back(routed_deadline_of(job));
+      }
       for (std::size_t column = 0; column < shard.columns.size(); ++column) {
         race.sub(static_cast<JobId>(row), static_cast<MachineId>(column)) =
             etc(job, static_cast<MachineId>(shard.columns[column]));
@@ -575,6 +677,11 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
                                   shard.columns[column])));
       race.sub_context.machine_ids.push_back(context.machine_ids[
           static_cast<std::size_t>(shard.columns[column])]);
+      if (!context.machine_cost_rates.empty()) {
+        race.sub_context.machine_cost_rates.push_back(
+            context.machine_cost_rates[static_cast<std::size_t>(
+                shard.columns[column])]);
+      }
     }
     races.push_back(std::move(race));
   }
@@ -643,6 +750,7 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
     stat.migrated_out += entry.migrated_out;
     stat.total_race_ms += race.race_ms;
     stat.max_race_ms = std::max(stat.max_race_ms, race.race_ms);
+    stat.race_ms_hist.add(race.race_ms);
     records_.push_back(ShardActivationRecord{
         .activation = context.activation,
         .shard = shard.shard,
@@ -654,6 +762,36 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
         .race_ms = race.race_ms,
     });
   }
+  // --- Seal the plan: rejected rows get their explicit kRejected gene,
+  // and any OTHER still-unassigned row is rescued by a whole-batch MCT
+  // pick. The partition invariants make a stranded row impossible today
+  // (a shard only races when it has alive columns, and every race plans
+  // its whole queue), but the cost of a strand is a thrown activation and
+  // a lost job — so the guard re-routes instead of trusting the
+  // invariant, and the books (`jobs_rerouted`) make any rescue visible. ---
+  int jobs_rerouted = 0;
+  for (JobId row = 0; row < etc.num_jobs(); ++row) {
+    if (row_rejected[static_cast<std::size_t>(row)]) {
+      plan[row] = Schedule::kRejected;
+      continue;
+    }
+    if (plan[row] >= 0) continue;
+    MachineId best_column = 0;
+    double best_completion = kInf;
+    for (MachineId column = 0; column < etc.num_machines(); ++column) {
+      const double completion = etc.ready_time(column) + etc(row, column);
+      if (completion < best_completion) {
+        best_completion = completion;
+        best_column = column;
+      }
+    }
+    plan[row] = best_column;
+    shard_of_job_[context.job_ids[static_cast<std::size_t>(row)]] =
+        shard_of_machine(
+            context.machine_ids[static_cast<std::size_t>(best_column)]);
+    ++jobs_rerouted;
+  }
+
   // --- Drain-tail work stealing: with the races committed, the exact
   // per-machine drain times are known; while a FOREIGN machine can finish
   // one of the critical machine's jobs strictly earlier, the job moves
@@ -707,6 +845,8 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
       .wall_ms = wall_ms,
       .concurrent = concurrent,
       .jobs_stolen = jobs_stolen,
+      .jobs_rejected = jobs_rejected,
+      .jobs_rerouted = jobs_rerouted,
   });
   return plan;
 }

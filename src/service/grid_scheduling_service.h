@@ -66,7 +66,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stats.h"
 #include "portfolio/portfolio.h"
+#include "qos/admission.h"
 #include "service/routing_policy.h"
 
 namespace gridsched {
@@ -118,6 +120,14 @@ struct ServiceConfig {
   /// stolen jobs are handed off between the shard caches. Off by default:
   /// the strict partition keeps the PR 2/4 invariants bitwise.
   bool drain_steal = false;
+  /// Admission control at service ingress (disabled by default — every
+  /// job is accepted, PR 5 behavior bitwise). When enabled, jobs whose
+  /// deadline is already infeasible are degraded to best effort, shed
+  /// entirely under overload, or rejected when their user's cost budget
+  /// is exhausted — see src/qos/admission.h and docs/qos.md. Rejected
+  /// rows come back as Schedule::kRejected genes; the simulator records
+  /// them as dropped (they still count as deadline misses).
+  AdmissionConfig admission{};
   /// Per-shard portfolio knobs (see PortfolioConfig).
   PolicyKind policy = PolicyKind::kStaticRace;
   UcbConfig ucb{};
@@ -152,7 +162,9 @@ struct ServiceActivationRecord {
   int shards_raced = 0;
   double wall_ms = 0.0;
   bool concurrent = false;
-  int jobs_stolen = 0;  // drain-tail steal MOVES applied after the races
+  int jobs_stolen = 0;    // drain-tail steal MOVES applied after the races
+  int jobs_rejected = 0;  // rows shed at ingress by admission control
+  int jobs_rerouted = 0;  // rows rescued by the stranded-row guard
 };
 
 /// One dynamic shard-scaling step (split or merge) and what moved.
@@ -177,6 +189,10 @@ struct ShardStats {
   int stolen_out = 0;  // steal moves this shard's stragglers lost
   double total_race_ms = 0.0;
   double max_race_ms = 0.0;
+  /// Distribution of this shard's per-activation race wall times — the
+  /// mean (total/activations) hides budget-overrun tails, so p99 race
+  /// latency reads from here.
+  LatencyHistogram race_ms_hist;
 };
 
 class GridSchedulingService final : public BatchScheduler {
@@ -230,6 +246,10 @@ class GridSchedulingService final : public BatchScheduler {
   [[nodiscard]] std::string_view router_name() const noexcept {
     return router_->name();
   }
+  /// Ingress admission books (all zeros while admission is disabled).
+  [[nodiscard]] const AdmissionStats& admission_stats() const noexcept {
+    return admission_.stats();
+  }
   [[nodiscard]] const ServiceConfig& config() const noexcept {
     return config_;
   }
@@ -246,6 +266,7 @@ class GridSchedulingService final : public BatchScheduler {
   ThreadPool pool_;  // shared by every shard's portfolio race
   std::vector<std::unique_ptr<PortfolioBatchScheduler>> shards_;
   std::unique_ptr<RoutingPolicy> router_;
+  AdmissionController admission_;
   std::vector<ShardStats> stats_;
   std::vector<ShardActivationRecord> records_;
   std::vector<ServiceActivationRecord> service_records_;

@@ -1,6 +1,7 @@
 #include "service/routing_policy.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -41,6 +42,7 @@ std::string_view routing_name(RoutingKind kind) noexcept {
     case RoutingKind::kBestFit: return "best-fit";
     case RoutingKind::kShardMct: return "shard-mct";
     case RoutingKind::kClassBacklog: return "class-backlog";
+    case RoutingKind::kDeadlineAware: return "deadline-aware";
   }
   return "?";
 }
@@ -52,6 +54,7 @@ std::span<const RoutingKind> all_routing_kinds() noexcept {
       RoutingKind::kBestFit,
       RoutingKind::kShardMct,
       RoutingKind::kClassBacklog,
+      RoutingKind::kDeadlineAware,
   };
   return kAll;
 }
@@ -99,6 +102,7 @@ std::vector<StealMove> plan_drain_steals(const EtcMatrix& etc,
   std::vector<std::vector<JobId>> on_machine(
       static_cast<std::size_t>(etc.num_machines()));
   for (JobId job = 0; job < etc.num_jobs(); ++job) {
+    if (plan[job] < 0) continue;  // rejected rows run on no machine
     const auto machine = static_cast<std::size_t>(plan[job]);
     completion[machine] += etc(job, plan[job]);
     on_machine[machine].push_back(job);
@@ -234,6 +238,41 @@ std::size_t ClassBacklogRouting::route(RoutedJob job, const EtcMatrix& etc,
   return best;
 }
 
+std::size_t DeadlineAwareRouting::route(RoutedJob job, const EtcMatrix& etc,
+                                        std::span<const ShardSnapshot> shards) {
+  // Best-effort jobs spread by backlog; the completion-minimizing picks
+  // below are reserved for the jobs whose promise depends on them.
+  if (!std::isfinite(job.deadline)) return least_backlog_index(shards);
+  const bool classed =
+      job.job_class >= 0 && !shards.front().class_machines.empty();
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const ShardSnapshot& shard = shards[s];
+    const double congestion =
+        shard.backlog() / static_cast<double>(shard.columns.size());
+    double class_queue = 0.0;
+    if (classed) {
+      const auto job_class = static_cast<std::size_t>(job.job_class);
+      const double matched =
+          shard.has_class(job.job_class)
+              ? static_cast<double>(shard.class_machines[job_class])
+              : 1.0;
+      class_queue = (job_class < shard.class_routed_work.size()
+                         ? shard.class_routed_work[job_class]
+                         : 0.0) /
+                    matched;
+    }
+    const double score =
+        congestion + class_queue + shard_min_etc(etc, job.row, shard);
+    if (score < best_score) {
+      best_score = score;
+      best = s;
+    }
+  }
+  return best;
+}
+
 std::unique_ptr<RoutingPolicy> make_routing_policy(RoutingKind kind) {
   switch (kind) {
     case RoutingKind::kRoundRobin:
@@ -246,6 +285,8 @@ std::unique_ptr<RoutingPolicy> make_routing_policy(RoutingKind kind) {
       return std::make_unique<ShardMctRouting>();
     case RoutingKind::kClassBacklog:
       return std::make_unique<ClassBacklogRouting>();
+    case RoutingKind::kDeadlineAware:
+      return std::make_unique<DeadlineAwareRouting>();
   }
   throw std::invalid_argument("make_routing_policy: unknown routing kind");
 }

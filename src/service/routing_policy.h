@@ -32,11 +32,18 @@
 //                        QoS "partition by user class" policy for
 //                        class-structured grids. Classless jobs degrade
 //                        to least-backlog.
+//   DeadlineAwareRouting deadline jobs chase the shard with the least
+//                        class-corrected completion estimate (their miss
+//                        risk is a completion-time problem); best-effort
+//                        jobs spread by least-backlog, leaving the
+//                        affinity headroom to the urgent work. See
+//                        docs/qos.md.
 //
 // Ties break toward the lower shard id, so routing is deterministic given
 // the snapshots. Policies may be stateful (round-robin's cursor).
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -53,6 +60,7 @@ enum class RoutingKind {
   kBestFit,
   kShardMct,
   kClassBacklog,
+  kDeadlineAware,
 };
 
 [[nodiscard]] std::string_view routing_name(RoutingKind kind) noexcept;
@@ -65,18 +73,23 @@ enum class RoutingKind {
 /// valid ones (CLI surfaces pick routing policies by name).
 [[nodiscard]] RoutingKind routing_kind_from_name(std::string_view name);
 
-/// The job a routing decision is about: its batch ETC row plus its class
-/// on class-structured grids (-1 = unclassed). Implicitly constructible
-/// from a bare row so class-oblivious callers just pass the JobId.
+/// The job a routing decision is about: its batch ETC row, its class on
+/// class-structured grids (-1 = unclassed), and its relative deadline on
+/// QoS runs (+infinity = best effort). Implicitly constructible from a
+/// bare row so class-oblivious callers just pass the JobId.
 struct RoutedJob {
   JobId row = 0;
   int job_class = -1;
+  /// Deadline minus the activation time; +infinity = no deadline.
+  double deadline = std::numeric_limits<double>::infinity();
 
   // NOLINTNEXTLINE(google-explicit-constructor): a bare row IS a routed
   // job on classless grids; the implicit form keeps old call sites valid.
   RoutedJob(JobId row) noexcept : row(row) {}
   RoutedJob(JobId row, int job_class) noexcept
       : row(row), job_class(job_class) {}
+  RoutedJob(JobId row, int job_class, double deadline) noexcept
+      : row(row), job_class(job_class), deadline(deadline) {}
 };
 
 /// What a routing policy knows about one shard at routing time. `columns`
@@ -176,6 +189,25 @@ class ClassBacklogRouting final : public RoutingPolicy {
  public:
   [[nodiscard]] std::string_view name() const noexcept override {
     return "class-backlog";
+  }
+  [[nodiscard]] std::size_t route(RoutedJob job, const EtcMatrix& etc,
+                                  std::span<const ShardSnapshot> shards)
+      override;
+};
+
+/// Deadline-pressure routing for QoS runs (src/qos/qos.h). A job with a
+/// deadline is a completion-time problem: it takes the class-corrected
+/// completion estimate (congestion + its class queue depth + its best ETC
+/// there — class-backlog's score, degrading to shard-MCT's when classes
+/// are not reported) and joins the shard minimizing it. Best-effort jobs
+/// spread by plain least-backlog, which keeps overall balance AND leaves
+/// the low-ETC matched machines available to the jobs whose promise
+/// depends on them. Without deadlines in the batch it behaves exactly
+/// like least-backlog.
+class DeadlineAwareRouting final : public RoutingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "deadline-aware";
   }
   [[nodiscard]] std::size_t route(RoutedJob job, const EtcMatrix& etc,
                                   std::span<const ShardSnapshot> shards)

@@ -67,6 +67,58 @@ ShardedSimReport run_sharded(GridSimulator& sim,
     }
   }
 
+  // --- Deadline SLOs, globally and per class. Misses follow the
+  // simulator's accounting exactly (late, rejected, or unfinished);
+  // tardiness percentiles come from fixed-bucket histograms over the late
+  // completions. ---
+  const bool qos = std::any_of(
+      trace.begin(), trace.end(),
+      [](const TraceJob& job) { return job.deadline >= 0; });
+  if (qos) {
+    LatencyHistogram global_tardiness;
+    std::vector<LatencyHistogram> class_tardiness(
+        num_classes > 0 ? static_cast<std::size_t>(num_classes) : 0);
+    if (num_classes > 0) {
+      report.per_class_slo.assign(static_cast<std::size_t>(num_classes),
+                                  ClassSlo{});
+      for (std::size_t job_class = 0;
+           job_class < report.per_class_slo.size(); ++job_class) {
+        report.per_class_slo[job_class].job_class =
+            static_cast<int>(job_class);
+      }
+    }
+    for (const SimJobRecord& record : sim.job_records()) {
+      const TraceJob& job = trace[static_cast<std::size_t>(record.id)];
+      if (job.deadline < 0) continue;
+      const bool missed = record.rejected || record.finish < 0 ||
+                          record.finish > job.deadline;
+      const bool late = record.finish >= 0 && record.finish > job.deadline;
+      const double tardiness = late ? record.finish - job.deadline : 0.0;
+      report.global_slo.deadline_jobs += 1;
+      if (missed) report.global_slo.missed += 1;
+      if (late) global_tardiness.add(tardiness);
+      if (job.job_class >= 0 && job.job_class < num_classes) {
+        ClassSlo& slo =
+            report.per_class_slo[static_cast<std::size_t>(job.job_class)];
+        slo.deadline_jobs += 1;
+        if (missed) slo.missed += 1;
+        if (late) {
+          class_tardiness[static_cast<std::size_t>(job.job_class)].add(
+              tardiness);
+        }
+      }
+    }
+    report.global_slo.tardiness_p50 = global_tardiness.p50();
+    report.global_slo.tardiness_p99 = global_tardiness.p99();
+    for (std::size_t job_class = 0; job_class < report.per_class_slo.size();
+         ++job_class) {
+      report.per_class_slo[job_class].tardiness_p50 =
+          class_tardiness[job_class].p50();
+      report.per_class_slo[job_class].tardiness_p99 =
+          class_tardiness[job_class].p99();
+    }
+  }
+
   // --- Shard-local machine utilization over the global elapsed time. ---
   const std::vector<double>& busy = sim.machine_busy();
   std::vector<double> busy_sum(report.per_shard.size(), 0.0);

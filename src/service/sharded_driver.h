@@ -23,6 +23,23 @@
 
 namespace gridsched {
 
+/// Deadline SLO outcome of one job class (or of the whole run when
+/// `job_class` is -1). Tardiness percentiles are over LATE COMPLETED jobs
+/// only — a job that was rejected or never finished counts as missed but
+/// contributes no tardiness sample (there is no finish time to measure).
+struct ClassSlo {
+  int job_class = -1;
+  int deadline_jobs = 0;
+  int missed = 0;  // late, rejected at ingress, or never finished
+  double tardiness_p50 = 0.0;
+  double tardiness_p99 = 0.0;
+
+  [[nodiscard]] double miss_rate() const noexcept {
+    return deadline_jobs > 0 ? static_cast<double>(missed) / deadline_jobs
+                             : 0.0;
+  }
+};
+
 struct ShardedSimReport {
   SimMetrics global;
   /// Which workload source fed the run ("poisson", "bursty", "trace", ...)
@@ -39,6 +56,13 @@ struct ShardedSimReport {
   /// stay 0. Macro-averaging mean_flowtime over classes is the QoS view
   /// bench/sharded_service's class-routing verdict uses.
   std::vector<SimMetrics> per_class;
+  /// Run-wide deadline SLO (job_class = -1); zeros when the workload
+  /// carries no deadlines.
+  ClassSlo global_slo;
+  /// Per-class deadline SLOs (index = job class); empty on classless runs
+  /// or when no job carries a deadline. The view bench/qos_slo's
+  /// miss-rate-vs-load verdict reads.
+  std::vector<ClassSlo> per_class_slo;
   /// Jobs that crossed shards during rebalancing, summed over activations.
   int migrations = 0;
   /// Jobs that crossed shards via drain-tail work stealing (post-race

@@ -47,6 +47,20 @@ struct BatchContext {
   /// simulator reports them — a shard of 4 slow machines is NOT the equal
   /// of a shard of 4 fast ones.
   std::vector<double> machine_mips;
+  /// Relative deadline per batch row: absolute deadline minus the
+  /// activation time, so it compares directly against completion times
+  /// computed from the batch's ready times. +infinity = no deadline for
+  /// that row; empty = the run carries no QoS at all (see src/qos/qos.h).
+  std::vector<double> job_deadlines;
+  /// Cost rate per batch column (cost units per busy second, e.g.
+  /// proportional to MIPS); empty = costs not modelled.
+  std::vector<double> machine_cost_rates;
+  /// Owning user per batch row (-1 = anonymous) and that user's total
+  /// cost budget (-1 = unlimited); both empty when the run carries no
+  /// per-user accounting. The service's AdmissionController charges each
+  /// accepted job's cost estimate against the budget (src/qos/admission.h).
+  std::vector<int> job_users;
+  std::vector<double> job_budgets;
 
   /// Identity context for a standalone batch (row i = job i, column j =
   /// machine j) — what callers outside a simulator get by default.

@@ -106,7 +106,27 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
                           ? job.job_class % config_.num_job_classes
                           : hashed_class(record.id);
     }
+    // Normalize QoS sentinels to exactly -1 so a recorded trace
+    // round-trips bit for bit (the writer emits an empty field for any
+    // negative value, which reads back as -1.0; non-finite = unset too).
+    if (!(job.deadline >= 0) || !std::isfinite(job.deadline)) {
+      job.deadline = -1.0;
+    }
+    if (!(job.budget >= 0) || !std::isfinite(job.budget)) job.budget = -1.0;
+    if (job.user < 0) job.user = -1;
   }
+  const bool qos_deadlines =
+      std::any_of(trace_.begin(), trace_.end(),
+                  [](const TraceJob& job) { return job.deadline >= 0; });
+  const bool qos_budgets =
+      std::any_of(trace_.begin(), trace_.end(), [](const TraceJob& job) {
+        return job.user >= 0 || job.budget >= 0;
+      });
+  auto cost_rate_of = [&](int machine) {
+    return config_.machine_cost_rate *
+           machines[static_cast<std::size_t>(machine)].mips /
+           config_.mips_max;
+  };
 
   auto etc_of = [&](int job_id, int machine) {
     const TraceJob& job = trace_[static_cast<std::size_t>(job_id)];
@@ -231,6 +251,32 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
             trace_[static_cast<std::size_t>(job)].job_class);
       }
     }
+    if (qos_deadlines) {
+      // Relative slack: absolute deadline minus the activation time, so
+      // schedulers compare it against batch completion times directly.
+      ctx.job_deadlines.reserve(batch.size());
+      for (const int job : batch) {
+        const double deadline = trace_[static_cast<std::size_t>(job)].deadline;
+        ctx.job_deadlines.push_back(
+            deadline >= 0 ? deadline - now
+                          : std::numeric_limits<double>::infinity());
+      }
+    }
+    if (qos_budgets) {
+      ctx.job_users.reserve(batch.size());
+      ctx.job_budgets.reserve(batch.size());
+      for (const int job : batch) {
+        ctx.job_users.push_back(trace_[static_cast<std::size_t>(job)].user);
+        ctx.job_budgets.push_back(
+            trace_[static_cast<std::size_t>(job)].budget);
+      }
+    }
+    if (config_.machine_cost_rate > 0) {
+      ctx.machine_cost_rates.reserve(alive.size());
+      for (const int machine : alive) {
+        ctx.machine_cost_rates.push_back(cost_rate_of(machine));
+      }
+    }
     cpu.restart();
     const Schedule plan = scheduler.schedule_batch(etc, ctx);
     metrics.scheduler_cpu_ms += cpu.elapsed_ms();
@@ -241,6 +287,14 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
     }
     ++metrics.activations;
     total_batch += static_cast<double>(batch.size());
+
+    // --- Admission rejections: dropped at ingress, never re-queued. ---
+    for (std::size_t bj = 0; bj < batch.size(); ++bj) {
+      if (plan[static_cast<JobId>(bj)] == Schedule::kRejected) {
+        records_[static_cast<std::size_t>(batch[bj])].rejected = true;
+        ++metrics.jobs_rejected;
+      }
+    }
 
     // --- Commit: per machine, execute in SPT order (the convention the
     // evaluator optimizes; see core/evaluator.h). ---
@@ -278,10 +332,27 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
   double wait_sum = 0.0;
   double slowdown_sum = 0.0;
   for (const auto& r : records_) {
+    // Deadline accounting covers every outcome: late, rejected at
+    // ingress, or never finished all count as misses — admission control
+    // cannot improve the SLO by hiding jobs.
+    const double deadline = trace_[static_cast<std::size_t>(r.id)].deadline;
+    if (deadline >= 0) {
+      ++metrics.deadline_jobs;
+      if (r.rejected || r.finish < 0 || r.finish > deadline) {
+        ++metrics.deadline_missed;
+        if (r.finish > deadline) {
+          metrics.total_tardiness += r.finish - deadline;
+        }
+      }
+    }
     if (r.finish < 0) continue;
     ++metrics.jobs_completed;
     flow_sum += r.flowtime();
     wait_sum += r.wait();
+    metrics.flowtime_hist.add(r.flowtime());
+    if (config_.machine_cost_rate > 0) {
+      metrics.total_cost += (r.finish - r.start) * cost_rate_of(r.machine);
+    }
     double ideal = std::numeric_limits<double>::infinity();
     for (int m = 0; m < config_.num_machines; ++m) {
       ideal = std::min(ideal, etc_of(r.id, m));

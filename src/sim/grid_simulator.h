@@ -41,6 +41,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/stats.h"
 #include "sim/batch_scheduler.h"
 #include "workload/workload_source.h"
 
@@ -67,6 +68,11 @@ struct SimConfig {
   // Machine churn (0 disables): mean time between failures / to repair.
   double machine_mtbf = 0.0;
   double machine_mttr = 0.0;
+  /// Cost model for QoS budgets (0 disables): machine m charges
+  /// `machine_cost_rate * mips_m / mips_max` cost units per busy second —
+  /// faster machines cost proportionally more, the Buyya-style cost-time
+  /// trade-off. Passed to schedulers via BatchContext::machine_cost_rates.
+  double machine_cost_rate = 0.0;
   bool drain = true;  // keep activating past the horizon until queue empties
   std::uint64_t seed = 1;
   /// Arrival stream. Unset = Poisson(arrival_rate) with
@@ -85,6 +91,9 @@ struct SimJobRecord {
   double finish = -1.0;
   MachineId machine = -1;
   int attempts = 0;  // > 1 when re-queued by machine failures
+  /// Dropped at ingress by admission control (Schedule::kRejected gene);
+  /// start/finish/machine stay unset.
+  bool rejected = false;
 
   [[nodiscard]] double flowtime() const noexcept { return finish - arrival; }
   [[nodiscard]] double wait() const noexcept { return start - arrival; }
@@ -107,6 +116,21 @@ struct SimMetrics {
   double makespan = 0.0;        // finish time of the last job
   double utilization = 0.0;     // busy machine-time / elapsed machine-time
   double scheduler_cpu_ms = 0.0;  // real time spent inside the scheduler
+  /// Flowtime distribution of completed jobs — mean-only latency hides
+  /// the tail, so p50/p99 come from here (flowtime_hist.p99()).
+  LatencyHistogram flowtime_hist;
+  // QoS outcomes (all zero when the trace carries no deadlines).
+  int jobs_rejected = 0;   // dropped at ingress by admission control
+  int deadline_jobs = 0;   // jobs that carried a deadline
+  int deadline_missed = 0; // of those: late, rejected, or unfinished
+  double total_tardiness = 0.0;  // sum of (finish - deadline) over late jobs
+  double total_cost = 0.0;       // executed work priced by machine cost rates
+
+  [[nodiscard]] double deadline_miss_rate() const noexcept {
+    return deadline_jobs > 0
+               ? static_cast<double>(deadline_missed) / deadline_jobs
+               : 0.0;
+  }
 };
 
 class GridSimulator {

@@ -51,15 +51,30 @@ double parse_double(std::string_view field, std::size_t line,
   return value;
 }
 
-int parse_class(std::string_view field, std::size_t line) {
-  if (field.empty()) return -1;  // unclassed
+int parse_optional_int(std::string_view field, std::size_t line,
+                       const char* column) {
+  if (field.empty()) return -1;  // unset
   int value = 0;
   const auto [ptr, ec] =
       std::from_chars(field.data(), field.data() + field.size(), value);
   if (ec != std::errc{} || ptr != field.data() + field.size()) {
-    fail(line, "class is not an integer: '" + std::string(field) + "'");
+    fail(line, std::string(column) + " is not an integer: '" +
+                   std::string(field) + "'");
   }
-  if (value < -1) fail(line, "class must be >= -1");
+  if (value < -1) fail(line, std::string(column) + " must be >= -1");
+  return value;
+}
+
+/// QoS doubles (deadline, budget): an empty field is the "none" sentinel
+/// -1; a present field must be finite and >= 0, NaN rejected like the
+/// mandatory columns.
+double parse_optional_double(std::string_view field, std::size_t line,
+                             const char* column) {
+  if (field.empty()) return -1.0;  // unset
+  const double value = parse_double(field, line, column);
+  if (!(value >= 0) || !std::isfinite(value)) {
+    fail(line, std::string(column) + " must be finite and >= 0 (or empty)");
+  }
   return value;
 }
 
@@ -90,8 +105,8 @@ std::vector<TraceJob> read_trace(std::istream& in) {
       continue;
     }
     const std::vector<std::string_view> fields = split_fields(content);
-    if (fields.size() != 2 && fields.size() != 3) {
-      fail(line_no, "expected 2 or 3 columns, got " +
+    if (fields.size() < 2 || fields.size() > 6) {
+      fail(line_no, "expected 2 to 6 columns, got " +
                         std::to_string(fields.size()));
     }
     if (!seen_rows && looks_like_header(fields[0])) {
@@ -108,7 +123,18 @@ std::vector<TraceJob> read_trace(std::istream& in) {
     TraceJob job;
     job.arrival = parse_double(fields[0], line_no, "arrival");
     job.workload_mi = parse_double(fields[1], line_no, "workload_mi");
-    if (fields.size() == 3) job.job_class = parse_class(fields[2], line_no);
+    if (fields.size() >= 3) {
+      job.job_class = parse_optional_int(fields[2], line_no, "class");
+    }
+    if (fields.size() >= 4) {
+      job.deadline = parse_optional_double(fields[3], line_no, "deadline");
+    }
+    if (fields.size() >= 5) {
+      job.budget = parse_optional_double(fields[4], line_no, "budget");
+    }
+    if (fields.size() >= 6) {
+      job.user = parse_optional_int(fields[5], line_no, "user");
+    }
     // Negated comparisons so NaN (which from_chars happily parses) is
     // rejected too — a NaN arrival would break the sort's strict weak
     // ordering and strand the job outside every batch.
@@ -134,17 +160,44 @@ std::vector<TraceJob> read_trace_file(const std::string& path) {
 }
 
 void write_trace(std::ostream& out, std::span<const TraceJob> jobs) {
+  // Optional columns form a prefix chain: emit every column up to the
+  // last one any job carries, so each row has the same column count and
+  // an empty field unambiguously means "unset".
+  const auto any = [&](auto pred) {
+    return std::any_of(jobs.begin(), jobs.end(), pred);
+  };
+  const bool with_user = any([](const TraceJob& j) { return j.user >= 0; });
+  const bool with_budget =
+      with_user || any([](const TraceJob& j) { return j.budget >= 0; });
+  const bool with_deadline =
+      with_budget || any([](const TraceJob& j) { return j.deadline >= 0; });
   const bool with_class =
-      std::any_of(jobs.begin(), jobs.end(),
-                  [](const TraceJob& job) { return job.job_class >= 0; });
+      with_deadline || any([](const TraceJob& j) { return j.job_class >= 0; });
   out << "# gridsched trace v1, " << jobs.size() << " jobs\n";
-  out << (with_class ? "arrival,workload_mi,class\n" : "arrival,workload_mi\n");
+  out << "arrival,workload_mi";
+  if (with_class) out << ",class";
+  if (with_deadline) out << ",deadline";
+  if (with_budget) out << ",budget";
+  if (with_user) out << ",user";
+  out << '\n';
   for (const TraceJob& job : jobs) {
     out << CsvWriter::field(job.arrival) << ','
         << CsvWriter::field(job.workload_mi);
     if (with_class) {
       out << ',';
       if (job.job_class >= 0) out << job.job_class;
+    }
+    if (with_deadline) {
+      out << ',';
+      if (job.deadline >= 0) out << CsvWriter::field(job.deadline);
+    }
+    if (with_budget) {
+      out << ',';
+      if (job.budget >= 0) out << CsvWriter::field(job.budget);
+    }
+    if (with_user) {
+      out << ',';
+      if (job.user >= 0) out << job.user;
     }
     out << '\n';
   }

@@ -4,18 +4,22 @@
 // docs/workloads.md for the full spec):
 //
 //     # comment lines start with '#' or ';'
-//     arrival,workload_mi,class
-//     0.42,22026.465794806718,1
-//     1.07,18033.744927828524,
+//     arrival,workload_mi,class,deadline,budget,user
+//     0.42,22026.465794806718,1,180.5,1000,3
+//     1.07,18033.744927828524,,,,
 //
 // The header row is optional (a row whose first field parses as a double
-// is data); the `class` column is optional and an empty or -1 field means
+// is data). Columns beyond the first two are optional as a prefix chain:
+// a trace has 2 to 6 columns, and a trailing column is emitted only when
+// at least one job carries the field. `class`: empty or -1 means
 // "unclassed" (the simulator hashes a class when classes are enabled).
-// Rows are stably sorted by arrival on read — real cluster logs
-// interleave slightly — so job ids always follow arrival order. Doubles
-// are written with round-trip precision: a recorded run replayed through
-// TraceWorkloadSource reproduces the original per-job records bit for bit
-// (enforced by tests/test_workload.cpp).
+// `deadline`/`budget` (QoS, src/qos/qos.h): empty means none/unlimited;
+// `user`: empty means anonymous. Rows are stably sorted by arrival on
+// read — real cluster logs interleave slightly — so job ids always follow
+// arrival order. Doubles are written with round-trip precision: a
+// recorded run replayed through TraceWorkloadSource reproduces the
+// original per-job records bit for bit (enforced by
+// tests/test_workload.cpp and the churn round-trip in tests/test_qos.cpp).
 #pragma once
 
 #include <iosfwd>
@@ -36,8 +40,10 @@ namespace gridsched {
 /// File variant; also throws when the file cannot be opened.
 [[nodiscard]] std::vector<TraceJob> read_trace_file(const std::string& path);
 
-/// Writes jobs in the format above, with round-trip double precision. The
-/// `class` column is emitted only when at least one job carries a class.
+/// Writes jobs in the format above, with round-trip double precision.
+/// Optional columns (class, deadline, budget, user) are emitted up to the
+/// last one some job actually carries; earlier optional columns are then
+/// present too, empty where unset.
 void write_trace(std::ostream& out, std::span<const TraceJob> jobs);
 
 /// File variant; throws std::runtime_error when the file cannot be opened.

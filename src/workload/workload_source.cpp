@@ -174,7 +174,12 @@ std::vector<TraceJob> FlashCrowdWorkload::generate(double horizon,
 
 ClassMixWorkload::ClassMixWorkload(std::shared_ptr<WorkloadSource> base,
                                    std::vector<double> weights)
-    : base_(std::move(base)) {
+    : ClassMixWorkload(std::move(base), std::move(weights), {}) {}
+
+ClassMixWorkload::ClassMixWorkload(std::shared_ptr<WorkloadSource> base,
+                                   std::vector<double> weights,
+                                   std::vector<double> size_scales)
+    : base_(std::move(base)), size_scales_(std::move(size_scales)) {
   require(base_ != nullptr, "ClassMixWorkload: base source must not be null");
   require(!weights.empty(), "ClassMixWorkload: need at least one class");
   double total = 0.0;
@@ -183,6 +188,12 @@ ClassMixWorkload::ClassMixWorkload(std::shared_ptr<WorkloadSource> base,
     total += weight;
   }
   require(total > 0.0, "ClassMixWorkload: weights must sum to > 0");
+  require(size_scales_.empty() || size_scales_.size() == weights.size(),
+          "ClassMixWorkload: need one size scale per class (or none)");
+  for (const double scale : size_scales_) {
+    require(scale > 0.0 && std::isfinite(scale),
+            "ClassMixWorkload: size scales must be finite and > 0");
+  }
   double cumulative = 0.0;
   for (const double weight : weights) {
     cumulative += weight / total;
@@ -207,6 +218,9 @@ std::vector<TraceJob> ClassMixWorkload::generate(double horizon,
     const auto bin = std::upper_bound(cumulative_.begin(), cumulative_.end(),
                                       u);
     job.job_class = static_cast<int>(bin - cumulative_.begin());
+    if (!size_scales_.empty()) {
+      job.workload_mi *= size_scales_[static_cast<std::size_t>(job.job_class)];
+    }
   }
   return jobs;
 }

@@ -50,6 +50,14 @@ struct TraceJob {
   /// Job class for class-structured grids; -1 = unspecified (the
   /// simulator hashes one from the job id, as it always did).
   int job_class = -1;
+  /// Absolute completion deadline in simulation seconds; -1 = best
+  /// effort (no deadline). See src/qos/qos.h for the QoS semantics.
+  double deadline = -1.0;
+  /// Cost budget of the submitting user; -1 = unlimited. The budget is
+  /// shared across all jobs of the same user, not per job.
+  double budget = -1.0;
+  /// Submitting user id for budget accounting; -1 = anonymous.
+  int user = -1;
 
   friend bool operator==(const TraceJob&, const TraceJob&) = default;
 };
@@ -214,6 +222,16 @@ class ClassMixWorkload final : public WorkloadSource {
   ClassMixWorkload(std::shared_ptr<WorkloadSource> base,
                    std::vector<double> weights);
 
+  /// As above, but each class also scales its job sizes: class c's
+  /// workload_mi is multiplied by `size_scales[c]` (finite, > 0; one per
+  /// weight). The scale is applied after the class draw, so the base
+  /// source's arrival/size stream is untouched — "heavy class, heavy
+  /// jobs" regimes stay bitwise reproducible and round-trip through the
+  /// trace like any other sizes.
+  ClassMixWorkload(std::shared_ptr<WorkloadSource> base,
+                   std::vector<double> weights,
+                   std::vector<double> size_scales);
+
   [[nodiscard]] std::string_view name() const noexcept override {
     return name_;
   }
@@ -227,8 +245,9 @@ class ClassMixWorkload final : public WorkloadSource {
 
  private:
   std::shared_ptr<WorkloadSource> base_;
-  std::vector<double> cumulative_;  // normalized cumulative weights
-  std::string name_;                // "class-mix(<base>)"
+  std::vector<double> cumulative_;   // normalized cumulative weights
+  std::vector<double> size_scales_;  // per-class size multipliers; may be empty
+  std::string name_;                 // "class-mix(<base>)"
 };
 
 /// Replays a fixed trace (recorded by the simulator or read from a file).

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
 #include "cma/cma.h"
 #include "etc/instance.h"
 
@@ -124,6 +128,83 @@ TEST(Hypervolume, AddingANonDominatedPointGrowsTheVolume) {
   const double before = hypervolume(front, {10, 10});
   front.push_back(point(2, 4));  // between the two, non-dominated
   EXPECT_GT(hypervolume(front, {10, 10}), before);
+}
+
+// ------------------------------------------- N-objective generalization --
+
+using Point = std::vector<double>;
+
+TEST(DominatesSpan, SingleObjectiveDegeneratesToLessThan) {
+  EXPECT_TRUE(dominates(Point{1.0}, Point{2.0}));
+  EXPECT_FALSE(dominates(Point{2.0}, Point{1.0}));
+  EXPECT_FALSE(dominates(Point{1.0}, Point{1.0}));
+}
+
+TEST(DominatesSpan, ThreeObjectivesNeedStrictImprovementSomewhere) {
+  EXPECT_TRUE(dominates(Point{1.0, 2.0, 3.0}, Point{1.0, 2.0, 4.0}));
+  EXPECT_FALSE(dominates(Point{1.0, 2.0, 3.0}, Point{1.0, 2.0, 3.0}));
+  // Incomparable: better on one axis, worse on another.
+  EXPECT_FALSE(dominates(Point{1.0, 5.0, 3.0}, Point{2.0, 2.0, 3.0}));
+  EXPECT_FALSE(dominates(Point{2.0, 2.0, 3.0}, Point{1.0, 5.0, 3.0}));
+}
+
+TEST(ParetoFrontIndices, KeepsEveryDuplicateOfANonDominatedPoint) {
+  // Duplicates never dominate each other, so both copies stay — a
+  // portfolio racing two members to the same outcome keeps both eligible.
+  const std::vector<Point> points{{1.0, 2.0}, {1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<std::size_t> front = pareto_front_indices(points);
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_EQ(front[0], 0u);
+  EXPECT_EQ(front[1], 1u);
+}
+
+TEST(ParetoFrontIndices, FiltersDominatedThreeObjectivePoints) {
+  const std::vector<Point> points{
+      {10.0, 0.0, 5.0},   // front: best missed
+      {8.0, 2.0, 5.0},    // front: best makespan
+      {10.0, 1.0, 6.0},   // dominated by 0
+      {9.0, 1.0, 4.0},    // front: best cost
+  };
+  const std::vector<std::size_t> front = pareto_front_indices(points);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(ParetoFrontIndices, EmptyAndSingletonInputs) {
+  EXPECT_TRUE(pareto_front_indices({}).empty());
+  const std::vector<Point> one{{4.0, 2.0}};
+  EXPECT_EQ(pareto_front_indices(one), (std::vector<std::size_t>{0}));
+}
+
+TEST(CrowdingDistances, BoundaryPointsAreInfinite) {
+  const std::vector<Point> points{{1.0, 9.0}, {5.0, 5.0}, {9.0, 1.0}};
+  const std::vector<double> crowding = crowding_distances(points);
+  ASSERT_EQ(crowding.size(), 3u);
+  EXPECT_TRUE(std::isinf(crowding[0]));
+  EXPECT_TRUE(std::isinf(crowding[2]));
+  EXPECT_TRUE(std::isfinite(crowding[1]));
+  EXPECT_GT(crowding[1], 0.0);
+}
+
+TEST(CrowdingDistances, ZeroSpreadObjectiveContributesNothing) {
+  // All points tie on the second objective: that axis must be skipped
+  // entirely (naive normalization divides by zero and poisons every
+  // distance with NaN).
+  const std::vector<Point> points{{1.0, 7.0}, {2.0, 7.0}, {4.0, 7.0}};
+  const std::vector<double> crowding = crowding_distances(points);
+  ASSERT_EQ(crowding.size(), 3u);
+  for (const double d : crowding) EXPECT_FALSE(std::isnan(d));
+  EXPECT_TRUE(std::isinf(crowding[0]));
+  EXPECT_TRUE(std::isinf(crowding[2]));
+  EXPECT_TRUE(std::isfinite(crowding[1]));
+}
+
+TEST(CrowdingDistances, ExactDuplicatesCrowdToZero) {
+  const std::vector<Point> points{
+      {1.0, 9.0}, {5.0, 5.0}, {5.0, 5.0}, {5.0, 5.0}, {9.0, 1.0}};
+  const std::vector<double> crowding = crowding_distances(points);
+  ASSERT_EQ(crowding.size(), 5u);
+  // At least one interior duplicate is fully surrounded by its twins.
+  EXPECT_DOUBLE_EQ(crowding[2], 0.0);
 }
 
 TEST(ParetoFront, LambdaSweepProducesANontrivialFront) {
