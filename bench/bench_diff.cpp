@@ -1,0 +1,100 @@
+// Diffs two BENCH_*.json artifacts and fails on perf regression.
+//
+//   bench_diff BASELINE.json CANDIDATE.json [--tolerance PCT] [--gate-time]
+//
+// Prints a per-metric verdict table (percent deltas, CI95 overlap, gated
+// status) and exits 1 when any gated metric regresses beyond the
+// tolerance or a verdict's ok flag flips true -> false. CI runs it
+// against the committed baselines in bench/baselines/ after every bench
+// smoke run; see docs/observability.md for how to refresh a baseline.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_diff.h"
+#include "obs/json.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: bench_diff BASELINE.json CANDIDATE.json"
+    " [--tolerance PCT] [--gate-time]\n"
+    "\n"
+    "  Compares two bench verdict artifacts metric by metric. Exits 1 when\n"
+    "  a gated metric worsens beyond the tolerance (default 5%) with\n"
+    "  disjoint CI95 intervals, or when a verdict's ok flag flips to\n"
+    "  false. Wall-clock metrics (*_ms, overshoot) are informational\n"
+    "  unless --gate-time is given.\n";
+
+std::optional<gridsched::obs::JsonValue> load_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "bench_diff: cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  auto value = gridsched::obs::JsonValue::parse(buffer.str(), &error);
+  if (!value) {
+    std::cerr << "bench_diff: " << path << ": " << error << "\n";
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  gridsched::obs::DiffOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--gate-time") {
+      options.gate_time = true;
+    } else if (arg == "--tolerance") {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_diff: --tolerance needs a value\n" << kUsage;
+        return 2;
+      }
+      options.tolerance_pct = std::strtod(argv[++i], nullptr);
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      options.tolerance_pct =
+          std::strtod(arg.c_str() + std::string("--tolerance=").size(),
+                      nullptr);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "bench_diff: unknown flag " << arg << "\n" << kUsage;
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  const auto baseline = load_json(positional[0]);
+  const auto candidate = load_json(positional[1]);
+  if (!baseline || !candidate) return 2;
+
+  std::string error;
+  const auto report = gridsched::obs::diff_bench_reports(
+      *baseline, *candidate, options, &error);
+  if (!report) {
+    std::cerr << "bench_diff: " << error << "\n";
+    return 2;
+  }
+  std::cout << "baseline:  " << positional[0] << "\n"
+            << "candidate: " << positional[1] << "\n";
+  gridsched::obs::print_diff_report(*report, std::cout);
+  return report->regression ? 1 : 0;
+}

@@ -34,9 +34,6 @@
 //     of the baseline's — the SLO win must not come from starving or
 //     shedding the patient work (best-effort jobs are never rejected).
 #include <algorithm>
-#include <cmath>
-#include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -49,6 +46,7 @@
 #include "benchutil/table.h"
 #include "common/cli.h"
 #include "common/stats.h"
+#include "obs/bench_report.h"
 #include "qos/qos_workload.h"
 #include "service/sharded_driver.h"
 #include "workload/workload_source.h"
@@ -59,6 +57,7 @@ namespace {
 struct RunOutcome {
   double miss_rate = 0.0;       // global deadline miss rate, [0, 1]
   double tardiness_p99 = 0.0;   // of late completions (s)
+  bool tardiness_p99_overflow = false;  // p99 clamped at histogram range end
   int deadline_jobs = 0;
   int rejected = 0;             // shed at ingress
   int best_effort_done = 0;     // completed jobs without a deadline
@@ -70,6 +69,9 @@ struct RunOutcome {
 struct ConfigSummary {
   RunningStats miss_rate;
   RunningStats tardiness_p99;
+  // True when ANY seed's p99 was clamped at the histogram range end — the
+  // tardiness_p99 mean is then a floor, and the table flags it.
+  bool tardiness_p99_overflow = false;
   RunningStats rejected;
   RunningStats best_effort_done;
   RunningStats total_cost;
@@ -87,6 +89,7 @@ RunOutcome run_once(const SimConfig& sim_config,
   RunOutcome outcome;
   outcome.miss_rate = report.global_slo.miss_rate();
   outcome.tardiness_p99 = report.global_slo.tardiness_p99;
+  outcome.tardiness_p99_overflow = report.global_slo.tardiness_p99_overflow;
   outcome.deadline_jobs = report.global_slo.deadline_jobs;
   outcome.rejected = report.global.jobs_rejected;
   outcome.total_cost = report.global.total_cost;
@@ -105,6 +108,7 @@ RunOutcome run_once(const SimConfig& sim_config,
 void add_outcome(ConfigSummary& summary, const RunOutcome& outcome) {
   summary.miss_rate.add(outcome.miss_rate * 100.0);
   summary.tardiness_p99.add(outcome.tardiness_p99);
+  summary.tardiness_p99_overflow |= outcome.tardiness_p99_overflow;
   summary.rejected.add(outcome.rejected);
   summary.best_effort_done.add(outcome.best_effort_done);
   summary.total_cost.add(outcome.total_cost);
@@ -132,56 +136,12 @@ PairedDelta paired_abs_delta(const std::vector<double>& candidate,
   return {summary.mean, ci95_half_width(deltas.size(), summary.stddev)};
 }
 
-struct JsonVerdict {
-  std::string name;
-  bool ok = true;
-  std::vector<std::pair<std::string, double>> metrics;
-};
-
-std::string json_escape(const std::string& text) {
-  std::string escaped;
-  escaped.reserve(text.size());
-  for (const char c : text) {
-    if (c == '"' || c == '\\') {
-      escaped += '\\';
-      escaped += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buffer[8];
-      std::snprintf(buffer, sizeof buffer, "\\u%04x",
-                    static_cast<unsigned>(static_cast<unsigned char>(c)));
-      escaped += buffer;
-    } else {
-      escaped += c;
-    }
-  }
-  return escaped;
-}
-
-void write_json_report(const std::string& path, bool acceptance_ok,
-                       const std::vector<JsonVerdict>& verdicts) {
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "cannot write JSON report to " << path << "\n";
-    return;
-  }
-  out << "{\n  \"bench\": \"qos_slo\",\n  \"ok\": "
-      << (acceptance_ok ? "true" : "false") << ",\n  \"verdicts\": [\n";
-  for (std::size_t v = 0; v < verdicts.size(); ++v) {
-    const JsonVerdict& verdict = verdicts[v];
-    out << "    {\"name\": \"" << json_escape(verdict.name) << "\", \"ok\": "
-        << (verdict.ok ? "true" : "false") << ", \"metrics\": {";
-    for (std::size_t m = 0; m < verdict.metrics.size(); ++m) {
-      out << (m > 0 ? ", " : "") << "\""
-          << json_escape(verdict.metrics[m].first) << "\": ";
-      if (std::isfinite(verdict.metrics[m].second)) {
-        out << verdict.metrics[m].second;
-      } else {
-        out << "null";
-      }
-    }
-    out << "}}" << (v + 1 < verdicts.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
+/// Mean ± CI cell with the overflow marker: a ">" prefix says the p99
+/// rank fell among samples clamped at the histogram's range end, so the
+/// printed value is a floor, not an estimate.
+std::string p99_cell(const RunningStats& stats, bool overflow) {
+  const std::string cell = TablePrinter::mean_ci(stats, 1);
+  return overflow ? ">" + cell : cell;
 }
 
 std::vector<double> parse_loads(const std::string& spec) {
@@ -226,7 +186,8 @@ int main(int argc, char** argv) {
   const int seeds = static_cast<int>(cli.get_int("seeds"));
   const std::vector<double> loads = parse_loads(cli.get("loads"));
   const std::vector<int> shard_counts = {2, 4};
-  std::vector<JsonVerdict> json_verdicts;
+  obs::BenchReport bench_report;
+  bench_report.bench = "qos_slo";
 
   SimConfig base;
   base.horizon = cli.get_double("minutes") * 60.0;
@@ -300,7 +261,8 @@ int main(int argc, char** argv) {
                        candidate ? "deadline-aware+admission"
                                  : "least-backlog",
                        TablePrinter::mean_ci(summary.miss_rate, 1),
-                       TablePrinter::mean_ci(summary.tardiness_p99, 1),
+                       p99_cell(summary.tardiness_p99,
+                                summary.tardiness_p99_overflow),
                        TablePrinter::num(summary.rejected.mean(), 0),
                        TablePrinter::num(summary.best_effort_done.mean(), 0),
                        TablePrinter::num(summary.total_cost.mean(), 0)});
@@ -340,7 +302,7 @@ int main(int argc, char** argv) {
                 << " jobs (floor -5%) -> " << (ok ? "OK" : "REGRESSION")
                 << "\n";
       if (!ok) acceptance_ok = false;
-      json_verdicts.push_back(JsonVerdict{
+      bench_report.verdicts.push_back(obs::BenchVerdict{
           .name = "load-" + TablePrinter::num(load, 1) + "/shards-" +
                   std::to_string(num_shards),
           .ok = ok,
@@ -349,12 +311,14 @@ int main(int argc, char** argv) {
                       {"candidate_miss_pct", cand.miss_rate.mean()},
                       {"baseline_miss_pct", baseline.miss_rate.mean()},
                       {"best_effort_delta", effort.mean},
-                      {"shed_per_run", cand.rejected.mean()}}});
+                      {"shed_per_run", cand.rejected.mean()}},
+          .histograms = {}});
     }
   }
 
   if (!cli.get("json").empty()) {
-    write_json_report(cli.get("json"), acceptance_ok, json_verdicts);
+    bench_report.ok = acceptance_ok;
+    bench_report.write_file(cli.get("json"));
   }
 
   std::cout << (acceptance_ok

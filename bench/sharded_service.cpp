@@ -34,12 +34,14 @@
 // `--steal on` runs every multi-shard configuration with drain-tail
 // stealing (the deployment default the CI smoke exercises); `--json PATH`
 // additionally writes every verdict as machine-readable JSON — the
-// BENCH_sharded_service.json artifact CI uploads to build a perf
-// trajectory across commits.
+// BENCH_sharded_service.json artifact CI uploads and bench_diff compares
+// against bench/baselines/ to build a perf trajectory across commits.
+// `--trace PATH` runs one extra traced configuration and writes its
+// Chrome trace-event JSON there (open in chrome://tracing / Perfetto);
+// the tracing-off-overhead verdict runs regardless, holding the
+// disabled-path cost to within noise.
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <limits>
 #include <map>
@@ -52,6 +54,8 @@
 #include "benchutil/table.h"
 #include "common/cli.h"
 #include "common/stats.h"
+#include "obs/bench_report.h"
+#include "obs/trace_recorder.h"
 #include "service/sharded_driver.h"
 #include "workload/workload_source.h"
 
@@ -87,6 +91,12 @@ struct RunOutcome {
   double makespan = 0.0;
   double flowtime = 0.0;       // mean — feeds the paired verdicts
   double flowtime_p99 = 0.0;   // tail — what the tables display
+  /// True when the p99 rank fell among clamped >= range-end samples:
+  /// flowtime_p99 is then a floor and the table prefixes the cell ">".
+  bool flowtime_p99_overflow = false;
+  /// The run's whole flowtime distribution — shipped in the JSON verdicts
+  /// so bench_diff can compare tails, not just the p99 scalar.
+  LatencyHistogram flowtime_hist;
   double class_flowtime = std::numeric_limits<double>::quiet_NaN();
   double utilization = 0.0;
   double cpu_ms = 0.0;
@@ -103,6 +113,8 @@ struct ConfigSummary {
   RunningStats makespan;
   RunningStats flowtime;
   RunningStats flowtime_p99;
+  bool flowtime_p99_overflow = false;  // any seed's p99 overflowed
+  LatencyHistogram flowtime_hist;      // merged over seeds
   RunningStats class_flowtime;
   RunningStats utilization;
   RunningStats cpu_ms;
@@ -158,6 +170,9 @@ RunOutcome run_once(const SimConfig& sim_config,
   outcome.makespan = report.global.makespan;
   outcome.flowtime = report.global.mean_flowtime;
   outcome.flowtime_p99 = report.global.flowtime_hist.p99();
+  outcome.flowtime_p99_overflow =
+      report.global.flowtime_hist.percentile_overflows(99.0);
+  outcome.flowtime_hist = report.global.flowtime_hist;
   outcome.utilization = report.global.utilization;
   outcome.cpu_ms = report.global.scheduler_cpu_ms;
   outcome.migrations = report.migrations;
@@ -201,6 +216,8 @@ void add_outcome(ConfigSummary& summary, const RunOutcome& outcome) {
   summary.makespan.add(outcome.makespan);
   summary.flowtime.add(outcome.flowtime);
   summary.flowtime_p99.add(outcome.flowtime_p99);
+  summary.flowtime_p99_overflow |= outcome.flowtime_p99_overflow;
+  summary.flowtime_hist.merge(outcome.flowtime_hist);
   summary.makespans.push_back(outcome.makespan);
   summary.flowtimes.push_back(outcome.flowtime);
   if (!std::isnan(outcome.class_flowtime)) {
@@ -215,64 +232,12 @@ void add_outcome(ConfigSummary& summary, const RunOutcome& outcome) {
   summary.steals.add(outcome.steals);
 }
 
-/// One named pass/fail verdict with its headline numbers, accumulated for
-/// the `--json` report (insertion order preserved — the file is a stable
-/// perf-trajectory artifact, diffable across CI runs).
-struct JsonVerdict {
-  std::string name;
-  bool ok = true;
-  std::vector<std::pair<std::string, double>> metrics;
-};
-
-/// Minimal JSON string escape: today's verdict names are safe literals,
-/// but a future parameterized scenario label must not be able to corrupt
-/// the CI artifact.
-std::string json_escape(const std::string& text) {
-  std::string escaped;
-  escaped.reserve(text.size());
-  for (const char c : text) {
-    if (c == '"' || c == '\\') {
-      escaped += '\\';
-      escaped += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buffer[8];
-      std::snprintf(buffer, sizeof buffer, "\\u%04x",
-                    static_cast<unsigned>(static_cast<unsigned char>(c)));
-      escaped += buffer;
-    } else {
-      escaped += c;
-    }
-  }
-  return escaped;
-}
-
-void write_json_report(const std::string& path, bool acceptance_ok,
-                       const std::vector<JsonVerdict>& verdicts) {
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "cannot write JSON report to " << path << "\n";
-    return;
-  }
-  out << "{\n  \"bench\": \"sharded_service\",\n  \"ok\": "
-      << (acceptance_ok ? "true" : "false") << ",\n  \"verdicts\": [\n";
-  for (std::size_t v = 0; v < verdicts.size(); ++v) {
-    const JsonVerdict& verdict = verdicts[v];
-    out << "    {\"name\": \"" << json_escape(verdict.name) << "\", \"ok\": "
-        << (verdict.ok ? "true" : "false") << ", \"metrics\": {";
-    for (std::size_t m = 0; m < verdict.metrics.size(); ++m) {
-      // JSON has no NaN/Inf literal; a degenerate statistic (single seed,
-      // classless run) serializes as null rather than corrupting the file.
-      out << (m > 0 ? ", " : "") << "\"" << json_escape(verdict.metrics[m].first)
-          << "\": ";
-      if (std::isfinite(verdict.metrics[m].second)) {
-        out << verdict.metrics[m].second;
-      } else {
-        out << "null";
-      }
-    }
-    out << "}}" << (v + 1 < verdicts.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
+/// Mean ± CI cell with the overflow marker: a ">" prefix says the p99
+/// rank fell among samples clamped at the histogram's range end, so the
+/// printed value is a floor, not an estimate.
+std::string p99_cell(const RunningStats& stats, bool overflow) {
+  const std::string cell = TablePrinter::mean_ci(stats, 1);
+  return overflow ? ">" + cell : cell;
 }
 
 }  // namespace
@@ -302,7 +267,13 @@ int main(int argc, char** argv) {
                            "steal-off drain-tail verdict runs either way");
   cli.flag("json", "", "write every verdict as machine-readable JSON to "
                        "this path (CI uploads it as the "
-                       "BENCH_sharded_service.json perf artifact)");
+                       "BENCH_sharded_service.json perf artifact and diffs "
+                       "it against bench/baselines/ with bench_diff)");
+  cli.flag("trace", "", "run one extra traced configuration and write its "
+                        "Chrome trace-event JSON to this path");
+  cli.flag("metrics-jsonl", "", "with --trace: stream one metrics-snapshot "
+                                "line per activation of the traced run to "
+                                "this path");
   cli.flag("pool-threads", "4", "racing pool width of the overlap "
                                 "comparison (>= 4 per the acceptance bar)");
   cli.flag("seed", "7", "base simulation seed");
@@ -323,7 +294,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   const bool steal_on = steal_flag == "on";
-  std::vector<JsonVerdict> json_verdicts;
+  obs::BenchReport bench_report;
+  bench_report.bench = "sharded_service";
   SimConfig base;
   base.horizon = cli.get_double("minutes") * 60.0;
   base.arrival_rate = cli.get_double("rate");
@@ -422,7 +394,8 @@ int main(int argc, char** argv) {
                        num_shards == 1 ? "(single queue)"
                                        : std::string(routing_name(routing)),
                        TablePrinter::mean_ci(summary.makespan, 1),
-                       TablePrinter::mean_ci(summary.flowtime_p99, 1),
+                       p99_cell(summary.flowtime_p99,
+                                summary.flowtime_p99_overflow),
                        summary.class_flowtime.count() > 0
                            ? TablePrinter::mean_ci(summary.class_flowtime, 1)
                            : "-",
@@ -480,7 +453,7 @@ int main(int argc, char** argv) {
               << TablePrinter::num(baseline.max_overshoot_ms.max(), 2)
               << " ms) -> " << (ok ? "OK" : "REGRESSION") << "\n";
     if (!ok) acceptance_ok = false;
-    json_verdicts.push_back(JsonVerdict{
+    bench_report.verdicts.push_back(obs::BenchVerdict{
         .name = scenario.name + "/vs-single-queue",
         .ok = ok,
         .metrics = {{"makespan_pct", mk.mean},
@@ -488,7 +461,11 @@ int main(int argc, char** argv) {
                     {"flowtime_pct", ft.mean},
                     {"flowtime_ci", ft.ci},
                     {"max_overshoot_ms", overshoot},
-                    {"overshoot_bound_ms", tolerance}}});
+                    {"overshoot_bound_ms", tolerance}},
+        // Whole flowtime distributions (merged over seeds): bench_diff
+        // reads the tails, not just the scalar deltas above.
+        .histograms = {{"candidate_flowtime", sharded.flowtime_hist},
+                       {"baseline_flowtime", baseline.flowtime_hist}}});
 
     // Class-routing verdict, on the scenario built for it: class-backlog
     // must hold makespan parity with least-backlog AND improve the
@@ -511,13 +488,14 @@ int main(int argc, char** argv) {
                 << TablePrinter::num(cft.ci, 2) << " -> "
                 << (class_ok ? "OK" : "REGRESSION") << "\n";
       if (!class_ok) acceptance_ok = false;
-      json_verdicts.push_back(JsonVerdict{
+      bench_report.verdicts.push_back(obs::BenchVerdict{
           .name = scenario.name + "/class-routing",
           .ok = class_ok,
           .metrics = {{"makespan_pct", cmk.mean},
                       {"makespan_ci", cmk.ci},
                       {"class_flowtime_pct", cft.mean},
-                      {"class_flowtime_ci", cft.ci}}});
+                      {"class_flowtime_ci", cft.ci}},
+        .histograms = {}});
     }
 
     // Drain-tail verdict, on the scenarios carrying the documented 5%
@@ -553,14 +531,15 @@ int main(int argc, char** argv) {
                 << " steals/run) -> "
                 << (drain_ok ? "OK" : "REGRESSION") << "\n";
       if (!drain_ok) acceptance_ok = false;
-      json_verdicts.push_back(JsonVerdict{
+      bench_report.verdicts.push_back(obs::BenchVerdict{
           .name = scenario.name + "/drain-tail-steal",
           .ok = drain_ok,
           .metrics = {{"makespan_steal_on_pct", mk_on.mean},
                       {"makespan_steal_on_ci", mk_on.ci},
                       {"makespan_steal_off_pct", mk_off.mean},
                       {"makespan_steal_off_ci", mk_off.ci},
-                      {"steals_per_run", with_steal.steals.mean()}}});
+                      {"steals_per_run", with_steal.steals.mean()}},
+        .histograms = {}});
     }
     std::cout << "\n";
   }
@@ -645,16 +624,117 @@ int main(int argc, char** argv) {
               << "x faster per activation at equal total budget -> "
               << (overlap_ok ? "OK" : "REGRESSION") << "\n\n";
     if (!overlap_ok) acceptance_ok = false;
-    json_verdicts.push_back(JsonVerdict{
+    bench_report.verdicts.push_back(obs::BenchVerdict{
         .name = "overlap/concurrent-activation",
         .ok = overlap_ok,
         .metrics = {{"speedup", speedup},
                     {"sequential_mean_act_ms", wall[0].mean()},
-                    {"concurrent_mean_act_ms", wall[1].mean()}}});
+                    {"concurrent_mean_act_ms", wall[1].mean()}},
+        .histograms = {}});
+  }
+
+  // --- Observability overhead: the same configuration with tracing off
+  // (null recorder — the deployment default) vs on (spans recorded and
+  // flushed every activation), paired per seed. The disabled path is one
+  // null check per site, so its cost must vanish into run-to-run noise;
+  // the bound leaves headroom for scheduler jitter on shared runners
+  // rather than gating at measurement resolution.
+  {
+    SimConfig sim_config = base;
+    sim_config.horizon = std::min(sim_config.horizon, 180.0);
+    sim_config.num_job_classes = 2;
+    sim_config.class_speedup = cli.get_double("class-speedup");
+    sim_config.workload = std::make_shared<ClassMixWorkload>(
+        std::make_shared<PoissonWorkload>(
+            sim_config.arrival_rate,
+            LogNormalSize{sim_config.workload_log_mean,
+                          sim_config.workload_log_sigma}),
+        std::vector<double>{0.7, 0.3});
+
+    RunningStats wall[2];  // 0 = tracing off, 1 = tracing on
+    std::size_t trace_events = 0;
+    for (int mode = 0; mode < 2; ++mode) {
+      for (int rep = 0; rep < seeds; ++rep) {
+        SimConfig run_sim = sim_config;
+        run_sim.seed = sim_config.seed + static_cast<std::uint64_t>(rep);
+        ServiceConfig service_config;
+        service_config.num_shards = 4;
+        service_config.routing = overlap_routing;
+        service_config.total_budget_ms = budget_ms;
+        service_config.imbalance_factor = cli.get_double("imbalance");
+        service_config.threads =
+            static_cast<std::size_t>(cli.get_int("pool-threads"));
+        service_config.drain_steal = steal_on;
+        service_config.seed = run_sim.seed;
+        obs::TraceRecorder recorder;
+        if (mode == 1) service_config.trace = &recorder;
+        const RunOutcome outcome = run_once(run_sim, service_config);
+        wall[mode].add(outcome.mean_act_wall_ms);
+        if (mode == 1) trace_events += recorder.event_count();
+      }
+    }
+    const double off_ms = wall[0].mean();
+    const double on_ms = wall[1].mean();
+    // 1.5x + 2 ms: multiplicative headroom for noise at realistic
+    // activation walls, the additive floor for sub-millisecond ones.
+    const double bound_ms = off_ms * 1.5 + 2.0;
+    const bool overhead_ok = on_ms <= bound_ms;
+    std::cout << "verdict: tracing overhead (4 shards x "
+              << routing_name(overlap_routing) << ", paired over " << seeds
+              << " seed(s)): mean activation wall off "
+              << TablePrinter::num(off_ms, 3) << " ms, on "
+              << TablePrinter::num(on_ms, 3) << " ms ("
+              << trace_events / static_cast<std::size_t>(seeds)
+              << " events/run; bound " << TablePrinter::num(bound_ms, 3)
+              << ") -> " << (overhead_ok ? "OK" : "REGRESSION") << "\n\n";
+    if (!overhead_ok) acceptance_ok = false;
+    bench_report.verdicts.push_back(obs::BenchVerdict{
+        .name = "observability/trace-overhead",
+        .ok = overhead_ok,
+        .metrics = {{"trace_off_mean_act_ms", off_ms},
+                    {"trace_on_mean_act_ms", on_ms},
+                    {"overhead_bound_ms", bound_ms}},
+        .histograms = {}});
+  }
+
+  // --- Dedicated traced run: one class-mix configuration with every
+  // subsystem engaged (stealing, resizing left at defaults), its Chrome
+  // trace and optional metrics JSONL written for CI to upload.
+  if (!cli.get("trace").empty()) {
+    SimConfig sim_config = base;
+    sim_config.horizon = std::min(sim_config.horizon, 180.0);
+    sim_config.num_job_classes = 2;
+    sim_config.class_speedup = cli.get_double("class-speedup");
+    sim_config.workload = std::make_shared<ClassMixWorkload>(
+        std::make_shared<PoissonWorkload>(
+            sim_config.arrival_rate,
+            LogNormalSize{sim_config.workload_log_mean,
+                          sim_config.workload_log_sigma}),
+        std::vector<double>{0.7, 0.3});
+    ServiceConfig service_config;
+    service_config.num_shards = 4;
+    service_config.routing = overlap_routing;
+    service_config.total_budget_ms = budget_ms;
+    service_config.imbalance_factor = cli.get_double("imbalance");
+    service_config.threads =
+        static_cast<std::size_t>(cli.get_int("pool-threads"));
+    service_config.drain_steal = true;
+    service_config.seed = sim_config.seed;
+    obs::TraceRecorder recorder;
+    service_config.trace = &recorder;
+    service_config.metrics_jsonl_path = cli.get("metrics-jsonl");
+    (void)run_once(sim_config, service_config);
+    if (recorder.write_file(cli.get("trace"))) {
+      std::cout << "wrote " << cli.get("trace") << " ("
+                << recorder.event_count() << " trace events)\n";
+    } else {
+      acceptance_ok = false;
+    }
   }
 
   if (!cli.get("json").empty()) {
-    write_json_report(cli.get("json"), acceptance_ok, json_verdicts);
+    bench_report.ok = acceptance_ok;
+    bench_report.write_file(cli.get("json"));
   }
 
   std::cout << (acceptance_ok

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace gridsched {
 
@@ -75,26 +76,62 @@ double bucket_value(std::size_t index) noexcept {
 void LatencyHistogram::add(double value) noexcept {
   ++counts_[bucket_of(value)];
   ++count_;
+  // Not merely "landed in the last bucket": a genuine sample in
+  // [last bucket's lower edge, kMaxValue) is estimable; only samples at or
+  // beyond the range end lost their magnitude to the clamp.
+  if (value >= kMaxValue) ++overflow_;
 }
 
-double LatencyHistogram::percentile(double p) const noexcept {
-  if (count_ == 0) return 0.0;
+std::uint64_t LatencyHistogram::rank_of(double p) const noexcept {
   const double clamped = std::clamp(p, 0.0, 100.0);
   // Rank of the target sample, 1-based; p=0 picks the first sample's
   // bucket, p=100 the last's.
   const auto target = static_cast<std::uint64_t>(
       std::ceil(clamped / 100.0 * static_cast<double>(count_)));
+  return std::max<std::uint64_t>(target, 1);
+}
+
+double LatencyHistogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  const std::uint64_t target = rank_of(p);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += counts_[i];
-    if (seen >= std::max<std::uint64_t>(target, 1)) return bucket_value(i);
+    if (seen >= target) return bucket_value(i);
   }
   return bucket_value(kBuckets - 1);
+}
+
+bool LatencyHistogram::percentile_overflows(double p) const noexcept {
+  if (count_ == 0 || overflow_ == 0) return false;
+  // Overflow samples occupy the top `overflow_` ranks (they clamp into
+  // the last bucket, and nothing sorts above kMaxValue).
+  return rank_of(p) > count_ - overflow_;
+}
+
+LatencyHistogram LatencyHistogram::from_buckets(
+    std::span<const std::uint64_t> counts, std::uint64_t overflow) {
+  if (counts.size() != kBuckets) {
+    throw std::invalid_argument(
+        "LatencyHistogram::from_buckets: need exactly kBuckets counts");
+  }
+  LatencyHistogram histogram;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    histogram.counts_[i] = counts[i];
+    histogram.count_ += counts[i];
+  }
+  if (overflow > histogram.counts_[kBuckets - 1]) {
+    throw std::invalid_argument(
+        "LatencyHistogram::from_buckets: overflow exceeds the last bucket");
+  }
+  histogram.overflow_ = overflow;
+  return histogram;
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
   for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
   count_ += other.count_;
+  overflow_ += other.overflow_;
 }
 
 Summary summarize(std::span<const double> values) {

@@ -60,6 +60,34 @@ class LatencyHistogram {
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
 
+  /// Raw bucket occupancy (index = bucket, geometric midpoints) — lets
+  /// exporters ship the whole distribution, not just p50/p99 scalars.
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& bucket_counts()
+      const noexcept {
+    return counts_;
+  }
+
+  /// Samples that clamped into the last bucket because they were >=
+  /// kMaxValue. Such samples have no meaningful bucket midpoint, so a
+  /// percentile answered from them is a floor, not an estimate —
+  /// percentile_overflows() tells a table to print ">1e5" instead.
+  [[nodiscard]] std::uint64_t overflow_count() const noexcept {
+    return overflow_;
+  }
+
+  /// True when the rank sample of percentile p falls among the overflow
+  /// samples — i.e. percentile(p) would report the clamped last-bucket
+  /// midpoint with no signal about how far beyond the range the tail
+  /// really is.
+  [[nodiscard]] bool percentile_overflows(double p) const noexcept;
+
+  /// Rebuilds a histogram from exported bucket counts (the
+  /// to_json/from_json round trip in src/obs/). `counts` must have
+  /// exactly kBuckets entries and `overflow` must not exceed the last
+  /// bucket's count; throws std::invalid_argument otherwise.
+  [[nodiscard]] static LatencyHistogram from_buckets(
+      std::span<const std::uint64_t> counts, std::uint64_t overflow);
+
   /// Adds another histogram's counts (parallel/per-shard reduction).
   void merge(const LatencyHistogram& other) noexcept;
 
@@ -67,8 +95,11 @@ class LatencyHistogram {
                          const LatencyHistogram&) = default;
 
  private:
+  [[nodiscard]] std::uint64_t rank_of(double p) const noexcept;
+
   std::array<std::uint64_t, kBuckets> counts_{};
   std::uint64_t count_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 /// Summary of a finished sample set.

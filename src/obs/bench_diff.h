@@ -1,0 +1,94 @@
+// Perf-trajectory diffing of two BENCH_*.json artifacts.
+//
+// A bench run emits verdicts (named operating points) with scalar metrics
+// and optional CI95 half-widths. diff_bench_reports() lines up baseline
+// and candidate by verdict and metric name and classifies every pair:
+//
+//   - `<x>_ci` metrics are CI95 half-width companions of `<x>_pct`,
+//     `<x>_pp` or `<x>` — they attach to their base metric instead of
+//     being diffed on their own.
+//   - Names containing "bound" or "tolerance" echo bench configuration;
+//     informational only.
+//   - Wall-clock metrics (`*_ms`, `*overshoot*`) depend on the recording
+//     hardware, so a baseline committed from one machine cannot gate them
+//     on another; informational unless DiffOptions::gate_time.
+//   - Everything else gates. Direction comes from the name: speedup,
+//     throughput, utilization, completed and best_effort count as
+//     higher-is-better, the rest (makespan, flowtime, miss, tardiness,
+//     cost, shed) as lower-is-better.
+//
+// A gated metric is a REGRESSION when it moves in the bad direction by
+// more than tolerance_pct AND — when both sides carry a CI companion —
+// the two CI95 intervals do not overlap (overlapping intervals mean the
+// change is within seed noise). A verdict whose ok flag flips true→false
+// is always a regression, metrics notwithstanding.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace gridsched::obs {
+
+struct DiffOptions {
+  /// Bad-direction percent change a gated metric may drift before it can
+  /// count as a regression.
+  double tolerance_pct = 5.0;
+  /// Gate wall-clock (`*_ms`, overshoot) metrics too — only meaningful
+  /// when baseline and candidate ran on the same hardware.
+  bool gate_time = false;
+};
+
+enum class MetricClass {
+  kGated,          ///< Participates in the regression verdict.
+  kInformational,  ///< Reported, never gates (time, bounds, counts).
+};
+
+struct MetricDiff {
+  std::string verdict;  ///< Operating-point name, "" for bench-level rows.
+  std::string metric;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  /// Signed percent change (candidate - baseline) / |baseline| * 100;
+  /// NaN when the baseline is 0 and the candidate is not.
+  double delta_pct = 0.0;
+  MetricClass klass = MetricClass::kGated;
+  bool higher_is_better = false;
+  /// CI95 half-widths when a `_ci` companion exists on that side.
+  std::optional<double> baseline_ci;
+  std::optional<double> candidate_ci;
+  /// Whether the two CI95 intervals overlap; unset without CIs.
+  std::optional<bool> ci_overlap;
+  bool regression = false;
+  std::string status;  ///< "ok" / "improved" / "info" / "REGRESSION".
+};
+
+struct DiffReport {
+  std::string bench;
+  std::vector<MetricDiff> rows;
+  /// Structural findings: ok-flag flips, verdicts or metrics present on
+  /// only one side, histogram-tail movements.
+  std::vector<std::string> notes;
+  bool regression = false;
+};
+
+/// Classifies `name`; exposed for tests.
+[[nodiscard]] MetricClass classify_metric(std::string_view name,
+                                          const DiffOptions& options);
+[[nodiscard]] bool metric_higher_is_better(std::string_view name);
+
+/// Diffs two parsed BENCH_*.json documents. Returns std::nullopt (with a
+/// message in *error) when either document does not have the bench report
+/// shape.
+[[nodiscard]] std::optional<DiffReport> diff_bench_reports(
+    const JsonValue& baseline, const JsonValue& candidate,
+    const DiffOptions& options, std::string* error = nullptr);
+
+/// Renders the per-metric verdict table plus notes and the final verdict
+/// line ("bench_diff: OK" / "bench_diff: REGRESSION").
+void print_diff_report(const DiffReport& report, std::ostream& out);
+
+}  // namespace gridsched::obs

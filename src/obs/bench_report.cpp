@@ -1,0 +1,55 @@
+#include "obs/bench_report.h"
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
+
+namespace gridsched::obs {
+
+void BenchReport::write(std::ostream& out) const {
+  JsonValue root;
+  root.set("bench", JsonValue(bench));
+  root.set("ok", JsonValue(ok));
+  JsonValue::Array verdict_values;
+  verdict_values.reserve(verdicts.size());
+  for (const BenchVerdict& verdict : verdicts) {
+    JsonValue entry;
+    entry.set("name", JsonValue(verdict.name));
+    entry.set("ok", JsonValue(verdict.ok));
+    JsonValue::Object metrics;
+    metrics.reserve(verdict.metrics.size());
+    for (const auto& [name, value] : verdict.metrics) {
+      metrics.emplace_back(
+          name, std::isfinite(value) ? JsonValue(value) : JsonValue());
+    }
+    entry.set("metrics", JsonValue(std::move(metrics)));
+    if (!verdict.histograms.empty()) {
+      JsonValue::Object histograms;
+      histograms.reserve(verdict.histograms.size());
+      for (const auto& [name, histogram] : verdict.histograms) {
+        histograms.emplace_back(name, histogram_to_json(histogram));
+      }
+      entry.set("histograms", JsonValue(std::move(histograms)));
+    }
+    verdict_values.emplace_back(std::move(entry));
+  }
+  root.set("verdicts", JsonValue(std::move(verdict_values)));
+  out << root.dump(2) << "\n";
+}
+
+bool BenchReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "failed to open " << path << " for writing\n";
+    return false;
+  }
+  write(out);
+  std::cout << "wrote " << path << "\n";
+  return true;
+}
+
+}  // namespace gridsched::obs

@@ -1,0 +1,48 @@
+// Machine-readable bench verdict reports (the BENCH_*.json artifacts).
+//
+// bench/sharded_service and bench/qos_slo used to carry their own copies
+// of the JSON writer; this is the shared one, extended with optional
+// per-verdict histograms so BENCH artifacts carry whole latency
+// distributions (tails), not just p50/p99 scalars. The schema is a strict
+// superset of the PR 5/6 format, so older artifacts still diff cleanly:
+//
+//   {"bench": "<name>", "ok": true|false,
+//    "verdicts": [
+//      {"name": "...", "ok": true|false,
+//       "metrics": {"<metric>": <number|null>, ...},
+//       "histograms": {"<metric>": <histogram_to_json>, ...}}  // optional
+//    ]}
+//
+// bench/bench_diff.cpp (via obs/bench_diff.h) compares two such files
+// metric by metric across commits.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace gridsched::obs {
+
+struct BenchVerdict {
+  std::string name;
+  bool ok = true;
+  /// Non-finite values serialize as null (no NaN/Inf in JSON).
+  std::vector<std::pair<std::string, double>> metrics;
+  /// Full distributions; omitted from the JSON when empty.
+  std::vector<std::pair<std::string, LatencyHistogram>> histograms;
+};
+
+struct BenchReport {
+  std::string bench;
+  bool ok = true;
+  std::vector<BenchVerdict> verdicts;
+
+  void write(std::ostream& out) const;
+  /// Writes to `path`; logs to stderr and returns false on failure.
+  bool write_file(const std::string& path) const;
+};
+
+}  // namespace gridsched::obs

@@ -1,0 +1,179 @@
+#include "obs/metrics_registry.h"
+
+#include <array>
+#include <cmath>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+namespace gridsched::obs {
+
+namespace {
+
+template <typename Map, typename Metric>
+Metric& find_or_create(std::mutex& mutex, Map& map, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  auto metric = std::make_unique<Metric>();
+  Metric& ref = *metric;
+  map.emplace(std::string(name), std::move(metric));
+  return ref;
+}
+
+template <typename Map>
+auto find_only(std::mutex& mutex, const Map& map, std::string_view name)
+    -> const typename Map::mapped_type::element_type* {
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto it = map.find(name);
+  return it != map.end() ? it->second.get() : nullptr;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return find_or_create<decltype(counters_), Counter>(mutex_, counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return find_or_create<decltype(gauges_), Gauge>(mutex_, gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return find_or_create<decltype(histograms_), Histogram>(mutex_, histograms_,
+                                                          name);
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  return find_only(mutex_, counters_, name);
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  return find_only(mutex_, gauges_, name);
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  return find_only(mutex_, histograms_, name);
+}
+
+JsonValue MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue::Object counters;
+  for (const auto& [name, counter] : counters_) {
+    counters.emplace_back(name,
+                          JsonValue(static_cast<double>(counter->value())));
+  }
+  JsonValue::Object gauges;
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.emplace_back(name, JsonValue(gauge->value()));
+  }
+  JsonValue::Object histograms;
+  for (const auto& [name, histogram] : histograms_) {
+    const LatencyHistogram snap = histogram->snapshot();
+    const RunningStats stats = histogram->stats();
+    JsonValue entry;
+    entry.set("count", JsonValue(static_cast<double>(snap.count())));
+    entry.set("mean", JsonValue(stats.mean()));
+    entry.set("p50", JsonValue(snap.p50()));
+    entry.set("p99", JsonValue(snap.p99()));
+    entry.set("max", JsonValue(stats.max()));
+    entry.set("overflow",
+              JsonValue(static_cast<double>(snap.overflow_count())));
+    histograms.emplace_back(name, std::move(entry));
+  }
+  JsonValue out;
+  out.set("counters", JsonValue(std::move(counters)));
+  out.set("gauges", JsonValue(std::move(gauges)));
+  out.set("histograms", JsonValue(std::move(histograms)));
+  return out;
+}
+
+void MetricsRegistry::write_jsonl_line(std::ostream& out,
+                                       const JsonValue& extra) const {
+  JsonValue line;
+  if (extra.is_object()) {
+    for (const auto& [key, value] : extra.as_object()) {
+      line.set(key, value);
+    }
+  }
+  // Named variable on purpose: a `snapshot().as_object()` range expression
+  // would dangle — C++20 does not lifetime-extend the intermediate
+  // temporary.
+  JsonValue snap = snapshot();
+  for (auto& [key, value] : snap.as_object()) {
+    line.set(key, std::move(value));
+  }
+  out << line.dump() << "\n";
+}
+
+JsonValue histogram_to_json(const LatencyHistogram& histogram) {
+  JsonValue::Array buckets;
+  const auto& counts = histogram.bucket_counts();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    JsonValue::Array pair;
+    pair.emplace_back(JsonValue(static_cast<double>(i)));
+    pair.emplace_back(JsonValue(static_cast<double>(counts[i])));
+    buckets.emplace_back(JsonValue(std::move(pair)));
+  }
+  JsonValue out;
+  out.set("min", JsonValue(LatencyHistogram::kMinValue));
+  out.set("max", JsonValue(LatencyHistogram::kMaxValue));
+  out.set("num_buckets",
+          JsonValue(static_cast<double>(LatencyHistogram::kBuckets)));
+  out.set("count", JsonValue(static_cast<double>(histogram.count())));
+  out.set("overflow",
+          JsonValue(static_cast<double>(histogram.overflow_count())));
+  out.set("buckets", JsonValue(std::move(buckets)));
+  return out;
+}
+
+std::optional<LatencyHistogram> histogram_from_json(const JsonValue& value) {
+  if (!value.is_object()) return std::nullopt;
+  const JsonValue* min = value.find("min");
+  const JsonValue* max = value.find("max");
+  const JsonValue* num_buckets = value.find("num_buckets");
+  const JsonValue* count = value.find("count");
+  const JsonValue* overflow = value.find("overflow");
+  const JsonValue* buckets = value.find("buckets");
+  if (min == nullptr || !min->is_number() ||
+      min->as_number() != LatencyHistogram::kMinValue ||
+      max == nullptr || !max->is_number() ||
+      max->as_number() != LatencyHistogram::kMaxValue ||
+      num_buckets == nullptr || !num_buckets->is_number() ||
+      num_buckets->as_number() !=
+          static_cast<double>(LatencyHistogram::kBuckets) ||
+      count == nullptr || !count->is_number() || overflow == nullptr ||
+      !overflow->is_number() || buckets == nullptr || !buckets->is_array()) {
+    return std::nullopt;
+  }
+  std::array<std::uint64_t, LatencyHistogram::kBuckets> counts{};
+  std::uint64_t total = 0;
+  for (const JsonValue& pair : buckets->as_array()) {
+    if (!pair.is_array() || pair.as_array().size() != 2 ||
+        !pair.as_array()[0].is_number() || !pair.as_array()[1].is_number()) {
+      return std::nullopt;
+    }
+    const double index = pair.as_array()[0].as_number();
+    const double bucket_count = pair.as_array()[1].as_number();
+    if (index < 0 || index >= static_cast<double>(counts.size()) ||
+        index != std::floor(index) || bucket_count < 0 ||
+        bucket_count != std::floor(bucket_count)) {
+      return std::nullopt;
+    }
+    counts[static_cast<std::size_t>(index)] =
+        static_cast<std::uint64_t>(bucket_count);
+    total += static_cast<std::uint64_t>(bucket_count);
+  }
+  if (total != static_cast<std::uint64_t>(count->as_number())) {
+    return std::nullopt;
+  }
+  const auto overflow_count =
+      static_cast<std::uint64_t>(overflow->as_number());
+  if (overflow_count > counts[LatencyHistogram::kBuckets - 1]) {
+    return std::nullopt;
+  }
+  return LatencyHistogram::from_buckets(counts, overflow_count);
+}
+
+}  // namespace gridsched::obs

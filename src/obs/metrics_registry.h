@@ -1,0 +1,139 @@
+// Named counters, gauges and histograms with a streamable JSONL exporter.
+//
+// The service, driver and portfolio used to each keep their own ad-hoc
+// tallies (struct fields summed at report time); a MetricsRegistry gives
+// them one namespace of named metrics instead. Callers register a metric
+// once (mutex-guarded) and keep the returned handle — recording through a
+// handle is an atomic add (Counter/Gauge) or a per-metric lock
+// (Histogram wraps the fixed-bucket LatencyHistogram plus exact
+// RunningStats), so concurrent shard activations never contend a registry-
+// wide lock on the hot path.
+//
+// Snapshots are DETERMINISTIC: metrics export sorted by name, so two runs
+// of a deterministic configuration produce byte-identical counter
+// snapshots — the property the perf-trajectory tooling diffs across
+// commits. write_jsonl_line() appends one compact JSON object per call
+// (the service calls it once per activation), so a million-activation run
+// streams instead of accumulating.
+//
+// Naming convention (docs/observability.md): dot-separated lowercase
+// paths, `<subsystem>.<metric>` — e.g. `service.jobs_routed`,
+// `service.activation_wall_ms` (histogram), `portfolio.member_wins`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/stats.h"
+#include "obs/json.h"
+
+namespace gridsched::obs {
+
+/// Monotonic integer metric; add() is lock-free.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins floating-point metric; set() is lock-free.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution metric: fixed-bucket percentiles (LatencyHistogram) plus
+/// exact mean/min/max (RunningStats), guarded by a per-metric mutex.
+class Histogram {
+ public:
+  void add(double value) noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.add(value);
+    stats_.add(value);
+  }
+  [[nodiscard]] LatencyHistogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return histogram_;
+  }
+  [[nodiscard]] RunningStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  LatencyHistogram histogram_;
+  RunningStats stats_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named metric. The returned reference is stable
+  /// for the registry's lifetime — cache it, don't re-look-up per record.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  /// Read-only lookups; nullptr when the metric was never registered.
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  /// One snapshot of every metric, keys sorted by name:
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "histograms": {name: {"count", "mean", "p50", "p99", "max",
+  ///                          "overflow"}}}
+  [[nodiscard]] JsonValue snapshot() const;
+
+  /// Appends one compact line: the snapshot merged with `extra`'s members
+  /// first (activation number, wall time, ...), newline-terminated — the
+  /// JSONL stream docs/observability.md describes.
+  void write_jsonl_line(std::ostream& out,
+                        const JsonValue& extra = JsonValue()) const;
+
+ private:
+  mutable std::mutex mutex_;
+  // Node-based maps: handles returned to callers must survive later
+  // registrations. Sorted keys make every snapshot deterministic.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Full-fidelity histogram export: sparse [bucket, count] pairs plus the
+/// range so a reader can reject a histogram recorded under different
+/// constants. Round-trips through histogram_from_json bit-exactly.
+[[nodiscard]] JsonValue histogram_to_json(const LatencyHistogram& histogram);
+
+/// Rebuilds a histogram exported by histogram_to_json; nullopt when the
+/// document is malformed or its range does not match this build's
+/// LatencyHistogram constants.
+[[nodiscard]] std::optional<LatencyHistogram> histogram_from_json(
+    const JsonValue& value);
+
+}  // namespace gridsched::obs

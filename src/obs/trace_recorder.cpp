@@ -1,0 +1,165 @@
+#include "obs/trace_recorder.h"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace gridsched::obs {
+
+namespace {
+
+std::string render_args(std::initializer_list<TraceArg> args) {
+  if (args.size() == 0) return {};
+  std::string rendered = "{";
+  bool first = true;
+  for (const TraceArg& arg : args) {
+    if (!first) rendered += ", ";
+    first = false;
+    rendered += '"';
+    rendered += json_escape(arg.key);
+    rendered += "\": ";
+    rendered += arg.literal;
+  }
+  rendered += '}';
+  return rendered;
+}
+
+std::int64_t steady_now_us() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t next_recorder_id() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+TraceArg::TraceArg(std::string_view key_in, double value)
+    : key(key_in), literal(json_number(value)) {}
+
+TraceArg::TraceArg(std::string_view key_in, std::int64_t value)
+    : key(key_in), literal(std::to_string(value)) {}
+
+TraceArg::TraceArg(std::string_view key_in, std::uint64_t value)
+    : key(key_in), literal(std::to_string(value)) {}
+
+TraceArg::TraceArg(std::string_view key_in, std::string_view value)
+    : key(key_in), literal('"' + json_escape(value) + '"') {}
+
+TraceRecorder::TraceRecorder()
+    : id_(next_recorder_id()), epoch_us_(steady_now_us()) {}
+
+std::int64_t TraceRecorder::now_us() const noexcept {
+  return steady_now_us() - epoch_us_;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  // Recorder ids are process-unique, so a stale entry (its recorder long
+  // destroyed) can never be confused with this one even if the allocator
+  // reuses the address.
+  struct CacheEntry {
+    std::uint64_t recorder_id;
+    ThreadBuffer* buffer;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& entry : cache) {
+    if (entry.recorder_id == id_) return *entry.buffer;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer& buffer = *buffers_.back();
+  buffer.tid = next_tid_++;
+  // Stale entries pile up only when a thread outlives many recorders
+  // (test suites); cap the scan.
+  if (cache.size() > 64) cache.clear();
+  cache.push_back({id_, &buffer});
+  return buffer;
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  ThreadBuffer& buffer = local_buffer();
+  event.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+void TraceRecorder::begin(std::string_view name, std::string_view cat,
+                          std::initializer_list<TraceArg> args) {
+  TraceEvent event;
+  event.name = std::string(name);
+  event.cat = std::string(cat);
+  event.phase = 'B';
+  event.ts_us = now_us();
+  event.args = render_args(args);
+  record(std::move(event));
+}
+
+void TraceRecorder::end(std::string_view name) {
+  TraceEvent event;
+  event.name = std::string(name);
+  event.phase = 'E';
+  event.ts_us = now_us();
+  record(std::move(event));
+}
+
+void TraceRecorder::instant(std::string_view name, std::string_view cat,
+                            std::initializer_list<TraceArg> args) {
+  TraceEvent event;
+  event.name = std::string(name);
+  event.cat = std::string(cat);
+  event.phase = 'i';
+  event.ts_us = now_us();
+  event.args = render_args(args);
+  record(std::move(event));
+}
+
+void TraceRecorder::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::vector<TraceEvent> drained;
+    {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      drained.swap(buffer->events);
+    }
+    for (TraceEvent& event : drained) log_.push_back(std::move(event));
+  }
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return log_.size();
+}
+
+void TraceRecorder::write(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < log_.size(); ++i) {
+    const TraceEvent& event = log_[i];
+    out << "  {\"name\": \"" << json_escape(event.name) << "\", \"ph\": \""
+        << event.phase << "\", \"ts\": " << event.ts_us
+        << ", \"pid\": 1, \"tid\": " << event.tid;
+    if (!event.cat.empty()) {
+      out << ", \"cat\": \"" << json_escape(event.cat) << "\"";
+    }
+    if (!event.args.empty()) out << ", \"args\": " << event.args;
+    out << "}" << (i + 1 < log_.size() ? "," : "") << "\n";
+  }
+  out << "]}\n";
+}
+
+bool TraceRecorder::write_file(const std::string& path) {
+  flush();
+  std::ofstream out(path);
+  if (!out) return false;
+  write(out);
+  return out.good();
+}
+
+}  // namespace gridsched::obs

@@ -1,0 +1,149 @@
+// Chrome-trace-event span recording for the scheduling service.
+//
+// A TraceRecorder collects duration ('B'/'E') and instant ('i') events
+// into PER-THREAD buffers — the hot path touches only the calling
+// thread's own buffer, so concurrent shard races and member solves never
+// contend a shared lock while recording — and flushes them into one
+// central log at activation boundaries (GridSchedulingService calls
+// flush() once per schedule_batch, after every task group has drained).
+// write()/write_file() render the log as Chrome trace-event JSON, loadable
+// in chrome://tracing or Perfetto: span nesting is per-tid, and the RAII
+// TraceSpan guarantees begin/end pairs balance on the emitting thread.
+//
+// The disabled path is a null recorder pointer: every entry point takes
+// `TraceRecorder*` and a nullptr makes spans and instants no-ops, so a
+// service built without tracing pays one branch per site (the
+// tracing-off-overhead verdict in bench/sharded_service holds this to
+// within noise).
+//
+// Instrumented spans (docs/observability.md has the full schema):
+//   cat "service"   name "activation"      one whole service activation
+//   cat "shard"     name "shard_race"      one shard's portfolio race
+//   cat "member"    name = member name     one member solve inside a race
+//   cat "steal"     name "drain_steal"     the post-race stealing pass
+//   cat "resize"    name "resize_scan"     the split/merge decision pass
+//                   + instant "split"/"merge" per applied resize
+//   cat "admission" name "admission"       the ingress triage pass
+//                   + instant "admission.decisions" with the counts
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridsched::obs {
+
+/// One key plus a pre-rendered JSON literal — the `args` payload of a
+/// trace event. Rendering at the call site keeps TraceEvent trivially
+/// copyable into buffers without knowing the value's type.
+struct TraceArg {
+  TraceArg(std::string_view key, double value);
+  TraceArg(std::string_view key, std::int64_t value);
+  TraceArg(std::string_view key, int value)
+      : TraceArg(key, static_cast<std::int64_t>(value)) {}
+  TraceArg(std::string_view key, std::uint64_t value);
+  TraceArg(std::string_view key, std::string_view value);
+  TraceArg(std::string_view key, const char* value)
+      : TraceArg(key, std::string_view(value)) {}
+
+  std::string key;
+  std::string literal;  // rendered JSON (number, quoted string, or null)
+};
+
+/// One recorded event. `phase` follows the Chrome trace-event format:
+/// 'B' begin, 'E' end, 'i' instant.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'i';
+  std::int64_t ts_us = 0;  // microseconds since recorder construction
+  std::uint32_t tid = 0;   // recorder-local sequential thread id
+  std::string args;        // rendered "{...}" object, or empty
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Opens a span on the calling thread. Must be balanced by end() on the
+  /// SAME thread — prefer the RAII TraceSpan, which cannot get it wrong.
+  void begin(std::string_view name, std::string_view cat,
+             std::initializer_list<TraceArg> args = {});
+  /// Closes the innermost open span on the calling thread. The name is
+  /// repeated so trace consumers can verify balance without replaying a
+  /// stack.
+  void end(std::string_view name);
+
+  /// A point event (resize applied, admission counts, ...).
+  void instant(std::string_view name, std::string_view cat,
+               std::initializer_list<TraceArg> args = {});
+
+  /// Drains every thread's buffer into the central log, preserving each
+  /// thread's event order. Called at activation boundaries; safe to call
+  /// concurrently with recording (each buffer hands off under its own
+  /// lock), though a mid-span flush simply moves the 'B' now and its 'E'
+  /// at the next flush.
+  void flush();
+
+  /// Events drained so far (recording threads may hold more until the
+  /// next flush).
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Renders the drained log as Chrome trace-event JSON. Call flush()
+  /// first to include the latest events.
+  void write(std::ostream& out) const;
+  /// Flushes, then writes to `path`; false when the file cannot be
+  /// opened/written.
+  bool write_file(const std::string& path);
+
+ private:
+  struct ThreadBuffer {
+    // Appends take the OWN thread's lock, which is contended only while a
+    // flush drains this buffer — in steady state the hot path pays one
+    // uncontended lock, never a shared one.
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+  };
+
+  ThreadBuffer& local_buffer();
+  [[nodiscard]] std::int64_t now_us() const noexcept;
+  void record(TraceEvent event);
+
+  const std::uint64_t id_;  // process-unique, keys the thread-local cache
+  std::int64_t epoch_us_ = 0;
+  mutable std::mutex mutex_;  // guards buffers_ registration and log_
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<TraceEvent> log_;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// RAII span: begin at construction, end at destruction, on whichever
+/// thread runs the scope. A null recorder makes both no-ops, so call
+/// sites need no branching of their own.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, std::string_view name,
+            std::string_view cat, std::initializer_list<TraceArg> args = {})
+      : recorder_(recorder), name_(name) {
+    if (recorder_ != nullptr) recorder_->begin(name, cat, args);
+  }
+  ~TraceSpan() {
+    if (recorder_ != nullptr) recorder_->end(name_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  std::string name_;
+};
+
+}  // namespace gridsched::obs

@@ -6,6 +6,8 @@
 
 #include "common/cancellation.h"
 #include "common/stopwatch.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "qos/qos.h"
 
 namespace gridsched {
@@ -46,6 +48,21 @@ PortfolioBatchScheduler::PortfolioBatchScheduler(
   for (std::size_t i = 0; i < members_.size(); ++i) {
     stats_.push_back(MemberStats{std::string(members_[i]->name())});
     if (!members_[i]->negligible_cost()) expensive_.push_back(i);
+  }
+}
+
+void PortfolioBatchScheduler::bind_observability(obs::MetricsRegistry* metrics,
+                                                 obs::TraceRecorder* trace,
+                                                 std::string_view prefix) {
+  trace_ = trace;
+  races_counter_ = nullptr;
+  win_counters_.assign(members_.size(), nullptr);
+  if (metrics == nullptr) return;
+  const std::string base(prefix);
+  races_counter_ = &metrics->counter(base + ".races");
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    win_counters_[i] =
+        &metrics->counter(base + ".wins." + std::string(members_[i]->name()));
   }
 }
 
@@ -132,7 +149,11 @@ Schedule PortfolioBatchScheduler::schedule_batch(const EtcMatrix& etc,
     const std::uint64_t seed = splitmix64(seed_state);
     PortfolioMember* member = members_[runner.member].get();
     MemberResult* out = &results[slot];
-    pool_->submit(race, [member, &etc, stop, &warm, seed, out] {
+    // The span lives inside the task so it opens and closes on whichever
+    // pool thread actually ran the solve — per-tid nesting stays correct.
+    obs::TraceRecorder* const trace = trace_;
+    pool_->submit(race, [member, &etc, stop, &warm, seed, out, trace] {
+      const obs::TraceSpan span(trace, member->name(), "member");
       *out = member->solve(etc, stop, warm, seed);
     });
   }
@@ -171,6 +192,11 @@ Schedule PortfolioBatchScheduler::schedule_batch(const EtcMatrix& etc,
     }
   }
   const double best_fitness = normalized[winner_slot].fitness;
+  if (races_counter_ != nullptr) races_counter_->add();
+  if (!win_counters_.empty() &&
+      win_counters_[runners[winner_slot].member] != nullptr) {
+    win_counters_[runners[winner_slot].member]->add();
+  }
 
   // --- Credit assignment and bookkeeping. ---
   for (std::size_t slot = 0; slot < runners.size(); ++slot) {

@@ -105,6 +105,23 @@ GridSchedulingService::GridSchedulingService(ServiceConfig config)
     throw std::invalid_argument(
         "Service: max_shards must be >= the initial num_shards");
   }
+  jobs_routed_counter_ = &metrics_.counter("service.jobs_routed");
+  jobs_migrated_counter_ = &metrics_.counter("service.jobs_migrated");
+  jobs_stolen_counter_ = &metrics_.counter("service.jobs_stolen");
+  jobs_rejected_counter_ = &metrics_.counter("service.jobs_rejected");
+  jobs_rerouted_counter_ = &metrics_.counter("service.jobs_rerouted");
+  splits_counter_ = &metrics_.counter("service.splits");
+  merges_counter_ = &metrics_.counter("service.merges");
+  activation_wall_histogram_ =
+      &metrics_.histogram("service.activation_wall_ms");
+  if (!config_.metrics_jsonl_path.empty()) {
+    metrics_jsonl_.open(config_.metrics_jsonl_path,
+                        std::ios::out | std::ios::trunc);
+    if (!metrics_jsonl_) {
+      throw std::invalid_argument("Service: cannot open metrics_jsonl_path " +
+                                  config_.metrics_jsonl_path);
+    }
+  }
   for (int shard = 0; shard < config_.num_shards; ++shard) {
     (void)add_shard_slot();
   }
@@ -115,6 +132,8 @@ int GridSchedulingService::add_shard_slot() {
   PortfolioConfig portfolio = shard_portfolio_config(config_, shard);
   shards_.push_back(std::make_unique<PortfolioBatchScheduler>(
       portfolio, PortfolioBatchScheduler::default_members(portfolio), pool_));
+  shards_.back()->bind_observability(
+      &metrics_, config_.trace, "portfolio.shard" + std::to_string(shard));
   ShardStats stat;
   stat.shard = shard;
   stats_.push_back(std::move(stat));
@@ -154,6 +173,7 @@ void GridSchedulingService::maybe_resize(const EtcMatrix& etc,
           static_cast<std::uint64_t>(config_.resize_cooldown)) {
     return;
   }
+  const obs::TraceSpan resize_span(config_.trace, "resize_scan", "resize");
   // Hysteresis, part 2: band-widened triggers. A pool hovering exactly at
   // a bound (churn flipping one machine in and out) stays put; only a
   // clear excursion past the band resizes.
@@ -321,6 +341,13 @@ void GridSchedulingService::maybe_resize(const EtcMatrix& etc,
           .machines_moved = moved,
           .alive_machines = alive_total,
       });
+      splits_counter_->add();
+      if (config_.trace != nullptr) {
+        config_.trace->instant("split", "resize",
+                               {{"from", hot->shard},
+                                {"to", child},
+                                {"machines_moved", moved}});
+      }
       resized_ever_ = true;
       last_resize_activation_ = activation_;
       continue;
@@ -357,6 +384,13 @@ void GridSchedulingService::maybe_resize(const EtcMatrix& etc,
           .machines_moved = moved,
           .alive_machines = alive_total,
       });
+      merges_counter_->add();
+      if (config_.trace != nullptr) {
+        config_.trace->instant("merge", "resize",
+                               {{"from", emptied},
+                                {"to", absorber},
+                                {"machines_moved", moved}});
+      }
       resized_ever_ = true;
       last_resize_activation_ = activation_;
       continue;
@@ -450,6 +484,17 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
   shard_of_job_.clear();
   if (etc.num_jobs() == 0) return Schedule(0);
 
+  // Explicit begin/end (not TraceSpan): the activation span must close
+  // BEFORE the end-of-activation flush below, and a scoped span would
+  // still be open there.
+  obs::TraceRecorder* const trace = config_.trace;
+  if (trace != nullptr) {
+    trace->begin("activation", "service",
+                 {{"activation",
+                   static_cast<std::int64_t>(context.activation)},
+                  {"jobs", etc.num_jobs()}});
+  }
+
   adopt_new_machines(context.machine_ids);
   maybe_resize(etc, context);
 
@@ -515,7 +560,9 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
   std::vector<bool> row_degraded(static_cast<std::size_t>(etc.num_jobs()),
                                  false);
   int jobs_rejected = 0;
+  int jobs_degraded = 0;
   if (config_.admission.enabled) {
+    const obs::TraceSpan admission_span(trace, "admission", "admission");
     double ready_sum = 0.0;
     for (MachineId column = 0; column < etc.num_machines(); ++column) {
       ready_sum += etc.ready_time(column);
@@ -555,10 +602,18 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
           break;
         case AdmissionDecision::kBestEffort:
           row_degraded[index] = true;
+          ++jobs_degraded;
           break;
         case AdmissionDecision::kAccept:
           break;
       }
+    }
+    if (trace != nullptr) {
+      trace->instant("admission.decisions", "admission",
+                     {{"accepted",
+                       etc.num_jobs() - jobs_rejected - jobs_degraded},
+                      {"degraded", jobs_degraded},
+                      {"rejected", jobs_rejected}});
     }
   }
   auto routed_deadline_of = [&](JobId row) {
@@ -582,6 +637,7 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
     shard_of_job_[context.job_ids[static_cast<std::size_t>(row)]] =
         active[pick].shard;
   }
+  jobs_routed_counter_->add(etc.num_jobs() - jobs_rejected);
 
   // --- Rebalance: the hottest shard sheds its newest jobs to the
   // lightest while the backlogs differ by more than the imbalance factor.
@@ -626,6 +682,7 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
       }
       active[hot].migrated_out += 1;
       active[light].migrated_in += 1;
+      jobs_migrated_counter_->add();
       shard_of_job_[context.job_ids[static_cast<std::size_t>(job.row)]] =
           active[light].shard;
     }
@@ -698,13 +755,20 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
     std::vector<TaskGroup> groups;
     groups.reserve(races.size());
     for (ShardRace& race : races) {
+      const int shard_id = active[race.active_index].shard;
       PortfolioBatchScheduler* scheduler =
-          shards_[static_cast<std::size_t>(
-                      active[race.active_index].shard)].get();
+          shards_[static_cast<std::size_t>(shard_id)].get();
       scheduler->set_budget_ms(slice);
       groups.push_back(pool_.make_group());
       ShardRace* slot = &race;
-      pool_.submit(groups.back(), [scheduler, slot] {
+      // The span opens inside the task, on the pool thread running this
+      // shard's race — so per-tid nesting holds and the member spans the
+      // portfolio emits sit inside it.
+      pool_.submit(groups.back(), [scheduler, slot, trace, shard_id] {
+        const obs::TraceSpan span(
+            trace, "shard_race", "shard",
+            {{"shard", shard_id},
+             {"jobs", slot->sub.num_jobs()}});
         Stopwatch watch;
         slot->plan = scheduler->schedule_batch(slot->sub, slot->sub_context);
         slot->race_ms = watch.elapsed_ms();
@@ -725,9 +789,13 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
     if (failures.size() > 1) throw TaskGroupError(std::move(failures));
   } else {
     for (ShardRace& race : races) {
-      PortfolioBatchScheduler& scheduler = *shards_[static_cast<std::size_t>(
-          active[race.active_index].shard)];
+      const int shard_id = active[race.active_index].shard;
+      PortfolioBatchScheduler& scheduler =
+          *shards_[static_cast<std::size_t>(shard_id)];
       scheduler.set_budget_ms(slice);
+      const obs::TraceSpan span(trace, "shard_race", "shard",
+                                {{"shard", shard_id},
+                                 {"jobs", race.sub.num_jobs()}});
       Stopwatch watch;
       race.plan = scheduler.schedule_batch(race.sub, race.sub_context);
       race.race_ms = watch.elapsed_ms();
@@ -802,6 +870,7 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
   // portfolio to the thief's, so at most one cache knows each job.
   int jobs_stolen = 0;
   if (config_.drain_steal && active.size() > 1) {
+    const obs::TraceSpan steal_span(trace, "drain_steal", "steal");
     std::vector<int> column_shard(
         static_cast<std::size_t>(etc.num_machines()));
     for (int column = 0; column < etc.num_machines(); ++column) {
@@ -848,6 +917,26 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
       .jobs_rejected = jobs_rejected,
       .jobs_rerouted = jobs_rerouted,
   });
+  jobs_stolen_counter_->add(jobs_stolen);
+  jobs_rejected_counter_->add(jobs_rejected);
+  jobs_rerouted_counter_->add(jobs_rerouted);
+  activation_wall_histogram_->add(wall_ms);
+  if (trace != nullptr) {
+    trace->end("activation");
+    // Flush at the boundary: every racing thread's buffer drains while no
+    // race is in flight, so the central log grows between activations,
+    // not during them.
+    trace->flush();
+  }
+  if (metrics_jsonl_.is_open()) {
+    obs::JsonValue extra;
+    extra.set("activation", obs::JsonValue(static_cast<double>(
+                                context.activation)));
+    extra.set("wall_ms", obs::JsonValue(wall_ms));
+    extra.set("shards_raced",
+              obs::JsonValue(static_cast<double>(races.size())));
+    metrics_.write_jsonl_line(metrics_jsonl_, extra);
+  }
   return plan;
 }
 

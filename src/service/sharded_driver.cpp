@@ -110,12 +110,16 @@ ShardedSimReport run_sharded(GridSimulator& sim,
     }
     report.global_slo.tardiness_p50 = global_tardiness.p50();
     report.global_slo.tardiness_p99 = global_tardiness.p99();
+    report.global_slo.tardiness_p99_overflow =
+        global_tardiness.percentile_overflows(99.0);
     for (std::size_t job_class = 0; job_class < report.per_class_slo.size();
          ++job_class) {
       report.per_class_slo[job_class].tardiness_p50 =
           class_tardiness[job_class].p50();
       report.per_class_slo[job_class].tardiness_p99 =
           class_tardiness[job_class].p99();
+      report.per_class_slo[job_class].tardiness_p99_overflow =
+          class_tardiness[job_class].percentile_overflows(99.0);
     }
   }
 
@@ -151,8 +155,17 @@ ShardedSimReport run_sharded(GridSimulator& sim,
         stat.shard)];
     metrics.activations = stat.activations;
     metrics.scheduler_cpu_ms = stat.total_race_ms;
-    report.migrations += stat.migrated_out;
-    report.steals += stat.stolen_out;
+  }
+  // Service-wide totals read from the metrics registry — the one place
+  // the service counts cross-shard moves — instead of re-summing the
+  // per-shard books here (the summation and the counter could drift).
+  if (const obs::Counter* migrated =
+          service.metrics().find_counter("service.jobs_migrated")) {
+    report.migrations = static_cast<int>(migrated->value());
+  }
+  if (const obs::Counter* stolen =
+          service.metrics().find_counter("service.jobs_stolen")) {
+    report.steals = static_cast<int>(stolen->value());
   }
   return report;
 }

@@ -33,6 +33,10 @@ struct ClassSlo {
   int missed = 0;  // late, rejected at ingress, or never finished
   double tardiness_p50 = 0.0;
   double tardiness_p99 = 0.0;
+  /// True when the p99 rank fell among samples at or beyond the
+  /// histogram's range end — tardiness_p99 is then a clamped floor, not
+  /// an estimate, and tables should print ">1e5" instead of the value.
+  bool tardiness_p99_overflow = false;
 
   [[nodiscard]] double miss_rate() const noexcept {
     return deadline_jobs > 0 ? static_cast<double>(missed) / deadline_jobs

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace gridsched {
@@ -138,6 +140,107 @@ TEST(PercentDelta, MatchesPaperConvention) {
   EXPECT_NEAR(percent_delta(104.0, 100.0), 4.0, 1e-12);
   EXPECT_NEAR(percent_delta(96.0, 100.0), -4.0, 1e-12);
   EXPECT_EQ(percent_delta(5.0, 0.0), 0.0);
+}
+
+// --- LatencyHistogram observability surface (PR 7). The behavioral
+// basics (clamping, percentile resolution, merge counts) live in
+// test_qos.cpp next to the subsystem that introduced the histogram;
+// these cover the exporter-facing API. ---
+
+TEST(LatencyHistogram, MergeIsAssociative) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram c;
+  for (double v : {0.01, 0.5, 3.0}) a.add(v);
+  for (double v : {10.0, 250.0}) b.add(v);
+  for (double v : {1e4, 2e5, 0.0}) c.add(v);  // one overflow, one underflow
+
+  LatencyHistogram ab = a;
+  ab.merge(b);
+  LatencyHistogram ab_c = ab;
+  ab_c.merge(c);
+
+  LatencyHistogram bc = b;
+  bc.merge(c);
+  LatencyHistogram a_bc = a;
+  a_bc.merge(bc);
+
+  EXPECT_EQ(ab_c, a_bc);
+  EXPECT_EQ(ab_c.count(), 8u);
+  EXPECT_EQ(ab_c.overflow_count(), 1u);
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentity) {
+  LatencyHistogram a;
+  a.add(1.0);
+  a.add(2e5);
+  const LatencyHistogram before = a;
+  LatencyHistogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a, before);
+  empty.merge(a);
+  EXPECT_EQ(empty, a);
+}
+
+TEST(LatencyHistogram, EmptyPercentileEdgeCases) {
+  const LatencyHistogram hist;
+  EXPECT_EQ(hist.percentile(0.0), 0.0);
+  EXPECT_EQ(hist.percentile(100.0), 0.0);
+  EXPECT_FALSE(hist.percentile_overflows(99.0));
+  EXPECT_EQ(hist.overflow_count(), 0u);
+}
+
+TEST(LatencyHistogram, OverflowCountsOnlyRangeEndSamples) {
+  LatencyHistogram hist;
+  hist.add(LatencyHistogram::kMaxValue * 0.5);  // in range
+  hist.add(LatencyHistogram::kMaxValue);        // == max counts as overflow
+  hist.add(LatencyHistogram::kMaxValue * 10.0);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.overflow_count(), 2u);
+}
+
+TEST(LatencyHistogram, PercentileOverflowsFlagsOnlyTheClampedTail) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 98; ++i) hist.add(1.0);
+  hist.add(2e5);
+  hist.add(3e5);
+  // p50 sits among the in-range samples; p99 lands on the clamped tail.
+  EXPECT_FALSE(hist.percentile_overflows(50.0));
+  EXPECT_TRUE(hist.percentile_overflows(99.0));
+  EXPECT_TRUE(hist.percentile_overflows(100.0));
+}
+
+TEST(LatencyHistogram, AllOverflowFlagsEveryPercentile) {
+  LatencyHistogram hist;
+  hist.add(2e5);
+  EXPECT_TRUE(hist.percentile_overflows(0.0));
+  EXPECT_TRUE(hist.percentile_overflows(50.0));
+  EXPECT_TRUE(hist.percentile_overflows(100.0));
+}
+
+TEST(LatencyHistogram, FromBucketsRoundTrips) {
+  LatencyHistogram original;
+  for (double v : {0.002, 0.5, 7.0, 300.0, 2e5, 5e5}) original.add(v);
+  const LatencyHistogram rebuilt = LatencyHistogram::from_buckets(
+      original.bucket_counts(), original.overflow_count());
+  EXPECT_EQ(rebuilt, original);
+  EXPECT_EQ(rebuilt.count(), original.count());
+  EXPECT_DOUBLE_EQ(rebuilt.p99(), original.p99());
+}
+
+TEST(LatencyHistogram, FromBucketsRejectsBadShapes) {
+  const std::vector<std::uint64_t> short_counts(
+      LatencyHistogram::kBuckets - 1, 0);
+  EXPECT_THROW((void)LatencyHistogram::from_buckets(short_counts, 0),
+               std::invalid_argument);
+
+  // Overflow larger than the last bucket's occupancy is impossible: every
+  // overflow sample clamps into the last bucket.
+  std::vector<std::uint64_t> counts(LatencyHistogram::kBuckets, 0);
+  counts.back() = 1;
+  EXPECT_THROW((void)LatencyHistogram::from_buckets(counts, 2),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)LatencyHistogram::from_buckets(counts, 1));
 }
 
 }  // namespace
