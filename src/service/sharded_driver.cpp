@@ -1,105 +1,107 @@
 #include "service/sharded_driver.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace gridsched {
+namespace {
 
-ShardedSimReport run_sharded(GridSimulator& sim,
-                             GridSchedulingService& service) {
-  ShardedSimReport report;
-  report.global = sim.run(service);
-  report.workload = std::string(sim.workload_name());
-  // num_shards() reflects the end-of-run partition (splits may have grown
-  // it); merged-away slots simply report zeros.
-  report.per_shard.assign(static_cast<std::size_t>(service.num_shards()),
-                          SimMetrics{});
+/// One pass over per-job outcomes, shared by both arrival modes:
+/// materialized folds the end-of-run record vector, streaming folds each
+/// job as the simulator finalizes it via the job observer. Both arrive
+/// in id order, so every floating-point accumulation happens in the same
+/// sequence — the per-shard/per-class views are bit-identical across
+/// modes. Shard attribution calls shard_of_machine at fold time: the
+/// end-of-run partition in materialized mode, the finalize-time
+/// partition in streaming mode — identical unless dynamic split/merge
+/// moved a machine between a job's completion and the end of the run.
+struct JobFold {
+  GridSchedulingService& service;
+  int num_classes;
 
-  // --- Job outcomes, attributed to the completing machine's shard. ---
-  std::vector<double> flow_sum(report.per_shard.size(), 0.0);
-  std::vector<double> wait_sum(report.per_shard.size(), 0.0);
-  for (const SimJobRecord& record : sim.job_records()) {
-    if (record.finish < 0) continue;
-    const auto shard = static_cast<std::size_t>(
-        service.shard_of_machine(record.machine));
-    SimMetrics& metrics = report.per_shard[shard];
-    ++metrics.jobs_completed;
-    metrics.jobs_requeued += record.attempts - 1;
-    flow_sum[shard] += record.flowtime();
-    wait_sum[shard] += record.wait();
-    metrics.max_flowtime = std::max(metrics.max_flowtime, record.flowtime());
-    metrics.makespan = std::max(metrics.makespan, record.finish);
+  std::vector<SimMetrics> shard_metrics;
+  std::vector<double> shard_flow;
+  std::vector<double> shard_wait;
+
+  std::vector<SimMetrics> class_metrics;
+  std::vector<double> class_flow;
+  std::vector<double> class_wait;
+
+  ClassSlo global_slo;
+  LatencyHistogram global_tardiness;
+  std::vector<ClassSlo> class_slo;
+  std::vector<LatencyHistogram> class_tardiness;
+
+  JobFold(GridSchedulingService& svc, int classes)
+      : service(svc), num_classes(classes) {
+    if (num_classes > 0) {
+      const auto n = static_cast<std::size_t>(num_classes);
+      class_metrics.assign(n, SimMetrics{});
+      class_flow.assign(n, 0.0);
+      class_wait.assign(n, 0.0);
+      class_slo.assign(n, ClassSlo{});
+      class_tardiness.resize(n);
+      for (std::size_t job_class = 0; job_class < n; ++job_class) {
+        class_slo[job_class].job_class = static_cast<int>(job_class);
+      }
+    }
   }
 
-  // --- Job outcomes again, grouped by job class (class-structured runs
-  // only: the simulator resolves every job's effective class into the
-  // arrival trace, so the record index addresses it directly). ---
-  const std::vector<TraceJob>& trace = sim.arrival_trace();
-  const int num_classes = sim.config().num_job_classes;
-  if (num_classes > 0) {
-    report.per_class.assign(static_cast<std::size_t>(num_classes),
-                            SimMetrics{});
-    std::vector<double> class_flow(report.per_class.size(), 0.0);
-    std::vector<double> class_wait(report.per_class.size(), 0.0);
-    for (const SimJobRecord& record : sim.job_records()) {
-      const int job_class =
-          trace[static_cast<std::size_t>(record.id)].job_class;
-      if (job_class < 0 || job_class >= num_classes) continue;
-      SimMetrics& metrics =
-          report.per_class[static_cast<std::size_t>(job_class)];
-      ++metrics.jobs_arrived;
-      if (record.finish < 0) continue;
+  void ensure_shards(std::size_t count) {
+    if (shard_metrics.size() < count) {
+      shard_metrics.resize(count);
+      shard_flow.resize(count, 0.0);
+      shard_wait.resize(count, 0.0);
+    }
+  }
+
+  void add(const SimJobRecord& record, const TraceJob& job) {
+    // --- Completing machine's shard. ---
+    if (record.finish >= 0) {
+      const auto shard = static_cast<std::size_t>(
+          service.shard_of_machine(record.machine));
+      ensure_shards(shard + 1);
+      SimMetrics& metrics = shard_metrics[shard];
       ++metrics.jobs_completed;
       metrics.jobs_requeued += record.attempts - 1;
-      class_flow[static_cast<std::size_t>(job_class)] += record.flowtime();
-      class_wait[static_cast<std::size_t>(job_class)] += record.wait();
+      shard_flow[shard] += record.flowtime();
+      shard_wait[shard] += record.wait();
       metrics.max_flowtime = std::max(metrics.max_flowtime,
                                       record.flowtime());
       metrics.makespan = std::max(metrics.makespan, record.finish);
     }
-    for (std::size_t job_class = 0; job_class < report.per_class.size();
-         ++job_class) {
-      SimMetrics& metrics = report.per_class[job_class];
-      if (metrics.jobs_completed > 0) {
-        metrics.mean_flowtime = class_flow[job_class] /
-                                metrics.jobs_completed;
-        metrics.mean_wait = class_wait[job_class] / metrics.jobs_completed;
-      }
-    }
-  }
 
-  // --- Deadline SLOs, globally and per class. Misses follow the
-  // simulator's accounting exactly (late, rejected, or unfinished);
-  // tardiness percentiles come from fixed-bucket histograms over the late
-  // completions. ---
-  const bool qos = std::any_of(
-      trace.begin(), trace.end(),
-      [](const TraceJob& job) { return job.deadline >= 0; });
-  if (qos) {
-    LatencyHistogram global_tardiness;
-    std::vector<LatencyHistogram> class_tardiness(
-        num_classes > 0 ? static_cast<std::size_t>(num_classes) : 0);
-    if (num_classes > 0) {
-      report.per_class_slo.assign(static_cast<std::size_t>(num_classes),
-                                  ClassSlo{});
-      for (std::size_t job_class = 0;
-           job_class < report.per_class_slo.size(); ++job_class) {
-        report.per_class_slo[job_class].job_class =
-            static_cast<int>(job_class);
+    // --- Job class (class-structured runs only: the simulator resolves
+    // every job's effective class before handing it over). ---
+    if (job.job_class >= 0 && job.job_class < num_classes) {
+      SimMetrics& metrics =
+          class_metrics[static_cast<std::size_t>(job.job_class)];
+      ++metrics.jobs_arrived;
+      if (record.finish >= 0) {
+        ++metrics.jobs_completed;
+        metrics.jobs_requeued += record.attempts - 1;
+        class_flow[static_cast<std::size_t>(job.job_class)] +=
+            record.flowtime();
+        class_wait[static_cast<std::size_t>(job.job_class)] += record.wait();
+        metrics.max_flowtime = std::max(metrics.max_flowtime,
+                                        record.flowtime());
+        metrics.makespan = std::max(metrics.makespan, record.finish);
       }
     }
-    for (const SimJobRecord& record : sim.job_records()) {
-      const TraceJob& job = trace[static_cast<std::size_t>(record.id)];
-      if (job.deadline < 0) continue;
+
+    // --- Deadline SLOs. Misses follow the simulator's accounting
+    // exactly (late, rejected, or unfinished); tardiness percentiles
+    // come from fixed-bucket histograms over the late completions. ---
+    if (job.deadline >= 0) {
       const bool missed = record.rejected || record.finish < 0 ||
                           record.finish > job.deadline;
       const bool late = record.finish >= 0 && record.finish > job.deadline;
       const double tardiness = late ? record.finish - job.deadline : 0.0;
-      report.global_slo.deadline_jobs += 1;
-      if (missed) report.global_slo.missed += 1;
+      global_slo.deadline_jobs += 1;
+      if (missed) global_slo.missed += 1;
       if (late) global_tardiness.add(tardiness);
       if (job.job_class >= 0 && job.job_class < num_classes) {
-        ClassSlo& slo =
-            report.per_class_slo[static_cast<std::size_t>(job.job_class)];
+        ClassSlo& slo = class_slo[static_cast<std::size_t>(job.job_class)];
         slo.deadline_jobs += 1;
         if (missed) slo.missed += 1;
         if (late) {
@@ -108,22 +110,76 @@ ShardedSimReport run_sharded(GridSimulator& sim,
         }
       }
     }
-    report.global_slo.tardiness_p50 = global_tardiness.p50();
-    report.global_slo.tardiness_p99 = global_tardiness.p99();
-    report.global_slo.tardiness_p99_overflow =
-        global_tardiness.percentile_overflows(99.0);
-    for (std::size_t job_class = 0; job_class < report.per_class_slo.size();
-         ++job_class) {
-      report.per_class_slo[job_class].tardiness_p50 =
-          class_tardiness[job_class].p50();
-      report.per_class_slo[job_class].tardiness_p99 =
-          class_tardiness[job_class].p99();
-      report.per_class_slo[job_class].tardiness_p99_overflow =
-          class_tardiness[job_class].percentile_overflows(99.0);
+  }
+};
+
+}  // namespace
+
+ShardedSimReport run_sharded(GridSimulator& sim,
+                             GridSchedulingService& service) {
+  ShardedSimReport report;
+  const int num_classes = sim.config().num_job_classes;
+  const bool streaming = sim.config().stream != nullptr;
+  JobFold fold(service, num_classes);
+  if (streaming) {
+    // Streaming leaves job_records()/arrival_trace() empty by design, so
+    // fold each job the moment the simulator finalizes it.
+    sim.set_job_observer([&fold](const SimJobRecord& record,
+                                 const TraceJob& job) {
+      fold.add(record, job);
+    });
+  }
+  report.global = sim.run(service);
+  if (streaming) sim.set_job_observer({});
+  report.workload = std::string(sim.workload_name());
+  if (!streaming) {
+    const std::vector<TraceJob>& trace = sim.arrival_trace();
+    for (const SimJobRecord& record : sim.job_records()) {
+      fold.add(record, trace[static_cast<std::size_t>(record.id)]);
     }
   }
 
-  // --- Shard-local machine utilization over the global elapsed time. ---
+  // num_shards() reflects the end-of-run partition (splits may have grown
+  // it); merged-away slots simply report zeros.
+  fold.ensure_shards(static_cast<std::size_t>(service.num_shards()));
+  report.per_shard = std::move(fold.shard_metrics);
+
+  if (num_classes > 0) {
+    report.per_class = std::move(fold.class_metrics);
+    for (std::size_t job_class = 0; job_class < report.per_class.size();
+         ++job_class) {
+      SimMetrics& metrics = report.per_class[job_class];
+      if (metrics.jobs_completed > 0) {
+        metrics.mean_flowtime = fold.class_flow[job_class] /
+                                metrics.jobs_completed;
+        metrics.mean_wait = fold.class_wait[job_class] /
+                            metrics.jobs_completed;
+      }
+    }
+  }
+
+  if (fold.global_slo.deadline_jobs > 0) {
+    report.global_slo = fold.global_slo;
+    report.global_slo.tardiness_p50 = fold.global_tardiness.p50();
+    report.global_slo.tardiness_p99 = fold.global_tardiness.p99();
+    report.global_slo.tardiness_p99_overflow =
+        fold.global_tardiness.percentile_overflows(99.0);
+    if (num_classes > 0) {
+      report.per_class_slo = std::move(fold.class_slo);
+      for (std::size_t job_class = 0;
+           job_class < report.per_class_slo.size(); ++job_class) {
+        report.per_class_slo[job_class].tardiness_p50 =
+            fold.class_tardiness[job_class].p50();
+        report.per_class_slo[job_class].tardiness_p99 =
+            fold.class_tardiness[job_class].p99();
+        report.per_class_slo[job_class].tardiness_p99_overflow =
+            fold.class_tardiness[job_class].percentile_overflows(99.0);
+      }
+    }
+  }
+
+  // --- Shard-local machine utilization over the global elapsed time
+  // (machine_busy() is populated in both modes). ---
   const std::vector<double>& busy = sim.machine_busy();
   std::vector<double> busy_sum(report.per_shard.size(), 0.0);
   std::vector<int> machine_count(report.per_shard.size(), 0);
@@ -139,8 +195,9 @@ ShardedSimReport run_sharded(GridSimulator& sim,
   for (std::size_t shard = 0; shard < report.per_shard.size(); ++shard) {
     SimMetrics& metrics = report.per_shard[shard];
     if (metrics.jobs_completed > 0) {
-      metrics.mean_flowtime = flow_sum[shard] / metrics.jobs_completed;
-      metrics.mean_wait = wait_sum[shard] / metrics.jobs_completed;
+      metrics.mean_flowtime = fold.shard_flow[shard] /
+                              metrics.jobs_completed;
+      metrics.mean_wait = fold.shard_wait[shard] / metrics.jobs_completed;
     }
     if (machine_count[shard] > 0 && elapsed > 0) {
       metrics.utilization =

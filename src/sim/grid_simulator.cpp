@@ -36,9 +36,13 @@ GridSimulator::GridSimulator(SimConfig config) : config_(std::move(config)) {
   if (config_.num_machines <= 0) {
     throw std::invalid_argument("SimConfig: need at least one machine");
   }
+  if (config_.workload && config_.stream) {
+    throw std::invalid_argument(
+        "SimConfig: workload and stream are mutually exclusive");
+  }
   // arrival_rate only feeds the default Poisson stream; a config with an
   // explicit workload source may leave it at anything.
-  if ((!config_.workload && config_.arrival_rate <= 0) ||
+  if ((!config_.workload && !config_.stream && config_.arrival_rate <= 0) ||
       config_.horizon <= 0 || config_.scheduler_period <= 0) {
     throw std::invalid_argument("SimConfig: rates and horizon must be > 0");
   }
@@ -60,6 +64,10 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
   Rng machine_rng = rng.split();
   Rng churn_rng = rng.split();
 
+  const bool streaming = config_.stream != nullptr;
+  const bool replaying_churn = config_.churn_replay != nullptr;
+  const bool churn_enabled = config_.machine_mtbf > 0 || replaying_churn;
+
   // --- Build the grid. ---
   std::vector<MachineState> machines(
       static_cast<std::size_t>(config_.num_machines));
@@ -67,61 +75,124 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
     m.mips = machine_rng.uniform(config_.mips_min, config_.mips_max);
   }
 
-  // --- Materialize the arrival stream over the horizon. ---
-  if (config_.workload) {
-    trace_ = config_.workload->generate(config_.horizon, arrival_rng,
-                                        workload_rng);
-  } else {
-    PoissonWorkload poisson(
-        config_.arrival_rate,
-        LogNormalSize{config_.workload_log_mean, config_.workload_log_sigma});
-    trace_ = poisson.generate(config_.horizon, arrival_rng, workload_rng);
+  // --- Validate replayed churn up front: events must be applicable in
+  // recorded order (non-decreasing activation windows), target real
+  // machines, and be internally consistent. ---
+  if (replaying_churn) {
+    double prev_window = 0.0;
+    for (const ChurnEvent& e : *config_.churn_replay) {
+      if (e.machine < 0 || e.machine >= config_.num_machines) {
+        throw std::runtime_error(
+            "GridSimulator: churn_replay event targets an unknown machine");
+      }
+      if (!(e.fail_at >= 0) || !std::isfinite(e.fail_at) ||
+          !(e.repair_at >= e.fail_at) || !std::isfinite(e.repair_at)) {
+        throw std::runtime_error(
+            "GridSimulator: churn_replay event times must be finite, "
+            "0 <= fail_at <= repair_at");
+      }
+      const double window = std::ceil(e.fail_at / config_.scheduler_period);
+      if (window < prev_window) {
+        throw std::runtime_error(
+            "GridSimulator: churn_replay events out of recorded order");
+      }
+      prev_window = window;
+    }
   }
+
   records_.clear();
+  trace_.clear();
+  churn_trace_.clear();
   auto hashed_class = [&](int job_id) {
     std::uint64_t state =
         config_.seed ^ (static_cast<std::uint64_t>(job_id) * 0x2545f4914f6cdd1dULL);
     return static_cast<int>(splitmix64(state) %
                             static_cast<std::uint64_t>(config_.num_job_classes));
   };
-  for (std::size_t i = 0; i < trace_.size(); ++i) {
-    TraceJob& job = trace_[i];
-    // Negated comparisons reject NaN alongside genuine range violations.
-    if (!(job.arrival >= 0) || !std::isfinite(job.arrival) ||
-        !(job.workload_mi > 0) || !std::isfinite(job.workload_mi) ||
-        (i > 0 && job.arrival < trace_[i - 1].arrival)) {
-      throw std::runtime_error(
-          "GridSimulator: workload source produced an invalid stream "
-          "(arrivals must be finite, sorted and >= 0, sizes finite > 0)");
-    }
-    SimJobRecord record;
-    record.id = static_cast<int>(i);
-    record.arrival = job.arrival;
-    records_.push_back(record);
-    // Resolve the effective class now so arrival_trace() records exactly
-    // what the ETCs below use: a trace-supplied class wins; otherwise the
-    // historical per-id hash.
+  // Resolve the effective class so downstream consumers see exactly what
+  // the ETCs use (trace-supplied class wins, else the historical per-id
+  // hash), and normalize QoS sentinels to exactly -1 so a recorded trace
+  // round-trips bit for bit (the writer emits an empty field for any
+  // negative value, which reads back as -1.0; non-finite = unset too).
+  auto normalize_job = [&](TraceJob& job, int id) {
     if (config_.num_job_classes > 0) {
       job.job_class = job.job_class >= 0
                           ? job.job_class % config_.num_job_classes
-                          : hashed_class(record.id);
+                          : hashed_class(id);
     }
-    // Normalize QoS sentinels to exactly -1 so a recorded trace
-    // round-trips bit for bit (the writer emits an empty field for any
-    // negative value, which reads back as -1.0; non-finite = unset too).
     if (!(job.deadline >= 0) || !std::isfinite(job.deadline)) {
       job.deadline = -1.0;
     }
     if (!(job.budget >= 0) || !std::isfinite(job.budget)) job.budget = -1.0;
     if (job.user < 0) job.user = -1;
+  };
+
+  bool qos_deadlines = false;
+  bool qos_budgets = false;
+  if (!streaming) {
+    // --- Materialize the arrival stream over the horizon. ---
+    if (config_.workload) {
+      trace_ = config_.workload->generate(config_.horizon, arrival_rng,
+                                          workload_rng);
+    } else {
+      PoissonWorkload poisson(
+          config_.arrival_rate,
+          LogNormalSize{config_.workload_log_mean, config_.workload_log_sigma});
+      trace_ = poisson.generate(config_.horizon, arrival_rng, workload_rng);
+    }
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      TraceJob& job = trace_[i];
+      // Negated comparisons reject NaN alongside genuine range violations.
+      if (!(job.arrival >= 0) || !std::isfinite(job.arrival) ||
+          !(job.workload_mi > 0) || !std::isfinite(job.workload_mi) ||
+          (i > 0 && job.arrival < trace_[i - 1].arrival)) {
+        throw std::runtime_error(
+            "GridSimulator: workload source produced an invalid stream "
+            "(arrivals must be finite, sorted and >= 0, sizes finite > 0)");
+      }
+      SimJobRecord record;
+      record.id = static_cast<int>(i);
+      record.arrival = job.arrival;
+      records_.push_back(record);
+      normalize_job(job, record.id);
+    }
+    qos_deadlines =
+        std::any_of(trace_.begin(), trace_.end(),
+                    [](const TraceJob& job) { return job.deadline >= 0; });
+    qos_budgets =
+        std::any_of(trace_.begin(), trace_.end(), [](const TraceJob& job) {
+          return job.user >= 0 || job.budget >= 0;
+        });
+  } else {
+    // A stream cannot be scanned up front, so the QoS regime is the
+    // source's declaration. A declared-but-unset column is behaviorally
+    // inert (infinite slack / no users), pinned by test.
+    const StreamQos stream_qos = config_.stream->qos();
+    qos_deadlines = stream_qos.deadlines;
+    qos_budgets = stream_qos.budgets;
   }
-  const bool qos_deadlines =
-      std::any_of(trace_.begin(), trace_.end(),
-                  [](const TraceJob& job) { return job.deadline >= 0; });
-  const bool qos_budgets =
-      std::any_of(trace_.begin(), trace_.end(), [](const TraceJob& job) {
-        return job.user >= 0 || job.budget >= 0;
-      });
+
+  // --- In-flight window (streaming mode): jobs [first_live, next_id)
+  // keyed by id. A job leaves the window only once its outcome can never
+  // change again; record_of/job_of dispatch so the batch loop below is
+  // mode-agnostic. ---
+  std::deque<TraceJob> live_jobs;
+  std::deque<SimJobRecord> live_records;
+  int first_live = 0;
+  int next_id = 0;
+  double last_arrival = 0.0;
+  std::vector<TraceJob> chunk;
+  bool stream_open = streaming;
+
+  auto job_of = [&](int id) -> TraceJob& {
+    return streaming ? live_jobs[static_cast<std::size_t>(id - first_live)]
+                     : trace_[static_cast<std::size_t>(id)];
+  };
+  auto record_of = [&](int id) -> SimJobRecord& {
+    return streaming ? live_records[static_cast<std::size_t>(id - first_live)]
+                     : records_[static_cast<std::size_t>(id)];
+  };
+
   auto cost_rate_of = [&](int machine) {
     return config_.machine_cost_rate *
            machines[static_cast<std::size_t>(machine)].mips /
@@ -129,7 +200,7 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
   };
 
   auto etc_of = [&](int job_id, int machine) {
-    const TraceJob& job = trace_[static_cast<std::size_t>(job_id)];
+    const TraceJob& job = job_of(job_id);
     double base =
         job.workload_mi / machines[static_cast<std::size_t>(machine)].mips;
     if (config_.num_job_classes > 0 &&
@@ -142,20 +213,106 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
   };
 
   SimMetrics metrics;
-  metrics.jobs_arrived = static_cast<int>(records_.size());
+  if (!streaming) metrics.jobs_arrived = static_cast<int>(records_.size());
+
+  // --- Per-job finalization, shared by both modes and always invoked in
+  // id order, so every floating-point accumulation happens in the same
+  // sequence — the streaming/materialized bit-identity hinges on this. ---
+  double flow_sum = 0.0;
+  double wait_sum = 0.0;
+  double slowdown_sum = 0.0;
+  auto finalize_job = [&](const SimJobRecord& r, const TraceJob& job) {
+    // Deadline accounting covers every outcome: late, rejected at
+    // ingress, or never finished all count as misses — admission control
+    // cannot improve the SLO by hiding jobs.
+    const double deadline = job.deadline;
+    if (deadline >= 0) {
+      ++metrics.deadline_jobs;
+      if (r.rejected || r.finish < 0 || r.finish > deadline) {
+        ++metrics.deadline_missed;
+        if (r.finish > deadline) {
+          metrics.total_tardiness += r.finish - deadline;
+        }
+      }
+    }
+    if (observer_) observer_(r, job);
+    if (r.finish < 0) return;
+    ++metrics.jobs_completed;
+    flow_sum += r.flowtime();
+    wait_sum += r.wait();
+    metrics.flowtime_hist.add(r.flowtime());
+    if (config_.machine_cost_rate > 0) {
+      metrics.total_cost += (r.finish - r.start) * cost_rate_of(r.machine);
+    }
+    double ideal = std::numeric_limits<double>::infinity();
+    for (int m = 0; m < config_.num_machines; ++m) {
+      ideal = std::min(ideal, etc_of(r.id, m));
+    }
+    slowdown_sum += r.flowtime() / ideal;
+    metrics.max_flowtime = std::max(metrics.max_flowtime, r.flowtime());
+    metrics.makespan = std::max(metrics.makespan, r.finish);
+  };
 
   std::deque<int> pending;  // job ids awaiting scheduling
   std::size_t next_arrival = 0;
+  std::size_t churn_cursor = 0;  // next churn_replay event to apply
   double now = 0.0;
   Stopwatch cpu;
   double total_batch = 0.0;
+
+  // Fails machine `mi` at `fail_at`: jobs not finished by then are lost
+  // and re-queued (non-preemptive execution restarts elsewhere). Records
+  // the event, so drawn and replayed churn expose the same churn_trace().
+  auto fail_machine = [&](int mi, double fail_at, double repair_at) {
+    auto& m = machines[static_cast<std::size_t>(mi)];
+    m.alive = false;
+    m.repair_at = repair_at;
+    std::vector<int> survivors;
+    for (int job : m.queued_jobs) {
+      auto& r = record_of(job);
+      if (r.finish <= fail_at) {
+        survivors.push_back(job);  // already done, keep the record
+      } else {
+        r.start = -1.0;
+        r.finish = -1.0;
+        r.machine = -1;
+        pending.push_back(job);
+        ++metrics.jobs_requeued;
+      }
+    }
+    m.queued_jobs = std::move(survivors);
+    m.free_at = fail_at;
+    churn_trace_.push_back(ChurnEvent{mi, fail_at, repair_at});
+  };
 
   const double max_sim_time = config_.horizon * 1000.0;  // runaway guard
   while (now < max_sim_time) {
     now += config_.scheduler_period;
 
     // --- Machine churn within (now - period, now]. ---
-    if (config_.machine_mtbf > 0) {
+    if (replaying_churn) {
+      // Repairs first: a machine repaired this activation rejoins the
+      // batch below but cannot fail again until the next one — the same
+      // rule the drawn pass enforces, so recorded events never target a
+      // just-repaired machine.
+      for (auto& m : machines) {
+        if (!m.alive && m.repair_at <= now) {
+          m.alive = true;
+          m.free_at = std::max(m.free_at, m.repair_at);
+        }
+      }
+      const auto& events = *config_.churn_replay;
+      while (churn_cursor < events.size() &&
+             events[churn_cursor].fail_at <= now) {
+        const ChurnEvent& e = events[churn_cursor];
+        if (!machines[static_cast<std::size_t>(e.machine)].alive) {
+          throw std::runtime_error(
+              "GridSimulator: churn_replay event for a machine already down");
+        }
+        fail_machine(e.machine, e.fail_at, e.repair_at);
+        ++churn_cursor;
+      }
+    } else if (config_.machine_mtbf > 0) {
       for (std::size_t mi = 0; mi < machines.size(); ++mi) {
         auto& m = machines[mi];
         if (!m.alive) {
@@ -170,37 +327,85 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
         if (churn_rng.chance(p_fail)) {
           const double fail_at =
               now - churn_rng.uniform(0.0, config_.scheduler_period);
-          m.alive = false;
-          m.repair_at = fail_at + churn_rng.exponential(1.0 / config_.machine_mttr);
-          // Non-preemptive: jobs that have not *finished* by the failure
-          // are lost and re-queued (they restart elsewhere).
-          std::vector<int> survivors;
-          for (int job : m.queued_jobs) {
-            auto& r = records_[static_cast<std::size_t>(job)];
-            if (r.finish <= fail_at) {
-              survivors.push_back(job);  // already done, keep the record
-            } else {
-              r.start = -1.0;
-              r.finish = -1.0;
-              r.machine = -1;
-              pending.push_back(job);
-              ++metrics.jobs_requeued;
-            }
-          }
-          m.queued_jobs = std::move(survivors);
-          m.free_at = fail_at;
+          fail_machine(static_cast<int>(mi), fail_at,
+                       fail_at +
+                           churn_rng.exponential(1.0 / config_.machine_mttr));
+        }
+      }
+    }
+
+    // --- Retire immortal jobs from the in-flight window (streaming).
+    // After this activation's churn, a job with finish <= now can never
+    // be re-queued (every future fail_at lands in a later window), so
+    // the contiguous finished/rejected prefix is final. Finalizing
+    // exactly that prefix keeps the accumulation order identical to the
+    // materialized end-of-run pass. ---
+    if (streaming) {
+      const int prune_from = first_live;
+      while (!live_records.empty()) {
+        const SimJobRecord& r = live_records.front();
+        if (!(r.rejected || (r.finish >= 0 && r.finish <= now))) break;
+        finalize_job(r, live_jobs.front());
+        live_records.pop_front();
+        live_jobs.pop_front();
+        ++first_live;
+      }
+      if (churn_enabled && first_live != prune_from) {
+        // Retired ids can never be re-queued; drop them so queue scans
+        // and memory stay proportional to the live window.
+        for (auto& m : machines) {
+          std::erase_if(m.queued_jobs,
+                        [&](int id) { return id < first_live; });
         }
       }
     }
 
     // --- Collect arrivals up to now. ---
-    while (next_arrival < records_.size() &&
-           records_[next_arrival].arrival <= now) {
-      pending.push_back(records_[next_arrival].id);
-      ++next_arrival;
+    if (!streaming) {
+      while (next_arrival < records_.size() &&
+             records_[next_arrival].arrival <= now) {
+        pending.push_back(records_[next_arrival].id);
+        ++next_arrival;
+      }
+    } else if (stream_open) {
+      chunk.clear();
+      stream_open = config_.stream->next_chunk(now, chunk);
+      for (const TraceJob& incoming : chunk) {
+        // Horizon convention is half-open [0, horizon) everywhere: a
+        // boundary arrival is dropped, exactly as the synthetic
+        // generators and TraceWorkloadSource never emit it. Released
+        // jobs are sorted, so the rest of the chunk is past it too.
+        if (incoming.arrival >= config_.horizon) {
+          stream_open = false;
+          break;
+        }
+        if (!(incoming.arrival >= 0) || !std::isfinite(incoming.arrival) ||
+            !(incoming.workload_mi > 0) ||
+            !std::isfinite(incoming.workload_mi) ||
+            incoming.arrival < last_arrival) {
+          throw std::runtime_error(
+              "GridSimulator: streaming source produced an invalid stream "
+              "(arrivals must be finite, sorted and >= 0, sizes finite > 0)");
+        }
+        last_arrival = incoming.arrival;
+        SimJobRecord record;
+        record.id = next_id;
+        record.arrival = incoming.arrival;
+        live_records.push_back(record);
+        live_jobs.push_back(incoming);
+        normalize_job(live_jobs.back(), next_id);
+        pending.push_back(next_id);
+        ++next_id;
+        ++metrics.jobs_arrived;
+      }
+      if (now >= config_.horizon) stream_open = false;
+      metrics.peak_resident_jobs =
+          std::max(metrics.peak_resident_jobs,
+                   static_cast<int>(live_records.size()));
     }
 
-    const bool horizon_passed = next_arrival >= records_.size();
+    const bool horizon_passed =
+        streaming ? !stream_open : next_arrival >= records_.size();
     if (pending.empty()) {
       if (horizon_passed) break;  // nothing left to do
       continue;
@@ -212,7 +417,7 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
       if (machines[mi].alive) alive.push_back(static_cast<int>(mi));
     }
     if (alive.empty()) {
-      if (horizon_passed && config_.machine_mtbf == 0) break;
+      if (horizon_passed && !churn_enabled) break;
       continue;  // wait for a repair
     }
 
@@ -247,8 +452,7 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
       ctx.class_speedup = config_.class_speedup;
       ctx.job_classes.reserve(batch.size());
       for (const int job : batch) {
-        ctx.job_classes.push_back(
-            trace_[static_cast<std::size_t>(job)].job_class);
+        ctx.job_classes.push_back(job_of(job).job_class);
       }
     }
     if (qos_deadlines) {
@@ -256,7 +460,7 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
       // schedulers compare it against batch completion times directly.
       ctx.job_deadlines.reserve(batch.size());
       for (const int job : batch) {
-        const double deadline = trace_[static_cast<std::size_t>(job)].deadline;
+        const double deadline = job_of(job).deadline;
         ctx.job_deadlines.push_back(
             deadline >= 0 ? deadline - now
                           : std::numeric_limits<double>::infinity());
@@ -266,9 +470,8 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
       ctx.job_users.reserve(batch.size());
       ctx.job_budgets.reserve(batch.size());
       for (const int job : batch) {
-        ctx.job_users.push_back(trace_[static_cast<std::size_t>(job)].user);
-        ctx.job_budgets.push_back(
-            trace_[static_cast<std::size_t>(job)].budget);
+        ctx.job_users.push_back(job_of(job).user);
+        ctx.job_budgets.push_back(job_of(job).budget);
       }
     }
     if (config_.machine_cost_rate > 0) {
@@ -291,7 +494,7 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
     // --- Admission rejections: dropped at ingress, never re-queued. ---
     for (std::size_t bj = 0; bj < batch.size(); ++bj) {
       if (plan[static_cast<JobId>(bj)] == Schedule::kRejected) {
-        records_[static_cast<std::size_t>(batch[bj])].rejected = true;
+        record_of(batch[bj]).rejected = true;
         ++metrics.jobs_rejected;
       }
     }
@@ -311,15 +514,16 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
       auto& m = machines[static_cast<std::size_t>(alive[bm])];
       double cursor = std::max(m.free_at, now);
       for (const auto& [cost, bj] : spt) {
-        auto& r = records_[static_cast<std::size_t>(batch[
-            static_cast<std::size_t>(bj)])];
+        auto& r = record_of(batch[static_cast<std::size_t>(bj)]);
         r.start = cursor;
         r.finish = cursor + cost;
         r.machine = static_cast<MachineId>(alive[static_cast<std::size_t>(bm)]);
         r.attempts += 1;
         cursor = r.finish;
         m.busy_until_now += cost;
-        m.queued_jobs.push_back(r.id);
+        // queued_jobs only feeds failure re-queues; in streaming mode
+        // without churn, tracking it would grow without bound.
+        if (!streaming || churn_enabled) m.queued_jobs.push_back(r.id);
       }
       m.free_at = cursor;
     }
@@ -327,39 +531,22 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
     if (horizon_passed && !config_.drain) break;
   }
 
-  // --- Aggregate metrics over completed jobs. ---
-  double flow_sum = 0.0;
-  double wait_sum = 0.0;
-  double slowdown_sum = 0.0;
-  for (const auto& r : records_) {
-    // Deadline accounting covers every outcome: late, rejected at
-    // ingress, or never finished all count as misses — admission control
-    // cannot improve the SLO by hiding jobs.
-    const double deadline = trace_[static_cast<std::size_t>(r.id)].deadline;
-    if (deadline >= 0) {
-      ++metrics.deadline_jobs;
-      if (r.rejected || r.finish < 0 || r.finish > deadline) {
-        ++metrics.deadline_missed;
-        if (r.finish > deadline) {
-          metrics.total_tardiness += r.finish - deadline;
-        }
-      }
+  // --- Aggregate metrics over completed jobs (materialized: everything
+  // finalizes here; streaming: flush whatever the in-flight window still
+  // holds — jobs whose finish lies past the last activation, or that
+  // never got scheduled). Same finalizer, same id order either way. ---
+  if (!streaming) {
+    metrics.peak_resident_jobs = static_cast<int>(records_.size());
+    for (const auto& r : records_) {
+      finalize_job(r, trace_[static_cast<std::size_t>(r.id)]);
     }
-    if (r.finish < 0) continue;
-    ++metrics.jobs_completed;
-    flow_sum += r.flowtime();
-    wait_sum += r.wait();
-    metrics.flowtime_hist.add(r.flowtime());
-    if (config_.machine_cost_rate > 0) {
-      metrics.total_cost += (r.finish - r.start) * cost_rate_of(r.machine);
+  } else {
+    while (!live_records.empty()) {
+      finalize_job(live_records.front(), live_jobs.front());
+      live_records.pop_front();
+      live_jobs.pop_front();
+      ++first_live;
     }
-    double ideal = std::numeric_limits<double>::infinity();
-    for (int m = 0; m < config_.num_machines; ++m) {
-      ideal = std::min(ideal, etc_of(r.id, m));
-    }
-    slowdown_sum += r.flowtime() / ideal;
-    metrics.max_flowtime = std::max(metrics.max_flowtime, r.flowtime());
-    metrics.makespan = std::max(metrics.makespan, r.finish);
   }
   if (metrics.jobs_completed > 0) {
     metrics.mean_flowtime = flow_sum / metrics.jobs_completed;

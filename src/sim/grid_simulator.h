@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -81,6 +82,21 @@ struct SimConfig {
   /// copyable (benches clone a base config per run); sources are
   /// stateless across runs.
   std::shared_ptr<WorkloadSource> workload;
+  /// Streaming arrival stream, mutually exclusive with `workload`: the
+  /// simulator pulls `next_chunk(now)` each activation and holds only the
+  /// in-flight job window, so a multi-million-job trace replays in O(1)
+  /// memory (SimMetrics::peak_resident_jobs reports the window's high
+  /// water mark). Unlike `workload`, a stream carries a cursor and is
+  /// CONSUMED by one run — build a fresh one per run. In this mode
+  /// `job_records()`/`arrival_trace()` stay empty; observe per-job
+  /// outcomes via set_job_observer.
+  std::shared_ptr<StreamingWorkloadSource> stream;
+  /// Recorded churn to replay (workload/trace_io.h sidecar): when set,
+  /// machine failures come from this event sequence instead of the
+  /// MTBF/MTTR draws, making a churny run reproducible under ANY
+  /// scheduler and either arrival mode. Events must be the recorded
+  /// order (non-decreasing activation windows), validated at run().
+  std::shared_ptr<const std::vector<ChurnEvent>> churn_replay;
 };
 
 /// Per-job outcome record.
@@ -120,6 +136,13 @@ struct SimMetrics {
   /// the tail, so p50/p99 come from here (flowtime_hist.p99()).
   LatencyHistogram flowtime_hist;
   // QoS outcomes (all zero when the trace carries no deadlines).
+  /// High-water mark of jobs resident in simulator memory at once. In
+  /// streaming mode this is the in-flight window (bounded by scheduling
+  /// locality, independent of trace length — the O(1)-memory guarantee,
+  /// gated by bench/trace_replay); in materialized mode it equals
+  /// jobs_arrived. Deterministic, so parity checks exclude it like
+  /// scheduler_cpu_ms.
+  int peak_resident_jobs = 0;
   int jobs_rejected = 0;   // dropped at ingress by admission control
   int deadline_jobs = 0;   // jobs that carried a deadline
   int deadline_missed = 0; // of those: late, rejected, or unfinished
@@ -135,13 +158,26 @@ struct SimMetrics {
 
 class GridSimulator {
  public:
+  /// Fires once per job, in job-id (= arrival) order, when the job's
+  /// outcome is final: at end of run in materialized mode, as the
+  /// in-flight window drains in streaming mode. The TraceJob carries the
+  /// normalized fields (resolved class, -1 sentinels) the run actually
+  /// used. Identical call sequence in both modes — the bit-identity
+  /// bridge between them.
+  using JobObserver = std::function<void(const SimJobRecord&, const TraceJob&)>;
+
   explicit GridSimulator(SimConfig config);
 
   /// Runs one full simulation with the given scheduler. Deterministic in
   /// (config.seed, scheduler behaviour).
   [[nodiscard]] SimMetrics run(BatchScheduler& scheduler);
 
-  /// Per-job records of the last run (empty before the first run).
+  void set_job_observer(JobObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Per-job records of the last run (empty before the first run, and
+  /// always empty in streaming mode — use set_job_observer there).
   [[nodiscard]] const std::vector<SimJobRecord>& job_records() const noexcept {
     return records_;
   }
@@ -154,8 +190,17 @@ class GridSimulator {
     return trace_;
   }
 
+  /// The churn events of the last run, in application order — recorded
+  /// whether they were drawn (MTBF/MTTR) or replayed. `write_churn_trace`
+  /// of this plus SimConfig::churn_replay of the read-back closes the
+  /// record→replay loop for the failure process.
+  [[nodiscard]] const std::vector<ChurnEvent>& churn_trace() const noexcept {
+    return churn_trace_;
+  }
+
   /// Name of the configured workload source ("poisson" when unset).
   [[nodiscard]] std::string_view workload_name() const noexcept {
+    if (config_.stream) return config_.stream->name();
     return config_.workload ? config_.workload->name() : "poisson";
   }
 
@@ -177,8 +222,10 @@ class GridSimulator {
   SimConfig config_;
   std::vector<SimJobRecord> records_;
   std::vector<TraceJob> trace_;
+  std::vector<ChurnEvent> churn_trace_;
   std::vector<double> machine_busy_;
   std::vector<double> machine_mips_;
+  JobObserver observer_;
 };
 
 }  // namespace gridsched

@@ -1,0 +1,243 @@
+#include "workload/swf_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/csv.h"
+#include "workload/trace_parse.h"
+
+namespace gridsched {
+namespace {
+
+using trace_detail::fail;
+using trace_detail::parse_double;
+using trace_detail::read_bounded_line;
+using trace_detail::split_ws_fields;
+using trace_detail::strip_bom;
+using trace_detail::trimmed;
+
+/// SWF integer column (user/queue/partition): any integer parses; every
+/// negative value is the SWF "unset" sentinel and maps to -1.
+int parse_swf_int(std::string_view field, std::size_t line,
+                  const char* column) {
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    fail(line, std::string(column) + " is not an integer: '" +
+                   std::string(field) + "'");
+  }
+  return value < 0 ? -1 : value;
+}
+
+/// Shared SWF row state machine (materialized + streaming paths): one
+/// TraceJob per usable row, skip-rule drops counted, structural errors
+/// thrown with the physical line number. Carries the rebase base across
+/// rows, so both paths subtract the SAME first-job submit time.
+class SwfRowMapper {
+ public:
+  explicit SwfRowMapper(const SwfMapping& mapping) : mapping_(mapping) {
+    if (!(mapping_.reference_mips > 0) ||
+        !std::isfinite(mapping_.reference_mips)) {
+      throw std::invalid_argument(
+          "SwfMapping::reference_mips must be finite and > 0");
+    }
+  }
+
+  enum class Row { kNotData, kJob, kSkipped };
+
+  Row map(std::string_view raw, std::size_t line_no, TraceJob& job) {
+    const std::string_view content = trimmed(raw);
+    if (content.empty() || content.front() == ';' || content.front() == '#') {
+      return Row::kNotData;
+    }
+    const std::vector<std::string_view> fields = split_ws_fields(content);
+    if (fields.size() != 18) {
+      fail(line_no,
+           "expected 18 SWF columns, got " + std::to_string(fields.size()));
+    }
+    const double submit = parse_double(fields[1], line_no, "submit time");
+    const double run = parse_double(fields[3], line_no, "run time");
+    const double requested =
+        parse_double(fields[8], line_no, "requested time");
+    if (!std::isfinite(submit)) fail(line_no, "submit time must be finite");
+    if (!std::isfinite(run)) fail(line_no, "run time must be finite");
+    if (!std::isfinite(requested)) {
+      fail(line_no, "requested time must be finite");
+    }
+    const int user = parse_swf_int(fields[11], line_no, "user id");
+    const int queue = parse_swf_int(fields[14], line_no, "queue");
+    const int partition = parse_swf_int(fields[15], line_no, "partition");
+    // Skip rules: a job with no submit time has no arrival; run <= 0 is
+    // a cancelled/failed job with unknown runtime (also catches run's
+    // -1 sentinel). Published logs always contain some of each.
+    if (submit < 0 || !(run > 0)) {
+      ++skipped_;
+      return Row::kSkipped;
+    }
+    double arrival = submit;
+    if (mapping_.rebase_arrivals) {
+      if (!have_base_) {
+        base_ = submit;
+        have_base_ = true;
+      }
+      arrival = std::max(0.0, submit - base_);
+    }
+    job = TraceJob{};
+    job.arrival = arrival;
+    job.workload_mi = run * mapping_.reference_mips;
+    if (!std::isfinite(job.workload_mi)) {
+      fail(line_no, "run time * reference_mips overflows");
+    }
+    switch (mapping_.class_from) {
+      case SwfMapping::ClassFrom::kNone:
+        break;
+      case SwfMapping::ClassFrom::kQueue:
+        job.job_class = queue;
+        break;
+      case SwfMapping::ClassFrom::kPartition:
+        job.job_class = partition;
+        break;
+    }
+    if (mapping_.map_deadline && requested > 0) {
+      job.deadline = arrival + requested;
+    }
+    if (mapping_.map_user && user >= 0) job.user = user;
+    return Row::kJob;
+  }
+
+  [[nodiscard]] std::size_t skipped() const noexcept { return skipped_; }
+
+ private:
+  SwfMapping mapping_;
+  bool have_base_ = false;
+  double base_ = 0.0;
+  std::size_t skipped_ = 0;
+};
+
+}  // namespace
+
+std::vector<TraceJob> read_swf(std::istream& in, const SwfMapping& mapping,
+                               std::size_t* skipped_rows) {
+  std::vector<TraceJob> jobs;
+  std::string line;
+  std::size_t line_no = 0;
+  SwfRowMapper mapper(mapping);
+  while (read_bounded_line(in, line, line_no + 1)) {
+    ++line_no;
+    const std::string_view raw =
+        line_no == 1 ? strip_bom(line) : std::string_view(line);
+    TraceJob job;
+    if (mapper.map(raw, line_no, job) == SwfRowMapper::Row::kJob) {
+      jobs.push_back(job);
+    }
+  }
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const TraceJob& a, const TraceJob& b) {
+                     return a.arrival < b.arrival;
+                   });
+  if (skipped_rows) *skipped_rows = mapper.skipped();
+  return jobs;
+}
+
+std::vector<TraceJob> read_swf_file(const std::string& path,
+                                    const SwfMapping& mapping,
+                                    std::size_t* skipped_rows) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_swf_file: cannot open " + path);
+  return read_swf(in, mapping, skipped_rows);
+}
+
+struct SwfStreamReader::Impl {
+  std::istream& in;
+  std::string name;
+  SwfMapping mapping;
+  SwfRowMapper mapper;
+  trace_detail::ReorderBuffer buffer;
+  std::string line;
+  std::size_t line_no = 0;
+  bool exhausted = false;
+
+  Impl(std::istream& stream, SwfMapping map, std::size_t reorder_window,
+       std::string label)
+      : in(stream), name(std::move(label)), mapping(map), mapper(map),
+        buffer(reorder_window) {}
+
+  bool read_row() {
+    if (exhausted) return false;
+    if (!read_bounded_line(in, line, line_no + 1)) {
+      exhausted = true;
+      return false;
+    }
+    ++line_no;
+    const std::string_view raw =
+        line_no == 1 ? strip_bom(line) : std::string_view(line);
+    TraceJob job;
+    if (mapper.map(raw, line_no, job) == SwfRowMapper::Row::kJob) {
+      buffer.insert(job, line_no);
+    }
+    return true;
+  }
+
+  void fill() {
+    while (!exhausted && buffer.size() <= buffer.window()) read_row();
+  }
+};
+
+SwfStreamReader::SwfStreamReader(std::istream& in, SwfMapping mapping,
+                                 std::size_t reorder_window, std::string name)
+    : impl_(std::make_unique<Impl>(in, mapping, reorder_window,
+                                   std::move(name))) {
+  // Prime to the first usable row so structural errors surface here.
+  while (!impl_->exhausted && impl_->buffer.empty()) impl_->read_row();
+}
+
+SwfStreamReader::~SwfStreamReader() = default;
+
+std::string_view SwfStreamReader::name() const noexcept {
+  return impl_->name;
+}
+
+bool SwfStreamReader::next_chunk(double until, std::vector<TraceJob>& out) {
+  for (;;) {
+    impl_->fill();
+    if (impl_->buffer.empty()) return false;
+    if (impl_->buffer.front().arrival > until) return true;
+    out.push_back(impl_->buffer.pop());
+  }
+}
+
+StreamQos SwfStreamReader::qos() const noexcept {
+  StreamQos qos;
+  qos.deadlines = impl_->mapping.map_deadline;
+  // SWF has no budget column, but mapped user ids feed the same budget
+  // context (BatchContext::job_users) the materialized scan turns on —
+  // declaring them keeps streaming and materialized runs bit-identical.
+  qos.budgets = impl_->mapping.map_user;
+  return qos;
+}
+
+std::size_t SwfStreamReader::skipped_rows() const noexcept {
+  return impl_->mapper.skipped();
+}
+
+std::size_t SwfStreamReader::peak_buffered() const noexcept {
+  return impl_->buffer.peak();
+}
+
+void write_swf_row(std::ostream& out, long job_id, double submit_seconds,
+                   double run_seconds, int procs, int user, int queue,
+                   double requested_seconds) {
+  // Columns gridsched does not map are the -1 sentinel, per the SWF
+  // convention for unknown fields.
+  out << job_id << ' ' << CsvWriter::field(submit_seconds) << " -1 "
+      << CsvWriter::field(run_seconds) << ' ' << procs << " -1 -1 " << procs
+      << ' ' << CsvWriter::field(requested_seconds) << " -1 1 " << user
+      << " -1 -1 " << queue << " -1 -1 -1\n";
+}
+
+}  // namespace gridsched

@@ -1,126 +1,58 @@
 #include "workload/trace_io.h"
 
 #include <algorithm>
-#include <cctype>
-#include <charconv>
 #include <cmath>
 #include <fstream>
 #include <stdexcept>
 #include <string_view>
+#include <utility>
 
 #include "common/csv.h"
+#include "workload/trace_parse.h"
 
 namespace gridsched {
 namespace {
 
-[[noreturn]] void fail(std::size_t line, const std::string& what) {
-  throw std::runtime_error("trace line " + std::to_string(line) + ": " + what);
-}
+using trace_detail::fail;
+using trace_detail::looks_like_header;
+using trace_detail::parse_double;
+using trace_detail::parse_optional_double;
+using trace_detail::parse_optional_int;
+using trace_detail::read_bounded_line;
+using trace_detail::split_fields;
+using trace_detail::strip_bom;
+using trace_detail::trimmed;
 
-std::string_view trimmed(std::string_view s) {
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
-std::vector<std::string_view> split_fields(std::string_view line) {
-  std::vector<std::string_view> fields;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t comma = line.find(',', start);
-    fields.push_back(trimmed(line.substr(start, comma - start)));
-    if (comma == std::string_view::npos) break;
-    start = comma + 1;
-  }
-  return fields;
-}
-
-double parse_double(std::string_view field, std::size_t line,
-                    const char* column) {
-  double value = 0.0;
-  const auto [ptr, ec] =
-      std::from_chars(field.data(), field.data() + field.size(), value);
-  if (ec != std::errc{} || ptr != field.data() + field.size()) {
-    fail(line, std::string(column) + " is not a number: '" +
-                   std::string(field) + "'");
-  }
-  return value;
-}
-
-int parse_optional_int(std::string_view field, std::size_t line,
-                       const char* column) {
-  if (field.empty()) return -1;  // unset
-  int value = 0;
-  const auto [ptr, ec] =
-      std::from_chars(field.data(), field.data() + field.size(), value);
-  if (ec != std::errc{} || ptr != field.data() + field.size()) {
-    fail(line, std::string(column) + " is not an integer: '" +
-                   std::string(field) + "'");
-  }
-  if (value < -1) fail(line, std::string(column) + " must be >= -1");
-  return value;
-}
-
-/// QoS doubles (deadline, budget): an empty field is the "none" sentinel
-/// -1; a present field must be finite and >= 0, NaN rejected like the
-/// mandatory columns.
-double parse_optional_double(std::string_view field, std::size_t line,
-                             const char* column) {
-  if (field.empty()) return -1.0;  // unset
-  const double value = parse_double(field, line, column);
-  if (!(value >= 0) || !std::isfinite(value)) {
-    fail(line, std::string(column) + " must be finite and >= 0 (or empty)");
-  }
-  return value;
-}
-
-/// A header row is any row whose first field is not parseable as a
-/// double. Parsing (rather than sniffing the first character) keeps
-/// "nan"/"inf" and empty fields on the data path, where the validator
-/// rejects them with a line number instead of silently eating the row.
-bool looks_like_header(std::string_view first_field) {
-  if (first_field.empty()) return false;
-  double value = 0.0;
-  const auto [ptr, ec] = std::from_chars(
-      first_field.data(), first_field.data() + first_field.size(), value);
-  return ec != std::errc{} || ptr != first_field.data() + first_field.size();
-}
-
-}  // namespace
-
-std::vector<TraceJob> read_trace(std::istream& in) {
-  std::vector<TraceJob> jobs;
-  std::string line;
-  std::size_t line_no = 0;
-  std::size_t columns = 0;  // fixed by the header or the first data row
-  bool seen_rows = false;
-  while (std::getline(in, line)) {
-    ++line_no;
-    const std::string_view content = trimmed(line);
+/// Shared per-line state machine used by read_trace and
+/// StreamingTraceReader: skips blank/comment lines, recognizes the
+/// optional header, pins the column count on the first row, and parses
+/// + validates one TraceJob per data row. Errors carry the physical
+/// line number handed in by the caller.
+class TraceRowParser {
+ public:
+  /// Returns true and fills `job` when `raw` is a data row.
+  bool parse(std::string_view raw, std::size_t line_no, TraceJob& job) {
+    const std::string_view content = trimmed(raw);
     if (content.empty() || content.front() == '#' || content.front() == ';') {
-      continue;
+      return false;
     }
     const std::vector<std::string_view> fields = split_fields(content);
     if (fields.size() < 2 || fields.size() > 6) {
-      fail(line_no, "expected 2 to 6 columns, got " +
-                        std::to_string(fields.size()));
+      fail(line_no,
+           "expected 2 to 6 columns, got " + std::to_string(fields.size()));
     }
-    if (!seen_rows && looks_like_header(fields[0])) {
-      seen_rows = true;
-      columns = fields.size();
-      continue;
+    if (!seen_rows_ && looks_like_header(fields[0])) {
+      seen_rows_ = true;
+      columns_ = fields.size();
+      return false;
     }
-    if (columns == 0) columns = fields.size();
-    seen_rows = true;
-    if (fields.size() != columns) {
+    if (columns_ == 0) columns_ = fields.size();
+    seen_rows_ = true;
+    if (fields.size() != columns_) {
       fail(line_no, "row has " + std::to_string(fields.size()) +
-                        " columns, trace has " + std::to_string(columns));
+                        " columns, trace has " + std::to_string(columns_));
     }
-    TraceJob job;
+    job = TraceJob{};
     job.arrival = parse_double(fields[0], line_no, "arrival");
     job.workload_mi = parse_double(fields[1], line_no, "workload_mi");
     if (fields.size() >= 3) {
@@ -144,7 +76,30 @@ std::vector<TraceJob> read_trace(std::istream& in) {
     if (!(job.workload_mi > 0) || !std::isfinite(job.workload_mi)) {
       fail(line_no, "workload_mi must be finite and > 0");
     }
-    jobs.push_back(job);
+    return true;
+  }
+
+  /// Column count fixed by the header or first data row (0 before either).
+  [[nodiscard]] std::size_t columns() const noexcept { return columns_; }
+
+ private:
+  std::size_t columns_ = 0;
+  bool seen_rows_ = false;
+};
+
+}  // namespace
+
+std::vector<TraceJob> read_trace(std::istream& in) {
+  std::vector<TraceJob> jobs;
+  std::string line;
+  std::size_t line_no = 0;
+  TraceRowParser parser;
+  while (read_bounded_line(in, line, line_no + 1)) {
+    ++line_no;
+    const std::string_view raw =
+        line_no == 1 ? strip_bom(line) : std::string_view(line);
+    TraceJob job;
+    if (parser.parse(raw, line_no, job)) jobs.push_back(job);
   }
   std::stable_sort(jobs.begin(), jobs.end(),
                    [](const TraceJob& a, const TraceJob& b) {
@@ -208,6 +163,154 @@ void write_trace_file(const std::string& path,
   std::ofstream out(path);
   if (!out) throw std::runtime_error("write_trace_file: cannot open " + path);
   write_trace(out, jobs);
+}
+
+// ---------------------------------------------------------------------------
+// StreamingTraceReader
+
+struct StreamingTraceReader::Impl {
+  std::istream& in;
+  std::string name;
+  TraceRowParser parser;
+  trace_detail::ReorderBuffer buffer;
+  std::string line;
+  std::size_t line_no = 0;
+  bool exhausted = false;
+
+  Impl(std::istream& stream, std::size_t reorder_window, std::string label)
+      : in(stream), name(std::move(label)), buffer(reorder_window) {}
+
+  /// Reads one physical line; inserts a data row into the sorted buffer.
+  /// Returns false at EOF.
+  bool read_row() {
+    if (exhausted) return false;
+    if (!read_bounded_line(in, line, line_no + 1)) {
+      exhausted = true;
+      return false;
+    }
+    ++line_no;
+    const std::string_view raw =
+        line_no == 1 ? strip_bom(line) : std::string_view(line);
+    TraceJob job;
+    if (parser.parse(raw, line_no, job)) buffer.insert(job, line_no);
+    return true;
+  }
+
+  /// Tops the buffer up past the reorder window (or to EOF), so the
+  /// front row is provably the earliest remaining in the whole stream.
+  void fill() {
+    while (!exhausted && buffer.size() <= buffer.window()) read_row();
+  }
+};
+
+StreamingTraceReader::StreamingTraceReader(std::istream& in,
+                                           std::size_t reorder_window,
+                                           std::string name)
+    : impl_(std::make_unique<Impl>(in, reorder_window, std::move(name))) {
+  // Prime to the first data row so header/column errors surface here,
+  // and qos() is answerable before the first next_chunk call.
+  while (!impl_->exhausted && impl_->buffer.empty()) impl_->read_row();
+}
+
+StreamingTraceReader::~StreamingTraceReader() = default;
+
+std::string_view StreamingTraceReader::name() const noexcept {
+  return impl_->name;
+}
+
+bool StreamingTraceReader::next_chunk(double until,
+                                      std::vector<TraceJob>& out) {
+  for (;;) {
+    impl_->fill();
+    if (impl_->buffer.empty()) return false;
+    if (impl_->buffer.front().arrival > until) return true;
+    out.push_back(impl_->buffer.pop());
+  }
+}
+
+StreamQos StreamingTraceReader::qos() const noexcept {
+  // Column presence, not per-row values: a 4-column trace declares the
+  // deadline regime even when every row's deadline is unset. An
+  // all-unset declared column is behaviorally inert in the simulator
+  // (infinite slack, zero deadline_jobs), pinned by test.
+  StreamQos qos;
+  qos.deadlines = impl_->parser.columns() >= 4;
+  qos.budgets = impl_->parser.columns() >= 5;
+  return qos;
+}
+
+std::size_t StreamingTraceReader::peak_buffered() const noexcept {
+  return impl_->buffer.peak();
+}
+
+// ---------------------------------------------------------------------------
+// Churn sidecar trace
+
+std::vector<ChurnEvent> read_churn_trace(std::istream& in) {
+  std::vector<ChurnEvent> events;
+  std::string line;
+  std::size_t line_no = 0;
+  bool seen_rows = false;
+  while (read_bounded_line(in, line, line_no + 1)) {
+    ++line_no;
+    const std::string_view raw =
+        line_no == 1 ? strip_bom(line) : std::string_view(line);
+    const std::string_view content = trimmed(raw);
+    if (content.empty() || content.front() == '#' || content.front() == ';') {
+      continue;
+    }
+    const std::vector<std::string_view> fields = split_fields(content);
+    if (fields.size() != 3) {
+      fail(line_no, "expected 3 columns (machine,fail_at,repair_at), got " +
+                        std::to_string(fields.size()));
+    }
+    if (!seen_rows && looks_like_header(fields[0])) {
+      seen_rows = true;
+      continue;
+    }
+    seen_rows = true;
+    ChurnEvent event;
+    event.machine = parse_optional_int(fields[0], line_no, "machine");
+    if (event.machine < 0) fail(line_no, "machine must be >= 0");
+    event.fail_at = parse_double(fields[1], line_no, "fail_at");
+    event.repair_at = parse_double(fields[2], line_no, "repair_at");
+    if (!(event.fail_at >= 0) || !std::isfinite(event.fail_at)) {
+      fail(line_no, "fail_at must be finite and >= 0");
+    }
+    if (!(event.repair_at >= event.fail_at) ||
+        !std::isfinite(event.repair_at)) {
+      fail(line_no, "repair_at must be finite and >= fail_at");
+    }
+    // Recorded order is the replay order — deliberately no sort.
+    events.push_back(event);
+  }
+  return events;
+}
+
+std::vector<ChurnEvent> read_churn_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_churn_trace_file: cannot open " + path);
+  }
+  return read_churn_trace(in);
+}
+
+void write_churn_trace(std::ostream& out, std::span<const ChurnEvent> events) {
+  out << "# gridsched churn trace v1, " << events.size() << " events\n";
+  out << "machine,fail_at,repair_at\n";
+  for (const ChurnEvent& event : events) {
+    out << event.machine << ',' << CsvWriter::field(event.fail_at) << ','
+        << CsvWriter::field(event.repair_at) << '\n';
+  }
+}
+
+void write_churn_trace_file(const std::string& path,
+                            std::span<const ChurnEvent> events) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_churn_trace_file: cannot open " + path);
+  }
+  write_churn_trace(out, events);
 }
 
 }  // namespace gridsched

@@ -20,9 +20,27 @@
 // recorded run replayed through TraceWorkloadSource reproduces the
 // original per-job records bit for bit (enforced by
 // tests/test_workload.cpp and the churn round-trip in tests/test_qos.cpp).
+//
+// Robustness (shared by every reader here, the streaming reader, and the
+// SWF importer in swf_io.h): CRLF line endings are stripped (real
+// SWF/cluster logs are DOS-formatted), a final row without a trailing
+// newline parses, a UTF-8 byte-order mark on the first line is ignored,
+// and a line longer than kMaxTraceLineBytes throws naming the line —
+// bounded reads, so a corrupt multi-gigabyte "line" cannot balloon a
+// streaming replay. Error messages always name the PHYSICAL line number
+// (blank, comment and header lines advance the counter), so "trace line
+// N" is the editor's line N.
+//
+// `read_churn_trace`/`write_churn_trace` serialize the machine-failure
+// sidecar stream (ChurnEvent): `machine,fail_at,repair_at` rows, comment
+// and optional-header conventions as above, but NO sorting — the
+// simulator replays events in recorded order (per-activation machine
+// order), and reordering them would change the re-queue order.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -30,6 +48,11 @@
 #include "workload/workload_source.h"
 
 namespace gridsched {
+
+/// Longest accepted physical line in any trace/churn/SWF input. A real
+/// log row is a few hundred bytes; anything beyond this is corruption
+/// (or a binary file) and throws instead of being buffered.
+inline constexpr std::size_t kMaxTraceLineBytes = 64 * 1024;
 
 /// Parses a trace. Throws std::runtime_error naming the offending line on
 /// malformed input (wrong column count, unparsable numbers, negative
@@ -49,5 +72,58 @@ void write_trace(std::ostream& out, std::span<const TraceJob> jobs);
 /// File variant; throws std::runtime_error when the file cannot be opened.
 void write_trace_file(const std::string& path,
                       std::span<const TraceJob> jobs);
+
+/// Streaming reader over an open trace stream: a StreamingWorkloadSource
+/// that parses rows on demand, holding at most `reorder_window` rows in
+/// memory. Real logs interleave slightly out of arrival order, so rows
+/// are buffered in a bounded sorted window before release; a row whose
+/// arrival precedes an already-released job by more than the window can
+/// absorb throws std::runtime_error naming its line. With the default
+/// window this matches read_trace's stable sort on every trace whose
+/// disorder is local (true of real cluster logs and of write_trace
+/// output, which is sorted). QoS flags are derived from the column
+/// count: >= 4 columns declares deadlines, >= 5 declares budgets.
+class StreamingTraceReader final : public StreamingWorkloadSource {
+ public:
+  /// The stream must outlive the reader. Reads up to the first data row
+  /// eagerly (so header/column errors surface at construction).
+  explicit StreamingTraceReader(std::istream& in,
+                                std::size_t reorder_window = 1024,
+                                std::string name = "trace_stream");
+  ~StreamingTraceReader() override;
+
+  StreamingTraceReader(const StreamingTraceReader&) = delete;
+  StreamingTraceReader& operator=(const StreamingTraceReader&) = delete;
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  bool next_chunk(double until, std::vector<TraceJob>& out) override;
+  [[nodiscard]] StreamQos qos() const noexcept override;
+
+  /// Largest number of rows ever buffered at once — the memory bound.
+  [[nodiscard]] std::size_t peak_buffered() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Parses a churn sidecar trace (`machine,fail_at,repair_at` rows).
+/// Event ORDER IS PRESERVED — no sorting — because the simulator applies
+/// recorded events in order within an activation. Throws
+/// std::runtime_error naming the line on malformed input (wrong column
+/// count, unparsable or non-finite numbers, machine < 0, fail_at < 0,
+/// repair_at < fail_at).
+[[nodiscard]] std::vector<ChurnEvent> read_churn_trace(std::istream& in);
+
+/// File variant; also throws when the file cannot be opened.
+[[nodiscard]] std::vector<ChurnEvent> read_churn_trace_file(
+    const std::string& path);
+
+/// Writes churn events in recorded order with round-trip precision.
+void write_churn_trace(std::ostream& out, std::span<const ChurnEvent> events);
+
+/// File variant; throws std::runtime_error when the file cannot be opened.
+void write_churn_trace_file(const std::string& path,
+                            std::span<const ChurnEvent> events);
 
 }  // namespace gridsched

@@ -1,0 +1,217 @@
+// Internal parsing toolkit shared by the trace readers (trace_io.cpp,
+// swf_io.cpp). Everything here enforces the robustness contract stated
+// in trace_io.h: bounded line reads, CRLF/BOM tolerance, physical line
+// numbers in every error, NaN/inf rejection on validated columns.
+//
+// Not part of the public API — include only from src/workload/*.cpp.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstddef>
+#include <istream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/trace_io.h"
+#include "workload/workload_source.h"
+
+namespace gridsched::trace_detail {
+
+[[noreturn]] inline void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("trace line " + std::to_string(line) + ": " + what);
+}
+
+inline std::string_view trimmed(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Comma splitter for gridsched CSV traces; fields come back trimmed.
+inline std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    fields.push_back(trimmed(line.substr(start, comma - start)));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return fields;
+}
+
+/// Whitespace splitter for SWF rows (runs of blanks/tabs separate the 18
+/// columns; no empty fields possible).
+inline std::vector<std::string_view> split_ws_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size()) break;
+    std::size_t begin = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    fields.push_back(line.substr(begin, i - begin));
+  }
+  return fields;
+}
+
+inline double parse_double(std::string_view field, std::size_t line,
+                           const char* column) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    fail(line, std::string(column) + " is not a number: '" +
+                   std::string(field) + "'");
+  }
+  return value;
+}
+
+inline int parse_optional_int(std::string_view field, std::size_t line,
+                              const char* column) {
+  if (field.empty()) return -1;  // unset
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    fail(line, std::string(column) + " is not an integer: '" +
+                   std::string(field) + "'");
+  }
+  if (value < -1) fail(line, std::string(column) + " must be >= -1");
+  return value;
+}
+
+/// QoS doubles (deadline, budget): an empty field is the "none" sentinel
+/// -1; a present field must be finite and >= 0, NaN rejected like the
+/// mandatory columns.
+inline double parse_optional_double(std::string_view field, std::size_t line,
+                                    const char* column) {
+  if (field.empty()) return -1.0;  // unset
+  const double value = parse_double(field, line, column);
+  if (!(value >= 0) || !std::isfinite(value)) {
+    fail(line, std::string(column) + " must be finite and >= 0 (or empty)");
+  }
+  return value;
+}
+
+/// A header row is any row whose first field is not parseable as a
+/// double. Parsing (rather than sniffing the first character) keeps
+/// "nan"/"inf" and empty fields on the data path, where the validator
+/// rejects them with a line number instead of silently eating the row.
+inline bool looks_like_header(std::string_view first_field) {
+  if (first_field.empty()) return false;
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(
+      first_field.data(), first_field.data() + first_field.size(), value);
+  return ec != std::errc{} || ptr != first_field.data() + first_field.size();
+}
+
+/// Bounded std::getline replacement shared by every trace reader: reads
+/// one physical line through the streambuf, throws (naming the line)
+/// past kMaxTraceLineBytes instead of buffering a corrupt gigabyte
+/// "line", strips a trailing '\r' (CRLF logs), and accepts a final row
+/// with no newline. Returns false only at clean EOF.
+inline bool read_bounded_line(std::istream& in, std::string& line,
+                              std::size_t line_no) {
+  using Traits = std::istream::traits_type;
+  line.clear();
+  if (!in.good()) return false;
+  std::streambuf* buf = in.rdbuf();
+  int ch = buf->sbumpc();
+  if (Traits::eq_int_type(ch, Traits::eof())) {
+    in.setstate(std::ios::eofbit);
+    return false;
+  }
+  while (!Traits::eq_int_type(ch, Traits::eof()) && ch != '\n') {
+    line.push_back(Traits::to_char_type(ch));
+    if (line.size() > kMaxTraceLineBytes) {
+      fail(line_no,
+           "line exceeds " + std::to_string(kMaxTraceLineBytes) + " bytes");
+    }
+    ch = buf->sbumpc();
+  }
+  if (Traits::eq_int_type(ch, Traits::eof())) in.setstate(std::ios::eofbit);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+/// Drops a UTF-8 byte-order mark. Only called on line 1.
+inline std::string_view strip_bom(std::string_view line) {
+  if (line.starts_with("\xEF\xBB\xBF")) line.remove_prefix(3);
+  return line;
+}
+
+/// Bounded reorder window shared by the streaming readers. Jobs are kept
+/// sorted by arrival; equal arrivals keep insertion (file) order, so a
+/// fully drained buffer releases the same sequence as read_trace's
+/// stable sort whenever the input's disorder is local. A row landing
+/// before an already-released job throws, naming its line. `head` marks
+/// released rows not yet compacted, so pops are O(1) and inserts shift
+/// at most ~window elements.
+class ReorderBuffer {
+ public:
+  explicit ReorderBuffer(std::size_t window)
+      : window_(std::max<std::size_t>(window, 1)) {}
+
+  void insert(const TraceJob& job, std::size_t line_no) {
+    if (job.arrival < last_released_) {
+      fail(line_no,
+           "row out of order beyond the reorder window (arrival " +
+               std::to_string(job.arrival) + " after a released job at " +
+               std::to_string(last_released_) +
+               "); re-sort the trace or widen the window");
+    }
+    const auto pos = std::upper_bound(
+        buffer_.begin() + static_cast<std::ptrdiff_t>(head_), buffer_.end(),
+        job, [](const TraceJob& a, const TraceJob& b) {
+          return a.arrival < b.arrival;
+        });
+    buffer_.insert(pos, job);
+    peak_ = std::max(peak_, size());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return buffer_.size() - head_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] const TraceJob& front() const { return buffer_[head_]; }
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+  [[nodiscard]] std::size_t peak() const noexcept { return peak_; }
+
+  TraceJob pop() {
+    const TraceJob job = buffer_[head_];
+    ++head_;
+    last_released_ = job.arrival;
+    if (head_ > window_) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    return job;
+  }
+
+ private:
+  std::size_t window_;
+  std::vector<TraceJob> buffer_;
+  std::size_t head_ = 0;
+  double last_released_ = -std::numeric_limits<double>::infinity();
+  std::size_t peak_ = 0;
+};
+
+}  // namespace gridsched::trace_detail

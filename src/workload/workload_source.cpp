@@ -225,6 +225,32 @@ std::vector<TraceJob> ClassMixWorkload::generate(double horizon,
   return jobs;
 }
 
+MaterializedStream::MaterializedStream(std::vector<TraceJob> jobs,
+                                       std::string name)
+    : jobs_(std::move(jobs)), name_(std::move(name)) {
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const TraceJob& a, const TraceJob& b) {
+                     return a.arrival < b.arrival;
+                   });
+  for (const TraceJob& job : jobs_) {
+    if (job.deadline >= 0) qos_.deadlines = true;
+    if (job.user >= 0 || job.budget >= 0) qos_.budgets = true;
+  }
+}
+
+MaterializedStream::MaterializedStream(WorkloadSource& source, double horizon,
+                                       Rng& arrival_rng, Rng& workload_rng)
+    : MaterializedStream(source.generate(horizon, arrival_rng, workload_rng),
+                         "stream(" + std::string(source.name()) + ")") {}
+
+bool MaterializedStream::next_chunk(double until, std::vector<TraceJob>& out) {
+  while (cursor_ < jobs_.size() && jobs_[cursor_].arrival <= until) {
+    out.push_back(jobs_[cursor_]);
+    ++cursor_;
+  }
+  return cursor_ < jobs_.size();
+}
+
 TraceWorkloadSource::TraceWorkloadSource(std::vector<TraceJob> jobs)
     : jobs_(std::move(jobs)) {
   // Real logs interleave slightly; a stable sort restores arrival order

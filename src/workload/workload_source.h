@@ -30,6 +30,20 @@
 // `make_workload` builds any synthetic kind calibrated so its expected
 // arrival volume over the horizon matches a plain Poisson process at the
 // given rate — scenarios compare at equal offered load.
+//
+// HORIZON CONVENTION (pinned by tests/test_workload.cpp): the arrival
+// window is half-open, [0, horizon). Every source — synthetic generators,
+// TraceWorkloadSource::generate, and the streaming path in GridSimulator —
+// drops a job whose arrival equals the horizon exactly, so replaying a
+// recorded run can never drop or duplicate the boundary job.
+//
+// For traces too large to materialize (a multi-million-job supercomputer
+// log), `StreamingWorkloadSource` is the incremental counterpart of
+// `WorkloadSource`: the simulator pulls arrivals chunk by chunk
+// (`next_chunk(until)`) and retires per-job state as jobs finalize, so
+// peak memory is bounded by the in-flight window, not the trace length.
+// `MaterializedStream` adapts any in-memory stream (or any existing
+// WorkloadSource via its untouched `generate()`) onto the streaming path.
 #pragma once
 
 #include <cstdint>
@@ -62,6 +76,22 @@ struct TraceJob {
   friend bool operator==(const TraceJob&, const TraceJob&) = default;
 };
 
+/// One machine-failure episode of a simulated run: the machine dies at
+/// `fail_at` and comes back at `repair_at` (jobs unfinished at the
+/// failure are re-queued; see sim/grid_simulator.h). Recording them next
+/// to the arrival trace closes the record -> replay loop: arrivals alone
+/// do not reproduce a churny run under a non-deterministic scheduler,
+/// because the drawn failure process depends on how long the run drains.
+/// Serialized as a sidecar stream by workload/trace_io.h
+/// (read/write_churn_trace); replayed via SimConfig::churn_replay.
+struct ChurnEvent {
+  int machine = -1;
+  double fail_at = 0.0;
+  double repair_at = 0.0;
+
+  friend bool operator==(const ChurnEvent&, const ChurnEvent&) = default;
+};
+
 class WorkloadSource {
  public:
   virtual ~WorkloadSource() = default;
@@ -75,6 +105,70 @@ class WorkloadSource {
   /// that replay recorded data ignore them.
   [[nodiscard]] virtual std::vector<TraceJob> generate(
       double horizon, Rng& arrival_rng, Rng& workload_rng) = 0;
+};
+
+/// Which QoS columns a stream can carry. The simulator decides ONCE, at
+/// run start, whether batches get deadline/budget context (it cannot scan
+/// an unmaterialized stream the way the materialized path scans its
+/// vector), so streaming sources declare it up front. Declaring a column
+/// that turns out to hold only sentinels is harmless: an all-infinite
+/// deadline column is behaviorally identical to an absent one
+/// (test-pinned in the portfolio), it just rides along in BatchContext.
+struct StreamQos {
+  bool deadlines = false;  ///< some job may carry a finite deadline
+  bool budgets = false;    ///< some job may carry a user or cost budget
+};
+
+/// Incremental counterpart of WorkloadSource for traces too large to
+/// materialize. A streaming source is single-shot: it consumes its
+/// underlying input (an open istream, a generator) as chunks are pulled,
+/// so construct a fresh one per simulation run.
+class StreamingWorkloadSource {
+ public:
+  virtual ~StreamingWorkloadSource() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Appends every remaining job with arrival <= until to `out`, in
+  /// arrival order (ties in input order). Returns true while the stream
+  /// may still hold jobs with arrival > until; false once it is
+  /// exhausted. Callers bound their pull window (the simulator passes its
+  /// activation time), which bounds the chunk size by the offered load —
+  /// the O(1)-in-trace-length memory contract.
+  virtual bool next_chunk(double until, std::vector<TraceJob>& out) = 0;
+
+  /// QoS column presence (see StreamQos). Default: none.
+  [[nodiscard]] virtual StreamQos qos() const noexcept { return {}; }
+};
+
+/// Streams an in-memory job vector — the materializing adapter that lets
+/// every existing WorkloadSource (whose `generate()` is untouched) and
+/// every recorded trace feed the streaming path. QoS presence is computed
+/// exactly from the jobs, so a simulation consuming the adapter is
+/// bit-identical to one consuming the materialized vector directly.
+class MaterializedStream final : public StreamingWorkloadSource {
+ public:
+  /// Jobs are stably sorted by arrival here (file/recorded order kept for
+  /// ties), exactly like TraceWorkloadSource.
+  explicit MaterializedStream(std::vector<TraceJob> jobs,
+                              std::string name = "materialized");
+
+  /// Materializes `source` over [0, horizon) with the given generators
+  /// and streams the result.
+  MaterializedStream(WorkloadSource& source, double horizon,
+                     Rng& arrival_rng, Rng& workload_rng);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+  bool next_chunk(double until, std::vector<TraceJob>& out) override;
+  [[nodiscard]] StreamQos qos() const noexcept override { return qos_; }
+
+ private:
+  std::vector<TraceJob> jobs_;
+  std::size_t cursor_ = 0;
+  StreamQos qos_;
+  std::string name_;
 };
 
 /// LogNormal(log_mean, log_sigma) job sizes, shared by every synthetic

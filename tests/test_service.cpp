@@ -1098,6 +1098,88 @@ TEST(ShardedDriver, RunsTheDynamicGridAndSplitsMetricsPerShard) {
   EXPECT_GT(activations, 0);
 }
 
+TEST(ShardedDriver, StreamingReportMatchesTheMaterializedReport) {
+  // The driver's observer-based fold against the classic end-of-run fold:
+  // the same churny QoS trace through SimConfig::workload and through
+  // SimConfig::stream must yield the same sharded report, bit for bit
+  // (static partition, so shard attribution cannot drift either).
+  SimConfig sim_config;
+  sim_config.horizon = 300.0;
+  sim_config.arrival_rate = 0.4;
+  sim_config.scheduler_period = 50.0;
+  sim_config.num_machines = 6;
+  sim_config.machine_mtbf = 150.0;
+  sim_config.machine_mttr = 40.0;
+  sim_config.num_job_classes = 2;
+  sim_config.seed = 17;
+
+  Rng rng(sim_config.seed);
+  Rng arrival_rng = rng.split();
+  Rng workload_rng = rng.split();
+  PoissonWorkload poisson(
+      sim_config.arrival_rate,
+      LogNormalSize{sim_config.workload_log_mean,
+                    sim_config.workload_log_sigma});
+  std::vector<TraceJob> jobs =
+      poisson.generate(sim_config.horizon, arrival_rng, workload_rng);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (i % 3 == 0) jobs[i].deadline = jobs[i].arrival + 150.0;
+  }
+
+  SimConfig materialized_config = sim_config;
+  materialized_config.workload = std::make_shared<TraceWorkloadSource>(jobs);
+  GridSimulator materialized(materialized_config);
+  GridSchedulingService service_a(deterministic_config(2));
+  const ShardedSimReport a = run_sharded(materialized, service_a);
+  ASSERT_GT(a.global.jobs_requeued, 0) << "churn never fired; weak test";
+  ASSERT_GT(a.global_slo.deadline_jobs, 0);
+
+  SimConfig streaming_config = sim_config;
+  streaming_config.stream = std::make_shared<MaterializedStream>(jobs);
+  GridSimulator streamed(streaming_config);
+  GridSchedulingService service_b(deterministic_config(2));
+  const ShardedSimReport b = run_sharded(streamed, service_b);
+
+  const auto expect_same_view = [](const SimMetrics& lhs,
+                                   const SimMetrics& rhs) {
+    EXPECT_EQ(lhs.jobs_arrived, rhs.jobs_arrived);
+    EXPECT_EQ(lhs.jobs_completed, rhs.jobs_completed);
+    EXPECT_EQ(lhs.jobs_requeued, rhs.jobs_requeued);
+    EXPECT_EQ(lhs.mean_flowtime, rhs.mean_flowtime);
+    EXPECT_EQ(lhs.mean_wait, rhs.mean_wait);
+    EXPECT_EQ(lhs.max_flowtime, rhs.max_flowtime);
+    EXPECT_EQ(lhs.makespan, rhs.makespan);
+    EXPECT_EQ(lhs.utilization, rhs.utilization);
+  };
+  expect_same_view(a.global, b.global);
+  ASSERT_EQ(b.per_shard.size(), a.per_shard.size());
+  for (std::size_t shard = 0; shard < a.per_shard.size(); ++shard) {
+    expect_same_view(a.per_shard[shard], b.per_shard[shard]);
+  }
+  ASSERT_EQ(b.per_class.size(), a.per_class.size());
+  for (std::size_t job_class = 0; job_class < a.per_class.size();
+       ++job_class) {
+    expect_same_view(a.per_class[job_class], b.per_class[job_class]);
+  }
+  EXPECT_EQ(b.global_slo.deadline_jobs, a.global_slo.deadline_jobs);
+  EXPECT_EQ(b.global_slo.missed, a.global_slo.missed);
+  EXPECT_EQ(b.global_slo.tardiness_p50, a.global_slo.tardiness_p50);
+  EXPECT_EQ(b.global_slo.tardiness_p99, a.global_slo.tardiness_p99);
+  ASSERT_EQ(b.per_class_slo.size(), a.per_class_slo.size());
+  for (std::size_t job_class = 0; job_class < a.per_class_slo.size();
+       ++job_class) {
+    EXPECT_EQ(b.per_class_slo[job_class].deadline_jobs,
+              a.per_class_slo[job_class].deadline_jobs);
+    EXPECT_EQ(b.per_class_slo[job_class].missed,
+              a.per_class_slo[job_class].missed);
+  }
+  EXPECT_EQ(b.migrations, a.migrations);
+  EXPECT_EQ(b.steals, a.steals);
+  EXPECT_EQ(b.workload, "materialized");
+  // Streaming keeps only the in-flight window resident.
+  EXPECT_LT(b.global.peak_resident_jobs, b.global.jobs_arrived);
+}
+
 TEST(ShardedDriver, MachineBusyTimesAreExposedBySimulator) {
   SimConfig sim_config;
   sim_config.horizon = 200.0;

@@ -4,10 +4,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <sstream>
 #include <string>
 
 #include "sim/grid_simulator.h"
+#include "workload/swf_io.h"
 #include "workload/trace_io.h"
 
 namespace gridsched {
@@ -129,6 +131,326 @@ TEST(TraceIo, ClasslessTraceOmitsTheClassColumn) {
   std::ostringstream out;
   write_trace(out, jobs);
   EXPECT_EQ(out.str().find("class"), std::string::npos);
+}
+
+// ------------------------------------------------- trace robustness --
+
+TEST(TraceIo, CrlfAndMissingFinalNewlineParse) {
+  // Golden CRLF fixture: DOS line endings on every row and no newline
+  // after the last one — the shape of real SWF/cluster logs.
+  const std::vector<TraceJob> jobs =
+      read_trace_file(fixture("trace_crlf.csv"));
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_DOUBLE_EQ(jobs[0].arrival, 0.5);
+  EXPECT_DOUBLE_EQ(jobs[0].workload_mi, 22026.465794806718);
+  EXPECT_EQ(jobs[0].job_class, 1);
+  EXPECT_EQ(jobs[1].job_class, -1);  // empty field before the \r
+  EXPECT_DOUBLE_EQ(jobs[2].arrival, 2.0);  // final row, no newline
+  EXPECT_DOUBLE_EQ(jobs[2].workload_mi, 5000.0);
+}
+
+TEST(TraceIo, ErrorLineNumbersCountCommentAndBlankLines) {
+  // trace_comments.csv interleaves '#'/';' comments and a blank line;
+  // the bad row (NaN size) sits on PHYSICAL line 8 and the error must
+  // say so — an editor's goto-line lands on the culprit.
+  try {
+    (void)read_trace_file(fixture("trace_comments.csv"));
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("trace line 8"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(TraceIo, Utf8BomIsIgnored) {
+  std::istringstream in("\xEF\xBB\xBF"
+                        "arrival,workload_mi\n0.5,100\n");
+  const std::vector<TraceJob> jobs = read_trace(in);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].arrival, 0.5);
+}
+
+TEST(TraceIo, MalformedCorpusThrowsNamingTheLine) {
+  // Each corpus entry is (input, line the error must name). Covers the
+  // trace-I/O bug-sweep shapes: truncated row, NaN/inf arrival, negative
+  // size, mixed column counts.
+  const struct {
+    const char* label;
+    std::string input;
+    const char* line;
+  } corpus[] = {
+      {"truncated row", "0.5,100\n1.5,\n", "trace line 2"},
+      {"nan arrival", "0.5,100\nnan,100\n", "trace line 2"},
+      {"inf arrival", "inf,100\n", "trace line 1"},
+      {"negative size", "# hdr\n0.5,-7\n", "trace line 2"},
+      {"mixed columns", "0.5,100,1\n1.0,200\n", "trace line 2"},
+      {"single column", "arrival\n", "trace line 1"},
+  };
+  for (const auto& bad : corpus) {
+    std::istringstream in(bad.input);
+    try {
+      (void)read_trace(in);
+      FAIL() << bad.label << ": expected std::runtime_error";
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find(bad.line), std::string::npos)
+          << bad.label << ": " << error.what();
+    }
+  }
+}
+
+TEST(TraceIo, OversizedLineThrowsNamingTheLine) {
+  // A corrupt (or binary) "line" past kMaxTraceLineBytes must throw with
+  // the line number instead of ballooning memory mid-stream.
+  std::string input = "0.5,100\n1.5,";
+  input.append(kMaxTraceLineBytes + 10, '9');
+  std::istringstream in(input);
+  try {
+    (void)read_trace(in);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("trace line 2"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+// ------------------------------------------------- streaming reader --
+
+TEST(StreamingTrace, ChunkedPullMatchesReadTrace) {
+  // Same bytes through the streaming reader (pulled in small time
+  // slices) and through read_trace: identical job sequence, including
+  // the stable order of equal arrivals.
+  std::ifstream materialized(fixture("trace_out_of_order.csv"));
+  const std::vector<TraceJob> expected = read_trace(materialized);
+  std::ifstream in(fixture("trace_out_of_order.csv"));
+  StreamingTraceReader reader(in, /*reorder_window=*/4);
+  std::vector<TraceJob> streamed;
+  double until = 0.0;
+  bool more = true;
+  while (more) {
+    more = reader.next_chunk(until, streamed);
+    until += 1.0;
+  }
+  EXPECT_EQ(streamed, expected);
+  EXPECT_EQ(reader.name(), "trace_stream");
+}
+
+TEST(StreamingTrace, OutOfOrderBeyondTheWindowThrows) {
+  // Row at t=1 lands after 4 later rows have flushed a released row
+  // past it — the bounded window cannot absorb it, so the reader names
+  // the line instead of silently reordering.
+  std::istringstream in("10,100\n11,100\n12,100\n13,100\n14,100\n1,100\n");
+  StreamingTraceReader reader(in, /*reorder_window=*/2);
+  std::vector<TraceJob> out;
+  try {
+    while (reader.next_chunk(1e9, out)) {
+    }
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("reorder window"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(StreamingTrace, QosFlagsFollowTheColumnCount) {
+  std::istringstream plain("0.5,100,1\n");
+  StreamingTraceReader no_qos(plain);
+  EXPECT_FALSE(no_qos.qos().deadlines);
+  EXPECT_FALSE(no_qos.qos().budgets);
+  std::istringstream deadlines("0.5,100,1,9.5\n");
+  StreamingTraceReader with_deadlines(deadlines);
+  EXPECT_TRUE(with_deadlines.qos().deadlines);
+  EXPECT_FALSE(with_deadlines.qos().budgets);
+  std::istringstream budgets("0.5,100,1,9.5,12\n");
+  StreamingTraceReader with_budgets(budgets);
+  EXPECT_TRUE(with_budgets.qos().deadlines);
+  EXPECT_TRUE(with_budgets.qos().budgets);
+}
+
+TEST(StreamingTrace, PeakBufferedStaysWithinTheWindowBound) {
+  std::ostringstream out;
+  std::vector<TraceJob> jobs;
+  for (int i = 0; i < 5'000; ++i) {
+    jobs.push_back({static_cast<double>(i) * 0.1, 100.0, -1});
+  }
+  write_trace(out, jobs);
+  std::istringstream in(out.str());
+  StreamingTraceReader reader(in, /*reorder_window=*/64);
+  std::vector<TraceJob> streamed;
+  while (reader.next_chunk(1e9, streamed)) {
+  }
+  ASSERT_EQ(streamed.size(), jobs.size());
+  // The O(1)-memory contract: never more than window + 1 rows resident.
+  EXPECT_LE(reader.peak_buffered(), 65u);
+}
+
+// ----------------------------------------------- churn sidecar trace --
+
+TEST(ChurnTraceIo, RoundTripPreservesOrderAndValues) {
+  // Application order is the replay contract, so the reader must NOT
+  // sort: these events interleave machines with non-monotonic fail_at
+  // inside a window, exactly like a recorded run.
+  const std::vector<ChurnEvent> events = {
+      {3, 47.25, 61.5},
+      {1, 42.125, 90.0},
+      {3, 95.5, 95.5},  // zero-length outage is legal
+      {0, 130.0, 171.25},
+  };
+  std::ostringstream out;
+  write_churn_trace(out, events);
+  std::istringstream in(out.str());
+  const std::vector<ChurnEvent> back = read_churn_trace(in);
+  EXPECT_EQ(back, events);
+}
+
+TEST(ChurnTraceIo, RejectsMalformedRows) {
+  const struct {
+    const char* label;
+    std::string input;
+    const char* line;
+  } corpus[] = {
+      {"wrong columns", "3,47.5\n", "trace line 1"},
+      {"negative machine", "machine,fail_at,repair_at\n-2,1,2\n",
+       "trace line 2"},
+      {"repair before fail", "1,10,4\n", "trace line 1"},
+      {"nan fail", "1,nan,4\n", "trace line 1"},
+      {"negative fail", "1,-3,4\n", "trace line 1"},
+  };
+  for (const auto& bad : corpus) {
+    std::istringstream in(bad.input);
+    try {
+      (void)read_churn_trace(in);
+      FAIL() << bad.label << ": expected std::runtime_error";
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find(bad.line), std::string::npos)
+          << bad.label << ": " << error.what();
+    }
+  }
+}
+
+TEST(ChurnTraceIo, EmptyTraceIsValid) {
+  std::istringstream in("# gridsched churn trace v1, 0 events\n");
+  EXPECT_TRUE(read_churn_trace(in).empty());
+}
+
+// ------------------------------------------------------- SWF import --
+
+TEST(SwfIo, ExcerptFixtureMapsTheColumns) {
+  std::size_t skipped = 0;
+  const std::vector<TraceJob> jobs =
+      read_swf_file(fixture("swf_excerpt.swf"), SwfMapping{}, &skipped);
+  // 24 rows, two unusable (cancelled run time / missing submit).
+  ASSERT_EQ(jobs.size(), 22u);
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_TRUE(sorted_by_arrival(jobs));
+  // Rebase: the first job's submit time becomes arrival 0.
+  EXPECT_DOUBLE_EQ(jobs[0].arrival, 0.0);
+  // run time 118 s * reference 1000 MIPS.
+  EXPECT_DOUBLE_EQ(jobs[0].workload_mi, 118'000.0);
+  // requested time 600 -> absolute deadline arrival + 600.
+  EXPECT_DOUBLE_EQ(jobs[0].deadline, 600.0);
+  EXPECT_EQ(jobs[0].user, 11);
+  EXPECT_EQ(jobs[0].job_class, 0);  // queue column
+  EXPECT_DOUBLE_EQ(jobs[0].budget, -1.0);  // SWF has no budget column
+  // Log row 6 (submit ...829) interleaves before row 5 (...831): the
+  // stable sort puts it first.
+  EXPECT_DOUBLE_EQ(jobs[4].arrival, 29.0);
+  EXPECT_DOUBLE_EQ(jobs[4].workload_mi, 201'000.0);
+  EXPECT_DOUBLE_EQ(jobs[5].arrival, 31.0);
+  // Requested time -1 -> no deadline (log row 4).
+  EXPECT_DOUBLE_EQ(jobs[3].arrival, 22.0);
+  EXPECT_DOUBLE_EQ(jobs[3].deadline, -1.0);
+  // User -1 -> anonymous (log row 8).
+  EXPECT_DOUBLE_EQ(jobs[6].arrival, 51.0);
+  EXPECT_EQ(jobs[6].user, -1);
+}
+
+TEST(SwfIo, MappingKnobsSelectClassSourceAndToggles) {
+  SwfMapping mapping;
+  mapping.reference_mips = 500.0;
+  mapping.class_from = SwfMapping::ClassFrom::kPartition;
+  mapping.map_deadline = false;
+  mapping.map_user = false;
+  mapping.rebase_arrivals = false;
+  const std::vector<TraceJob> jobs =
+      read_swf_file(fixture("swf_excerpt.swf"), mapping);
+  ASSERT_EQ(jobs.size(), 22u);
+  EXPECT_DOUBLE_EQ(jobs[0].arrival, 1117564800.0);  // raw epoch kept
+  EXPECT_DOUBLE_EQ(jobs[0].workload_mi, 59'000.0);  // 118 s * 500 MIPS
+  EXPECT_EQ(jobs[0].job_class, 1);                  // partition column
+  EXPECT_DOUBLE_EQ(jobs[0].deadline, -1.0);
+  EXPECT_EQ(jobs[0].user, -1);
+}
+
+TEST(SwfIo, StreamingReaderMatchesTheMaterializedImport) {
+  std::size_t skipped = 0;
+  const std::vector<TraceJob> expected =
+      read_swf_file(fixture("swf_excerpt.swf"), SwfMapping{}, &skipped);
+  std::ifstream in(fixture("swf_excerpt.swf"));
+  SwfStreamReader reader(in);
+  std::vector<TraceJob> streamed;
+  double until = 0.0;
+  bool more = true;
+  while (more) {
+    more = reader.next_chunk(until, streamed);
+    until += 13.0;
+  }
+  EXPECT_EQ(streamed, expected);
+  EXPECT_EQ(reader.skipped_rows(), skipped);
+  EXPECT_TRUE(reader.qos().deadlines);
+  // No budget column, but mapped user ids ride the budget context —
+  // declared so streaming matches the materialized QoS scan.
+  EXPECT_TRUE(reader.qos().budgets);
+}
+
+TEST(SwfIo, MalformedRowsThrowNamingTheLine) {
+  const struct {
+    const char* label;
+    std::string input;
+    const char* line;
+  } corpus[] = {
+      {"wrong column count", "; hdr\n1 0 -1 10 1 -1 -1 1\n", "trace line 2"},
+      {"non-numeric submit",
+       "1 zero -1 10 1 -1 -1 1 60 -1 1 2 3 -1 0 1 -1 -1\n", "trace line 1"},
+      {"nan run time",
+       "1 0 -1 nan 1 -1 -1 1 60 -1 1 2 3 -1 0 1 -1 -1\n", "trace line 1"},
+  };
+  for (const auto& bad : corpus) {
+    std::istringstream in(bad.input);
+    try {
+      (void)read_swf(in);
+      FAIL() << bad.label << ": expected std::runtime_error";
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find(bad.line), std::string::npos)
+          << bad.label << ": " << error.what();
+    }
+  }
+  EXPECT_THROW((void)read_swf_file("/nonexistent.swf"), std::runtime_error);
+  std::istringstream ok("1 0 -1 10 1 -1 -1 1 60 -1 1 2 3 -1 0 1 -1 -1\n");
+  SwfMapping bad_mapping;
+  bad_mapping.reference_mips = 0.0;
+  EXPECT_THROW((void)read_swf(ok, bad_mapping), std::invalid_argument);
+}
+
+TEST(SwfIo, WriteSwfRowRoundTripsThroughTheImporter) {
+  std::ostringstream out;
+  write_swf_row(out, 1, 100.0, 50.0, /*procs=*/4, /*user=*/7, /*queue=*/2,
+                /*requested=*/300.0);
+  write_swf_row(out, 2, 160.0, 25.0, 1, -1, 0, -1.0);
+  std::istringstream in(out.str());
+  SwfMapping mapping;
+  mapping.rebase_arrivals = false;
+  const std::vector<TraceJob> jobs = read_swf(in, mapping);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_DOUBLE_EQ(jobs[0].arrival, 100.0);
+  EXPECT_DOUBLE_EQ(jobs[0].workload_mi, 50'000.0);
+  EXPECT_EQ(jobs[0].job_class, 2);
+  EXPECT_DOUBLE_EQ(jobs[0].deadline, 400.0);
+  EXPECT_EQ(jobs[0].user, 7);
+  EXPECT_DOUBLE_EQ(jobs[1].deadline, -1.0);
+  EXPECT_EQ(jobs[1].user, -1);
 }
 
 // -------------------------------------------------- synthetic sources --
@@ -516,6 +838,344 @@ TEST(GridSimulator, RejectsAnInvalidSourceStream) {
   GridSimulator sim(config);
   HeuristicBatchScheduler scheduler(HeuristicKind::kMct);
   EXPECT_THROW((void)sim.run(scheduler), std::runtime_error);
+}
+
+// ------------------------------------------------ horizon convention --
+
+TEST(HorizonBoundary, ArrivalWindowIsHalfOpenEverywhere) {
+  // THE pinned convention: [0, horizon). A job arriving exactly at the
+  // horizon is dropped by every path — materialized source filtering and
+  // the streaming pull alike — so record -> replay can never disagree
+  // about the boundary job.
+  const std::vector<TraceJob> jobs = {{9.9, 100.0, -1}, {10.0, 100.0, -1}};
+  TraceWorkloadSource source(jobs);
+  EXPECT_EQ(generate(source, 10.0).size(), 1u);
+
+  SimConfig config;
+  config.horizon = 10.0;
+  config.scheduler_period = 5.0;
+  config.num_machines = 2;
+  config.workload = std::make_shared<TraceWorkloadSource>(jobs);
+  GridSimulator materialized(config);
+  HeuristicBatchScheduler sched_a(HeuristicKind::kMct);
+  EXPECT_EQ(materialized.run(sched_a).jobs_arrived, 1);
+
+  SimConfig stream_config = config;
+  stream_config.workload.reset();
+  stream_config.stream = std::make_shared<MaterializedStream>(jobs);
+  GridSimulator streamed(stream_config);
+  HeuristicBatchScheduler sched_b(HeuristicKind::kMct);
+  EXPECT_EQ(streamed.run(sched_b).jobs_arrived, 1);
+}
+
+// ----------------------------------------------------- churn replay --
+
+TEST(ChurnReplay, RecordedChurnRoundTripsThroughTheSidecar) {
+  // Close the record -> replay loop for the failure process: record a
+  // churny run, serialize arrivals AND churn through text, replay with
+  // the drawn process off — identical per-job records, metrics, and
+  // churn sequence.
+  const SimConfig config = replay_sim();
+  GridSimulator recorded(config);
+  HeuristicBatchScheduler sched_a(HeuristicKind::kMinMin);
+  const SimMetrics original = recorded.run(sched_a);
+  ASSERT_GT(original.jobs_requeued, 0) << "churn never fired; weak test";
+  ASSERT_FALSE(recorded.churn_trace().empty());
+
+  std::ostringstream arrivals_out;
+  write_trace(arrivals_out, recorded.arrival_trace());
+  std::ostringstream churn_out;
+  write_churn_trace(churn_out, recorded.churn_trace());
+
+  SimConfig replay_config = config;
+  replay_config.machine_mtbf = 0.0;
+  replay_config.machine_mttr = 0.0;
+  std::istringstream arrivals_in(arrivals_out.str());
+  replay_config.workload =
+      std::make_shared<TraceWorkloadSource>(read_trace(arrivals_in));
+  std::istringstream churn_in(churn_out.str());
+  replay_config.churn_replay = std::make_shared<const std::vector<ChurnEvent>>(
+      read_churn_trace(churn_in));
+  GridSimulator replayed(replay_config);
+  HeuristicBatchScheduler sched_b(HeuristicKind::kMinMin);
+  const SimMetrics replay = replayed.run(sched_b);
+
+  expect_identical_runs(original, replay, recorded, replayed);
+  EXPECT_EQ(replayed.churn_trace(), recorded.churn_trace());
+  EXPECT_EQ(replay.jobs_requeued, original.jobs_requeued);
+}
+
+TEST(ChurnReplay, ReplayedFailuresAreSchedulerIndependent) {
+  // The point of the sidecar: the failure sequence no longer depends on
+  // how long the scheduler under test drains. Replaying under a
+  // DIFFERENT scheduler applies the same failures (a prefix, if that
+  // run drains before the last recorded window).
+  const SimConfig config = replay_sim();
+  GridSimulator recorded(config);
+  HeuristicBatchScheduler sched_a(HeuristicKind::kMinMin);
+  (void)recorded.run(sched_a);
+  const std::vector<ChurnEvent> events = recorded.churn_trace();
+  ASSERT_FALSE(events.empty());
+
+  SimConfig replay_config = config;
+  replay_config.machine_mtbf = 0.0;
+  replay_config.machine_mttr = 0.0;
+  replay_config.workload = std::make_shared<TraceWorkloadSource>(
+      recorded.arrival_trace());
+  replay_config.churn_replay =
+      std::make_shared<const std::vector<ChurnEvent>>(events);
+  GridSimulator replayed(replay_config);
+  HeuristicBatchScheduler sched_b(HeuristicKind::kMct);
+  const SimMetrics metrics = replayed.run(sched_b);
+  EXPECT_GT(metrics.jobs_requeued, 0);
+  const std::vector<ChurnEvent>& applied = replayed.churn_trace();
+  ASSERT_FALSE(applied.empty());
+  ASSERT_LE(applied.size(), events.size());
+  for (std::size_t i = 0; i < applied.size(); ++i) {
+    EXPECT_EQ(applied[i], events[i]);
+  }
+}
+
+TEST(ChurnReplay, RejectsInvalidEventSequences) {
+  SimConfig config = replay_sim();
+  config.machine_mtbf = 0.0;
+  config.machine_mttr = 0.0;
+  config.workload = std::make_shared<TraceWorkloadSource>(
+      std::vector<TraceJob>{{1.0, 500.0, -1}});
+  const auto run_with = [&](std::vector<ChurnEvent> events) {
+    SimConfig bad = config;
+    bad.churn_replay = std::make_shared<const std::vector<ChurnEvent>>(
+        std::move(events));
+    GridSimulator sim(bad);
+    HeuristicBatchScheduler scheduler(HeuristicKind::kMct);
+    return sim.run(scheduler);
+  };
+  // Unknown machine (grid has 6).
+  EXPECT_THROW((void)run_with({{99, 10.0, 20.0}}), std::runtime_error);
+  // Repair before failure.
+  EXPECT_THROW((void)run_with({{0, 10.0, 5.0}}), std::runtime_error);
+  // Events out of recorded order (windows 3 then 1 at period 40).
+  EXPECT_THROW((void)run_with({{0, 100.0, 110.0}, {1, 10.0, 20.0}}),
+               std::runtime_error);
+  // Double failure: machine 0 is still down (repair at 1000) when the
+  // second event targets it in a later window.
+  EXPECT_THROW((void)run_with({{0, 10.0, 1000.0}, {0, 50.0, 60.0}}),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------- streaming sim --
+
+// Everything except the wall-clock scheduler_cpu_ms and the
+// mode-dependent peak_resident_jobs must match bit for bit.
+void expect_identical_metrics(const SimMetrics& a, const SimMetrics& b) {
+  EXPECT_EQ(a.jobs_arrived, b.jobs_arrived);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.jobs_requeued, b.jobs_requeued);
+  EXPECT_EQ(a.activations, b.activations);
+  EXPECT_EQ(a.mean_batch_size, b.mean_batch_size);
+  EXPECT_EQ(a.mean_flowtime, b.mean_flowtime);
+  EXPECT_EQ(a.mean_wait, b.mean_wait);
+  EXPECT_EQ(a.mean_slowdown, b.mean_slowdown);
+  EXPECT_EQ(a.max_flowtime, b.max_flowtime);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.jobs_rejected, b.jobs_rejected);
+  EXPECT_EQ(a.deadline_jobs, b.deadline_jobs);
+  EXPECT_EQ(a.deadline_missed, b.deadline_missed);
+  EXPECT_EQ(a.total_tardiness, b.total_tardiness);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.flowtime_hist.p50(), b.flowtime_hist.p50());
+  EXPECT_EQ(a.flowtime_hist.p99(), b.flowtime_hist.p99());
+}
+
+std::vector<TraceJob> qos_decorated_trace(const SimConfig& config) {
+  Rng rng(config.seed);
+  Rng arrival_rng = rng.split();
+  Rng workload_rng = rng.split();
+  PoissonWorkload poisson(
+      config.arrival_rate,
+      LogNormalSize{config.workload_log_mean, config.workload_log_sigma});
+  std::vector<TraceJob> jobs =
+      poisson.generate(config.horizon, arrival_rng, workload_rng);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (i % 3 == 0) jobs[i].deadline = jobs[i].arrival + 120.0;
+    if (i % 4 != 3) {
+      jobs[i].user = static_cast<int>(i % 4);
+      jobs[i].budget = 5'000.0;
+    }
+  }
+  return jobs;
+}
+
+TEST(StreamingSim, MatchesTheMaterializedRunBitForBit) {
+  // The tentpole parity gate at unit scale: the same churny QoS trace
+  // through SimConfig::workload and through SimConfig::stream must yield
+  // identical per-job records, normalized jobs, metrics, and churn.
+  SimConfig config = replay_sim();
+  config.machine_cost_rate = 0.4;
+  const std::vector<TraceJob> jobs = qos_decorated_trace(config);
+
+  SimConfig materialized_config = config;
+  materialized_config.workload = std::make_shared<TraceWorkloadSource>(jobs);
+  GridSimulator materialized(materialized_config);
+  HeuristicBatchScheduler sched_a(HeuristicKind::kMinMin);
+  const SimMetrics metrics_a = materialized.run(sched_a);
+  ASSERT_GT(metrics_a.jobs_requeued, 0) << "churn never fired; weak test";
+  ASSERT_GT(metrics_a.deadline_jobs, 0);
+  ASSERT_GT(metrics_a.total_cost, 0.0);
+
+  SimConfig streaming_config = config;
+  streaming_config.stream = std::make_shared<MaterializedStream>(jobs);
+  GridSimulator streamed(streaming_config);
+  std::vector<SimJobRecord> observed_records;
+  std::vector<TraceJob> observed_jobs;
+  streamed.set_job_observer(
+      [&](const SimJobRecord& record, const TraceJob& job) {
+        observed_records.push_back(record);
+        observed_jobs.push_back(job);
+      });
+  HeuristicBatchScheduler sched_b(HeuristicKind::kMinMin);
+  const SimMetrics metrics_b = streamed.run(sched_b);
+
+  expect_identical_metrics(metrics_a, metrics_b);
+  EXPECT_EQ(streamed.churn_trace(), materialized.churn_trace());
+  EXPECT_EQ(streamed.machine_busy(), materialized.machine_busy());
+  // Streaming leaves the bulk arrays empty and reports through the
+  // observer instead — in id order, against the normalized jobs.
+  EXPECT_TRUE(streamed.job_records().empty());
+  EXPECT_TRUE(streamed.arrival_trace().empty());
+  const auto& records = materialized.job_records();
+  ASSERT_EQ(observed_records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(observed_records[i].id, records[i].id);
+    EXPECT_EQ(observed_records[i].arrival, records[i].arrival);
+    EXPECT_EQ(observed_records[i].start, records[i].start);
+    EXPECT_EQ(observed_records[i].finish, records[i].finish);
+    EXPECT_EQ(observed_records[i].machine, records[i].machine);
+    EXPECT_EQ(observed_records[i].attempts, records[i].attempts);
+    EXPECT_EQ(observed_records[i].rejected, records[i].rejected);
+    EXPECT_EQ(observed_jobs[i], materialized.arrival_trace()[i]);
+  }
+  // The O(1)-memory contract at this scale: the in-flight window peaks
+  // well below the full trace (materialized reports the whole trace).
+  EXPECT_EQ(metrics_a.peak_resident_jobs, metrics_a.jobs_arrived);
+  EXPECT_GT(metrics_b.peak_resident_jobs, 0);
+  EXPECT_LT(metrics_b.peak_resident_jobs, metrics_b.jobs_arrived);
+}
+
+TEST(StreamingSim, PoissonAdapterMatchesTheLegacyDefault) {
+  // MaterializedStream over the default Poisson source, seeded exactly
+  // like the simulator seeds itself, is the same simulation as a bare
+  // SimConfig — the adapter path costs nothing in fidelity.
+  const SimConfig config = replay_sim();
+  GridSimulator legacy(config);
+  HeuristicBatchScheduler sched_a(HeuristicKind::kMct);
+  const SimMetrics a = legacy.run(sched_a);
+
+  SimConfig streaming_config = config;
+  Rng rng(config.seed);
+  Rng arrival_rng = rng.split();
+  Rng workload_rng = rng.split();
+  PoissonWorkload poisson(
+      config.arrival_rate,
+      LogNormalSize{config.workload_log_mean, config.workload_log_sigma});
+  streaming_config.stream = std::make_shared<MaterializedStream>(
+      poisson, config.horizon, arrival_rng, workload_rng);
+  GridSimulator streamed(streaming_config);
+  HeuristicBatchScheduler sched_b(HeuristicKind::kMct);
+  const SimMetrics b = streamed.run(sched_b);
+  expect_identical_metrics(a, b);
+  EXPECT_EQ(streamed.churn_trace(), legacy.churn_trace());
+  EXPECT_EQ(streamed.workload_name(), "stream(poisson)");
+}
+
+TEST(StreamingSim, StreamAndWorkloadAreMutuallyExclusive) {
+  SimConfig config;
+  config.workload = std::make_shared<TraceWorkloadSource>(
+      std::vector<TraceJob>{});
+  config.stream =
+      std::make_shared<MaterializedStream>(std::vector<TraceJob>{});
+  EXPECT_THROW(GridSimulator sim(config), std::invalid_argument);
+}
+
+TEST(StreamingSim, RejectsAnInvalidStream) {
+  // A stream violating the sorted/finite/positive contract must throw,
+  // naming the streaming path.
+  class BrokenStream final : public StreamingWorkloadSource {
+   public:
+    [[nodiscard]] std::string_view name() const noexcept override {
+      return "broken";
+    }
+    bool next_chunk(double, std::vector<TraceJob>& out) override {
+      out.push_back({5.0, 100.0, -1});
+      out.push_back({1.0, 100.0, -1});  // unsorted
+      return false;
+    }
+  };
+  SimConfig config;
+  config.horizon = 100.0;
+  config.num_machines = 2;
+  config.stream = std::make_shared<BrokenStream>();
+  GridSimulator sim(config);
+  HeuristicBatchScheduler scheduler(HeuristicKind::kMct);
+  try {
+    (void)sim.run(scheduler);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("streaming source"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(StreamingSim, DeclaredButUnsetQosColumnsAreInert) {
+  // A stream may declare QoS columns that turn out to hold only
+  // sentinels (an SWF whose requested-time column is all -1): the run
+  // must be bit-identical to one that never declared them.
+  class DeclaredQosStream final : public StreamingWorkloadSource {
+   public:
+    DeclaredQosStream(std::vector<TraceJob> jobs, StreamQos qos)
+        : inner_(std::move(jobs)), qos_(qos) {}
+    [[nodiscard]] std::string_view name() const noexcept override {
+      return "declared-qos";
+    }
+    bool next_chunk(double until, std::vector<TraceJob>& out) override {
+      return inner_.next_chunk(until, out);
+    }
+    [[nodiscard]] StreamQos qos() const noexcept override { return qos_; }
+
+   private:
+    MaterializedStream inner_;
+    StreamQos qos_;
+  };
+
+  SimConfig config = replay_sim();
+  config.machine_mtbf = 0.0;
+  config.machine_mttr = 0.0;
+  Rng rng(config.seed);
+  Rng arrival_rng = rng.split();
+  Rng workload_rng = rng.split();
+  PoissonWorkload poisson(
+      config.arrival_rate,
+      LogNormalSize{config.workload_log_mean, config.workload_log_sigma});
+  const std::vector<TraceJob> jobs =
+      poisson.generate(config.horizon, arrival_rng, workload_rng);
+
+  SimConfig plain_config = config;
+  plain_config.stream = std::make_shared<MaterializedStream>(jobs);
+  GridSimulator plain(plain_config);
+  HeuristicBatchScheduler sched_a(HeuristicKind::kMinMin);
+  const SimMetrics a = plain.run(sched_a);
+
+  SimConfig declared_config = config;
+  declared_config.stream = std::make_shared<DeclaredQosStream>(
+      jobs, StreamQos{true, true});
+  GridSimulator declared(declared_config);
+  HeuristicBatchScheduler sched_b(HeuristicKind::kMinMin);
+  const SimMetrics b = declared.run(sched_b);
+
+  expect_identical_metrics(a, b);
+  EXPECT_EQ(b.deadline_jobs, 0);  // sentinels never became deadlines
 }
 
 }  // namespace
