@@ -81,10 +81,10 @@ EvolutionResult CellularMemeticAlgorithm::run(
   apply_warm_start(population, warm, etc, &tracker);
   ScheduleEvaluator evaluator(etc);
   for (Individual& individual : population) {
-    evaluator.reset(individual.schedule);
+    evaluator.reset_to(individual.schedule);
     local_search(config_.local_search, config_.weights, evaluator, rng,
                  config_.stop.cancel);
-    individual = individual_from_evaluator(evaluator, config_.weights);
+    assign_from_evaluator(individual, evaluator, config_.weights);
     tracker.count_evaluations();
     tracker.offer(individual);
     // Poll after the first offer so a cancelled run still returns a valid
@@ -100,16 +100,24 @@ EvolutionResult CellularMemeticAlgorithm::run(
 
   // Offspring pipeline shared by both loops: local-search then evaluate,
   // replace the cell if better (or unconditionally when add_only_if_better
-  // is disabled — kept for ablation).
+  // is disabled — kept for ablation). The buffers below live across the
+  // whole run: reset_to replays only the genes where the offspring differs
+  // from the evaluator's current schedule, crossover writes into one
+  // reused Schedule, and the candidate/resident swap recycles both
+  // individuals' capacity — the loop allocates nothing at steady state.
+  Individual candidate;
+  Schedule offspring_buf;
+  MutationScratch mutation_scratch;
+  std::vector<const Schedule*> parent_schedules;
   auto improve_and_replace = [&](int cell, const Schedule& offspring) {
-    evaluator.reset(offspring);
+    evaluator.reset_to(offspring);
     local_search(config_.local_search, config_.weights, evaluator, rng,
                  config_.stop.cancel);
-    Individual candidate = individual_from_evaluator(evaluator, config_.weights);
+    assign_from_evaluator(candidate, evaluator, config_.weights);
     tracker.count_evaluations();
     auto& resident = population[static_cast<std::size_t>(cell)];
     if (!config_.add_only_if_better || candidate.fitness < resident.fitness) {
-      resident = std::move(candidate);
+      std::swap(resident, candidate);
       tracker.offer(resident);
     }
   };
@@ -122,14 +130,15 @@ EvolutionResult CellularMemeticAlgorithm::run(
       const std::vector<int> parents =
           select_many(config_.selection, config_.parents_per_recombination,
                       neighborhood, population, rng);
-      std::vector<const Schedule*> parent_schedules;
+      parent_schedules.clear();
       parent_schedules.reserve(parents.size());
       for (int p : parents) {
         parent_schedules.push_back(
             &population[static_cast<std::size_t>(p)].schedule);
       }
-      improve_and_replace(
-          cell, recombine_fold(config_.crossover, parent_schedules, rng));
+      recombine_fold_into(offspring_buf, config_.crossover, parent_schedules,
+                          rng);
+      improve_and_replace(cell, offspring_buf);
       rec_order.next(rng);
       if (tracker.should_stop()) break;
     }
@@ -138,8 +147,8 @@ EvolutionResult CellularMemeticAlgorithm::run(
     // --- Mutation sweep (independent order; see header note). ---
     for (int j = 0; j < config_.mutations_per_iteration; ++j) {
       const int cell = mut_order.current();
-      evaluator.reset(population[static_cast<std::size_t>(cell)].schedule);
-      mutate(config_.mutation, evaluator, rng);
+      evaluator.reset_to(population[static_cast<std::size_t>(cell)].schedule);
+      mutate(config_.mutation, evaluator, rng, &mutation_scratch);
       improve_and_replace(cell, evaluator.schedule());
       mut_order.next(rng);
       if (tracker.should_stop()) break;

@@ -3,23 +3,17 @@
 #include <stdexcept>
 
 namespace gridsched {
+namespace {
 
-std::string_view crossover_name(CrossoverKind k) noexcept {
-  switch (k) {
-    case CrossoverKind::kOnePoint: return "OnePoint";
-    case CrossoverKind::kTwoPoint: return "TwoPoint";
-    case CrossoverKind::kUniform: return "Uniform";
-  }
-  return "?";
-}
-
-Schedule crossover(CrossoverKind kind, const Schedule& a, const Schedule& b,
-                   Rng& rng) {
-  const int n = a.num_jobs();
+/// child = crossover(child-before-call, b): every operator only ever
+/// copies genes FROM b INTO child, so folding in place is safe and the
+/// whole pipeline needs a single offspring buffer.
+void crossover_overlay(CrossoverKind kind, Schedule& child, const Schedule& b,
+                       Rng& rng) {
+  const int n = child.num_jobs();
   if (n != b.num_jobs()) {
     throw std::invalid_argument("crossover: parent size mismatch");
   }
-  Schedule child = a;
   switch (kind) {
     case CrossoverKind::kOnePoint: {
       // cut in [1, n-1]: both parents always contribute.
@@ -44,18 +38,47 @@ Schedule crossover(CrossoverKind kind, const Schedule& a, const Schedule& b,
       break;
     }
   }
+}
+
+}  // namespace
+
+std::string_view crossover_name(CrossoverKind k) noexcept {
+  switch (k) {
+    case CrossoverKind::kOnePoint: return "OnePoint";
+    case CrossoverKind::kTwoPoint: return "TwoPoint";
+    case CrossoverKind::kUniform: return "Uniform";
+  }
+  return "?";
+}
+
+void crossover_into(Schedule& child, CrossoverKind kind, const Schedule& a,
+                    const Schedule& b, Rng& rng) {
+  child = a;
+  crossover_overlay(kind, child, b, rng);
+}
+
+Schedule crossover(CrossoverKind kind, const Schedule& a, const Schedule& b,
+                   Rng& rng) {
+  Schedule child;
+  crossover_into(child, kind, a, b, rng);
   return child;
+}
+
+void recombine_fold_into(Schedule& child, CrossoverKind kind,
+                         std::span<const Schedule* const> parents, Rng& rng) {
+  if (parents.empty()) {
+    throw std::invalid_argument("recombine_fold: no parents");
+  }
+  child = *parents[0];
+  for (std::size_t i = 1; i < parents.size(); ++i) {
+    crossover_overlay(kind, child, *parents[i], rng);
+  }
 }
 
 Schedule recombine_fold(CrossoverKind kind,
                         std::span<const Schedule* const> parents, Rng& rng) {
-  if (parents.empty()) {
-    throw std::invalid_argument("recombine_fold: no parents");
-  }
-  Schedule child = *parents[0];
-  for (std::size_t i = 1; i < parents.size(); ++i) {
-    child = crossover(kind, child, *parents[i], rng);
-  }
+  Schedule child;
+  recombine_fold_into(child, kind, parents, rng);
   return child;
 }
 

@@ -23,9 +23,22 @@ enum class CrossoverKind { kOnePoint, kTwoPoint, kUniform };
 [[nodiscard]] Schedule crossover(CrossoverKind kind, const Schedule& a,
                                  const Schedule& b, Rng& rng);
 
+/// In-place variant: overwrites `child` (reusing its capacity — the
+/// offspring pipeline calls this once per recombination, so the fresh
+/// allocation of the return-by-value form would churn the heap at steady
+/// state). Draws the same RNG sequence as `crossover`, so results are
+/// identical gene for gene. `child` may not alias `a` or `b`.
+void crossover_into(Schedule& child, CrossoverKind kind, const Schedule& a,
+                    const Schedule& b, Rng& rng);
+
 /// Left-fold of `parents` (non-empty) through `crossover`.
 [[nodiscard]] Schedule recombine_fold(CrossoverKind kind,
                                       std::span<const Schedule* const> parents,
                                       Rng& rng);
+
+/// In-place left-fold: same RNG draws and result as `recombine_fold`,
+/// reusing `child`'s capacity. `child` may not alias any parent.
+void recombine_fold_into(Schedule& child, CrossoverKind kind,
+                         std::span<const Schedule* const> parents, Rng& rng);
 
 }  // namespace gridsched

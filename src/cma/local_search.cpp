@@ -111,8 +111,10 @@ bool step_lmcts(const LocalSearchConfig& config, const FitnessWeights& weights,
     }
     case LmctsScan::kCriticalAllJobs: {
       const MachineId critical = evaluator.makespan_machine();
-      // Copy: consider() previews do not mutate, but keep iteration robust.
-      const auto critical_jobs = evaluator.machine_jobs(critical);
+      // By reference: consider() only previews, and previews never touch
+      // the job lists, so there is nothing to keep iteration robust
+      // against — and the copy was an allocation per LMCTS step.
+      const auto& critical_jobs = evaluator.machine_jobs(critical);
       for (const auto& [etc_a, a] : critical_jobs) {
         for (JobId b = 0; b < n; ++b) {
           if (evaluator.schedule()[b] == critical) continue;

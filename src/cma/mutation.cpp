@@ -15,14 +15,18 @@ std::string_view mutation_name(MutationKind k) noexcept {
   return "?";
 }
 
-RebalanceMove rebalance_mutation(ScheduleEvaluator& evaluator, Rng& rng) {
+RebalanceMove rebalance_mutation(ScheduleEvaluator& evaluator, Rng& rng,
+                                 MutationScratch* scratch) {
   const int m = evaluator.num_machines();
   if (m < 2) return {};
+  MutationScratch local;  // fallback when the caller keeps no scratch
+  MutationScratch& buf = scratch != nullptr ? *scratch : local;
 
   // Overloaded machines: completion == makespan (load_factor == 1). Ties
   // are real under consistent instances, so collect and pick at random.
   const double makespan = evaluator.makespan();
-  std::vector<MachineId> overloaded;
+  std::vector<MachineId>& overloaded = buf.overloaded;
+  overloaded.clear();
   for (MachineId machine = 0; machine < m; ++machine) {
     if (evaluator.completion(machine) >= makespan) overloaded.push_back(machine);
   }
@@ -32,7 +36,8 @@ RebalanceMove rebalance_mutation(ScheduleEvaluator& evaluator, Rng& rng) {
   if (jobs.empty()) return {};  // makespan machine holds only ready time
 
   // The 25% least-loaded machines (at least one, excluding `from`).
-  std::vector<MachineId> by_load(static_cast<std::size_t>(m));
+  std::vector<MachineId>& by_load = buf.by_load;
+  by_load.resize(static_cast<std::size_t>(m));
   std::iota(by_load.begin(), by_load.end(), 0);
   std::sort(by_load.begin(), by_load.end(), [&](MachineId a, MachineId b) {
     const double ca = evaluator.completion(a);
@@ -40,7 +45,8 @@ RebalanceMove rebalance_mutation(ScheduleEvaluator& evaluator, Rng& rng) {
     return ca != cb ? ca < cb : a < b;
   });
   const int quartile = std::max(1, m / 4);
-  std::vector<MachineId> targets;
+  std::vector<MachineId>& targets = buf.targets;
+  targets.clear();
   for (int i = 0; i < quartile; ++i) {
     if (by_load[static_cast<std::size_t>(i)] != from) {
       targets.push_back(by_load[static_cast<std::size_t>(i)]);
@@ -61,13 +67,14 @@ RebalanceMove rebalance_mutation(ScheduleEvaluator& evaluator, Rng& rng) {
   return {job, from, to};
 }
 
-void mutate(MutationKind kind, ScheduleEvaluator& evaluator, Rng& rng) {
+void mutate(MutationKind kind, ScheduleEvaluator& evaluator, Rng& rng,
+            MutationScratch* scratch) {
   const int n = evaluator.num_jobs();
   const int m = evaluator.num_machines();
   if (m < 2) return;
   switch (kind) {
     case MutationKind::kRebalance:
-      rebalance_mutation(evaluator, rng);
+      rebalance_mutation(evaluator, rng, scratch);
       return;
     case MutationKind::kMove: {
       const JobId job = rng.uniform_int(0, n - 1);
@@ -87,7 +94,7 @@ void mutate(MutationKind kind, ScheduleEvaluator& evaluator, Rng& rng) {
           return;
         }
       }
-      mutate(MutationKind::kMove, evaluator, rng);
+      mutate(MutationKind::kMove, evaluator, rng, scratch);
       return;
     }
   }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string_view>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/evaluator.h"
@@ -17,10 +18,22 @@ enum class MutationKind { kRebalance, kMove, kSwap };
 
 [[nodiscard]] std::string_view mutation_name(MutationKind k) noexcept;
 
+/// Reusable working buffers for the Rebalance operator. The mutation sweep
+/// runs thousands of times per second; passing one of these (owned by the
+/// caller, reused across calls) makes the operator allocation-free at
+/// steady state. A default-constructed scratch is always valid.
+struct MutationScratch {
+  std::vector<MachineId> overloaded;
+  std::vector<MachineId> by_load;
+  std::vector<MachineId> targets;
+};
+
 /// Applies one mutation to the evaluator's schedule in place. All operators
 /// keep the schedule complete. No-ops when the instance is too small for
-/// the operator (e.g. a single machine).
-void mutate(MutationKind kind, ScheduleEvaluator& evaluator, Rng& rng);
+/// the operator (e.g. a single machine). `scratch` (optional) is reused
+/// working memory; results are identical with or without it.
+void mutate(MutationKind kind, ScheduleEvaluator& evaluator, Rng& rng,
+            MutationScratch* scratch = nullptr);
 
 /// The Rebalance operator, exposed directly for tests: returns the (job,
 /// from, to) triple it executed, or {-1, -1, -1} if no transfer was possible.
@@ -29,6 +42,7 @@ struct RebalanceMove {
   MachineId from = -1;
   MachineId to = -1;
 };
-RebalanceMove rebalance_mutation(ScheduleEvaluator& evaluator, Rng& rng);
+RebalanceMove rebalance_mutation(ScheduleEvaluator& evaluator, Rng& rng,
+                                 MutationScratch* scratch = nullptr);
 
 }  // namespace gridsched

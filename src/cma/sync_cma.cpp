@@ -55,11 +55,11 @@ EvolutionResult SynchronousCellularMa::run(
   {
     ScheduleEvaluator evaluator(etc);
     for (Individual& individual : current) {
-      evaluator.reset(individual.schedule);
+      evaluator.reset_to(individual.schedule);
       Rng rng = init_rng.split();
       local_search(config_.local_search, config_.weights, evaluator, rng,
                    config_.stop.cancel);
-      individual = individual_from_evaluator(evaluator, config_.weights);
+      assign_from_evaluator(individual, evaluator, config_.weights);
       tracker.count_evaluations();
       tracker.offer(individual);
       // Same early-out as the asynchronous engine: keep cancellation
@@ -83,6 +83,24 @@ EvolutionResult SynchronousCellularMa::run(
     pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(threads_));
   }
 
+  // One workspace per cell, persistent across generations: the evaluator
+  // re-targets each generation's offspring via the gene-diff path instead
+  // of a from-scratch rebuild, and every scratch buffer (offspring
+  // schedule, parent list, mutation working sets, candidate) keeps its
+  // capacity. Cells map 1:1 to workspaces, so the parallel schedule can
+  // hand any cell to any worker without sharing mutable state.
+  struct CellWorkspace {
+    ScheduleEvaluator evaluator;
+    Schedule offspring;
+    Individual candidate;
+    MutationScratch mutation_scratch;
+    std::vector<const Schedule*> parent_schedules;
+    explicit CellWorkspace(const EtcMatrix& matrix) : evaluator(matrix) {}
+  };
+  std::vector<CellWorkspace> workspaces;
+  workspaces.reserve(current.size());
+  for (std::size_t i = 0; i < current.size(); ++i) workspaces.emplace_back(etc);
+
   std::int64_t generation = 0;
   while (!tracker.should_stop()) {
     auto evolve_cell = [&](std::size_t cell_index) {
@@ -97,34 +115,33 @@ EvolutionResult SynchronousCellularMa::run(
       }
       const int cell = static_cast<int>(cell_index);
       Rng rng = cell_rng(config_.seed, generation, cell);
-      ScheduleEvaluator evaluator(etc);
+      CellWorkspace& ws = workspaces[cell_index];
 
       const auto neighborhood = topology.neighbors(cell);
       const std::vector<int> parents =
           select_many(config_.selection, config_.parents_per_recombination,
                       neighborhood, current, rng);
-      std::vector<const Schedule*> parent_schedules;
-      parent_schedules.reserve(parents.size());
+      ws.parent_schedules.clear();
+      ws.parent_schedules.reserve(parents.size());
       for (int p : parents) {
-        parent_schedules.push_back(
+        ws.parent_schedules.push_back(
             &current[static_cast<std::size_t>(p)].schedule);
       }
-      Schedule offspring =
-          recombine_fold(config_.crossover, parent_schedules, rng);
-      evaluator.reset(offspring);
+      recombine_fold_into(ws.offspring, config_.crossover, ws.parent_schedules,
+                          rng);
+      ws.evaluator.reset_to(ws.offspring);
       if (rng.chance(mutation_probability)) {
-        mutate(config_.mutation, evaluator, rng);
+        mutate(config_.mutation, ws.evaluator, rng, &ws.mutation_scratch);
       }
-      local_search(config_.local_search, config_.weights, evaluator, rng,
+      local_search(config_.local_search, config_.weights, ws.evaluator, rng,
                    config_.stop.cancel);
-      Individual candidate =
-          individual_from_evaluator(evaluator, config_.weights);
+      assign_from_evaluator(ws.candidate, ws.evaluator, config_.weights);
 
       const Individual& resident = current[cell_index];
-      next[cell_index] =
-          (!config_.add_only_if_better || candidate.fitness < resident.fitness)
-              ? std::move(candidate)
-              : resident;
+      next[cell_index] = (!config_.add_only_if_better ||
+                          ws.candidate.fitness < resident.fitness)
+                             ? ws.candidate
+                             : resident;
     };
 
     if (pool) {

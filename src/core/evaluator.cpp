@@ -5,9 +5,34 @@
 #include <stdexcept>
 
 namespace gridsched {
+namespace {
+
+/// Branchless lower bound over a sorted (etc, job) list: same result as
+/// std::lower_bound, but the halving step compiles to a conditional move
+/// instead of a data-dependent branch. Previews sit on this search four
+/// times per call, and the lists are short (tens of entries) — exactly the
+/// regime where branch mispredicts dominate a classic binary search.
+inline std::size_t sorted_pos(const std::vector<std::pair<double, JobId>>& v,
+                              const std::pair<double, JobId>& key) noexcept {
+  const std::pair<double, JobId>* base = v.data();
+  std::size_t n = v.size();
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    base += (base[half - 1] < key) ? half : 0;
+    n -= half;
+  }
+  return static_cast<std::size_t>(base - v.data()) +
+         ((n == 1 && *base < key) ? 1 : 0);
+}
+
+}  // namespace
 
 ScheduleEvaluator::ScheduleEvaluator(const EtcMatrix& etc) : etc_(&etc) {
   machines_.resize(static_cast<std::size_t>(etc.num_machines()));
+  dirty_flag_.assign(static_cast<std::size_t>(etc.num_machines()), 0);
+  dirty_list_.reserve(8);
+  job_pos_.assign(static_cast<std::size_t>(etc.num_jobs()), 0);
+  rebuild_caches();
 }
 
 void ScheduleEvaluator::reset(const Schedule& schedule) {
@@ -28,31 +53,132 @@ void ScheduleEvaluator::reset(const Schedule& schedule) {
     std::sort(state.jobs.begin(), state.jobs.end());
     recompute_machine(m);
   }
+  rebuild_caches();
 }
 
-double ScheduleEvaluator::makespan() const noexcept {
-  double best = 0.0;
-  for (const auto& m : machines_) best = std::max(best, m.completion);
-  return best;
+void ScheduleEvaluator::reset_to(const Schedule& target) {
+  const int n = etc_->num_jobs();
+  if (schedule_.num_jobs() != n || target.num_jobs() != n) {
+    reset(target);
+    return;
+  }
+  const auto cur = schedule_.genes();
+  const auto tgt = target.genes();
+  int diff = 0;
+  for (int j = 0; j < n; ++j) diff += cur[j] != tgt[j] ? 1 : 0;
+  // Past ~n/4 changed genes the per-gene list surgery (O(k) each) loses to
+  // one O(n log n) rebuild. The threshold cannot affect results: both
+  // paths end in the same canonical state.
+  if (4 * diff >= n) {
+    reset(target);
+    return;
+  }
+  for (int j = 0; j < n; ++j) {
+    const MachineId g_old = cur[j];
+    const MachineId g_new = tgt[j];
+    if (g_old == g_new) continue;
+    if (g_new < 0 || g_new >= num_machines()) {
+      throw std::invalid_argument("ScheduleEvaluator: reset_to gene out of range");
+    }
+    list_erase(machines_[static_cast<std::size_t>(g_old)], (*etc_)(j, g_old),
+               j);
+    list_insert(machines_[static_cast<std::size_t>(g_new)], (*etc_)(j, g_new),
+                j);
+    mark_dirty(g_old);
+    mark_dirty(g_new);
+    schedule_[j] = g_new;
+  }
+  canonicalize();
 }
 
-double ScheduleEvaluator::flowtime() const noexcept {
-  double total = 0.0;
-  for (const auto& m : machines_) total += m.flow;
-  return total;
+double ScheduleEvaluator::makespan() const {
+  if (machines_.empty()) {
+    throw std::logic_error("ScheduleEvaluator::makespan: no machines");
+  }
+  return std::max(0.0, topk_[0].completion);
 }
 
-MachineId ScheduleEvaluator::makespan_machine() const noexcept {
-  MachineId arg = 0;
-  double best = machines_[0].completion;
-  for (MachineId m = 1; m < num_machines(); ++m) {
-    const double c = machines_[static_cast<std::size_t>(m)].completion;
-    if (c > best) {
-      best = c;
-      arg = m;
+MachineId ScheduleEvaluator::makespan_machine() const {
+  if (machines_.empty()) {
+    throw std::logic_error("ScheduleEvaluator::makespan_machine: no machines");
+  }
+  return topk_[0].machine;
+}
+
+double ScheduleEvaluator::rest_completion(MachineId x,
+                                          MachineId y) const noexcept {
+  // Invariant: entries are sorted best-first and dominate every non-cached
+  // machine, so the first entry not owned by x or y is the exact maximum
+  // over all other machines. With fewer than 3 machines there may be no
+  // such entry; 0.0 matches the empty-fold convention of the objectives.
+  for (int i = 0; i < topk_size_; ++i) {
+    if (topk_[i].machine != x && topk_[i].machine != y) {
+      return topk_[i].completion;
     }
   }
-  return arg;
+  return 0.0;
+}
+
+void ScheduleEvaluator::topk_offer(double completion, MachineId m) {
+  const int cap = top_capacity();
+  int pos = topk_size_;
+  while (pos > 0 && top_better(completion, m, topk_[static_cast<std::size_t>(
+                                                  pos - 1)].completion,
+                               topk_[static_cast<std::size_t>(pos - 1)]
+                                   .machine)) {
+    --pos;
+  }
+  if (pos >= cap) return;
+  const int last = topk_size_ < cap - 1 ? topk_size_ : cap - 1;
+  for (int i = last; i > pos; --i) {
+    topk_[static_cast<std::size_t>(i)] = topk_[static_cast<std::size_t>(i - 1)];
+  }
+  topk_[static_cast<std::size_t>(pos)] = {completion, m};
+  if (topk_size_ < cap) ++topk_size_;
+}
+
+void ScheduleEvaluator::topk_update(MachineId m, double completion) {
+  int idx = -1;
+  for (int i = 0; i < topk_size_; ++i) {
+    if (topk_[static_cast<std::size_t>(i)].machine == m) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx >= 0) {
+    const TopEntry worst = topk_[static_cast<std::size_t>(topk_size_ - 1)];
+    for (int i = idx; i < topk_size_ - 1; ++i) {
+      topk_[static_cast<std::size_t>(i)] =
+          topk_[static_cast<std::size_t>(i + 1)];
+    }
+    --topk_size_;
+    if (topk_size_ + 1 == num_machines() ||
+        !top_better(worst.completion, worst.machine, completion, m)) {
+      // Either every machine is cached (no unknowns to fall behind) or the
+      // new value still dominates the old cut line: re-insert in place.
+      topk_offer(completion, m);
+    } else {
+      // The machine dropped below the old worst entry; an uncached machine
+      // may now outrank it, so rebuild the cache from scratch. O(m), but
+      // only on applies (previews never take this path).
+      topk_rebuild();
+    }
+    return;
+  }
+  if (topk_size_ < top_capacity() ||
+      top_better(completion, m,
+                 topk_[static_cast<std::size_t>(topk_size_ - 1)].completion,
+                 topk_[static_cast<std::size_t>(topk_size_ - 1)].machine)) {
+    topk_offer(completion, m);
+  }
+  // else: still dominated by the cached worst — the invariant holds as-is.
+}
+
+void ScheduleEvaluator::topk_rebuild() {
+  topk_size_ = 0;
+  for (MachineId m = 0; m < num_machines(); ++m) {
+    topk_offer(machines_[static_cast<std::size_t>(m)].completion, m);
+  }
 }
 
 void ScheduleEvaluator::recompute_machine(MachineId m) {
@@ -66,66 +192,147 @@ void ScheduleEvaluator::recompute_machine(MachineId m) {
   //   flow = k*ready + sum_i (k - i) * etc_i.
   state.prefix.resize(k + 1);
   state.prefix[0] = 0.0;
+  state.keys.resize(k);
   for (std::size_t i = 0; i < k; ++i) {
     sum += state.jobs[i].first;
     state.prefix[i + 1] = sum;
     flow += static_cast<double>(k - i) * state.jobs[i].first;
+    state.keys[i] = state.jobs[i].first;
+    job_pos_[static_cast<std::size_t>(state.jobs[i].second)] =
+        static_cast<int>(i);
   }
   state.completion = ready + sum;
   state.flow = flow + static_cast<double>(k) * ready;
 }
 
-void ScheduleEvaluator::insert_job(MachineId m, JobId job) {
-  auto& state = machines_[static_cast<std::size_t>(m)];
-  const std::pair<double, JobId> entry{(*etc_)(job, m), job};
-  state.jobs.insert(
-      std::lower_bound(state.jobs.begin(), state.jobs.end(), entry), entry);
-  recompute_machine(m);
+void ScheduleEvaluator::rebuild_prefix(MachineState& state) {
+  const std::size_t k = state.jobs.size();
+  state.prefix.resize(k + 1);
+  state.prefix[0] = 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    sum += state.jobs[i].first;
+    state.prefix[i + 1] = sum;
+  }
 }
 
-void ScheduleEvaluator::remove_job(MachineId m, JobId job) {
-  auto& state = machines_[static_cast<std::size_t>(m)];
-  const std::pair<double, JobId> entry{(*etc_)(job, m), job};
-  const auto it =
-      std::lower_bound(state.jobs.begin(), state.jobs.end(), entry);
-  if (it == state.jobs.end() || it->second != job) {
+void ScheduleEvaluator::list_insert(MachineState& state, double etc,
+                                    JobId job) {
+  const std::pair<double, JobId> entry{etc, job};
+  const std::size_t q = sorted_pos(state.jobs, entry);
+  state.jobs.insert(state.jobs.begin() + static_cast<std::ptrdiff_t>(q),
+                    entry);
+  state.keys.insert(state.keys.begin() + static_cast<std::ptrdiff_t>(q), etc);
+  // The insert shifted every later job one slot right; refresh their ranks.
+  for (std::size_t i = q; i < state.jobs.size(); ++i) {
+    job_pos_[static_cast<std::size_t>(state.jobs[i].second)] =
+        static_cast<int>(i);
+  }
+}
+
+void ScheduleEvaluator::list_erase(MachineState& state, double etc,
+                                   JobId job) {
+  const std::pair<double, JobId> entry{etc, job};
+  const std::size_t p = sorted_pos(state.jobs, entry);
+  if (p >= state.jobs.size() || state.jobs[p].second != job) {
     throw std::logic_error("ScheduleEvaluator: job not on expected machine");
   }
-  state.jobs.erase(it);
-  recompute_machine(m);
+  state.jobs.erase(state.jobs.begin() + static_cast<std::ptrdiff_t>(p));
+  state.keys.erase(state.keys.begin() + static_cast<std::ptrdiff_t>(p));
+  for (std::size_t i = p; i < state.jobs.size(); ++i) {
+    job_pos_[static_cast<std::size_t>(state.jobs[i].second)] =
+        static_cast<int>(i);
+  }
+}
+
+void ScheduleEvaluator::commit_machine(MachineId m, double flow,
+                                       double completion) {
+  auto& state = machines_[static_cast<std::size_t>(m)];
+  total_flow_ += flow - state.flow;
+  state.flow = flow;
+  state.completion = completion;
+  topk_update(m, completion);
+  mark_dirty(m);
+}
+
+void ScheduleEvaluator::mark_dirty(MachineId m) {
+  auto& flag = dirty_flag_[static_cast<std::size_t>(m)];
+  if (!flag) {
+    flag = 1;
+    dirty_list_.push_back(m);
+  }
+}
+
+void ScheduleEvaluator::rebuild_caches() {
+  total_flow_ = 0.0;
+  for (const auto& state : machines_) total_flow_ += state.flow;
+  topk_rebuild();
+  for (const MachineId m : dirty_list_) {
+    dirty_flag_[static_cast<std::size_t>(m)] = 0;
+  }
+  dirty_list_.clear();
+}
+
+void ScheduleEvaluator::canonicalize() {
+  if (dirty_list_.empty()) return;
+  for (const MachineId m : dirty_list_) recompute_machine(m);
+  rebuild_caches();
 }
 
 std::pair<double, double> ScheduleEvaluator::flow_completion_with(
     MachineId m, JobId skip, JobId add_job, double add_etc) const {
-  // O(log k): closed-form flow deltas over the cached prefix sums.
+  // Closed-form flow deltas over the cached prefix sums; rank lookups are
+  // O(1) (position index) for the removal and a vectorized count for the
+  // insertion.
   //   remove at p (0-based, list size k):
   //     flow -= ready + prefix[p] + (k - p) * e_p
   //   insert x at q (list size k after removal):
   //     flow += ready + prefix'(q) + (k + 1 - q) * x
   const auto& state = machines_[static_cast<std::size_t>(m)];
   const double ready = etc_->ready_time(m);
+  std::size_t k = state.jobs.size();
+  // An emptied machine contributes exactly {0, ready}; snapping here keeps
+  // the closed form residue-free so apply can adopt the values verbatim.
+  if (k - (skip >= 0 ? 1u : 0u) + (add_job >= 0 ? 1u : 0u) == 0) {
+    return {0.0, ready};
+  }
   double flow = state.flow;
   double sum = state.completion - ready;
-  std::size_t k = state.jobs.size();
 
   std::size_t removed_at = k;  // sentinel: nothing removed
   double removed_etc = 0.0;
   if (skip >= 0) {
-    const std::pair<double, JobId> key{(*etc_)(skip, m), skip};
-    const auto it =
-        std::lower_bound(state.jobs.begin(), state.jobs.end(), key);
-    removed_at = static_cast<std::size_t>(it - state.jobs.begin());
-    removed_etc = key.first;
+    // The position index answers "where does skip sit in m's list" in O(1);
+    // the cached key is the same double the ETC matrix holds.
+    removed_at = static_cast<std::size_t>(
+        job_pos_[static_cast<std::size_t>(skip)]);
+    removed_etc = state.jobs[removed_at].first;
     flow -= ready + state.prefix[removed_at] +
             static_cast<double>(k - removed_at) * removed_etc;
     sum -= removed_etc;
     --k;
   }
   if (add_job >= 0) {
-    const std::pair<double, JobId> key{add_etc, add_job};
-    const auto it =
-        std::lower_bound(state.jobs.begin(), state.jobs.end(), key);
-    std::size_t q = static_cast<std::size_t>(it - state.jobs.begin());
+    // Insertion rank of (add_etc, add_job) in the pre-removal list: a
+    // branchless strictly-less count over the contiguous key array, four
+    // independent accumulator chains so the compare/set latency overlaps
+    // (no serial binary-search dependency), then an id-ordered walk across
+    // the — almost always empty — tie range.
+    const double* keys = state.keys.data();
+    const std::size_t kk = state.keys.size();
+    std::size_t q0 = 0, q1 = 0, q2 = 0, q3 = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= kk; i += 4) {
+      q0 += keys[i] < add_etc ? 1u : 0u;
+      q1 += keys[i + 1] < add_etc ? 1u : 0u;
+      q2 += keys[i + 2] < add_etc ? 1u : 0u;
+      q3 += keys[i + 3] < add_etc ? 1u : 0u;
+    }
+    for (; i < kk; ++i) q0 += keys[i] < add_etc ? 1u : 0u;
+    std::size_t q = q0 + q1 + q2 + q3;
+    while (q < kk && keys[q] == add_etc && state.jobs[q].second < add_job) {
+      ++q;
+    }
     double prefix_q = state.prefix[q];
     if (q > removed_at) {
       --q;
@@ -146,18 +353,17 @@ PreviewResult ScheduleEvaluator::preview_move(JobId job, MachineId to) const {
   const auto [flow_to, completion_to] =
       flow_completion_with(to, -1, job, (*etc_)(job, to));
 
-  double new_makespan = 0.0;
-  double new_flowtime = 0.0;
-  for (MachineId m = 0; m < num_machines(); ++m) {
-    const auto& state = machines_[static_cast<std::size_t>(m)];
-    const double completion = m == from ? completion_from
-                              : m == to ? completion_to
-                                        : state.completion;
-    const double flow = m == from ? flow_from : m == to ? flow_to : state.flow;
-    new_makespan = std::max(new_makespan, completion);
-    new_flowtime += flow;
-  }
-  return {Objectives{new_makespan, new_flowtime}};
+  // O(1): the rest of the fleet is summarized by the running flow total and
+  // the top-3 cache. The arithmetic mirrors apply_move's commit sequence
+  // (from first, then to) so the preview is bitwise reproducible.
+  double new_flowtime =
+      total_flow_ +
+      (flow_from - machines_[static_cast<std::size_t>(from)].flow);
+  new_flowtime += flow_to - machines_[static_cast<std::size_t>(to)].flow;
+  const double new_makespan =
+      std::max(rest_completion(from, to),
+               std::max(completion_from, completion_to));
+  return {Objectives{std::max(0.0, new_makespan), new_flowtime}};
 }
 
 PreviewResult ScheduleEvaluator::preview_swap(JobId a, JobId b) const {
@@ -171,25 +377,37 @@ PreviewResult ScheduleEvaluator::preview_swap(JobId a, JobId b) const {
   const auto [flow_b, completion_b] =
       flow_completion_with(mb, b, a, (*etc_)(a, mb));
 
-  double new_makespan = 0.0;
-  double new_flowtime = 0.0;
-  for (MachineId m = 0; m < num_machines(); ++m) {
-    const auto& state = machines_[static_cast<std::size_t>(m)];
-    const double completion = m == ma ? completion_a
-                              : m == mb ? completion_b
-                                        : state.completion;
-    const double flow = m == ma ? flow_a : m == mb ? flow_b : state.flow;
-    new_makespan = std::max(new_makespan, completion);
-    new_flowtime += flow;
-  }
-  return {Objectives{new_makespan, new_flowtime}};
+  double new_flowtime =
+      total_flow_ + (flow_a - machines_[static_cast<std::size_t>(ma)].flow);
+  new_flowtime += flow_b - machines_[static_cast<std::size_t>(mb)].flow;
+  const double new_makespan =
+      std::max(rest_completion(ma, mb), std::max(completion_a, completion_b));
+  return {Objectives{std::max(0.0, new_makespan), new_flowtime}};
 }
 
 void ScheduleEvaluator::apply_move(JobId job, MachineId to) {
   const MachineId from = schedule_[job];
   if (from == to) return;
-  remove_job(from, job);
-  insert_job(to, job);
+  if (to < 0 || to >= num_machines()) {
+    throw std::invalid_argument("apply_move: machine out of range");
+  }
+  // Closed-form scalars from the PRE-edit state: identical expressions to
+  // preview_move, so the preview's objectives are adopted bitwise.
+  const auto [flow_from, completion_from] =
+      flow_completion_with(from, job, -1, 0.0);
+  const double etc_to = (*etc_)(job, to);
+  const auto [flow_to, completion_to] =
+      flow_completion_with(to, -1, job, etc_to);
+
+  auto& state_from = machines_[static_cast<std::size_t>(from)];
+  list_erase(state_from, (*etc_)(job, from), job);
+  rebuild_prefix(state_from);
+  auto& state_to = machines_[static_cast<std::size_t>(to)];
+  list_insert(state_to, etc_to, job);
+  rebuild_prefix(state_to);
+
+  commit_machine(from, flow_from, completion_from);
+  commit_machine(to, flow_to, completion_to);
   schedule_[job] = to;
 }
 
@@ -199,10 +417,24 @@ void ScheduleEvaluator::apply_swap(JobId a, JobId b) {
   if (ma == mb) {
     throw std::invalid_argument("apply_swap: jobs share a machine");
   }
-  remove_job(ma, a);
-  remove_job(mb, b);
-  insert_job(mb, a);
-  insert_job(ma, b);
+  const double etc_b_on_ma = (*etc_)(b, ma);
+  const double etc_a_on_mb = (*etc_)(a, mb);
+  const auto [flow_a, completion_a] =
+      flow_completion_with(ma, a, b, etc_b_on_ma);
+  const auto [flow_b, completion_b] =
+      flow_completion_with(mb, b, a, etc_a_on_mb);
+
+  auto& state_a = machines_[static_cast<std::size_t>(ma)];
+  auto& state_b = machines_[static_cast<std::size_t>(mb)];
+  list_erase(state_a, (*etc_)(a, ma), a);
+  list_erase(state_b, (*etc_)(b, mb), b);
+  list_insert(state_a, etc_b_on_ma, b);
+  list_insert(state_b, etc_a_on_mb, a);
+  rebuild_prefix(state_a);
+  rebuild_prefix(state_b);
+
+  commit_machine(ma, flow_a, completion_a);
+  commit_machine(mb, flow_b, completion_b);
   schedule_[a] = mb;
   schedule_[b] = ma;
 }
@@ -216,10 +448,72 @@ void ScheduleEvaluator::check_consistency() const {
     if (a.jobs != b.jobs) {
       throw std::logic_error("evaluator drift: job lists differ");
     }
+    if (a.prefix != b.prefix) {
+      throw std::logic_error("evaluator drift: prefix sums differ");
+    }
+    if (a.keys.size() != a.jobs.size()) {
+      throw std::logic_error("evaluator drift: key mirror size");
+    }
+    for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+      if (a.keys[i] != a.jobs[i].first) {
+        throw std::logic_error("evaluator drift: key mirror out of sync");
+      }
+      if (job_pos_[static_cast<std::size_t>(a.jobs[i].second)] !=
+          static_cast<int>(i)) {
+        throw std::logic_error("evaluator drift: job position index");
+      }
+    }
     const double tol = 1e-6 * std::max(1.0, std::abs(b.completion));
     if (std::abs(a.completion - b.completion) > tol ||
         std::abs(a.flow - b.flow) > 1e-6 * std::max(1.0, std::abs(b.flow))) {
       throw std::logic_error("evaluator drift: cached sums differ");
+    }
+  }
+  // Aggregate caches: the running flow total tracks the per-machine sum,
+  // and makespan() agrees with a full scan (both within closed-form
+  // tolerance of the canonical rebuild).
+  if (std::abs(total_flow_ - fresh.flowtime()) >
+      1e-6 * std::max(1.0, std::abs(fresh.flowtime()))) {
+    throw std::logic_error("evaluator drift: total flowtime cache differs");
+  }
+  if (num_machines() > 0 &&
+      std::abs(makespan() - fresh.makespan()) >
+          1e-6 * std::max(1.0, fresh.makespan())) {
+    throw std::logic_error("evaluator drift: makespan cache differs");
+  }
+  // Top-3 cache structural invariants are exact over the CURRENT cached
+  // completions (not the canonical rebuild): entries mirror their
+  // machines, are sorted best-first, and dominate every uncached machine.
+  if (topk_size_ != top_capacity()) {
+    throw std::logic_error("evaluator drift: top-k cache size");
+  }
+  for (int i = 0; i < topk_size_; ++i) {
+    const auto& entry = topk_[static_cast<std::size_t>(i)];
+    if (entry.machine < 0 || entry.machine >= num_machines() ||
+        entry.completion !=
+            machines_[static_cast<std::size_t>(entry.machine)].completion) {
+      throw std::logic_error("evaluator drift: top-k entry mismatch");
+    }
+    if (i > 0) {
+      const auto& prev = topk_[static_cast<std::size_t>(i - 1)];
+      if (top_better(entry.completion, entry.machine, prev.completion,
+                     prev.machine)) {
+        throw std::logic_error("evaluator drift: top-k cache unsorted");
+      }
+    }
+  }
+  if (topk_size_ > 0) {
+    const auto& worst = topk_[static_cast<std::size_t>(topk_size_ - 1)];
+    for (MachineId m = 0; m < num_machines(); ++m) {
+      bool cached = false;
+      for (int i = 0; i < topk_size_; ++i) {
+        cached = cached || topk_[static_cast<std::size_t>(i)].machine == m;
+      }
+      if (cached) continue;
+      const double c = machines_[static_cast<std::size_t>(m)].completion;
+      if (top_better(c, m, worst.completion, worst.machine)) {
+        throw std::logic_error("evaluator drift: top-k invariant violated");
+      }
     }
   }
 }

@@ -4,11 +4,30 @@
 // moves and swaps per second, so evaluating a neighbor from scratch
 // (O(jobs)) would dominate the runtime. ScheduleEvaluator maintains
 // per-machine state (assigned jobs sorted by ETC, completion time, SPT
-// flowtime) so that:
-//   - previewing a move/swap costs O(k) where k = jobs on the two affected
-//     machines (~ jobs / machines),
-//   - applying one costs O(k) and recomputes the affected machines' sums
-//     exactly (no floating-point drift accumulates across a run).
+// flowtime) plus two aggregate caches — a running total flowtime and a
+// top-3 completion-time cache — so that:
+//   - previewing a move/swap costs O(log k) in the two affected machines'
+//     job counts and is INDEPENDENT of the machine count: the flowtime is
+//     the running total plus two closed-form machine deltas, and the
+//     makespan is the maximum of the two new completion times and the
+//     first top-3 cache entry not owned by an affected machine,
+//   - applying one costs O(k) for the two affected machines (sorted-list
+//     surgery plus a prefix-sum rebuild) and adopts the exact closed-form
+//     scalars the preview computed, so a preview is bitwise equal to
+//     apply-then-measure,
+//   - re-targeting the evaluator at a sibling schedule (`reset_to`) costs
+//     O(n + d k) where d is the number of differing genes, instead of the
+//     full O(n log n) rebuild — the delta path the cMA offspring pipeline
+//     rides (docs/performance.md documents the invariants and formulas).
+//
+// Canonical vs. fast scalars: closed-form deltas round differently than a
+// from-scratch summation, so machines touched by apply_move/apply_swap are
+// marked dirty and carry "fast" scalars that may sit a few ULP from the
+// canonical values (the job lists themselves are always exact).
+// canonicalize() — called implicitly by reset()/reset_to() — recomputes the
+// dirty machines and the aggregate caches so the state is bitwise identical
+// to a fresh reset() of the same schedule. check_consistency() verifies
+// both layers (exact lists + caches within tolerance) against a rebuild.
 //
 // Objective conventions (Section 2 of the paper; DESIGN.md section 4):
 //   completion[m] = ready[m] + sum of ETC of jobs on m          (Eq. 1)
@@ -18,6 +37,8 @@
 //                   which minimizes flowtime for a fixed assignment.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -41,8 +62,18 @@ class ScheduleEvaluator {
   /// Binds to an ETC matrix; the matrix must outlive the evaluator.
   explicit ScheduleEvaluator(const EtcMatrix& etc);
 
-  /// Loads a complete schedule and (re)builds all machine state. O(n log n).
+  /// Loads a complete schedule and (re)builds all machine state from
+  /// scratch. O(n log n). Recycles every internal buffer, so a warm reset
+  /// allocates nothing once capacities have grown to steady state.
   void reset(const Schedule& schedule);
+
+  /// Re-targets the evaluator at `target` by replaying only the genes that
+  /// differ from the current schedule, then canonicalizing the touched
+  /// machines — bitwise identical to reset(target) at a fraction of the
+  /// cost when the two schedules are similar (offspring vs. parent).
+  /// Falls back to reset(target) when the evaluator is empty or the diff
+  /// is large enough that the full rebuild is cheaper.
+  void reset_to(const Schedule& target);
 
   [[nodiscard]] const Schedule& schedule() const noexcept { return schedule_; }
   [[nodiscard]] const EtcMatrix& etc() const noexcept { return *etc_; }
@@ -63,29 +94,45 @@ class ScheduleEvaluator {
     return machines_[static_cast<std::size_t>(m)].jobs;
   }
 
-  [[nodiscard]] double makespan() const noexcept;
-  [[nodiscard]] double flowtime() const noexcept;
-  [[nodiscard]] Objectives objectives() const noexcept {
+  /// O(1) from the top-3 cache. Throws std::logic_error on a zero-machine
+  /// evaluator (there is no completion time to report).
+  [[nodiscard]] double makespan() const;
+  /// O(1): the running total maintained across applies.
+  [[nodiscard]] double flowtime() const noexcept { return total_flow_; }
+  [[nodiscard]] Objectives objectives() const {
     return {makespan(), flowtime()};
   }
-  [[nodiscard]] double fitness(const FitnessWeights& w) const noexcept {
+  [[nodiscard]] double fitness(const FitnessWeights& w) const {
     return objectives().fitness(w, num_machines());
   }
   /// A machine whose completion time equals the makespan (lowest id).
-  [[nodiscard]] MachineId makespan_machine() const noexcept;
+  /// O(1). Throws std::logic_error on a zero-machine evaluator.
+  [[nodiscard]] MachineId makespan_machine() const;
 
   /// Objectives if job were moved to machine `to` (no state change).
+  /// O(log k) in the two affected machines — independent of machine count.
   [[nodiscard]] PreviewResult preview_move(JobId job, MachineId to) const;
 
   /// Objectives if jobs a and b (on different machines) swapped machines.
   /// Precondition: schedule()[a] != schedule()[b].
   [[nodiscard]] PreviewResult preview_swap(JobId a, JobId b) const;
 
-  /// Moves job to machine `to`, updating state incrementally.
+  /// Moves job to machine `to`. Adopts the closed-form scalars a preview
+  /// of the same edit computes, so preview_move(job, to) followed by
+  /// apply_move(job, to) leaves makespan()/flowtime() bitwise equal to the
+  /// preview. Marks the two machines dirty (see canonicalize()).
   void apply_move(JobId job, MachineId to);
 
-  /// Swaps the machines of jobs a and b (must differ).
+  /// Swaps the machines of jobs a and b (must differ). Same exactness
+  /// contract as apply_move.
   void apply_swap(JobId a, JobId b);
+
+  /// Recomputes every dirty machine from its (exact) job list and rebuilds
+  /// the aggregate caches, leaving the state bitwise identical to a fresh
+  /// reset() of the current schedule. No-op when nothing is dirty. Call
+  /// before publishing objectives that must match a from-scratch
+  /// evaluation (the evolutionary loops do this at readback).
+  void canonicalize();
 
   /// Rebuilds everything from the current schedule and asserts the cached
   /// state matches (test hook). Throws std::logic_error on mismatch.
@@ -95,27 +142,81 @@ class ScheduleEvaluator {
   struct MachineState {
     std::vector<std::pair<double, JobId>> jobs;  // ascending (etc, job)
     // prefix[i] = sum of the first i ETC values; size jobs.size() + 1.
-    // Lets previews answer "flow without job at p / with x inserted" in
-    // O(log k) instead of re-merging the whole list.
+    // Lets previews answer "flow without job at p / with x inserted" from
+    // closed forms instead of re-merging the whole list. Always canonical
+    // (rebuilt by full summation after every structural edit).
     std::vector<double> prefix;
+    // Structure-of-arrays mirror of jobs[i].first: previews find a virtual
+    // job's insertion rank by a branchless count over this contiguous
+    // double array (vectorizable) instead of a serial binary search over
+    // the pair list. Kept coherent by the same list surgery as `jobs`.
+    std::vector<double> keys;
     double completion = 0.0;  // ready + sum of etc
     double flow = 0.0;        // SPT flowtime contribution of this machine
   };
 
-  /// Recomputes completion and flow of one machine from its job list.
-  void recompute_machine(MachineId m);
+  // Top-3 completion-time cache, ordered by (completion desc, machine id
+  // asc). Invariant: every machine not in the cache compares not-better
+  // than the last cache entry, so the first entry is always the makespan
+  // machine and the first entry not owned by an edit's two affected
+  // machines bounds the rest exactly.
+  struct TopEntry {
+    double completion = 0.0;
+    MachineId machine = -1;
+  };
 
-  void insert_job(MachineId m, JobId job);
-  void remove_job(MachineId m, JobId job);
+  [[nodiscard]] static bool top_better(double ca, MachineId ma, double cb,
+                                       MachineId mb) noexcept {
+    return ca != cb ? ca > cb : ma < mb;
+  }
+  [[nodiscard]] int top_capacity() const noexcept {
+    return num_machines() < 3 ? num_machines() : 3;
+  }
+  /// Largest completion among machines other than x and y (0.0 when none).
+  [[nodiscard]] double rest_completion(MachineId x, MachineId y) const noexcept;
+  void topk_offer(double completion, MachineId m);
+  void topk_update(MachineId m, double completion);
+  void topk_rebuild();
+
+  /// Recomputes prefix sums, completion and flow of one machine from its
+  /// job list — the canonical (from-scratch) summation order.
+  void recompute_machine(MachineId m);
+  /// Rebuilds just the prefix sums (canonical order) after list surgery.
+  static void rebuild_prefix(MachineState& state);
+
+  void list_insert(MachineState& state, double etc, JobId job);
+  void list_erase(MachineState& state, double etc, JobId job);
+
+  /// Installs closed-form scalars on a machine, folds the flow delta into
+  /// the running total, refreshes the top-3 cache and marks it dirty.
+  void commit_machine(MachineId m, double flow, double completion);
+  void mark_dirty(MachineId m);
+  /// Recomputes the aggregate caches (total flow in machine-id order, then
+  /// the top-3 scan) and clears the dirty set.
+  void rebuild_caches();
 
   /// Flow and completion of machine m with `skip` removed (if >= 0) and a
-  /// virtual job `add` of the given ETC inserted (if add_job >= 0).
+  /// virtual job `add` of the given ETC inserted (if add_job >= 0). Snaps
+  /// to {0.0, ready} exactly when the machine ends up empty.
   [[nodiscard]] std::pair<double, double> flow_completion_with(
       MachineId m, JobId skip, JobId add_job, double add_etc) const;
 
   const EtcMatrix* etc_;
   Schedule schedule_;
   std::vector<MachineState> machines_;
+
+  double total_flow_ = 0.0;        // sum of machine flows, delta-maintained
+  std::array<TopEntry, 3> topk_{};  // see TopEntry invariant above
+  int topk_size_ = 0;
+
+  std::vector<std::uint8_t> dirty_flag_;  // per-machine: scalars non-canonical
+  std::vector<MachineId> dirty_list_;
+
+  // job_pos_[j] = index of job j in its machine's sorted job list. Gives
+  // previews the "remove at p" rank in O(1); maintained by the list
+  // surgery (stale for jobs mid-flight between erase and insert, which
+  // previews never observe).
+  std::vector<int> job_pos_;
 };
 
 }  // namespace gridsched

@@ -29,4 +29,12 @@ Individual individual_from_evaluator(const ScheduleEvaluator& evaluator,
   return individual;
 }
 
+void assign_from_evaluator(Individual& out, ScheduleEvaluator& evaluator,
+                           const FitnessWeights& weights) {
+  evaluator.canonicalize();
+  out.schedule = evaluator.schedule();
+  out.objectives = evaluator.objectives();
+  out.fitness = out.objectives.fitness(weights, evaluator.num_machines());
+}
+
 }  // namespace gridsched

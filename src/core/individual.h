@@ -35,4 +35,11 @@ void evaluate_individual(Individual& individual, const EtcMatrix& etc,
 [[nodiscard]] Individual individual_from_evaluator(
     const ScheduleEvaluator& evaluator, const FitnessWeights& weights);
 
+/// In-place variant for the offspring pipeline: canonicalizes the
+/// evaluator (so the published objectives are bitwise identical to a
+/// from-scratch evaluation) and overwrites `out`, reusing its schedule
+/// capacity — allocation-free at steady state.
+void assign_from_evaluator(Individual& out, ScheduleEvaluator& evaluator,
+                           const FitnessWeights& weights);
+
 }  // namespace gridsched

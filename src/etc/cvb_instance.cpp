@@ -43,7 +43,7 @@ EtcMatrix generate_cvb_instance(const CvbInstanceSpec& spec) {
     const double q = rng.gamma(alpha_task, beta_task);
     const double beta_mach = q / alpha_mach;
     for (MachineId m = 0; m < spec.num_machines; ++m) {
-      etc(j, m) = rng.gamma(alpha_mach, beta_mach);
+      etc.set(j, m, rng.gamma(alpha_mach, beta_mach));
     }
   }
 
@@ -56,7 +56,7 @@ EtcMatrix generate_cvb_instance(const CvbInstanceSpec& spec) {
       }
       std::sort(row.begin(), row.end());
       for (MachineId m = 0; m < spec.num_machines; ++m) {
-        etc(j, m) = row[static_cast<std::size_t>(m)];
+        etc.set(j, m, row[static_cast<std::size_t>(m)]);
       }
     }
   } else if (spec.consistency == Consistency::kSemiConsistent) {
@@ -69,7 +69,7 @@ EtcMatrix generate_cvb_instance(const CvbInstanceSpec& spec) {
       std::sort(evens.begin(), evens.end());
       std::size_t idx = 0;
       for (MachineId m = 0; m < spec.num_machines; m += 2) {
-        etc(j, m) = evens[idx++];
+        etc.set(j, m, evens[idx++]);
       }
     }
   }

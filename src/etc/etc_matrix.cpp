@@ -15,6 +15,7 @@ EtcMatrix::EtcMatrix(int num_jobs, int num_machines)
   }
   values_.resize(static_cast<std::size_t>(num_jobs) *
                  static_cast<std::size_t>(num_machines));
+  values_cm_.resize(values_.size());
   ready_times_.assign(static_cast<std::size_t>(num_machines), 0.0);
 }
 
@@ -24,6 +25,20 @@ EtcMatrix::EtcMatrix(int num_jobs, int num_machines, std::vector<double> values)
     throw std::invalid_argument("EtcMatrix: value count does not match shape");
   }
   values_ = std::move(values);
+  rebuild_mirror();
+}
+
+void EtcMatrix::rebuild_mirror() {
+  for (JobId j = 0; j < num_jobs_; ++j) {
+    const std::size_t row_base = static_cast<std::size_t>(j) *
+                                 static_cast<std::size_t>(num_machines_);
+    for (MachineId m = 0; m < num_machines_; ++m) {
+      values_cm_[static_cast<std::size_t>(m) *
+                     static_cast<std::size_t>(num_jobs_) +
+                 static_cast<std::size_t>(j)] = values_[row_base +
+                                                        static_cast<std::size_t>(m)];
+    }
+  }
 }
 
 double EtcMatrix::mean_row(JobId job) const noexcept {

@@ -15,7 +15,14 @@ namespace gridsched {
 using JobId = int;
 using MachineId = int;
 
-/// Dense row-major ETC matrix with per-machine ready times.
+/// Dense ETC matrix with per-machine ready times. Stored twice: row-major
+/// (job-major, the layout every per-job scan reads) and a machine-major
+/// mirror (one contiguous column per machine), so per-machine reductions —
+/// LJFR-SJFR's column means, load heat-maps, machine-axis statistics —
+/// run over contiguous memory the compiler can vectorize instead of a
+/// stride-m gather. Writes go through set(), which keeps both layouts
+/// coherent; all reads are const, so a built matrix can be shared across
+/// threads (the portfolio races do exactly that).
 class EtcMatrix {
  public:
   EtcMatrix() = default;
@@ -37,12 +44,17 @@ class EtcMatrix {
                    static_cast<std::size_t>(machine)];
   }
 
-  double& operator()(JobId job, MachineId machine) noexcept {
+  /// Writes one entry, updating both the row-major storage and the
+  /// machine-major mirror (the reason there is no mutable operator()).
+  void set(JobId job, MachineId machine, double value) noexcept {
     assert(job >= 0 && job < num_jobs_);
     assert(machine >= 0 && machine < num_machines_);
-    return values_[static_cast<std::size_t>(job) *
-                       static_cast<std::size_t>(num_machines_) +
-                   static_cast<std::size_t>(machine)];
+    values_[static_cast<std::size_t>(job) *
+                static_cast<std::size_t>(num_machines_) +
+            static_cast<std::size_t>(machine)] = value;
+    values_cm_[static_cast<std::size_t>(machine) *
+                   static_cast<std::size_t>(num_jobs_) +
+               static_cast<std::size_t>(job)] = value;
   }
 
   /// The ETC row of one job across all machines.
@@ -51,6 +63,16 @@ class EtcMatrix {
     return {values_.data() + static_cast<std::size_t>(job) *
                                  static_cast<std::size_t>(num_machines_),
             static_cast<std::size_t>(num_machines_)};
+  }
+
+  /// The ETC column of one machine across all jobs, contiguous (from the
+  /// machine-major mirror).
+  [[nodiscard]] std::span<const double> machine_row(
+      MachineId machine) const noexcept {
+    assert(machine >= 0 && machine < num_machines_);
+    return {values_cm_.data() + static_cast<std::size_t>(machine) *
+                                    static_cast<std::size_t>(num_jobs_),
+            static_cast<std::size_t>(num_jobs_)};
   }
 
   /// Ready time of `machine` (time at which it becomes free for this batch).
@@ -80,9 +102,13 @@ class EtcMatrix {
   [[nodiscard]] std::span<const double> raw() const noexcept { return values_; }
 
  private:
+  /// Rebuilds the machine-major mirror from the row-major storage.
+  void rebuild_mirror();
+
   int num_jobs_ = 0;
   int num_machines_ = 0;
-  std::vector<double> values_;
+  std::vector<double> values_;     // row-major: values_[job * m + machine]
+  std::vector<double> values_cm_;  // machine-major: values_cm_[machine*n + job]
   std::vector<double> ready_times_;
 };
 

@@ -122,7 +122,7 @@ EtcMatrix generate_instance(const InstanceSpec& spec, int k) {
   for (JobId j = 0; j < spec.num_jobs; ++j) {
     const double baseline = rng.uniform(1.0, phi_job);
     for (MachineId m = 0; m < spec.num_machines; ++m) {
-      etc(j, m) = baseline * rng.uniform(1.0, phi_mach);
+      etc.set(j, m, baseline * rng.uniform(1.0, phi_mach));
     }
   }
 
@@ -135,7 +135,7 @@ EtcMatrix generate_instance(const InstanceSpec& spec, int k) {
       }
       std::sort(row.begin(), row.end());
       for (MachineId m = 0; m < spec.num_machines; ++m) {
-        etc(j, m) = row[static_cast<std::size_t>(m)];
+        etc.set(j, m, row[static_cast<std::size_t>(m)]);
       }
     }
   } else if (spec.consistency == Consistency::kSemiConsistent) {
@@ -149,7 +149,7 @@ EtcMatrix generate_instance(const InstanceSpec& spec, int k) {
       std::sort(evens.begin(), evens.end());
       std::size_t idx = 0;
       for (MachineId m = 0; m < spec.num_machines; m += 2) {
-        etc(j, m) = evens[idx++];
+        etc.set(j, m, evens[idx++]);
       }
     }
   }

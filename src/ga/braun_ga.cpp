@@ -29,6 +29,7 @@ EvolutionResult BraunGa::run(const EtcMatrix& etc) const {
   for (const auto& individual : population) tracker.offer(individual);
 
   ScheduleEvaluator evaluator(etc);
+  MutationScratch mutation_scratch;
   std::vector<Individual> next;
   next.reserve(population.size());
 
@@ -53,15 +54,19 @@ EvolutionResult BraunGa::run(const EtcMatrix& etc) const {
       if (rng.chance(config_.crossover_rate)) {
         const Individual& parent_b =
             population[roulette_select(population, rng)];
-        child.schedule = crossover(config_.crossover, parent_a.schedule,
-                                   parent_b.schedule, rng);
+        crossover_into(child.schedule, config_.crossover, parent_a.schedule,
+                       parent_b.schedule, rng);
       }
-      if (rng.chance(config_.mutation_rate)) {
-        evaluator.reset(child.schedule);
-        mutate(config_.mutation, evaluator, rng);
-        child.schedule = evaluator.schedule();
+      // One shared evaluator re-targeted per child: the gene-diff reset
+      // replaces both the per-mutation full rebuild and the from-scratch
+      // evaluator evaluate_individual() would construct. Same RNG draws,
+      // same (canonical) objective values.
+      const bool do_mutate = rng.chance(config_.mutation_rate);
+      evaluator.reset_to(child.schedule);
+      if (do_mutate) {
+        mutate(config_.mutation, evaluator, rng, &mutation_scratch);
       }
-      evaluate_individual(child, etc, config_.weights);
+      assign_from_evaluator(child, evaluator, config_.weights);
       tracker.count_evaluations();
       tracker.offer(child);
       next.push_back(std::move(child));

@@ -45,25 +45,32 @@ EvolutionResult SteadyStateGa::run(const EtcMatrix& etc) const {
   std::int64_t step_counter = 0;
 
   ScheduleEvaluator evaluator(etc);
+  MutationScratch mutation_scratch;
+  Individual child;  // reused across steps; copy-assigns recycle capacity
   while (!tracker.should_stop()) {
     for (int step = 0; step < config_.steps_per_iteration; ++step) {
       ++step_counter;
       const int pa =
           select_one(config_.selection, all_indices, population, rng);
       int pb = pa;
-      Individual child = population[static_cast<std::size_t>(pa)];
+      child = population[static_cast<std::size_t>(pa)];
       if (rng.chance(config_.crossover_rate)) {
         pb = select_one(config_.selection, all_indices, population, rng);
-        child.schedule = crossover(
-            config_.crossover, population[static_cast<std::size_t>(pa)].schedule,
+        crossover_into(
+            child.schedule, config_.crossover,
+            population[static_cast<std::size_t>(pa)].schedule,
             population[static_cast<std::size_t>(pb)].schedule, rng);
       }
-      if (rng.chance(config_.mutation_rate)) {
-        evaluator.reset(child.schedule);
-        mutate(config_.mutation, evaluator, rng);
-        child.schedule = evaluator.schedule();
+      // One shared evaluator re-targeted per child: the gene-diff reset
+      // replaces both the per-mutation full rebuild and the from-scratch
+      // evaluator evaluate_individual() would construct. Same RNG draws,
+      // same (canonical) objective values.
+      const bool do_mutate = rng.chance(config_.mutation_rate);
+      evaluator.reset_to(child.schedule);
+      if (do_mutate) {
+        mutate(config_.mutation, evaluator, rng, &mutation_scratch);
       }
-      evaluate_individual(child, etc, config_.weights);
+      assign_from_evaluator(child, evaluator, config_.weights);
       tracker.count_evaluations();
 
       std::size_t victim = 0;
@@ -95,7 +102,7 @@ EvolutionResult SteadyStateGa::run(const EtcMatrix& etc) const {
         }
       }
       if (child.fitness < population[victim].fitness) {
-        population[victim] = std::move(child);
+        population[victim] = child;  // copy: `child` keeps its buffers
         birth[victim] = step_counter;
         tracker.offer(population[victim]);
       }

@@ -28,30 +28,37 @@ EvolutionResult StruggleGa::run(const EtcMatrix& etc) const {
   std::iota(all_indices.begin(), all_indices.end(), 0);
 
   ScheduleEvaluator evaluator(etc);
+  MutationScratch mutation_scratch;
+  Individual child;  // reused across steps; copy-assigns recycle capacity
   while (!tracker.should_stop()) {
     for (int step = 0; step < config_.steps_per_iteration; ++step) {
       const int pa =
           select_one(config_.selection, all_indices, population, rng);
-      Individual child = population[static_cast<std::size_t>(pa)];
+      child = population[static_cast<std::size_t>(pa)];
       if (rng.chance(config_.crossover_rate)) {
         const int pb =
             select_one(config_.selection, all_indices, population, rng);
-        child.schedule = crossover(
-            config_.crossover, population[static_cast<std::size_t>(pa)].schedule,
+        crossover_into(
+            child.schedule, config_.crossover,
+            population[static_cast<std::size_t>(pa)].schedule,
             population[static_cast<std::size_t>(pb)].schedule, rng);
       }
-      if (rng.chance(config_.mutation_rate)) {
-        evaluator.reset(child.schedule);
-        mutate(config_.mutation, evaluator, rng);
-        child.schedule = evaluator.schedule();
+      // One shared evaluator re-targeted per child: the gene-diff reset
+      // replaces both the per-mutation full rebuild and the from-scratch
+      // evaluator evaluate_individual() would construct. Same RNG draws,
+      // same (canonical) objective values.
+      const bool do_mutate = rng.chance(config_.mutation_rate);
+      evaluator.reset_to(child.schedule);
+      if (do_mutate) {
+        mutate(config_.mutation, evaluator, rng, &mutation_scratch);
       }
-      evaluate_individual(child, etc, config_.weights);
+      assign_from_evaluator(child, evaluator, config_.weights);
       tracker.count_evaluations();
 
       // The struggle: compete with the most similar resident, not the worst.
       const std::size_t rival = most_similar_index(population, child.schedule);
       if (child.fitness < population[rival].fitness) {
-        population[rival] = std::move(child);
+        population[rival] = child;  // copy: `child` keeps its buffers
         tracker.offer(population[rival]);
       }
       if (tracker.should_stop()) break;

@@ -5,15 +5,25 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace gridsched {
 namespace {
 
 /// Tracks machine completion times while a heuristic builds a schedule.
-class LoadTracker {
+///
+/// Structure-of-arrays hot path: `completion_` is one contiguous double
+/// array, and every per-job scan walks it in lockstep with the job's
+/// contiguous ETC row. The scans are split into branch-light passes (a
+/// pure min-reduction the compiler can vectorize, then an index-recovery
+/// pass) instead of one branchy argmin loop. Both passes compare the exact
+/// same `completion + etc` doubles the one-pass scan would, and FP min is
+/// exact, so the split reproduces the classic first-strict-minimum result
+/// bitwise — test_heuristics pins that equivalence.
+class MachineLoads {
  public:
-  explicit LoadTracker(const EtcMatrix& etc) : etc_(&etc) {
+  explicit MachineLoads(const EtcMatrix& etc) : etc_(&etc) {
     completion_.assign(etc.ready_times().begin(), etc.ready_times().end());
   }
 
@@ -25,18 +35,52 @@ class LoadTracker {
     return completion(m) + (*etc_)(j, m);
   }
 
-  /// Machine minimizing the completion time of job j (ties: lowest id).
-  [[nodiscard]] MachineId best_machine(JobId j) const noexcept {
-    MachineId arg = 0;
-    double best = completion_with(j, 0);
-    for (MachineId m = 1; m < etc_->num_machines(); ++m) {
-      const double c = completion_with(j, m);
-      if (c < best) {
-        best = c;
-        arg = m;
-      }
+  /// Argmin machine plus its completion time, fused in one scan pair.
+  struct Best {
+    MachineId machine;
+    double completion;
+  };
+
+  /// Best plus the runner-up completion over the *other* machines
+  /// (Sufferage's "second-best earliest completion").
+  struct BestAndSecond {
+    MachineId machine;
+    double completion;
+    double second;  // +infinity on single-machine instances
+  };
+
+  /// Machine minimizing the completion time of job j (ties: lowest id),
+  /// together with that completion time.
+  [[nodiscard]] Best best(JobId j) const noexcept {
+    const std::span<const double> row = etc_->row(j);
+    const std::size_t m = completion_.size();
+    double best_c = completion_[0] + row[0];
+    for (std::size_t i = 1; i < m; ++i) {
+      best_c = std::min(best_c, completion_[i] + row[i]);
     }
-    return arg;
+    std::size_t arg = 0;
+    while (arg + 1 < m && completion_[arg] + row[arg] != best_c) ++arg;
+    return {static_cast<MachineId>(arg), best_c};
+  }
+
+  [[nodiscard]] MachineId best_machine(JobId j) const noexcept {
+    return best(j).machine;
+  }
+
+  /// best() plus the minimum completion over the remaining machines.
+  /// Later duplicates of the minimum feed the runner-up, exactly like the
+  /// skip-the-argmin rescan they replace.
+  [[nodiscard]] BestAndSecond best_and_second(JobId j) const noexcept {
+    const Best b = best(j);
+    const std::span<const double> row = etc_->row(j);
+    const std::size_t m = completion_.size();
+    const std::size_t skip = static_cast<std::size_t>(b.machine);
+    double second = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i == skip) continue;
+      second = std::min(second, completion_[i] + row[i]);
+    }
+    return {b.machine, b.completion, second};
   }
 
   /// Machine with the lowest current completion time (ties: lowest id).
@@ -60,7 +104,7 @@ class LoadTracker {
 /// not-yet-committed jobs (id order, earliest completion given the loads
 /// built so far). O(n m) — always affordable, and the schedule stays
 /// complete.
-void mct_tail(Schedule& schedule, LoadTracker& loads,
+void mct_tail(Schedule& schedule, MachineLoads& loads,
               std::vector<JobId>& unassigned) {
   std::sort(unassigned.begin(), unassigned.end());
   for (const JobId j : unassigned) {
@@ -76,21 +120,22 @@ constexpr JobId kPollStride = 64;
 /// Deadline tail of the one-pass heuristics: remaining jobs round-robin
 /// over the machines, O(1) per job and load-blind — the cheapest complete
 /// assignment there is.
-void round_robin_tail(Schedule& schedule, LoadTracker& loads,
+void round_robin_tail(Schedule& schedule, MachineLoads& loads,
                       const EtcMatrix& etc, JobId from) {
   for (JobId j = from; j < etc.num_jobs(); ++j) {
     loads.assign(schedule, j, j % etc.num_machines());
   }
 }
 
-/// Shared skeleton of Min-Min / Max-Min / Sufferage: repeatedly score every
-/// unassigned job and commit the one chosen by `pick_larger_score`; once
+/// Shared skeleton of Max-Min / Sufferage: repeatedly score every
+/// unassigned job (the score function returns the target machine and the
+/// job's score in one fused scan) and commit the highest-scoring one; once
 /// `cancel` fires, the remaining jobs fall to the MCT tail.
 template <typename ScoreFn>
 Schedule greedy_batch(const EtcMatrix& etc, const CancellationToken& cancel,
                       ScoreFn score_job) {
   Schedule schedule(etc.num_jobs());
-  LoadTracker loads(etc);
+  MachineLoads loads(etc);
   std::vector<JobId> unassigned(static_cast<std::size_t>(etc.num_jobs()));
   std::iota(unassigned.begin(), unassigned.end(), 0);
 
@@ -100,12 +145,11 @@ Schedule greedy_batch(const EtcMatrix& etc, const CancellationToken& cancel,
     MachineId pick_machine = 0;
     for (std::size_t i = 0; i < unassigned.size(); ++i) {
       const JobId j = unassigned[i];
-      const MachineId m = loads.best_machine(j);
-      const double score = score_job(loads, j, m);
+      const auto [machine, score] = score_job(loads, j);
       if (score > pick_score) {
         pick_score = score;
         pick_idx = i;
-        pick_machine = m;
+        pick_machine = machine;
       }
     }
     loads.assign(schedule, unassigned[pick_idx], pick_machine);
@@ -171,7 +215,7 @@ Schedule ljfr_sjfr(const EtcMatrix& etc, const CancellationToken& cancel) {
   const int n = etc.num_jobs();
   const int m = etc.num_machines();
   Schedule schedule(n);
-  LoadTracker loads(etc);
+  MachineLoads loads(etc);
 
   // Jobs ascending by workload (mean-ETC proxy); machines descending by
   // speed (smaller mean column ETC = faster machine).
@@ -187,11 +231,14 @@ Schedule ljfr_sjfr(const EtcMatrix& etc, const CancellationToken& cancel) {
     return wa != wb ? wa < wb : a < b;
   });
 
+  // Column means over the machine-major mirror: one contiguous
+  // accumulate per machine (same j-ascending summation order as the old
+  // row-major double loop, so the means are bitwise unchanged).
   std::vector<double> column_mean(static_cast<std::size_t>(m), 0.0);
-  for (JobId j = 0; j < n; ++j) {
-    for (MachineId mm = 0; mm < m; ++mm) {
-      column_mean[static_cast<std::size_t>(mm)] += etc(j, mm);
-    }
+  for (MachineId mm = 0; mm < m; ++mm) {
+    const auto col = etc.machine_row(mm);
+    column_mean[static_cast<std::size_t>(mm)] =
+        std::accumulate(col.begin(), col.end(), 0.0);
   }
   std::vector<MachineId> machines_by_speed(static_cast<std::size_t>(m));
   std::iota(machines_by_speed.begin(), machines_by_speed.end(), 0);
@@ -242,7 +289,7 @@ Schedule min_min(const EtcMatrix& etc) {
 
 Schedule min_min(const EtcMatrix& etc, const CancellationToken& cancel) {
   Schedule schedule(etc.num_jobs());
-  LoadTracker loads(etc);
+  MachineLoads loads(etc);
   std::vector<JobId> unassigned(static_cast<std::size_t>(etc.num_jobs()));
   std::iota(unassigned.begin(), unassigned.end(), 0);
 
@@ -251,13 +298,11 @@ Schedule min_min(const EtcMatrix& etc, const CancellationToken& cancel) {
     double pick_score = std::numeric_limits<double>::infinity();
     MachineId pick_machine = 0;
     for (std::size_t i = 0; i < unassigned.size(); ++i) {
-      const JobId j = unassigned[i];
-      const MachineId m = loads.best_machine(j);
-      const double completion = loads.completion_with(j, m);
-      if (completion < pick_score) {
-        pick_score = completion;
+      const auto b = loads.best(unassigned[i]);
+      if (b.completion < pick_score) {
+        pick_score = b.completion;
         pick_idx = i;
-        pick_machine = m;
+        pick_machine = b.machine;
       }
     }
     loads.assign(schedule, unassigned[pick_idx], pick_machine);
@@ -274,9 +319,9 @@ Schedule max_min(const EtcMatrix& etc) {
 }
 
 Schedule max_min(const EtcMatrix& etc, const CancellationToken& cancel) {
-  return greedy_batch(etc, cancel,
-                      [](const LoadTracker& loads, JobId j, MachineId m) {
-    return loads.completion_with(j, m);
+  return greedy_batch(etc, cancel, [](const MachineLoads& loads, JobId j) {
+    const auto b = loads.best(j);
+    return std::pair<MachineId, double>{b.machine, b.completion};
   });
 }
 
@@ -285,18 +330,15 @@ Schedule sufferage(const EtcMatrix& etc) {
 }
 
 Schedule sufferage(const EtcMatrix& etc, const CancellationToken& cancel) {
-  return greedy_batch(etc, cancel, [&etc](const LoadTracker& loads, JobId j,
-                                          MachineId best) {
-    double best_c = loads.completion_with(j, best);
-    double second = std::numeric_limits<double>::infinity();
-    for (MachineId m = 0; m < etc.num_machines(); ++m) {
-      if (m == best) continue;
-      second = std::min(second, loads.completion_with(j, m));
-    }
+  return greedy_batch(etc, cancel, [](const MachineLoads& loads, JobId j) {
+    const auto bs = loads.best_and_second(j);
     // Single-machine instances have no second-best; sufferage degenerates
     // to arbitrary order there.
-    return second == std::numeric_limits<double>::infinity() ? 0.0
-                                                             : second - best_c;
+    const double score =
+        bs.second == std::numeric_limits<double>::infinity()
+            ? 0.0
+            : bs.second - bs.completion;
+    return std::pair<MachineId, double>{bs.machine, score};
   });
 }
 
@@ -304,7 +346,7 @@ Schedule mct(const EtcMatrix& etc) { return mct(etc, CancellationToken{}); }
 
 Schedule mct(const EtcMatrix& etc, const CancellationToken& cancel) {
   Schedule schedule(etc.num_jobs());
-  LoadTracker loads(etc);
+  MachineLoads loads(etc);
   for (JobId j = 0; j < etc.num_jobs(); ++j) {
     if (j % kPollStride == 0 && cancel.cancelled()) {
       round_robin_tail(schedule, loads, etc, j);
@@ -319,7 +361,7 @@ Schedule met(const EtcMatrix& etc) { return met(etc, CancellationToken{}); }
 
 Schedule met(const EtcMatrix& etc, const CancellationToken& cancel) {
   Schedule schedule(etc.num_jobs());
-  LoadTracker loads(etc);
+  MachineLoads loads(etc);
   for (JobId j = 0; j < etc.num_jobs(); ++j) {
     if (j % kPollStride == 0 && cancel.cancelled()) {
       round_robin_tail(schedule, loads, etc, j);
@@ -337,7 +379,7 @@ Schedule olb(const EtcMatrix& etc) { return olb(etc, CancellationToken{}); }
 
 Schedule olb(const EtcMatrix& etc, const CancellationToken& cancel) {
   Schedule schedule(etc.num_jobs());
-  LoadTracker loads(etc);
+  MachineLoads loads(etc);
   for (JobId j = 0; j < etc.num_jobs(); ++j) {
     if (j % kPollStride == 0 && cancel.cancelled()) {
       round_robin_tail(schedule, loads, etc, j);

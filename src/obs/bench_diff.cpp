@@ -133,7 +133,8 @@ MetricClass classify_metric(std::string_view name,
     return MetricClass::kInformational;
   }
   if (!options.gate_time &&
-      (ends_with(name, "_ms") || contains(name, "overshoot"))) {
+      (ends_with(name, "_ms") || ends_with(name, "_us") ||
+       ends_with(name, "_ns") || contains(name, "overshoot"))) {
     return MetricClass::kInformational;
   }
   if (contains(name, "per_run")) return MetricClass::kInformational;

@@ -724,8 +724,8 @@ Schedule GridSchedulingService::schedule_batch(const EtcMatrix& etc,
         race.sub_context.job_deadlines.push_back(routed_deadline_of(job));
       }
       for (std::size_t column = 0; column < shard.columns.size(); ++column) {
-        race.sub(static_cast<JobId>(row), static_cast<MachineId>(column)) =
-            etc(job, static_cast<MachineId>(shard.columns[column]));
+        race.sub.set(static_cast<JobId>(row), static_cast<MachineId>(column),
+                     etc(job, static_cast<MachineId>(shard.columns[column])));
       }
     }
     for (std::size_t column = 0; column < shard.columns.size(); ++column) {

@@ -427,8 +427,8 @@ SimMetrics GridSimulator::run(BatchScheduler& scheduler) {
                   static_cast<int>(alive.size()));
     for (std::size_t bj = 0; bj < batch.size(); ++bj) {
       for (std::size_t bm = 0; bm < alive.size(); ++bm) {
-        etc(static_cast<JobId>(bj), static_cast<MachineId>(bm)) =
-            etc_of(batch[bj], alive[bm]);
+        etc.set(static_cast<JobId>(bj), static_cast<MachineId>(bm),
+                etc_of(batch[bj], alive[bm]));
       }
     }
     for (std::size_t bm = 0; bm < alive.size(); ++bm) {

@@ -37,7 +37,7 @@ TEST(EtcMatrix, FromValuesRejectsWrongCount) {
 
 TEST(EtcMatrix, WriteThroughAccessor) {
   EtcMatrix etc(2, 2);
-  etc(1, 0) = 42.5;
+  etc.set(1, 0, 42.5);
   EXPECT_EQ(etc(1, 0), 42.5);
   EXPECT_EQ(etc(0, 0), 0.0);
 }
@@ -69,6 +69,32 @@ TEST(EtcMatrix, MeanAndMinRow) {
 TEST(EtcMatrix, TotalSumsAllEntries) {
   EtcMatrix etc(2, 2, {1, 2, 3, 4});
   EXPECT_DOUBLE_EQ(etc.total(), 10.0);
+}
+
+TEST(EtcMatrix, MachineRowIsTheMatrixColumn) {
+  EtcMatrix etc(3, 2, {1, 2, 3, 4, 5, 6});
+  for (MachineId m = 0; m < 2; ++m) {
+    const auto column = etc.machine_row(m);
+    ASSERT_EQ(column.size(), 3u);
+    for (JobId j = 0; j < 3; ++j) EXPECT_EQ(column[j], etc(j, m));
+  }
+}
+
+TEST(EtcMatrix, SetKeepsMachineMajorMirrorCoherent) {
+  // set() must write through to both layouts; a stale mirror would
+  // silently skew every column reduction (LJFR-SJFR means, heat-maps).
+  EtcMatrix etc(4, 3);
+  etc.set(0, 2, 1.5);
+  etc.set(3, 0, 2.5);
+  etc.set(2, 1, 3.5);
+  etc.set(2, 1, 4.5);  // overwrite
+  for (MachineId m = 0; m < 3; ++m) {
+    const auto column = etc.machine_row(m);
+    for (JobId j = 0; j < 4; ++j) {
+      EXPECT_EQ(column[j], etc(j, m)) << "job " << j << " machine " << m;
+    }
+  }
+  EXPECT_EQ(etc(2, 1), 4.5);
 }
 
 }  // namespace

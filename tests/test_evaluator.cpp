@@ -4,8 +4,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "cma/crossover.h"
+#include "cma/local_search.h"
+#include "cma/mutation.h"
+#include "core/individual.h"
 #include "etc/instance.h"
 
 namespace gridsched {
@@ -171,6 +177,222 @@ TEST(Evaluator, MachineJobsSortedAscendingByEtc) {
     for (const auto& [cost, job] : jobs) {
       EXPECT_EQ(eval.schedule()[job], m);
       EXPECT_DOUBLE_EQ(cost, etc(job, m));
+    }
+  }
+}
+
+TEST(Evaluator, ZeroMachineMakespanThrows) {
+  // A default EtcMatrix has no machines, so there is no completion time to
+  // report: makespan()/makespan_machine() must refuse instead of reading
+  // an empty top-k cache.
+  const EtcMatrix etc;
+  ScheduleEvaluator eval(etc);
+  EXPECT_THROW((void)eval.makespan(), std::logic_error);
+  EXPECT_THROW((void)eval.makespan_machine(), std::logic_error);
+  EXPECT_DOUBLE_EQ(eval.flowtime(), 0.0);  // an empty sum is still a sum
+}
+
+// The preview contract is EXACT: preview_move/preview_swap must equal
+// apply-then-measure bit for bit, because the applies adopt the preview's
+// closed-form scalars. A long random walk interleaving previews, applies
+// and periodic canonicalize() pins that contract — including on an
+// all-integer instance where equal-ETC ties force the id-ordered
+// tie-break through the insertion-rank fast path.
+void fuzz_walk(const EtcMatrix& etc, std::uint64_t seed, int steps) {
+  Rng rng(seed);
+  ScheduleEvaluator eval(etc);
+  eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+  ScheduleEvaluator fresh(etc);
+
+  for (int step = 0; step < steps; ++step) {
+    const JobId a = rng.uniform_int(0, etc.num_jobs() - 1);
+    if (rng.chance(0.5)) {
+      MachineId to = rng.uniform_int(0, etc.num_machines() - 2);
+      if (to >= eval.schedule()[a]) ++to;
+      const auto preview = eval.preview_move(a, to);
+      eval.apply_move(a, to);
+      ASSERT_EQ(preview.objectives.makespan, eval.makespan()) << step;
+      ASSERT_EQ(preview.objectives.flowtime, eval.flowtime()) << step;
+    } else {
+      const JobId b = rng.uniform_int(0, etc.num_jobs() - 1);
+      if (b == a || eval.schedule()[a] == eval.schedule()[b]) continue;
+      const auto preview = eval.preview_swap(a, b);
+      eval.apply_swap(a, b);
+      ASSERT_EQ(preview.objectives.makespan, eval.makespan()) << step;
+      ASSERT_EQ(preview.objectives.flowtime, eval.flowtime()) << step;
+    }
+
+    if (step % 256 == 255) {
+      ASSERT_NO_THROW(eval.check_consistency()) << step;
+      // After canonicalize() the state must be bitwise identical to a
+      // fresh reset of the same schedule — fast scalars included.
+      eval.canonicalize();
+      fresh.reset(eval.schedule());
+      ASSERT_EQ(fresh.makespan(), eval.makespan()) << step;
+      ASSERT_EQ(fresh.flowtime(), eval.flowtime()) << step;
+      for (MachineId m = 0; m < etc.num_machines(); ++m) {
+        ASSERT_EQ(fresh.completion(m), eval.completion(m)) << step;
+        ASSERT_EQ(fresh.machine_flow(m), eval.machine_flow(m)) << step;
+      }
+    }
+  }
+  eval.check_consistency();
+}
+
+TEST(Evaluator, FuzzWalkPreviewExactlyEqualsApply) {
+  InstanceSpec spec;
+  spec.num_jobs = 80;
+  spec.num_machines = 10;
+  EtcMatrix etc = generate_instance(spec);
+  Rng ready_rng(11);
+  for (MachineId m = 0; m < etc.num_machines(); ++m) {
+    etc.set_ready_time(m, ready_rng.uniform(0.0, 50.0));
+  }
+  fuzz_walk(etc, 2024, 4096);
+}
+
+TEST(Evaluator, FuzzWalkSurvivesEqualEtcTies) {
+  // Small-integer ETC values make duplicate keys the common case, so the
+  // strictly-less insertion count plus the id-ordered tie walk is
+  // exercised on nearly every step.
+  EtcMatrix etc(48, 6);
+  Rng rng(77);
+  for (JobId j = 0; j < etc.num_jobs(); ++j) {
+    for (MachineId m = 0; m < etc.num_machines(); ++m) {
+      etc.set(j, m, static_cast<double>(rng.uniform_int(1, 4)));
+    }
+  }
+  fuzz_walk(etc, 4242, 4096);
+}
+
+// ---------------------------------------------------------------------------
+// reset_to: the gene-diff replay must be indistinguishable from a fresh
+// rebuild — bitwise, not approximately.
+// ---------------------------------------------------------------------------
+
+TEST(Evaluator, ResetToMatchesFreshResetBitwise) {
+  InstanceSpec spec;
+  spec.num_jobs = 60;
+  spec.num_machines = 8;
+  const EtcMatrix etc = generate_instance(spec);
+  Rng rng(31);
+  const Schedule base = Schedule::random(60, 8, rng);
+
+  ScheduleEvaluator delta(etc);
+  delta.reset(base);
+  ScheduleEvaluator fresh(etc);
+
+  for (const int diff_genes : {0, 1, 4, 17, 60}) {
+    Schedule target = base;
+    for (int d = 0; d < diff_genes; ++d) {
+      target[rng.uniform_int(0, 59)] = rng.uniform_int(0, 7);
+    }
+    delta.reset_to(target);
+    fresh.reset(target);
+    ASSERT_EQ(fresh.makespan(), delta.makespan()) << diff_genes;
+    ASSERT_EQ(fresh.flowtime(), delta.flowtime()) << diff_genes;
+    ASSERT_EQ(fresh.makespan_machine(), delta.makespan_machine());
+    for (MachineId m = 0; m < 8; ++m) {
+      ASSERT_EQ(fresh.completion(m), delta.completion(m));
+      ASSERT_EQ(fresh.machine_flow(m), delta.machine_flow(m));
+      ASSERT_EQ(fresh.machine_jobs(m), delta.machine_jobs(m));
+    }
+    delta.check_consistency();
+  }
+}
+
+TEST(Evaluator, ResetToChainStaysCanonical) {
+  // A long chain of reset_to calls (the offspring pipeline's life) must
+  // never drift from the fresh-reset state it claims to reproduce.
+  InstanceSpec spec;
+  spec.num_jobs = 50;
+  spec.num_machines = 7;
+  const EtcMatrix etc = generate_instance(spec);
+  Rng rng(93);
+  ScheduleEvaluator delta(etc);
+  delta.reset(Schedule::random(50, 7, rng));
+  ScheduleEvaluator fresh(etc);
+  Schedule target = delta.schedule();
+  for (int round = 0; round < 200; ++round) {
+    const int flips = rng.uniform_int(1, 10);
+    for (int f = 0; f < flips; ++f) {
+      target[rng.uniform_int(0, 49)] = rng.uniform_int(0, 6);
+    }
+    delta.reset_to(target);
+    fresh.reset(target);
+    ASSERT_EQ(fresh.makespan(), delta.makespan()) << round;
+    ASSERT_EQ(fresh.flowtime(), delta.flowtime()) << round;
+  }
+  delta.check_consistency();
+}
+
+// ---------------------------------------------------------------------------
+// Diff-replay offspring pipeline: for every crossover x mutation x local
+// search combination, the allocation-free delta path (crossover_into +
+// reset_to + scratch-reusing mutate) must produce offspring bitwise equal
+// to the allocating full-reset path under the same RNG seed.
+// ---------------------------------------------------------------------------
+
+TEST(Evaluator, DeltaOffspringPipelineBitwiseEqualsFullReset) {
+  InstanceSpec spec;
+  spec.num_jobs = 60;
+  spec.num_machines = 8;
+  const EtcMatrix etc = generate_instance(spec);
+  const FitnessWeights weights;
+  Rng parent_rng(55);
+  const Schedule pa = Schedule::random(60, 8, parent_rng);
+  const Schedule pb = Schedule::random(60, 8, parent_rng);
+
+  MutationScratch scratch;
+  Schedule delta_child;
+  Individual delta_offspring;
+  std::uint64_t seed = 1000;
+  for (const CrossoverKind ck :
+       {CrossoverKind::kOnePoint, CrossoverKind::kTwoPoint,
+        CrossoverKind::kUniform}) {
+    for (const MutationKind mk :
+         {MutationKind::kRebalance, MutationKind::kMove, MutationKind::kSwap}) {
+      for (const LocalSearchKind lk :
+           {LocalSearchKind::kNone, LocalSearchKind::kLocalMove,
+            LocalSearchKind::kSteepestLocalMove, LocalSearchKind::kLmcts}) {
+        ++seed;
+        LocalSearchConfig ls;
+        ls.kind = lk;
+        ls.iterations = 2;
+
+        // Reference arm: fresh allocations, full reset.
+        Rng rng_full(seed);
+        ScheduleEvaluator eval_full(etc);
+        eval_full.reset(crossover(ck, pa, pb, rng_full));
+        mutate(mk, eval_full, rng_full);
+        local_search(ls, weights, eval_full, rng_full);
+        Individual full;
+        assign_from_evaluator(full, eval_full, weights);
+
+        // Delta arm: warm evaluator re-targeted via reset_to, reused
+        // child/offspring buffers, shared mutation scratch.
+        Rng rng_delta(seed);
+        ScheduleEvaluator eval_delta(etc);
+        eval_delta.reset(pa);
+        crossover_into(delta_child, ck, pa, pb, rng_delta);
+        eval_delta.reset_to(delta_child);
+        mutate(mk, eval_delta, rng_delta, &scratch);
+        local_search(ls, weights, eval_delta, rng_delta);
+        assign_from_evaluator(delta_offspring, eval_delta, weights);
+
+        const std::string combo =
+            std::string(crossover_name(ck)) + "/" +
+            std::string(mutation_name(mk)) + "/" +
+            std::string(local_search_name(lk));
+        ASSERT_TRUE(full.schedule == delta_offspring.schedule) << combo;
+        ASSERT_EQ(full.objectives.makespan,
+                  delta_offspring.objectives.makespan)
+            << combo;
+        ASSERT_EQ(full.objectives.flowtime,
+                  delta_offspring.objectives.flowtime)
+            << combo;
+        ASSERT_EQ(full.fitness, delta_offspring.fitness) << combo;
+      }
     }
   }
 }

@@ -1,0 +1,137 @@
+// Fixed-seed end-to-end pins for the evolutionary loops.
+//
+// The evaluator's delta machinery (O(1) previews, closed-form applies,
+// reset_to gene replay) promises BITWISE-identical results to the naive
+// full-recompute path. These pins hold five fixed-seed runs — cMA under
+// three operator configurations, the synchronous cMA and the Struggle GA —
+// to exact gene hashes and %.17g objective values captured from a
+// from-scratch evaluation. Any rounding drift anywhere in the preview /
+// apply / canonicalize / reset_to pipeline, or an RNG draw added or
+// removed from an operator, flips a pin.
+//
+// Refreshing: a pin may only change together with an intentional,
+// documented behavior change (new operator semantics, RNG stream change).
+// A perf-only PR that moves one of these values has a bug.
+//
+// Build caveat: the expected values assume the default Release flags (-O3,
+// no -march/-ffast-math); FMA contraction or reassociation would
+// legitimately perturb the last ULPs (docs/performance.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "cma/cma.h"
+#include "cma/sync_cma.h"
+#include "etc/instance.h"
+#include "ga/struggle_ga.h"
+
+namespace gridsched {
+namespace {
+
+/// FNV-1a over the gene sequence: a stable fingerprint of the best
+/// schedule that fails loudly on any assignment difference.
+std::uint64_t schedule_hash(const Schedule& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (MachineId g : s.genes()) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(g));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// 128x16 inconsistent instance, the main pin target.
+EtcMatrix pinned_instance() {
+  InstanceSpec spec;
+  spec.num_jobs = 128;
+  spec.num_machines = 16;
+  spec.consistency = Consistency::kInconsistent;
+  return generate_instance(spec);
+}
+
+/// 96x8 consistent lo-hi instance for the LMCTS all-critical pin.
+EtcMatrix pinned_instance_lohi() {
+  InstanceSpec spec;
+  spec.num_jobs = 96;
+  spec.num_machines = 8;
+  spec.consistency = Consistency::kConsistent;
+  spec.job_heterogeneity = Heterogeneity::kLow;
+  return generate_instance(spec);
+}
+
+struct Pin {
+  std::uint64_t hash;
+  double makespan;
+  double flowtime;
+  double fitness;
+  std::int64_t evaluations;
+};
+
+void expect_pin(const EvolutionResult& r, const Pin& pin) {
+  EXPECT_EQ(schedule_hash(r.best.schedule), pin.hash);
+  EXPECT_EQ(r.best.objectives.makespan, pin.makespan);
+  EXPECT_EQ(r.best.objectives.flowtime, pin.flowtime);
+  EXPECT_EQ(r.best.fitness, pin.fitness);
+  EXPECT_EQ(r.evaluations, pin.evaluations);
+}
+
+TEST(GoldenPins, CmaDefaultOperatorsInconsistentHiHi) {
+  CmaConfig cfg;
+  cfg.pop_height = 4;
+  cfg.pop_width = 4;
+  cfg.stop = StopCondition{.max_evaluations = 2000};
+  cfg.seed = 7;
+  expect_pin(CellularMemeticAlgorithm(cfg).run(pinned_instance()),
+             {10295074483163045571ULL, 956588.47267384967, 30731156.361125588,
+              1197615.6726479745, 2000});
+}
+
+TEST(GoldenPins, CmaSteepestMoveUniformSwap) {
+  CmaConfig cfg;
+  cfg.pop_height = 4;
+  cfg.pop_width = 4;
+  cfg.stop = StopCondition{.max_evaluations = 2000};
+  cfg.seed = 7;
+  cfg.local_search = LocalSearchConfig{LocalSearchKind::kSteepestLocalMove, 8};
+  cfg.crossover = CrossoverKind::kUniform;
+  cfg.mutation = MutationKind::kSwap;
+  expect_pin(CellularMemeticAlgorithm(cfg).run(pinned_instance()),
+             {13412213410814480008ULL, 818786.0243488634, 25304459.520476583,
+              1009471.6982690941, 2000});
+}
+
+TEST(GoldenPins, CmaLmctsAllCriticalConsistentLoHi) {
+  CmaConfig cfg;
+  cfg.pop_height = 3;
+  cfg.pop_width = 3;
+  cfg.stop = StopCondition{.max_evaluations = 1500};
+  cfg.seed = 11;
+  cfg.local_search.scan = LmctsScan::kCriticalAllJobs;
+  cfg.crossover = CrossoverKind::kTwoPoint;
+  expect_pin(CellularMemeticAlgorithm(cfg).run(pinned_instance_lohi()),
+             {11872154960642159625ULL, 126825.79469424207, 3751298.6416417672,
+              212347.42857198679, 1500});
+}
+
+TEST(GoldenPins, SynchronousCmaDefault) {
+  CmaConfig cfg;
+  cfg.pop_height = 4;
+  cfg.pop_width = 4;
+  cfg.stop = StopCondition{.max_evaluations = 2000};
+  cfg.seed = 7;
+  expect_pin(SynchronousCellularMa(cfg, 0).run(pinned_instance()),
+             {12215915701544311963ULL, 806567.47494147578, 27795466.673021756,
+              1039229.7729720718, 2000});
+}
+
+TEST(GoldenPins, StruggleGa) {
+  StruggleGaConfig cfg;
+  cfg.population_size = 40;
+  cfg.stop = StopCondition{.max_evaluations = 3000};
+  cfg.seed = 13;
+  expect_pin(StruggleGa(cfg).run(pinned_instance()),
+             {14955291288071606980ULL, 884780.27614783857, 25346491.925600864,
+              1059624.1434483924, 3000});
+}
+
+}  // namespace
+}  // namespace gridsched

@@ -147,6 +147,33 @@ TEST(Mutate, DeterministicInSeed) {
   }
 }
 
+TEST(Mutate, ScratchBuffersDoNotChangeResults) {
+  // The scratch-reusing path is a pure allocation optimization: with the
+  // same seed it must walk the exact same sequence of schedules as the
+  // allocating path, for every operator.
+  const EtcMatrix etc = test_instance();
+  Rng seed_rng(12);
+  const Schedule start =
+      Schedule::random(etc.num_jobs(), etc.num_machines(), seed_rng);
+  ScheduleEvaluator bare(etc);
+  ScheduleEvaluator reused(etc);
+  bare.reset(start);
+  reused.reset(start);
+  Rng r1(314);
+  Rng r2(314);
+  MutationScratch scratch;
+  for (int i = 0; i < 60; ++i) {
+    const auto kind = static_cast<MutationKind>(i % 3);
+    mutate(kind, bare, r1);
+    mutate(kind, reused, r2, &scratch);
+    ASSERT_EQ(bare.schedule(), reused.schedule()) << "step " << i;
+  }
+  bare.canonicalize();
+  reused.canonicalize();
+  EXPECT_EQ(bare.makespan(), reused.makespan());
+  EXPECT_EQ(bare.flowtime(), reused.flowtime());
+}
+
 TEST(Mutation, NamesAreStable) {
   EXPECT_EQ(mutation_name(MutationKind::kRebalance), "Rebalance");
   EXPECT_EQ(mutation_name(MutationKind::kMove), "Move");

@@ -342,10 +342,21 @@ TEST(BenchDiff, ClassifiesMetricNames) {
             MetricClass::kInformational);
   EXPECT_EQ(obs::classify_metric("shed_per_run", options),
             MetricClass::kInformational);
+  // Micro-benchmark timings (micro_ops emits *_ns metrics) follow the same
+  // rule as *_ms: informational on foreign hardware, gated under
+  // --gate-time (the CI micro-ops smoke relies on this).
+  EXPECT_EQ(obs::classify_metric("BM_PreviewMove_16_ns", options),
+            MetricClass::kInformational);
+  EXPECT_EQ(obs::classify_metric("parse_us", options),
+            MetricClass::kInformational);
   obs::DiffOptions gate_time = options;
   gate_time.gate_time = true;
   EXPECT_EQ(obs::classify_metric("activation_wall_ms", gate_time),
             MetricClass::kGated);
+  EXPECT_EQ(obs::classify_metric("BM_PreviewMove_16_ns", gate_time),
+            MetricClass::kGated);
+  EXPECT_EQ(obs::classify_metric("offspring_speedup", options),
+            MetricClass::kGated);  // a ratio, not a wall-clock time
 
   EXPECT_TRUE(obs::metric_higher_is_better("speedup_vs_sequential"));
   EXPECT_TRUE(obs::metric_higher_is_better("utilization"));

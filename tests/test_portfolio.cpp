@@ -73,10 +73,10 @@ TEST(PopulationCache, RequeuedJobKeepsItsMachineAcrossRemap) {
   // New batch: job 12 re-queued plus a fresh job 20; machine 1 died, so
   // columns now map to grid machines {0, 2}.
   EtcMatrix new_etc(2, 2);
-  new_etc(0, 0) = 5.0;
-  new_etc(0, 1) = 1.0;
-  new_etc(1, 0) = 1.0;
-  new_etc(1, 1) = 5.0;
+  new_etc.set(0, 0, 5.0);
+  new_etc.set(0, 1, 1.0);
+  new_etc.set(1, 0, 1.0);
+  new_etc.set(1, 1, 5.0);
   BatchContext new_ctx;
   new_ctx.job_ids = {12, 20};
   new_ctx.machine_ids = {0, 2};
@@ -103,8 +103,8 @@ TEST(PopulationCache, DeadMachineFallsBackToFastestColumn) {
   // Machine 5 is gone; the new batch sees machines {4, 6}; job 7 is
   // fastest on column 1 (machine 6).
   EtcMatrix new_etc(1, 2);
-  new_etc(0, 0) = 9.0;
-  new_etc(0, 1) = 2.0;
+  new_etc.set(0, 0, 9.0);
+  new_etc.set(0, 1, 2.0);
   BatchContext new_ctx;
   new_ctx.job_ids = {7};
   new_ctx.machine_ids = {4, 6};

@@ -110,9 +110,9 @@ TEST(EvaluateQos, ScoresSptCompletionsAgainstRelativeDeadlines) {
   // One machine, ready at 2, three jobs with ETCs 10/5/20. SPT order runs
   // job 1 first (finish 7), then job 0 (17), then job 2 (37).
   EtcMatrix etc(3, 1);
-  etc(0, 0) = 10.0;
-  etc(1, 0) = 5.0;
-  etc(2, 0) = 20.0;
+  etc.set(0, 0, 10.0);
+  etc.set(1, 0, 5.0);
+  etc.set(2, 0, 20.0);
   etc.set_ready_time(0, 2.0);
   Schedule plan(3, 0);
   const std::vector<double> deadlines{20.0, kInf, 30.0};
@@ -126,10 +126,10 @@ TEST(EvaluateQos, ScoresSptCompletionsAgainstRelativeDeadlines) {
 
 TEST(EvaluateQos, PricesExecutedWorkByColumnRates) {
   EtcMatrix etc(2, 2);
-  etc(0, 0) = 10.0;
-  etc(0, 1) = 4.0;
-  etc(1, 0) = 6.0;
-  etc(1, 1) = 8.0;
+  etc.set(0, 0, 10.0);
+  etc.set(0, 1, 4.0);
+  etc.set(1, 0, 6.0);
+  etc.set(1, 1, 8.0);
   Schedule plan(2);
   plan[0] = 1;
   plan[1] = 0;
@@ -143,9 +143,9 @@ TEST(EvaluateQos, PricesExecutedWorkByColumnRates) {
 
 TEST(EvaluateQos, SkipsRejectedAndUnassignedGenes) {
   EtcMatrix etc(3, 1);
-  etc(0, 0) = 10.0;
-  etc(1, 0) = 10.0;
-  etc(2, 0) = 10.0;
+  etc.set(0, 0, 10.0);
+  etc.set(1, 0, 10.0);
+  etc.set(2, 0, 10.0);
   Schedule plan(3);
   plan[0] = 0;
   plan[1] = Schedule::kRejected;
@@ -162,8 +162,8 @@ TEST(EvaluateQos, SkipsRejectedAndUnassignedGenes) {
 
 TEST(EvaluateQos, EmptyDeadlinesMeanNoQos) {
   EtcMatrix etc(2, 1);
-  etc(0, 0) = 5.0;
-  etc(1, 0) = 5.0;
+  etc.set(0, 0, 5.0);
+  etc.set(1, 0, 5.0);
   const Schedule plan(2, 0);
   const QosOutcome out = evaluate_qos(plan, etc, {}, {});
   EXPECT_EQ(out.deadline_jobs, 0);
@@ -500,7 +500,7 @@ TEST(Service, AdmissionShedsDoomedJobsUnderOverload) {
   EtcMatrix etc(8, 4);
   for (JobId job = 0; job < etc.num_jobs(); ++job) {
     for (MachineId machine = 0; machine < etc.num_machines(); ++machine) {
-      etc(job, machine) = 10.0;
+      etc.set(job, machine, 10.0);
     }
   }
   for (MachineId machine = 0; machine < etc.num_machines(); ++machine) {
@@ -533,7 +533,7 @@ TEST(Service, AdmissionDegradesDoomedJobsWhenTheGridIsCalm) {
   EtcMatrix etc(6, 4);
   for (JobId job = 0; job < etc.num_jobs(); ++job) {
     for (MachineId machine = 0; machine < etc.num_machines(); ++machine) {
-      etc(job, machine) = 10.0;
+      etc.set(job, machine, 10.0);
     }
   }
   BatchContext context = BatchContext::identity(etc);
@@ -554,7 +554,7 @@ TEST(Service, AdmissionChargesBudgetsPerUser) {
   EtcMatrix etc(3, 2);
   for (JobId job = 0; job < etc.num_jobs(); ++job) {
     for (MachineId machine = 0; machine < etc.num_machines(); ++machine) {
-      etc(job, machine) = 10.0;
+      etc.set(job, machine, 10.0);
     }
   }
   BatchContext context = BatchContext::identity(etc);

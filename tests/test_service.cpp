@@ -43,7 +43,7 @@ EtcMatrix dying_queue_etc(int jobs = 12, int machines = 4) {
   EtcMatrix etc(jobs, machines);
   for (JobId job = 0; job < etc.num_jobs(); ++job) {
     for (MachineId machine = 0; machine < etc.num_machines(); ++machine) {
-      etc(job, machine) = machine == 0 ? 10.0 : 40.0;
+      etc.set(job, machine, machine == 0 ? 10.0 : 40.0);
     }
   }
   return etc;
@@ -104,14 +104,14 @@ TEST(RoutingPolicy, LeastBacklogTieBreaksTowardLowerIndex) {
 TEST(RoutingPolicy, BestFitPicksTheShardWithTheLowestEtc) {
   BestFitRouting router;
   EtcMatrix etc(2, 4);
-  etc(0, 0) = 9.0;
-  etc(0, 1) = 8.0;
-  etc(0, 2) = 1.0;  // job 0 is fastest on column 2 (shard 1)
-  etc(0, 3) = 7.0;
-  etc(1, 0) = 2.0;  // job 1 is fastest on column 0 (shard 0)
-  etc(1, 1) = 6.0;
-  etc(1, 2) = 5.0;
-  etc(1, 3) = 4.0;
+  etc.set(0, 0, 9.0);
+  etc.set(0, 1, 8.0);
+  etc.set(0, 2, 1.0);  // job 0 is fastest on column 2 (shard 1)
+  etc.set(0, 3, 7.0);
+  etc.set(1, 0, 2.0);  // job 1 is fastest on column 0 (shard 0)
+  etc.set(1, 1, 6.0);
+  etc.set(1, 2, 5.0);
+  etc.set(1, 3, 4.0);
   const std::vector<ShardSnapshot> shards = {
       snapshot(0, {0, 1}, 0.0), snapshot(1, {2, 3}, 0.0)};
   EXPECT_EQ(router.route(0, etc, shards), 1u);
@@ -121,8 +121,8 @@ TEST(RoutingPolicy, BestFitPicksTheShardWithTheLowestEtc) {
 TEST(RoutingPolicy, ShardMctBalancesAffinityAgainstBacklog) {
   ShardMctRouting router;
   EtcMatrix etc(1, 2);
-  etc(0, 0) = 2.0;   // shard 0 is faster for the job...
-  etc(0, 1) = 10.0;  // ...but shard 1 is idle
+  etc.set(0, 0, 2.0);   // shard 0 is faster for the job...
+  etc.set(0, 1, 10.0);  // ...but shard 1 is idle
   // Light backlog: affinity wins (5/1 + 2 = 7 < 0 + 10).
   const std::vector<ShardSnapshot> light = {
       snapshot(0, {0}, 5.0), snapshot(1, {1}, 0.0)};
@@ -143,9 +143,9 @@ TEST(RoutingPolicy, FactoryAndNamesCoverEveryKind) {
 
 TEST(RoutingPolicy, ShardWorkEstimateIsTheBestEtcInTheShard) {
   EtcMatrix etc(1, 3);
-  etc(0, 0) = 2.0;
-  etc(0, 1) = 4.0;
-  etc(0, 2) = 100.0;
+  etc.set(0, 0, 2.0);
+  etc.set(0, 1, 4.0);
+  etc.set(0, 2, 100.0);
   EXPECT_DOUBLE_EQ(shard_work_estimate(etc, 0, snapshot(0, {0, 1}, 0.0)),
                    2.0);
   EXPECT_DOUBLE_EQ(shard_work_estimate(etc, 0, snapshot(1, {2}, 0.0)), 100.0);
@@ -153,8 +153,8 @@ TEST(RoutingPolicy, ShardWorkEstimateIsTheBestEtcInTheShard) {
 
 TEST(RoutingPolicy, ShardWorkEstimateNormalizesClassStarvedShards) {
   EtcMatrix etc(1, 2);
-  etc(0, 0) = 30.0;  // off-class machine: 3x the matched cost
-  etc(0, 1) = 10.0;
+  etc.set(0, 0, 30.0);  // off-class machine: 3x the matched cost
+  etc.set(0, 1, 10.0);
   ShardSnapshot starved = snapshot(0, {0}, 0.0);
   starved.class_machines = {0, 1};  // no machine of class 0 here
   starved.class_speedup = 3.0;
@@ -175,8 +175,8 @@ TEST(RoutingPolicy, ShardWorkEstimateNormalizesClassStarvedShards) {
 TEST(RoutingPolicy, ClassBacklogPrefersTheShardWithTheClassQueueFree) {
   ClassBacklogRouting router;
   EtcMatrix etc(1, 2);
-  etc(0, 0) = 10.0;  // class-0 job runs equally fast on both shards...
-  etc(0, 1) = 10.0;
+  etc.set(0, 0, 10.0);  // class-0 job runs equally fast on both shards...
+  etc.set(0, 1, 10.0);
   ShardSnapshot busy_for_class = snapshot(0, {0}, 0.0);
   busy_for_class.class_machines = {1, 0};
   busy_for_class.class_routed_work = {50.0, 0.0};  // class 0 queue is deep
@@ -200,8 +200,8 @@ TEST(RoutingPolicy, ClassBacklogPrefersTheShardWithTheClassQueueFree) {
 TEST(RoutingPolicy, ClassBacklogAvoidsClassStarvedShardsWhenCostly) {
   ClassBacklogRouting router;
   EtcMatrix etc(1, 2);
-  etc(0, 0) = 30.0;  // shard 0 lacks the class: 3x slower
-  etc(0, 1) = 10.0;
+  etc.set(0, 0, 30.0);  // shard 0 lacks the class: 3x slower
+  etc.set(0, 1, 10.0);
   ShardSnapshot starved = snapshot(0, {0}, 0.0);
   starved.class_machines = {0, 1};
   starved.class_routed_work = {0.0, 0.0};
@@ -221,8 +221,8 @@ TEST(RoutingPolicy, PlanDrainStealsSpreadsTheStragglerQueue) {
   // candidate is rejected because the thief would become the straggler.
   EtcMatrix etc(4, 2);
   for (JobId job = 0; job < etc.num_jobs(); ++job) {
-    etc(job, 0) = 10.0;
-    etc(job, 1) = 10.0;
+    etc.set(job, 0, 10.0);
+    etc.set(job, 1, 10.0);
   }
   const Schedule plan(4, 0);
   const std::vector<int> column_shard = {0, 1};
@@ -243,8 +243,8 @@ TEST(RoutingPolicy, PlanDrainStealsIsCrossShardOnly) {
   // intra-shard placement is the portfolio's job, so nothing moves.
   EtcMatrix etc(4, 2);
   for (JobId job = 0; job < etc.num_jobs(); ++job) {
-    etc(job, 0) = 10.0;
-    etc(job, 1) = 10.0;
+    etc.set(job, 0, 10.0);
+    etc.set(job, 1, 10.0);
   }
   const Schedule plan(4, 0);
   const std::vector<int> same_shard = {0, 0};
@@ -258,8 +258,8 @@ TEST(RoutingPolicy, PlanDrainStealsRespectsClassAffinity) {
   // structure for free.
   EtcMatrix short_queue(3, 2);
   for (JobId job = 0; job < short_queue.num_jobs(); ++job) {
-    short_queue(job, 0) = 10.0;  // matched machine
-    short_queue(job, 1) = 30.0;  // off-class machine
+    short_queue.set(job, 0, 10.0);  // matched machine
+    short_queue.set(job, 1, 30.0);  // off-class machine
   }
   const std::vector<int> column_shard = {0, 1};
   // Three matched jobs drain at 30; the off-class alternative ties at 30
@@ -271,8 +271,8 @@ TEST(RoutingPolicy, PlanDrainStealsRespectsClassAffinity) {
   // (finishing at 30) strictly helps, and exactly one fires.
   EtcMatrix long_queue(4, 2);
   for (JobId job = 0; job < long_queue.num_jobs(); ++job) {
-    long_queue(job, 0) = 10.0;
-    long_queue(job, 1) = 30.0;
+    long_queue.set(job, 0, 10.0);
+    long_queue.set(job, 1, 30.0);
   }
   const std::vector<StealMove> moves =
       plan_drain_steals(long_queue, Schedule(4, 0), column_shard, 100);
@@ -285,9 +285,9 @@ TEST(RoutingPolicy, PlanDrainStealsPrefersTheMatchedNeighbor) {
   // lands on the matched one (earliest finish), not just any idle slot.
   EtcMatrix etc(4, 3);
   for (JobId job = 0; job < etc.num_jobs(); ++job) {
-    etc(job, 0) = 10.0;  // the straggler shard's machine
-    etc(job, 1) = 30.0;  // off-class neighbor
-    etc(job, 2) = 10.0;  // matched neighbor
+    etc.set(job, 0, 10.0);  // the straggler shard's machine
+    etc.set(job, 1, 30.0);  // off-class neighbor
+    etc.set(job, 2, 10.0);  // matched neighbor
   }
   const std::vector<int> column_shard = {0, 1, 2};
   const std::vector<StealMove> moves =
@@ -454,7 +454,7 @@ TEST(Service, AllJobsOnOneShardLosesAndDuplicatesNothing) {
   EtcMatrix etc(15, 4);
   for (JobId job = 0; job < etc.num_jobs(); ++job) {
     for (MachineId machine = 0; machine < etc.num_machines(); ++machine) {
-      etc(job, machine) = machine == 0 ? 5.0 : 50.0;
+      etc.set(job, machine, machine == 0 ? 5.0 : 50.0);
     }
   }
   ServiceConfig config = deterministic_config(2);
@@ -514,7 +514,7 @@ TEST(Service, RebalancingWithAnEmptyHotShardIsANoOp) {
   for (JobId job = 0; job < etc.num_jobs(); ++job) {
     for (MachineId machine = 0; machine < etc.num_machines(); ++machine) {
       // Shard 1's machines (1, 3) dominate for every job.
-      etc(job, machine) = machine % 2 == 1 ? 4.0 : 40.0;
+      etc.set(job, machine, machine % 2 == 1 ? 4.0 : 40.0);
     }
   }
   etc.set_ready_time(0, 500.0);  // shard 0 drowning in old backlog
@@ -592,7 +592,7 @@ TEST(Service, ClassBacklogRoutingKeepsClassedJobsOnMatchedShards) {
     context.job_classes.push_back(job_class);
     for (MachineId machine = 0; machine < etc.num_machines(); ++machine) {
       const bool matched = machine % 2 == job_class;
-      etc(job, machine) = matched ? 10.0 : 30.0;
+      etc.set(job, machine, matched ? 10.0 : 30.0);
     }
   }
   ServiceConfig config = deterministic_config(2);
@@ -820,7 +820,7 @@ TEST(Service, DrainStealHandsOffTheWarmStartCache) {
     const MachineId home = job < 8 ? 1 : 0;
     for (MachineId machine = 0; machine < balanced.num_machines();
          ++machine) {
-      balanced(job, machine) = machine == home ? 10.0 : 20.0;
+      balanced.set(job, machine, machine == home ? 10.0 : 20.0);
     }
   }
   (void)service.schedule_batch(balanced);
