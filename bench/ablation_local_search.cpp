@@ -30,6 +30,9 @@ int run(const BenchArgs& args) {
       {"objective=makespan",
        [](CmaConfig& c) { c.local_search.objective = LsObjective::kMakespan; },
        true},
+      {"kind=VNS (move/LMCTS/chain ladder)",
+       [](CmaConfig& c) { c.local_search.kind = LocalSearchKind::kVns; },
+       true},
   };
   for (int iters : {1, 5, 15}) {
     variants.push_back({"ls_iterations=" + std::to_string(iters),

@@ -17,15 +17,18 @@
 #include "benchutil/experiment.h"
 #include "benchutil/series.h"
 #include "benchutil/table.h"
+#include "bounds/lower_bound.h"
 #include "cma/cma.h"
 #include "common/cli.h"
 #include "common/thread_pool.h"
+#include "core/bounds.h"
 #include "etc/instance.h"
 #include "etc/paper_reference.h"
 #include "ga/braun_ga.h"
 #include "ga/steady_state_ga.h"
 #include "ga/struggle_ga.h"
 #include "heuristics/constructive.h"
+#include "obs/bench_report.h"
 
 namespace gridsched::bench {
 
@@ -41,13 +44,54 @@ inline std::optional<BenchArgs> parse_args(
   return BenchArgs::from_cli(cli);
 }
 
+/// The stop condition every bench run shares: the wall-clock budget plus
+/// the optional --evals bound (which makes the run machine-independent —
+/// the CI gap gate records its baselines that way).
+inline StopCondition bench_stop(const BenchArgs& args) {
+  StopCondition stop;
+  stop.max_time_ms = args.time_ms;
+  stop.max_evaluations = args.evals;
+  return stop;
+}
+
 /// The paper's tuned cMA (Table 1) under the bench's budget and shape.
 inline CmaConfig paper_cma_config(const BenchArgs& args, bool record = false) {
   CmaConfig config;
-  config.stop = StopCondition{.max_time_ms = args.time_ms};
+  config.stop = bench_stop(args);
   config.seed = args.seed;
   config.record_progress = record;
   return config;
+}
+
+/// LP budget from the shared flags (--lp-max-pivots).
+inline bounds::LpOptions lp_options(const BenchArgs& args) {
+  bounds::LpOptions options;
+  options.enabled = args.lp_max_pivots > 0;
+  options.max_pivots = args.lp_max_pivots;
+  return options;
+}
+
+/// Gap-column cell: "4.35 (LP)" when the LP bound is live, "(cheap)" when
+/// the budget knob dropped it back to the closed-form floors.
+inline std::string gap_cell(double objective,
+                            const bounds::MakespanBoundResult& bound) {
+  const double gap = bounds::optimality_gap_pct(objective, bound.value);
+  if (!std::isfinite(gap)) return "-";
+  return TablePrinter::num(gap, 2) +
+         (bound.lp_status == bounds::LpBoundStatus::kOptimal ? " (LP)"
+                                                             : " (cheap)");
+}
+
+/// Folds the per-verdict oks into the report and writes it when --json was
+/// given. Returns the bench's exit code: a bound violation — an algorithm
+/// reporting an objective below a proven lower bound — is a correctness
+/// bug, not a quality regression, and fails the run outright.
+inline int finish_report(obs::BenchReport& report, const BenchArgs& args) {
+  for (const auto& verdict : report.verdicts) {
+    report.ok = report.ok && verdict.ok;
+  }
+  if (!args.json.empty()) report.write_file(args.json);
+  return report.ok ? 0 : 1;
 }
 
 /// Builds the 12 canonical instances at the bench's shape. For non-default

@@ -15,6 +15,7 @@
 #include <functional>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -134,6 +135,11 @@ int main(int argc, char** argv) {
     TablePrinter table({"scheduler", "jobs", "makespan (s)", "flowtime (s)",
                         "cum batch fitness", "mean lat (ms)", "max lat (ms)"});
     std::vector<Outcome> outcomes;
+    // Per-portfolio member-win scoreboard (who supplied the committed
+    // schedule, summed over activations and seed repetitions) — the
+    // docs/portfolio.md "which member earns its seat" evidence.
+    std::vector<std::pair<std::string, std::map<std::string, int>>>
+        scoreboards;
 
     // Schedulers are stateful (warm caches, UCB credit), so every seed
     // repetition gets a freshly built one via its factory.
@@ -141,6 +147,8 @@ int main(int argc, char** argv) {
         std::uint64_t seed)>;
     auto simulate = [&](const SchedulerFactory& make_scheduler) {
       Outcome outcome;
+      std::map<std::string, int> member_wins;
+      bool is_portfolio = false;
       for (int rep = 0; rep < seeds; ++rep) {
         SimConfig run_sim = sim_config;
         run_sim.seed = sim_config.seed + static_cast<std::uint64_t>(rep);
@@ -159,6 +167,16 @@ int main(int argc, char** argv) {
                 ? probe.total_latency_ms / probe.activations
                 : 0.0);
         outcome.max_latency_ms.add(probe.max_latency_ms);
+        if (const auto* portfolio = dynamic_cast<const PortfolioBatchScheduler*>(
+                scheduler.get())) {
+          is_portfolio = true;
+          for (const MemberStats& stats : portfolio->member_stats()) {
+            member_wins[stats.name] += stats.wins;
+          }
+        }
+      }
+      if (is_portfolio) {
+        scoreboards.emplace_back(outcome.scheduler, std::move(member_wins));
       }
       table.add_row({outcome.scheduler,
                      TablePrinter::num(outcome.jobs.mean(), 0),
@@ -209,6 +227,13 @@ int main(int argc, char** argv) {
 
     std::cout << "--- " << scenario.name << " ---\n";
     table.print(std::cout);
+    for (const auto& [portfolio_name, wins] : scoreboards) {
+      std::cout << "member wins (" << portfolio_name << "):";
+      for (const auto& [member, count] : wins) {
+        if (count > 0) std::cout << "  " << member << " " << count;
+      }
+      std::cout << "\n";
+    }
 
     double best_single = std::numeric_limits<double>::infinity();
     std::string best_single_name;

@@ -52,10 +52,14 @@
 #include <vector>
 
 #include "benchutil/table.h"
+#include "bounds/lower_bound.h"
 #include "common/cli.h"
 #include "common/stats.h"
+#include "core/individual.h"
+#include "etc/instance.h"
 #include "obs/bench_report.h"
 #include "obs/trace_recorder.h"
+#include "portfolio/portfolio.h"
 #include "service/sharded_driver.h"
 #include "workload/workload_source.h"
 
@@ -695,6 +699,52 @@ int main(int argc, char** argv) {
                     {"trace_on_mean_act_ms", on_ms},
                     {"overhead_bound_ms", bound_ms}},
         .histograms = {}});
+  }
+
+  // --- Quality anchor: how close the service's scheduling core gets to
+  // the LP makespan lower bound (bounds/lower_bound.h, docs/bounds.md) on
+  // a fixed canonical instance. Evaluation-bounded rather than wall-clock-
+  // bounded, so the result is a pure function of the seed — CI gates the
+  // gap across commits without runner speed in the loop. Every other
+  // verdict in this report measures the service against ITSELF (vs a
+  // single queue, vs stealing off); this one measures it against a proven
+  // floor no configuration can beat.
+  {
+    InstanceSpec spec;  // defaults: consistent hi-hi, the paper-table class
+    spec.num_jobs = 64;
+    spec.num_machines = 8;
+    const EtcMatrix anchor_etc = generate_instance(spec);
+    PortfolioConfig portfolio_config;
+    portfolio_config.budget_ms = 60'000.0;  // generous: evaluations bind
+    portfolio_config.threads = 2;
+    portfolio_config.member_stop.max_evaluations = 20'000;
+    portfolio_config.seed = base.seed;
+    PortfolioBatchScheduler portfolio(
+        portfolio_config,
+        PortfolioBatchScheduler::default_members(portfolio_config));
+    const Schedule schedule = portfolio.schedule_batch(anchor_etc);
+    const double makespan =
+        make_individual(schedule, anchor_etc, portfolio_config.weights)
+            .objectives.makespan;
+    const auto bound = bounds::makespan_bound(anchor_etc);
+    const double gap = bounds::optimality_gap_pct(makespan, bound.value);
+    const bool anchor_ok = makespan >= bound.value * (1.0 - 1e-9);
+    std::cout << "verdict: quality anchor (" << spec.num_jobs << "x"
+              << spec.num_machines << " " << spec.name() << ", "
+              << portfolio_config.member_stop.max_evaluations
+              << " evals/member, seed " << base.seed << "): makespan "
+              << TablePrinter::num(makespan, 1) << " vs LP bound "
+              << TablePrinter::num(bound.value, 1) << " -> gap "
+              << TablePrinter::num(gap, 2) << "% "
+              << (anchor_ok ? "OK" : "BELOW BOUND (evaluator bug)")
+              << "\n\n";
+    if (!anchor_ok) acceptance_ok = false;
+    obs::BenchVerdict verdict;
+    verdict.name = "quality/gap-anchor";
+    verdict.ok = anchor_ok;
+    verdict.metrics.emplace_back("anchor_makespan", makespan);
+    obs::add_gap_metric(verdict, "anchor_makespan", makespan, bound.value);
+    bench_report.verdicts.push_back(std::move(verdict));
   }
 
   // --- Dedicated traced run: one class-mix configuration with every

@@ -1,5 +1,9 @@
 // Reproduces Table 2 of the paper: best makespan of the Braun-style GA vs
 // the cMA over the 12 benchmark instances, plus the paper's published rows.
+//
+// With --gap (implied by --json) each row also reports how far both
+// algorithms sit from the in-repo makespan lower bound (docs/bounds.md) —
+// an absolute quality anchor next to the paper's relative Delta column.
 #include "bench_common.h"
 
 #include "common/stats.h"
@@ -17,7 +21,7 @@ int run(const BenchArgs& args) {
     const EtcMatrix* etc = &instance.etc;
     jobs.push_back([etc, &args](std::uint64_t seed) {
       BraunGaConfig config;
-      config.stop = StopCondition{.max_time_ms = args.time_ms};
+      config.stop = bench_stop(args);
       config.seed = seed;
       return BraunGa(config).run(*etc);
     });
@@ -30,8 +34,17 @@ int run(const BenchArgs& args) {
   const auto results = run_matrix(jobs, args.runs, args.seed,
                                   shared_pool(args));
 
-  TablePrinter table({"Instance", "GA (meas)", "cMA (meas)", "d% (meas)",
-                      "GA (paper)", "cMA (paper)", "d% (paper)"});
+  std::vector<std::string> headers = {"Instance",  "GA (meas)",
+                                      "cMA (meas)", "d% (meas)",
+                                      "GA (paper)", "cMA (paper)",
+                                      "d% (paper)"};
+  if (args.gap) {
+    headers.insert(headers.begin() + 4, {"LB", "cMA gap%"});
+  }
+  TablePrinter table(headers);
+
+  obs::BenchReport report;
+  report.bench = "table2_makespan_vs_braun_ga";
   int cma_wins = 0;
   int consistent_wins = 0;
   int consistent_total = 0;
@@ -48,21 +61,41 @@ int run(const BenchArgs& args) {
     }
 
     const auto paper = paper_reference(label);
-    table.add_row({label, TablePrinter::num(ga_best),
-                   TablePrinter::num(cma_best),
-                   TablePrinter::pct(measured_delta),
-                   paper ? TablePrinter::num(paper->braun_ga_makespan) : "-",
-                   paper ? TablePrinter::num(paper->cma_makespan) : "-",
-                   paper ? TablePrinter::pct(percent_delta(
-                               paper->braun_ga_makespan, paper->cma_makespan))
-                         : "-"});
+    std::vector<std::string> row = {
+        label,
+        TablePrinter::num(ga_best),
+        TablePrinter::num(cma_best),
+        TablePrinter::pct(measured_delta),
+        paper ? TablePrinter::num(paper->braun_ga_makespan) : "-",
+        paper ? TablePrinter::num(paper->cma_makespan) : "-",
+        paper ? TablePrinter::pct(percent_delta(paper->braun_ga_makespan,
+                                                paper->cma_makespan))
+              : "-"};
+    if (args.gap) {
+      const auto bound =
+          bounds::makespan_bound(instances[i].etc, lp_options(args));
+      row.insert(row.begin() + 4,
+                 {TablePrinter::num(bound.value), gap_cell(cma_best, bound)});
+
+      obs::BenchVerdict verdict;
+      verdict.name = label;
+      verdict.metrics.emplace_back("ga_makespan", ga_best);
+      verdict.metrics.emplace_back("cma_makespan", cma_best);
+      obs::add_gap_metric(verdict, "ga_makespan", ga_best, bound.value);
+      obs::add_gap_metric(verdict, "cma_makespan", cma_best, bound.value);
+      // A result below a proven lower bound is an evaluator bug.
+      const double floor = bound.value * (1.0 - 1e-9);
+      verdict.ok = ga_best >= floor && cma_best >= floor;
+      report.verdicts.push_back(std::move(verdict));
+    }
+    table.add_row(row);
   }
   table.print(std::cout);
   std::cout << "\ncMA best-of-" << args.runs << " beats GA on " << cma_wins
             << "/12 instances (" << consistent_wins << "/" << consistent_total
             << " on consistent+semi-consistent; the paper reports wins on "
                "all 8 of those and losses on inconsistent ones)\n";
-  return 0;
+  return finish_report(report, args);
 }
 
 }  // namespace

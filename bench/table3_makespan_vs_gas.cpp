@@ -15,13 +15,13 @@ int run(const BenchArgs& args) {
     const EtcMatrix* etc = &instance.etc;
     jobs.push_back([etc, &args](std::uint64_t seed) {
       SteadyStateGaConfig config;
-      config.stop = StopCondition{.max_time_ms = args.time_ms};
+      config.stop = bench_stop(args);
       config.seed = seed;
       return SteadyStateGa(config).run(*etc);
     });
     jobs.push_back([etc, &args](std::uint64_t seed) {
       StruggleGaConfig config;
-      config.stop = StopCondition{.max_time_ms = args.time_ms};
+      config.stop = bench_stop(args);
       config.seed = seed;
       return StruggleGa(config).run(*etc);
     });
@@ -34,9 +34,17 @@ int run(const BenchArgs& args) {
   const auto results = run_matrix(jobs, args.runs, args.seed,
                                   shared_pool(args));
 
-  TablePrinter table({"Instance", "ssGA (meas)", "Struggle (meas)",
-                      "cMA (meas)", "ssGA (paper)", "Struggle (paper)",
-                      "cMA (paper)"});
+  std::vector<std::string> headers = {"Instance",       "ssGA (meas)",
+                                      "Struggle (meas)", "cMA (meas)",
+                                      "ssGA (paper)",    "Struggle (paper)",
+                                      "cMA (paper)"};
+  if (args.gap) {
+    headers.insert(headers.begin() + 4, {"LB", "cMA gap%"});
+  }
+  TablePrinter table(headers);
+
+  obs::BenchReport report;
+  report.bench = "table3_makespan_vs_gas";
   int cma_wins = 0;
   for (std::size_t i = 0; i < instances.size(); ++i) {
     const std::string& label = instances[i].label;
@@ -48,19 +56,39 @@ int run(const BenchArgs& args) {
                     ? 1
                     : 0;
     const auto paper = paper_reference(label);
-    table.add_row(
-        {label, TablePrinter::num(ss.makespan.min),
-         TablePrinter::num(struggle.makespan.min),
-         TablePrinter::num(cma.makespan.min),
-         paper ? TablePrinter::num(paper->cx_ga_makespan) : "-",
-         paper ? TablePrinter::num(paper->struggle_ga_makespan) : "-",
-         paper ? TablePrinter::num(paper->cma_makespan) : "-"});
+    std::vector<std::string> row = {
+        label,
+        TablePrinter::num(ss.makespan.min),
+        TablePrinter::num(struggle.makespan.min),
+        TablePrinter::num(cma.makespan.min),
+        paper ? TablePrinter::num(paper->cx_ga_makespan) : "-",
+        paper ? TablePrinter::num(paper->struggle_ga_makespan) : "-",
+        paper ? TablePrinter::num(paper->cma_makespan) : "-"};
+    if (args.gap) {
+      const auto bound =
+          bounds::makespan_bound(instances[i].etc, lp_options(args));
+      row.insert(row.begin() + 4, {TablePrinter::num(bound.value),
+                                   gap_cell(cma.makespan.min, bound)});
+
+      obs::BenchVerdict verdict;
+      verdict.name = label;
+      verdict.metrics.emplace_back("ssga_makespan", ss.makespan.min);
+      verdict.metrics.emplace_back("struggle_makespan", struggle.makespan.min);
+      verdict.metrics.emplace_back("cma_makespan", cma.makespan.min);
+      obs::add_gap_metric(verdict, "cma_makespan", cma.makespan.min,
+                          bound.value);
+      const double floor = bound.value * (1.0 - 1e-9);
+      verdict.ok = ss.makespan.min >= floor &&
+                   struggle.makespan.min >= floor && cma.makespan.min >= floor;
+      report.verdicts.push_back(std::move(verdict));
+    }
+    table.add_row(row);
   }
   table.print(std::cout);
   std::cout << "\ncMA strictly best on " << cma_wins
             << "/12 instances (the paper reports wins on about half, ties "
                "in quality elsewhere)\n";
-  return 0;
+  return finish_report(report, args);
 }
 
 }  // namespace

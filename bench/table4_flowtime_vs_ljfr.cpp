@@ -24,9 +24,16 @@ int run(const BenchArgs& args) {
   const auto results = run_matrix(jobs, args.runs, args.seed,
                                   shared_pool(args));
 
-  TablePrinter table({"Instance", "LJFR-SJFR (meas)", "cMA (meas)",
-                      "improv% (meas)", "LJFR-SJFR (paper)", "cMA (paper)",
-                      "improv% (paper)"});
+  std::vector<std::string> headers = {
+      "Instance",          "LJFR-SJFR (meas)", "cMA (meas)", "improv% (meas)",
+      "LJFR-SJFR (paper)", "cMA (paper)",      "improv% (paper)"};
+  if (args.gap) {
+    headers.insert(headers.begin() + 4, {"flow LB", "cMA gap%"});
+  }
+  TablePrinter table(headers);
+
+  obs::BenchReport report;
+  report.bench = "table4_flowtime_vs_ljfr";
   double worst_improvement = 100.0;
   for (std::size_t i = 0; i < instances.size(); ++i) {
     const std::string& label = instances[i].label;
@@ -47,19 +54,38 @@ int run(const BenchArgs& args) {
         paper ? (paper->ljfr_sjfr_flowtime - paper->cma_flowtime) /
                     paper->ljfr_sjfr_flowtime * 100.0
               : 0.0;
-    table.add_row(
-        {label, TablePrinter::num(seed.objectives.flowtime),
-         TablePrinter::num(cma_flow), TablePrinter::pct(improvement, 1),
-         paper ? TablePrinter::num(paper->ljfr_sjfr_flowtime) : "-",
-         paper ? TablePrinter::num(paper->cma_flowtime) : "-",
-         paper ? TablePrinter::pct(paper_improvement, 1) : "-"});
+    std::vector<std::string> row = {
+        label,
+        TablePrinter::num(seed.objectives.flowtime),
+        TablePrinter::num(cma_flow),
+        TablePrinter::pct(improvement, 1),
+        paper ? TablePrinter::num(paper->ljfr_sjfr_flowtime) : "-",
+        paper ? TablePrinter::num(paper->cma_flowtime) : "-",
+        paper ? TablePrinter::pct(paper_improvement, 1) : "-"};
+    if (args.gap) {
+      // Flowtime has no LP relaxation in the repo; the closed-form floor
+      // (every job alone on its fastest machine, core/bounds.h) anchors it.
+      const double flow_lb = flowtime_lower_bound(etc);
+      const double gap = bounds::optimality_gap_pct(cma_flow, flow_lb);
+      row.insert(row.begin() + 4,
+                 {TablePrinter::num(flow_lb),
+                  std::isfinite(gap) ? TablePrinter::num(gap, 2) : "-"});
+
+      obs::BenchVerdict verdict;
+      verdict.name = label;
+      verdict.metrics.emplace_back("cma_flowtime", cma_flow);
+      obs::add_gap_metric(verdict, "cma_flowtime", cma_flow, flow_lb);
+      verdict.ok = cma_flow >= flow_lb * (1.0 - 1e-9);
+      report.verdicts.push_back(std::move(verdict));
+    }
+    table.add_row(row);
   }
   table.print(std::cout);
   std::cout << "\nworst-case improvement over the seed: "
             << TablePrinter::num(worst_improvement, 1)
             << "% (the paper reports 22-90% across classes; every row must "
                "be positive)\n";
-  return 0;
+  return finish_report(report, args);
 }
 
 }  // namespace

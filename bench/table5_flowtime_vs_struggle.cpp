@@ -15,7 +15,7 @@ int run(const BenchArgs& args) {
     const EtcMatrix* etc = &instance.etc;
     jobs.push_back([etc, &args](std::uint64_t seed) {
       StruggleGaConfig config;
-      config.stop = StopCondition{.max_time_ms = args.time_ms};
+      config.stop = bench_stop(args);
       config.seed = seed;
       return StruggleGa(config).run(*etc);
     });
@@ -28,9 +28,17 @@ int run(const BenchArgs& args) {
   const auto results = run_matrix(jobs, args.runs, args.seed,
                                   shared_pool(args));
 
-  TablePrinter table({"Instance", "Struggle (meas)", "cMA (meas)",
-                      "d% (meas)", "Struggle (paper)", "cMA (paper)",
-                      "d% (paper)"});
+  std::vector<std::string> headers = {"Instance",         "Struggle (meas)",
+                                      "cMA (meas)",       "d% (meas)",
+                                      "Struggle (paper)", "cMA (paper)",
+                                      "d% (paper)"};
+  if (args.gap) {
+    headers.insert(headers.begin() + 4, {"flow LB", "cMA gap%"});
+  }
+  TablePrinter table(headers);
+
+  obs::BenchReport report;
+  report.bench = "table5_flowtime_vs_struggle";
   int cma_wins = 0;
   for (std::size_t i = 0; i < instances.size(); ++i) {
     const std::string& label = instances[i].label;
@@ -41,19 +49,38 @@ int run(const BenchArgs& args) {
     cma_wins += (cma_flow < struggle_flow) ? 1 : 0;
 
     const auto paper = paper_reference(label);
-    table.add_row(
-        {label, TablePrinter::num(struggle_flow), TablePrinter::num(cma_flow),
-         TablePrinter::pct(percent_delta(struggle_flow, cma_flow)),
-         paper ? TablePrinter::num(paper->struggle_ga_flowtime) : "-",
-         paper ? TablePrinter::num(paper->cma_flowtime) : "-",
-         paper ? TablePrinter::pct(percent_delta(paper->struggle_ga_flowtime,
-                                                 paper->cma_flowtime))
-               : "-"});
+    std::vector<std::string> row = {
+        label,
+        TablePrinter::num(struggle_flow),
+        TablePrinter::num(cma_flow),
+        TablePrinter::pct(percent_delta(struggle_flow, cma_flow)),
+        paper ? TablePrinter::num(paper->struggle_ga_flowtime) : "-",
+        paper ? TablePrinter::num(paper->cma_flowtime) : "-",
+        paper ? TablePrinter::pct(percent_delta(paper->struggle_ga_flowtime,
+                                                paper->cma_flowtime))
+              : "-"};
+    if (args.gap) {
+      const double flow_lb = flowtime_lower_bound(instances[i].etc);
+      const double gap = bounds::optimality_gap_pct(cma_flow, flow_lb);
+      row.insert(row.begin() + 4,
+                 {TablePrinter::num(flow_lb),
+                  std::isfinite(gap) ? TablePrinter::num(gap, 2) : "-"});
+
+      obs::BenchVerdict verdict;
+      verdict.name = label;
+      verdict.metrics.emplace_back("struggle_flowtime", struggle_flow);
+      verdict.metrics.emplace_back("cma_flowtime", cma_flow);
+      obs::add_gap_metric(verdict, "cma_flowtime", cma_flow, flow_lb);
+      const double floor = flow_lb * (1.0 - 1e-9);
+      verdict.ok = struggle_flow >= floor && cma_flow >= floor;
+      report.verdicts.push_back(std::move(verdict));
+    }
+    table.add_row(row);
   }
   table.print(std::cout);
   std::cout << "\ncMA beats Struggle GA on flowtime on " << cma_wins
             << "/12 instances (the paper reports 12/12)\n";
-  return 0;
+  return finish_report(report, args);
 }
 
 }  // namespace

@@ -55,7 +55,8 @@ int main(int argc, char** argv) {
   } else if (knob == "local-search") {
     for (LocalSearchKind k :
          {LocalSearchKind::kNone, LocalSearchKind::kLocalMove,
-          LocalSearchKind::kSteepestLocalMove, LocalSearchKind::kLmcts}) {
+          LocalSearchKind::kSteepestLocalMove, LocalSearchKind::kLmcts,
+          LocalSearchKind::kVns}) {
       variants.emplace_back(std::string(local_search_name(k)),
                             [k](CmaConfig& c) { c.local_search.kind = k; });
     }

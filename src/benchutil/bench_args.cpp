@@ -17,6 +17,14 @@ void BenchArgs::register_flags(CliParser& cli) {
            "thread-pool size for independent runs (0 = hardware)");
   cli.flag("paper", "false",
            "use the paper's protocol: 90 s per run, 10 runs per instance");
+  cli.flag("evals", "0",
+           "evaluation budget per run (0 = none; makes runs a pure "
+           "function of the seed, independent of machine speed)");
+  cli.flag("gap", "false",
+           "report optimality gaps vs the LP/cheap makespan lower bound");
+  cli.flag("lp-max-pivots", std::to_string(defaults.lp_max_pivots),
+           "simplex pivot budget for the LP bound (0 = cheap bounds only)");
+  cli.flag("json", "", "write a BENCH_*.json verdict report (implies --gap)");
 }
 
 BenchArgs BenchArgs::from_cli(const CliParser& cli) {
@@ -29,6 +37,10 @@ BenchArgs BenchArgs::from_cli(const CliParser& cli) {
   args.csv_dir = cli.get("csv-dir");
   args.threads = static_cast<int>(cli.get_int("threads"));
   args.paper = cli.get_bool("paper");
+  args.evals = cli.get_int("evals");
+  args.lp_max_pivots = static_cast<int>(cli.get_int("lp-max-pivots"));
+  args.json = cli.get("json");
+  args.gap = cli.get_bool("gap") || !args.json.empty();
   if (args.paper) {
     args.time_ms = 90'000.0;
     args.runs = 10;

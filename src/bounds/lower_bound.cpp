@@ -1,0 +1,119 @@
+#include "bounds/lower_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "bounds/simplex.h"
+#include "core/bounds.h"
+
+namespace gridsched::bounds {
+namespace {
+
+/// Builds the fractional-assignment LP. Variables: x[j][m] at j*m_count+k,
+/// then T last. All data is scaled by `inv_scale` so the simplex works on
+/// O(1) numbers whatever the ETC magnitudes (its tolerances are absolute).
+LinearProgram build_lp(const EtcMatrix& etc, double inv_scale) {
+  const int n = etc.num_jobs();
+  const int m = etc.num_machines();
+  const std::size_t num_vars = static_cast<std::size_t>(n) * m + 1;
+  const std::size_t t_var = num_vars - 1;
+
+  LinearProgram lp;
+  lp.objective.assign(num_vars, 0.0);
+  lp.objective[t_var] = 1.0;
+  lp.constraints.reserve(static_cast<std::size_t>(n + m));
+
+  for (int j = 0; j < n; ++j) {
+    LinearConstraint con;
+    con.coeffs.assign(num_vars, 0.0);
+    for (int k = 0; k < m; ++k) {
+      con.coeffs[static_cast<std::size_t>(j) * m + k] = 1.0;
+    }
+    con.relation = Relation::kEqual;
+    con.rhs = 1.0;
+    lp.constraints.push_back(std::move(con));
+  }
+  for (int k = 0; k < m; ++k) {
+    // T - sum_j ETC[j][k]·x[j][k] >= ready[k]
+    LinearConstraint con;
+    con.coeffs.assign(num_vars, 0.0);
+    for (int j = 0; j < n; ++j) {
+      con.coeffs[static_cast<std::size_t>(j) * m + k] = -etc(j, k) * inv_scale;
+    }
+    con.coeffs[t_var] = 1.0;
+    con.relation = Relation::kGreaterEqual;
+    con.rhs = etc.ready_time(k) * inv_scale;
+    lp.constraints.push_back(std::move(con));
+  }
+  return lp;
+}
+
+/// Dense tableau footprint of the LP above, in cells (see simplex.cpp:
+/// rows + 2 cost rows by structural + slack + artificial + rhs columns).
+std::int64_t tableau_cells(const EtcMatrix& etc) {
+  const std::int64_t n = etc.num_jobs();
+  const std::int64_t m = etc.num_machines();
+  const std::int64_t rows = n + m + 2;
+  const std::int64_t cols = (n * m + 1) + m + (n + m) + 1;
+  return rows * cols;
+}
+
+}  // namespace
+
+MakespanBoundResult makespan_bound(const EtcMatrix& etc,
+                                   const LpOptions& options) {
+  MakespanBoundResult result;
+  result.cheap = makespan_lower_bound(etc);
+  result.value = result.cheap;
+
+  if (!options.enabled || options.max_pivots <= 0) {
+    result.lp_status = LpBoundStatus::kDisabled;
+    return result;
+  }
+  if (tableau_cells(etc) > options.max_tableau_cells) {
+    result.lp_status = LpBoundStatus::kTooLarge;
+    return result;
+  }
+
+  // Scale so the largest coefficient is 1.0: the simplex tolerances are
+  // absolute, and Braun hi-hi instances reach ETC values of ~3e6.
+  double scale = 0.0;
+  for (int j = 0; j < etc.num_jobs(); ++j) {
+    const auto row = etc.row(j);
+    for (const double v : row) scale = std::max(scale, v);
+  }
+  for (int k = 0; k < etc.num_machines(); ++k) {
+    scale = std::max(scale, etc.ready_time(k));
+  }
+  if (scale <= 0.0) {  // all-zero instance: the cheap bound (0) is exact
+    result.lp_status = LpBoundStatus::kOptimal;
+    return result;
+  }
+
+  SimplexOptions simplex_options;
+  simplex_options.max_pivots = options.max_pivots;
+  const SimplexResult lp =
+      solve_simplex(build_lp(etc, 1.0 / scale), simplex_options);
+  result.lp_pivots = lp.pivots;
+  if (lp.status != SimplexStatus::kOptimal) {
+    // Infeasible/unbounded cannot happen for this LP (x = any schedule,
+    // T large enough is feasible; T >= 0 bounds it below); treat any
+    // non-optimal outcome as "budget exhausted, no LP bound".
+    result.lp_status = LpBoundStatus::kPivotLimit;
+    return result;
+  }
+  result.lp_status = LpBoundStatus::kOptimal;
+  result.lp = lp.objective * scale;
+  result.value = std::max(result.value, result.lp);
+  return result;
+}
+
+double optimality_gap_pct(double objective, double lower_bound) noexcept {
+  if (!(lower_bound > 0.0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return 100.0 * (objective - lower_bound) / lower_bound;
+}
+
+}  // namespace gridsched::bounds

@@ -1,0 +1,73 @@
+// Optimality-gap machinery: the strongest makespan lower bound the
+// library can compute on an ETC instance, and the gap helper every bench
+// reports through obs::BenchReport.
+//
+// Layering: `core/bounds.h` owns the cheap closed-form floors (ready, job
+// and load bounds — O(nm), always computed). This module adds the LP
+// relaxation of the assignment problem:
+//
+//   minimize T
+//   s.t.  sum_m x[j][m] = 1                      for every job j
+//         ready[m] + sum_j ETC[j][m]·x[j][m] <= T  for every machine m
+//         x >= 0
+//
+// i.e. R||Cmax with jobs allowed to split fractionally across machines.
+// Every real schedule is a feasible {0,1} point, so the LP optimum is a
+// valid lower bound — and a much tighter one than the load bound whenever
+// machine speeds are heterogeneous (docs/bounds.md works the math and
+// records measured gaps). Two things are easy to get wrong here:
+//
+//   * A truncated simplex run is NOT a bound. A suboptimal feasible T
+//     only says "a fractional schedule this good exists", which can
+//     exceed the integer optimum. The LP value is therefore used only
+//     when the solver proves optimality within its budget; otherwise the
+//     result falls back to the cheap floors alone (lp_status records
+//     why).
+//   * The LP can sit BELOW the per-job bound (a single job splits across
+//     machines, so max_j min_m(ready+ETC) no longer binds it). The final
+//     bound is max(cheap, LP), never the LP alone.
+//
+// The LP costs O((n+m)·(nm)) memory and a polynomial pivot count, so it
+// sits behind a budget knob (`LpOptions`) and is meant for bench-time gap
+// reporting, not for the scheduling hot path.
+#pragma once
+
+#include <cstdint>
+
+#include "etc/etc_matrix.h"
+
+namespace gridsched::bounds {
+
+/// Budget knob for the LP-relaxation bound.
+struct LpOptions {
+  bool enabled = true;
+  /// Simplex pivot budget (both phases). Exceeding it discards the LP
+  /// value — see the header comment — and reports kPivotLimit.
+  int max_pivots = 20'000;
+  /// Skip instances whose dense tableau would exceed this many cells
+  /// (8M cells = 64 MB). 512 jobs x 16 machines needs ~4.6M.
+  std::int64_t max_tableau_cells = 8'000'000;
+};
+
+enum class LpBoundStatus { kOptimal, kPivotLimit, kTooLarge, kDisabled };
+
+struct MakespanBoundResult {
+  /// The bound to use: max of every valid component below.
+  double value = 0.0;
+  /// max(ready, job, load) from core/bounds.h. Always valid.
+  double cheap = 0.0;
+  /// LP-relaxation optimum; 0.0 unless lp_status == kOptimal.
+  double lp = 0.0;
+  LpBoundStatus lp_status = LpBoundStatus::kDisabled;
+  int lp_pivots = 0;
+};
+
+[[nodiscard]] MakespanBoundResult makespan_bound(const EtcMatrix& etc,
+                                                 const LpOptions& options = {});
+
+/// The gap every bench reports: 100·(objective − lb)/lb. Returns NaN when
+/// lb <= 0 (obs::BenchReport serializes non-finite metrics as null).
+[[nodiscard]] double optimality_gap_pct(double objective,
+                                        double lower_bound) noexcept;
+
+}  // namespace gridsched::bounds

@@ -1,0 +1,187 @@
+#include "bounds/simplex.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace gridsched::bounds {
+namespace {
+
+// Tolerances assume the caller feeds a well-scaled problem (coefficients
+// O(1) — lower_bound.cpp normalizes by the largest ETC value before
+// building its LP). Zero-pivot and reduced-cost cutoffs are the usual
+// dense-simplex compromise between stalling and accepting noise pivots.
+constexpr double kEps = 1e-9;
+constexpr double kPhase1Tol = 1e-7;
+
+/// Dense tableau: `rows` constraint rows plus two cost rows (phase-2 then
+/// phase-1), `cols` variable columns plus the rhs column.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), cells_((rows + 2) * (cols + 1), 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return cells_[r * (cols_ + 1) + c]; }
+  double& rhs(std::size_t r) { return at(r, cols_); }
+  std::size_t cost_row() const { return rows_; }
+  std::size_t phase1_row() const { return rows_ + 1; }
+
+  /// Gauss-Jordan pivot on (pivot_row, pivot_col), cost rows included.
+  void pivot(std::size_t pivot_row, std::size_t pivot_col) {
+    const double p = at(pivot_row, pivot_col);
+    assert(std::fabs(p) > 0.0);
+    double* prow = &cells_[pivot_row * (cols_ + 1)];
+    const double inv = 1.0 / p;
+    for (std::size_t c = 0; c <= cols_; ++c) prow[c] *= inv;
+    prow[pivot_col] = 1.0;  // kill roundoff on the pivot itself
+    for (std::size_t r = 0; r < rows_ + 2; ++r) {
+      if (r == pivot_row) continue;
+      double* row = &cells_[r * (cols_ + 1)];
+      const double factor = row[pivot_col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c <= cols_; ++c) row[c] -= factor * prow[c];
+      row[pivot_col] = 0.0;
+    }
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> cells_;
+};
+
+}  // namespace
+
+SimplexResult solve_simplex(const LinearProgram& lp,
+                            const SimplexOptions& options) {
+  SimplexResult result;
+  const std::size_t n = lp.objective.size();
+  const std::size_t m = lp.constraints.size();
+
+  // Column layout: [structural n][one slack/surplus per inequality]
+  // [one artificial per >=/= row]. Count them first.
+  std::size_t num_slack = 0;
+  std::size_t num_artificial = 0;
+  for (const auto& con : lp.constraints) {
+    assert(con.coeffs.size() == n);
+    // Normalizing to rhs >= 0 can flip <= into >= and vice versa, so the
+    // effective relation decides the extra columns.
+    const bool flip = con.rhs < 0.0;
+    Relation rel = con.relation;
+    if (flip && rel == Relation::kLessEqual) rel = Relation::kGreaterEqual;
+    else if (flip && rel == Relation::kGreaterEqual) rel = Relation::kLessEqual;
+    if (rel != Relation::kEqual) ++num_slack;
+    if (rel != Relation::kLessEqual) ++num_artificial;
+  }
+
+  const std::size_t num_real = n + num_slack;  // columns allowed in phase 2
+  const std::size_t cols = num_real + num_artificial;
+  Tableau t(m, cols);
+  std::vector<std::size_t> basis(m);
+
+  std::size_t next_slack = n;
+  std::size_t next_artificial = num_real;
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto& con = lp.constraints[r];
+    const double sign = con.rhs < 0.0 ? -1.0 : 1.0;
+    for (std::size_t c = 0; c < n; ++c) t.at(r, c) = sign * con.coeffs[c];
+    t.rhs(r) = sign * con.rhs;
+    Relation rel = con.relation;
+    if (sign < 0.0 && rel == Relation::kLessEqual) rel = Relation::kGreaterEqual;
+    else if (sign < 0.0 && rel == Relation::kGreaterEqual) {
+      rel = Relation::kLessEqual;
+    }
+    if (rel == Relation::kLessEqual) {
+      t.at(r, next_slack) = 1.0;
+      basis[r] = next_slack++;
+    } else {
+      if (rel == Relation::kGreaterEqual) t.at(r, next_slack++) = -1.0;
+      t.at(r, next_artificial) = 1.0;
+      basis[r] = next_artificial++;
+    }
+  }
+
+  // Phase-2 cost row starts as c (reduced costs once basic columns are
+  // priced out below); phase-1 cost is the sum of artificials.
+  for (std::size_t c = 0; c < n; ++c) t.at(t.cost_row(), c) = lp.objective[c];
+  for (std::size_t c = num_real; c < cols; ++c) t.at(t.phase1_row(), c) = 1.0;
+
+  // Price out the starting basis from both cost rows. Slack basics have
+  // zero cost in both; artificial basics cost 1 in phase 1.
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] >= num_real) {
+      for (std::size_t c = 0; c <= cols; ++c) {
+        t.at(t.phase1_row(), c) -= t.at(r, c);
+      }
+    }
+  }
+
+  // Bland's rule iteration over the given cost row; `limit` bars columns
+  // >= limit from entering (used to freeze artificials in phase 2).
+  auto iterate = [&](std::size_t cost_row, std::size_t limit) -> SimplexStatus {
+    for (;;) {
+      // Entering: smallest column index with negative reduced cost.
+      std::size_t entering = limit;
+      for (std::size_t c = 0; c < limit; ++c) {
+        if (t.at(cost_row, c) < -kEps) {
+          entering = c;
+          break;
+        }
+      }
+      if (entering == limit) return SimplexStatus::kOptimal;
+
+      // Leaving: minimum ratio; ties by smallest basis variable index.
+      std::size_t leaving = m;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < m; ++r) {
+        const double a = t.at(r, entering);
+        if (a <= kEps) continue;
+        const double ratio = t.rhs(r) / a;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leaving == m || basis[r] < basis[leaving]))) {
+          best_ratio = ratio;
+          leaving = r;
+        }
+      }
+      if (leaving == m) return SimplexStatus::kUnbounded;
+
+      if (result.pivots >= options.max_pivots) {
+        return SimplexStatus::kPivotLimit;
+      }
+      t.pivot(leaving, entering);
+      basis[leaving] = entering;
+      ++result.pivots;
+    }
+  };
+
+  // Phase 1: drive the artificials to zero.
+  if (num_artificial > 0) {
+    const SimplexStatus phase1 = iterate(t.phase1_row(), cols);
+    if (phase1 != SimplexStatus::kOptimal) {
+      // Unbounded cannot happen with the bounded-below phase-1 objective.
+      result.status = phase1 == SimplexStatus::kUnbounded
+                          ? SimplexStatus::kInfeasible
+                          : phase1;
+      return result;
+    }
+    if (-t.rhs(t.phase1_row()) > kPhase1Tol) {
+      result.status = SimplexStatus::kInfeasible;
+      return result;
+    }
+  }
+
+  // Phase 2 on the real objective. Artificial columns stay barred; any
+  // artificial still basic sits at value ~0 and is harmless.
+  result.status = iterate(t.cost_row(), num_real);
+  if (result.status != SimplexStatus::kOptimal) return result;
+
+  result.objective = -t.rhs(t.cost_row());
+  result.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) result.x[basis[r]] = t.rhs(r);
+  }
+  return result;
+}
+
+}  // namespace gridsched::bounds

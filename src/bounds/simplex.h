@@ -1,0 +1,61 @@
+// A small dense two-phase simplex solver (minimization, x >= 0).
+//
+// Exists so the library can compute LP-relaxation lower bounds
+// (bounds/lower_bound.h) without an external solver dependency — the
+// container this builds in is offline. It is a textbook tableau
+// implementation tuned for determinism, not for sparse million-row LPs:
+//
+//   * Bland's rule for both the entering and the leaving variable
+//     (smallest index wins every tie). This guarantees termination
+//     without perturbation tricks AND makes the pivot sequence — and
+//     therefore the returned optimum — a pure function of the input,
+//     bitwise-stable across runs (tests/test_bounds.cpp pins this).
+//   * A pivot budget instead of open-ended iteration: a caller that uses
+//     the optimum as a *bound* must know whether the solve finished
+//     (a truncated minimization is NOT a valid lower bound), so running
+//     out of budget is a first-class status, never a silent best-effort.
+//
+// Phase 1 minimizes the sum of artificial variables to find a feasible
+// basis; artificial columns are barred from re-entering in phase 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gridsched::bounds {
+
+enum class SimplexStatus { kOptimal, kInfeasible, kUnbounded, kPivotLimit };
+
+struct SimplexOptions {
+  /// Total pivot budget across both phases. Bland's rule terminates
+  /// finitely anyway; the cap bounds the worst case wall-clock.
+  int max_pivots = 20'000;
+};
+
+struct SimplexResult {
+  SimplexStatus status = SimplexStatus::kPivotLimit;
+  /// c·x at the final basis. Only meaningful when status == kOptimal.
+  double objective = 0.0;
+  /// Structural variable values (empty unless status == kOptimal).
+  std::vector<double> x;
+  int pivots = 0;
+};
+
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+struct LinearConstraint {
+  std::vector<double> coeffs;  // one per structural variable
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// minimize objective·x subject to the constraints and x >= 0.
+struct LinearProgram {
+  std::vector<double> objective;
+  std::vector<LinearConstraint> constraints;
+};
+
+[[nodiscard]] SimplexResult solve_simplex(const LinearProgram& lp,
+                                          const SimplexOptions& options = {});
+
+}  // namespace gridsched::bounds

@@ -152,6 +152,76 @@ bool step_lmcts(const LocalSearchConfig& config, const FitnessWeights& weights,
   return false;
 }
 
+/// One VNS rung-2 step: a two-move ejection chain off the critical
+/// machine. Leg 1 moves a random critical job to its best target machine
+/// (allowed to worsen); leg 2 relocates the best other job off that
+/// target. Commits the better of {leg 1 alone, leg 1 + leg 2} when it
+/// beats the starting score, otherwise reverts leg 1 and re-canonicalizes
+/// the touched machines so a failed chain leaves no ULP residue in the
+/// fast scalars.
+bool step_exchange_chain(const LocalSearchConfig& config,
+                         const FitnessWeights& weights,
+                         ScheduleEvaluator& evaluator, Rng& rng,
+                         LocalSearchStats& stats,
+                         const CancellationToken& cancel) {
+  const int n = evaluator.num_jobs();
+  const int m = evaluator.num_machines();
+  if (m < 2 || n < 1) return false;
+  const MachineId critical = evaluator.makespan_machine();
+  const auto& critical_jobs = evaluator.machine_jobs(critical);
+  if (critical_jobs.empty()) return false;
+  const JobId a =
+      critical_jobs[static_cast<std::size_t>(rng.bounded(critical_jobs.size()))]
+          .second;
+  const double before = current_score(evaluator, config.objective, weights);
+
+  // Leg 1: best target for `a`, improving or not.
+  MachineId to1 = -1;
+  double score1 = std::numeric_limits<double>::infinity();
+  for (MachineId to = 0; to < m; ++to) {
+    if (to == critical) continue;
+    const auto preview = evaluator.preview_move(a, to);
+    ++stats.previews;
+    const double score = score_of(preview, config.objective, weights, m);
+    if (score < score1) {
+      score1 = score;
+      to1 = to;
+    }
+  }
+  if (to1 < 0) return false;
+  evaluator.apply_move(a, to1);
+
+  // Leg 2: best relocation of another job off the now-heavier target.
+  // "Leg 1 alone" competes as the empty second move.
+  const auto& target_jobs = evaluator.machine_jobs(to1);
+  JobId best_b = -1;
+  MachineId to2 = -1;
+  double best_chain = score1;
+  for (const auto& [etc_b, b] : target_jobs) {
+    if (b == a) continue;
+    if (cancel.cancelled()) break;
+    for (MachineId to = 0; to < m; ++to) {
+      if (to == to1) continue;
+      const auto preview = evaluator.preview_move(b, to);
+      ++stats.previews;
+      const double score = score_of(preview, config.objective, weights, m);
+      if (score < best_chain) {
+        best_chain = score;
+        best_b = b;
+        to2 = to;
+      }
+    }
+  }
+
+  if (best_chain < before) {
+    if (best_b >= 0) evaluator.apply_move(best_b, to2);
+    return true;
+  }
+  evaluator.apply_move(a, critical);
+  evaluator.canonicalize();
+  return false;
+}
+
 }  // namespace
 
 std::string_view local_search_name(LocalSearchKind k) noexcept {
@@ -160,6 +230,7 @@ std::string_view local_search_name(LocalSearchKind k) noexcept {
     case LocalSearchKind::kLocalMove: return "LM";
     case LocalSearchKind::kSteepestLocalMove: return "SLM";
     case LocalSearchKind::kLmcts: return "LMCTS";
+    case LocalSearchKind::kVns: return "VNS";
   }
   return "?";
 }
@@ -170,6 +241,12 @@ LocalSearchStats local_search(const LocalSearchConfig& config,
                               const CancellationToken& cancel) {
   LocalSearchStats stats;
   if (config.kind == LocalSearchKind::kNone) return stats;
+
+  // VNS ladder state: the current neighborhood rung. Escalates one rung
+  // per stagnant iteration, resets on improvement, wraps past the top
+  // (the stochastic rungs draw fresh focus jobs, so a rescan at rung 0
+  // is not a wasted iteration the way a deterministic rescan would be).
+  int rung = 0;
 
   for (int it = 0; it < config.iterations; ++it) {
     if (cancel.cancelled()) break;
@@ -183,6 +260,17 @@ LocalSearchStats local_search(const LocalSearchConfig& config,
         break;
       case LocalSearchKind::kLmcts:
         improved = step_lmcts(config, weights, evaluator, rng, stats);
+        break;
+      case LocalSearchKind::kVns:
+        if (rung == 0) {
+          improved = step_steepest_move(config, weights, evaluator, rng, stats);
+        } else if (rung == 1) {
+          improved = step_lmcts(config, weights, evaluator, rng, stats);
+        } else {
+          improved = step_exchange_chain(config, weights, evaluator, rng,
+                                         stats, cancel);
+        }
+        rung = improved || rung >= config.vns_max_rung ? 0 : rung + 1;
         break;
       case LocalSearchKind::kNone:
         break;

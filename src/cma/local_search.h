@@ -32,7 +32,21 @@
 
 namespace gridsched {
 
-enum class LocalSearchKind { kNone, kLocalMove, kSteepestLocalMove, kLmcts };
+// VNS (kVns) is a post-paper addition: a variable-neighborhood ladder
+// over the paper's own operators. Rung 0 is a steepest move, rung 1 the
+// LMCTS swap scan, rung 2 a two-move ejection chain off the critical
+// machine (move a critical job to its best target, then relocate one job
+// from that target to a third machine — a compound edit neither single
+// operator can express). The rung escalates on stagnation and resets to
+// 0 on improvement; with `vns_max_rung = 0` the walk degenerates to SLM
+// exactly (bitwise — tests pin this).
+enum class LocalSearchKind {
+  kNone,
+  kLocalMove,
+  kSteepestLocalMove,
+  kLmcts,
+  kVns,
+};
 enum class LsObjective { kFitness, kMakespan };
 enum class LmctsScan {
   kCriticalRandomJob,  // random job on the makespan machine x all partners
@@ -49,6 +63,8 @@ struct LocalSearchConfig {
   LsObjective objective = LsObjective::kFitness;
   LmctsScan scan = LmctsScan::kCriticalRandomJob;
   int sampled_pairs = 512;  // budget for LmctsScan::kSampled
+  /// Highest VNS rung (0 = moves only, 1 = +swaps, 2 = +ejection chains).
+  int vns_max_rung = 2;
 };
 
 /// Statistics of one local_search() call (useful for tests and ablations).

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <iostream>
 #include <ostream>
 
@@ -39,6 +40,18 @@ void BenchReport::write(std::ostream& out) const {
   }
   root.set("verdicts", JsonValue(std::move(verdict_values)));
   out << root.dump(2) << "\n";
+}
+
+void add_gap_metric(BenchVerdict& verdict, const std::string& prefix,
+                    double objective, double lower_bound) {
+  const double gap =
+      lower_bound > 0.0 ? 100.0 * (objective - lower_bound) / lower_bound
+                        : std::numeric_limits<double>::quiet_NaN();
+  verdict.metrics.emplace_back(prefix + "_gap_pct", gap);
+  verdict.metrics.emplace_back(
+      prefix + "_lower_bound",
+      lower_bound > 0.0 ? lower_bound
+                        : std::numeric_limits<double>::quiet_NaN());
 }
 
 bool BenchReport::write_file(const std::string& path) const {

@@ -45,4 +45,17 @@ struct BenchReport {
   bool write_file(const std::string& path) const;
 };
 
+/// Appends the optimality-gap metric pair for one objective:
+///   "<prefix>_gap_pct"     = 100·(objective − lb)/lb   (gated: bench_diff
+///                            treats unrecognized metrics as lower-is-
+///                            better, which is exactly right for a gap)
+///   "<prefix>_lower_bound" = lb  (informational: "bound" in the name
+///                            opts it out of gating — docs/observability.md)
+/// A non-positive lower bound serializes both as null rather than gating
+/// on garbage. bounds::optimality_gap_pct computes the same definition;
+/// this lives here so every bench threads gaps through BenchReport the
+/// same way.
+void add_gap_metric(BenchVerdict& verdict, const std::string& prefix,
+                    double objective, double lower_bound);
+
 }  // namespace gridsched::obs

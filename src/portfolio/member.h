@@ -90,6 +90,36 @@ class CmaMember final : public PortfolioMember {
   std::string name_;
 };
 
+/// Tuning for the LAHC member below.
+struct LahcConfig {
+  FitnessWeights weights{};
+  /// Length of the late-acceptance fitness history. The classic
+  /// Burke-Bykov guidance: longer = slower convergence, better quality;
+  /// the default suits 25 ms activation slices.
+  int history_length = 64;
+};
+
+/// Late Acceptance Hill-Climbing (Burke & Bykov) over the evaluator's
+/// allocation-free move/swap previews. Near-parameter-free: a candidate
+/// is accepted when it beats either the current solution or the solution
+/// from `history_length` steps ago, which lets the walk traverse plateaus
+/// and shallow worsenings without a cooling schedule. Seeds from the best
+/// warm-start elite when the cache offers one, else from MCT, and tracks
+/// the best-so-far separately — so it is never worse than its seed.
+class LahcMember final : public PortfolioMember {
+ public:
+  explicit LahcMember(LahcConfig config = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] MemberResult solve(const EtcMatrix& etc,
+                                   const StopCondition& stop,
+                                   std::span<const Schedule> warm,
+                                   std::uint64_t seed) override;
+
+ private:
+  LahcConfig config_;
+};
+
 /// Struggle GA baseline under the activation budget.
 class StruggleGaMember final : public PortfolioMember {
  public:

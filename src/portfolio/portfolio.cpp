@@ -83,6 +83,9 @@ PortfolioBatchScheduler::default_members(const PortfolioConfig& config) {
   StruggleGaConfig ga;
   ga.weights = config.weights;
   members.push_back(std::make_unique<StruggleGaMember>(ga));
+  LahcConfig lahc;
+  lahc.weights = config.weights;
+  members.push_back(std::make_unique<LahcMember>(lahc));
   CmaConfig cma;  // Table 1 settings
   cma.weights = config.weights;
   members.push_back(std::make_unique<CmaMember>(cma, /*synchronous=*/false));

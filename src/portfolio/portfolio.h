@@ -98,8 +98,9 @@ class PortfolioBatchScheduler final : public BatchScheduler {
                           std::vector<std::unique_ptr<PortfolioMember>> members,
                           ThreadPool& shared_pool);
 
-  /// MCT + Min-Min + Struggle GA + async cMA + sync cMA, all configured
-  /// with `config.weights` (paper Table 1 settings for the cMAs).
+  /// MCT + Min-Min + Struggle GA + LAHC + async cMA + sync cMA, all
+  /// configured with `config.weights` (paper Table 1 settings for the
+  /// cMAs; default history length for LAHC).
   [[nodiscard]] static std::vector<std::unique_ptr<PortfolioMember>>
   default_members(const PortfolioConfig& config);
 

@@ -3,8 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <string>
+#include <vector>
 
+#include "bounds/lower_bound.h"
+#include "bounds/simplex.h"
 #include "cma/cma.h"
 #include "core/evaluator.h"
 #include "etc/instance.h"
@@ -60,15 +65,21 @@ TEST_P(BoundsSuiteTest, EverySchedulerRespectsTheBounds) {
   spec.num_jobs = 96;
   spec.num_machines = 8;
   const EtcMatrix etc = generate_instance(spec);
-  const double makespan_floor = makespan_lower_bound(etc);
+  // The LP-relaxation bound dominates the cheap floors wherever the
+  // simplex proves optimality (it does at this size), so assert against
+  // the combined bound — the strictest floor the library can state.
+  const auto bound = bounds::makespan_bound(etc);
+  ASSERT_EQ(bound.lp_status, bounds::LpBoundStatus::kOptimal);
+  const double makespan_floor = bound.value;
   const double flowtime_floor = flowtime_lower_bound(etc);
   ASSERT_GT(makespan_floor, 0.0);
+  EXPECT_GE(bound.value, makespan_lower_bound(etc));
 
   ScheduleEvaluator eval(etc);
   Rng rng(3);
   for (HeuristicKind kind : all_heuristics()) {
     eval.reset(construct_schedule(kind, etc, rng));
-    EXPECT_GE(eval.makespan(), makespan_floor * (1 - 1e-12))
+    EXPECT_GE(eval.makespan(), makespan_floor * (1 - 1e-9))
         << heuristic_name(kind);
     EXPECT_GE(eval.flowtime(), flowtime_floor * (1 - 1e-12))
         << heuristic_name(kind);
@@ -78,8 +89,210 @@ TEST_P(BoundsSuiteTest, EverySchedulerRespectsTheBounds) {
   config.stop = StopCondition{.max_evaluations = 1'000};
   config.seed = 9;
   const auto result = CellularMemeticAlgorithm(config).run(etc);
-  EXPECT_GE(result.best.objectives.makespan, makespan_floor * (1 - 1e-12));
+  EXPECT_GE(result.best.objectives.makespan, makespan_floor * (1 - 1e-9));
   EXPECT_GE(result.best.objectives.flowtime, flowtime_floor * (1 - 1e-12));
+}
+
+// ---------------------------------------------------------------------------
+// The dense two-phase simplex behind the LP-relaxation bound.
+
+TEST(Simplex, SolvesAKnownTinyLp) {
+  // min -x - 2y  s.t.  x + y <= 3, x <= 2, y <= 2  ->  x=1, y=2, obj -5.
+  bounds::LinearProgram lp;
+  lp.objective = {-1.0, -2.0};
+  lp.constraints.push_back({{1.0, 1.0}, bounds::Relation::kLessEqual, 3.0});
+  lp.constraints.push_back({{1.0, 0.0}, bounds::Relation::kLessEqual, 2.0});
+  lp.constraints.push_back({{0.0, 1.0}, bounds::Relation::kLessEqual, 2.0});
+  const auto result = bounds::solve_simplex(lp);
+  ASSERT_EQ(result.status, bounds::SimplexStatus::kOptimal);
+  EXPECT_NEAR(result.objective, -5.0, 1e-9);
+  ASSERT_EQ(result.x.size(), 2u);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, HandlesEqualityAndGreaterEqualRows) {
+  // min x + y  s.t.  x + y = 2, x >= 0.5  ->  x=0.5 (any split), obj 2.
+  bounds::LinearProgram lp;
+  lp.objective = {1.0, 1.0};
+  lp.constraints.push_back({{1.0, 1.0}, bounds::Relation::kEqual, 2.0});
+  lp.constraints.push_back({{1.0, 0.0}, bounds::Relation::kGreaterEqual, 0.5});
+  const auto result = bounds::solve_simplex(lp);
+  ASSERT_EQ(result.status, bounds::SimplexStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  bounds::LinearProgram lp;
+  lp.objective = {1.0};
+  lp.constraints.push_back({{1.0}, bounds::Relation::kGreaterEqual, 2.0});
+  lp.constraints.push_back({{1.0}, bounds::Relation::kLessEqual, 1.0});
+  EXPECT_EQ(bounds::solve_simplex(lp).status,
+            bounds::SimplexStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // min -x  s.t.  x >= 1: x can grow forever.
+  bounds::LinearProgram lp;
+  lp.objective = {-1.0};
+  lp.constraints.push_back({{1.0}, bounds::Relation::kGreaterEqual, 1.0});
+  EXPECT_EQ(bounds::solve_simplex(lp).status,
+            bounds::SimplexStatus::kUnbounded);
+}
+
+TEST(Simplex, PivotBudgetIsAFirstClassStatus) {
+  bounds::LinearProgram lp;
+  lp.objective = {-1.0, -2.0};
+  lp.constraints.push_back({{1.0, 1.0}, bounds::Relation::kLessEqual, 3.0});
+  lp.constraints.push_back({{1.0, 0.0}, bounds::Relation::kLessEqual, 2.0});
+  bounds::SimplexOptions options;
+  options.max_pivots = 0;
+  EXPECT_EQ(bounds::solve_simplex(lp, options).status,
+            bounds::SimplexStatus::kPivotLimit);
+}
+
+// ---------------------------------------------------------------------------
+// The combined makespan bound (cheap floors + LP relaxation).
+
+/// Exhaustive R||Cmax optimum: all m^n assignments. Only for tiny n.
+double exhaustive_optimal_makespan(const EtcMatrix& etc) {
+  const int n = etc.num_jobs();
+  const int m = etc.num_machines();
+  std::vector<int> assign(static_cast<std::size_t>(n), 0);
+  std::vector<double> load(static_cast<std::size_t>(m));
+  double best = std::numeric_limits<double>::infinity();
+  for (;;) {
+    for (int k = 0; k < m; ++k) {
+      load[static_cast<std::size_t>(k)] = etc.ready_time(k);
+    }
+    for (int j = 0; j < n; ++j) {
+      load[static_cast<std::size_t>(assign[static_cast<std::size_t>(j)])] +=
+          etc(j, assign[static_cast<std::size_t>(j)]);
+    }
+    best = std::min(best, *std::max_element(load.begin(), load.end()));
+    int digit = 0;
+    while (digit < n && ++assign[static_cast<std::size_t>(digit)] == m) {
+      assign[static_cast<std::size_t>(digit)] = 0;
+      ++digit;
+    }
+    if (digit == n) break;
+  }
+  return best;
+}
+
+TEST(LpBound, NeverExceedsTheExhaustiveOptimum) {
+  // 6 jobs x 3 machines: 729 schedules, brute-forceable, across all 12
+  // Braun classes. The LP value and the combined bound must both sit at
+  // or below the true optimum.
+  for (InstanceSpec spec : braun_benchmark_suite()) {
+    spec.num_jobs = 6;
+    spec.num_machines = 3;
+    const EtcMatrix etc = generate_instance(spec);
+    const double optimal = exhaustive_optimal_makespan(etc);
+    const auto bound = bounds::makespan_bound(etc);
+    ASSERT_EQ(bound.lp_status, bounds::LpBoundStatus::kOptimal) << spec.name();
+    EXPECT_LE(bound.lp, optimal * (1 + 1e-9)) << spec.name();
+    EXPECT_LE(bound.value, optimal * (1 + 1e-9)) << spec.name();
+    EXPECT_GT(bound.value, 0.0) << spec.name();
+  }
+}
+
+TEST(LpBound, MatchesTheLoadBoundOnUniformInstances) {
+  // All-equal ETC: the LP splits every job evenly, T = n·e/m exactly, and
+  // that equals the fractional load bound (here it is tight).
+  EtcMatrix etc(8, 4, std::vector<double>(32, 5.0));
+  const auto bound = bounds::makespan_bound(etc);
+  ASSERT_EQ(bound.lp_status, bounds::LpBoundStatus::kOptimal);
+  EXPECT_NEAR(bound.lp, 10.0, 1e-9);
+  EXPECT_NEAR(bound.value, 10.0, 1e-9);
+}
+
+TEST(LpBound, DominatesTheLoadAndReadyBounds) {
+  // Weak LP duality: uniform machine weights recover the load bound and a
+  // single-machine weight recovers the ready bound, so the LP optimum can
+  // never sit below either (it CAN sit below the per-job bound — next
+  // test). Checked across all classes at an odd shape.
+  for (InstanceSpec spec : braun_benchmark_suite()) {
+    spec.num_jobs = 40;
+    spec.num_machines = 7;
+    const EtcMatrix etc = generate_instance(spec);
+    const auto bound = bounds::makespan_bound(etc);
+    ASSERT_EQ(bound.lp_status, bounds::LpBoundStatus::kOptimal) << spec.name();
+    EXPECT_GE(bound.lp, load_lower_bound(etc) * (1 - 1e-9)) << spec.name();
+    EXPECT_GE(bound.lp, ready_time_bound(etc) * (1 - 1e-9)) << spec.name();
+    EXPECT_GE(bound.value, makespan_lower_bound(etc)) << spec.name();
+  }
+}
+
+TEST(LpBound, CanSitBelowTheJobBoundAndTheMaxStillWins) {
+  // One unit job on two machines: the LP splits it (T = 0.5) but no real
+  // schedule finishes before 1.0 — which is why the combined bound takes
+  // max(cheap, LP) instead of trusting the LP alone.
+  EtcMatrix etc(1, 2, {1.0, 1.0});
+  const auto bound = bounds::makespan_bound(etc);
+  ASSERT_EQ(bound.lp_status, bounds::LpBoundStatus::kOptimal);
+  EXPECT_NEAR(bound.lp, 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(bound.value, 1.0);
+}
+
+TEST(LpBound, TightensTheCheapBoundOnHeterogeneousMachines) {
+  // Three jobs that run 100x slower on m1: the load bound pretends the
+  // fast machine can absorb everything, the LP knows the split is lossy.
+  EtcMatrix etc(3, 2, {10, 1000, 10, 1000, 10, 1000});
+  const auto bound = bounds::makespan_bound(etc);
+  ASSERT_EQ(bound.lp_status, bounds::LpBoundStatus::kOptimal);
+  EXPECT_GT(bound.lp, makespan_lower_bound(etc) * 1.5);
+  // Exhaustive optimum at this size confirms validity.
+  EXPECT_LE(bound.value,
+            exhaustive_optimal_makespan(etc) * (1 + 1e-9));
+}
+
+TEST(LpBound, PivotOrderIsDeterministic) {
+  // Bland's rule makes the pivot sequence a pure function of the input:
+  // two solves must agree bitwise, pivots included.
+  InstanceSpec spec;
+  spec.num_jobs = 48;
+  spec.num_machines = 6;
+  const EtcMatrix etc = generate_instance(spec);
+  const auto a = bounds::makespan_bound(etc);
+  const auto b = bounds::makespan_bound(etc);
+  ASSERT_EQ(a.lp_status, bounds::LpBoundStatus::kOptimal);
+  EXPECT_EQ(a.lp, b.lp);        // bitwise, not NEAR
+  EXPECT_EQ(a.value, b.value);  // bitwise
+  EXPECT_EQ(a.lp_pivots, b.lp_pivots);
+}
+
+TEST(LpBound, BudgetKnobsFallBackToTheCheapBound) {
+  InstanceSpec spec;
+  spec.num_jobs = 24;
+  spec.num_machines = 4;
+  const EtcMatrix etc = generate_instance(spec);
+  const double cheap = makespan_lower_bound(etc);
+
+  bounds::LpOptions disabled;
+  disabled.enabled = false;
+  auto result = bounds::makespan_bound(etc, disabled);
+  EXPECT_EQ(result.lp_status, bounds::LpBoundStatus::kDisabled);
+  EXPECT_DOUBLE_EQ(result.value, cheap);
+
+  bounds::LpOptions starved;
+  starved.max_pivots = 1;
+  result = bounds::makespan_bound(etc, starved);
+  EXPECT_EQ(result.lp_status, bounds::LpBoundStatus::kPivotLimit);
+  EXPECT_DOUBLE_EQ(result.value, cheap);
+
+  bounds::LpOptions cramped;
+  cramped.max_tableau_cells = 16;
+  result = bounds::makespan_bound(etc, cramped);
+  EXPECT_EQ(result.lp_status, bounds::LpBoundStatus::kTooLarge);
+  EXPECT_DOUBLE_EQ(result.value, cheap);
+}
+
+TEST(LpBound, GapHelperDefinition) {
+  EXPECT_DOUBLE_EQ(bounds::optimality_gap_pct(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(bounds::optimality_gap_pct(100.0, 100.0), 0.0);
+  EXPECT_TRUE(std::isnan(bounds::optimality_gap_pct(100.0, 0.0)));
+  EXPECT_TRUE(std::isnan(bounds::optimality_gap_pct(100.0, -1.0)));
 }
 
 TEST(Bounds, LoadBoundTightForUniformInstances) {

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <string>
+#include <tuple>
 
 #include "etc/instance.h"
 
@@ -251,6 +252,100 @@ TEST(LocalSearch, NamesAreStable) {
   EXPECT_EQ(local_search_name(LocalSearchKind::kLocalMove), "LM");
   EXPECT_EQ(local_search_name(LocalSearchKind::kSteepestLocalMove), "SLM");
   EXPECT_EQ(local_search_name(LocalSearchKind::kLmcts), "LMCTS");
+  EXPECT_EQ(local_search_name(LocalSearchKind::kVns), "VNS");
+}
+
+TEST(Vns, LadderWithEscalationDisabledIsBitwiseSteepestMove) {
+  // With vns_max_rung = 0 the ladder never leaves rung 0, which delegates
+  // to the SLM step: same RNG draws, same previews, same applies — the
+  // walks must agree bitwise (schedule, objectives, stats).
+  const EtcMatrix etc = test_instance();
+  Rng seed_rng(20);
+  const Schedule start =
+      Schedule::random(etc.num_jobs(), etc.num_machines(), seed_rng);
+
+  auto run = [&](LocalSearchKind kind) {
+    ScheduleEvaluator eval(etc);
+    eval.reset(start);
+    Rng rng(21);
+    LocalSearchConfig config{kind, 12};
+    config.vns_max_rung = 0;
+    const auto stats = local_search(config, kWeights, eval, rng);
+    return std::tuple{eval.schedule(), eval.makespan(), eval.flowtime(),
+                      stats.iterations_run, stats.improvements,
+                      stats.previews};
+  };
+  EXPECT_EQ(run(LocalSearchKind::kVns),
+            run(LocalSearchKind::kSteepestLocalMove));
+}
+
+TEST(Vns, NeverWorsensAndLeavesAConsistentState) {
+  const EtcMatrix etc = test_instance();
+  Rng rng(22);
+  ScheduleEvaluator eval(etc);
+  for (int trial = 0; trial < 10; ++trial) {
+    eval.reset(Schedule::random(etc.num_jobs(), etc.num_machines(), rng));
+    const double before = eval.fitness(kWeights);
+    LocalSearchConfig config{LocalSearchKind::kVns, 20};
+    const auto stats = local_search(config, kWeights, eval, rng);
+    EXPECT_LE(eval.fitness(kWeights), before + 1e-9);
+    EXPECT_EQ(stats.iterations_run, 20);  // no deterministic early break
+    eval.check_consistency();
+  }
+}
+
+TEST(Vns, EjectionChainRungFixesWhatSingleMovesCannot) {
+  // Start anti-optimal on a 2-machine instance where single moves off the
+  // critical machine stall (every relocation overloads the target) but
+  // the two-move chain — move a critical job over, eject one back —
+  // makes progress. Force the chain rung by running enough iterations.
+  EtcMatrix etc(4, 2, {1, 100, 100, 1, 1, 100, 100, 1});
+  Schedule bad(4);
+  bad[0] = 1;
+  bad[1] = 0;
+  bad[2] = 1;
+  bad[3] = 0;
+  ScheduleEvaluator eval(etc);
+  eval.reset(bad);
+  EXPECT_DOUBLE_EQ(eval.makespan(), 200.0);
+  Rng rng(23);
+  LocalSearchConfig config{LocalSearchKind::kVns, 40};
+  const auto stats = local_search(config, kWeights, eval, rng);
+  EXPECT_GT(stats.improvements, 0);
+  EXPECT_DOUBLE_EQ(eval.makespan(), 2.0);  // the optimum for this instance
+  eval.check_consistency();
+}
+
+TEST(Vns, PreCancelledTokenCostsNothing) {
+  const EtcMatrix etc = test_instance(32, 4);
+  Rng rng(24);
+  ScheduleEvaluator eval(etc);
+  const Schedule start =
+      Schedule::random(etc.num_jobs(), etc.num_machines(), rng);
+  eval.reset(start);
+  CancellationSource source;
+  source.request_cancel();
+  const LocalSearchConfig config{LocalSearchKind::kVns, 20};
+  const auto stats = local_search(config, kWeights, eval, rng, source.token());
+  EXPECT_EQ(stats.iterations_run, 0);
+  EXPECT_EQ(stats.previews, 0);
+  EXPECT_EQ(eval.schedule(), start);
+}
+
+TEST(Vns, DeterministicInSeed) {
+  const EtcMatrix etc = test_instance();
+  Rng seed_rng(25);
+  const Schedule start =
+      Schedule::random(etc.num_jobs(), etc.num_machines(), seed_rng);
+  auto run = [&] {
+    ScheduleEvaluator eval(etc);
+    eval.reset(start);
+    Rng rng(26);
+    const LocalSearchConfig config{LocalSearchKind::kVns, 15};
+    local_search(config, kWeights, eval, rng);
+    return eval.schedule();
+  };
+  EXPECT_EQ(run(), run());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // gate (including the injected-synthetic-regression acceptance check).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -363,6 +364,32 @@ TEST(BenchDiff, ClassifiesMetricNames) {
   EXPECT_TRUE(obs::metric_higher_is_better("best_effort_delta"));
   EXPECT_FALSE(obs::metric_higher_is_better("makespan_pct"));
   EXPECT_FALSE(obs::metric_higher_is_better("miss_pp"));
+
+  // The optimality-gap pair every --gap bench emits (add_gap_metric):
+  // the gap itself gates lower-is-better, the bound echo stays
+  // informational ("bound" in the name). CI's table2 leg relies on this.
+  EXPECT_EQ(obs::classify_metric("cma_makespan_gap_pct", options),
+            MetricClass::kGated);
+  EXPECT_FALSE(obs::metric_higher_is_better("cma_makespan_gap_pct"));
+  EXPECT_EQ(obs::classify_metric("makespan_lower_bound", options),
+            MetricClass::kInformational);
+}
+
+TEST(BenchReport, AddGapMetricEmitsTheGatedPair) {
+  obs::BenchVerdict verdict;
+  obs::add_gap_metric(verdict, "cma_makespan", 110.0, 100.0);
+  ASSERT_EQ(verdict.metrics.size(), 2u);
+  EXPECT_EQ(verdict.metrics[0].first, "cma_makespan_gap_pct");
+  EXPECT_DOUBLE_EQ(verdict.metrics[0].second, 10.0);
+  EXPECT_EQ(verdict.metrics[1].first, "cma_makespan_lower_bound");
+  EXPECT_DOUBLE_EQ(verdict.metrics[1].second, 100.0);
+
+  // A non-positive bound must not fabricate a gated gap: both serialize
+  // as null (NaN) instead.
+  obs::BenchVerdict degenerate;
+  obs::add_gap_metric(degenerate, "x", 5.0, 0.0);
+  EXPECT_TRUE(std::isnan(degenerate.metrics[0].second));
+  EXPECT_TRUE(std::isnan(degenerate.metrics[1].second));
 }
 
 TEST(BenchDiff, InjectedRegressionBeyondToleranceGates) {

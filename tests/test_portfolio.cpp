@@ -313,6 +313,92 @@ TEST(UcbPolicy, RejectsBadConfig) {
 
 // ------------------------------------------------------------ portfolio --
 
+// ----------------------------------------------------------------- lahc --
+
+TEST(LahcMember, PreCancelledTokenStillReturnsACompleteSchedule) {
+  // Mirrors the cancellation contract every member honors: a token that
+  // fired before solve() must still yield a complete schedule (the
+  // constructive seed at worst), near-instantly.
+  const EtcMatrix etc = small_instance(64, 8);
+  CancellationSource source;
+  source.request_cancel();
+  StopCondition stop;
+  stop.cancel = source.token();
+  LahcMember member;
+  const MemberResult result = member.solve(etc, stop, {}, 5);
+  EXPECT_TRUE(result.best.schedule.complete(etc.num_machines()));
+  EXPECT_TRUE(std::isfinite(result.best.fitness));
+}
+
+TEST(LahcMember, NeverWorseThanItsSeed) {
+  // Without warm starts LAHC seeds from MCT; the best-so-far tracking
+  // guarantees the result never falls behind that seed, whatever the
+  // late-acceptance walk wanders through.
+  const EtcMatrix etc = small_instance(64, 8);
+  Rng rng(17);
+  const Individual seed_individual =
+      make_individual(construct_schedule(HeuristicKind::kMct, etc, rng),
+                      etc, FitnessWeights{});
+  LahcMember member;
+  StopCondition stop;
+  stop.max_evaluations = 2'000;
+  const MemberResult result = member.solve(etc, stop, {}, 17);
+  EXPECT_LE(result.best.fitness, seed_individual.fitness);
+  EXPECT_TRUE(result.best.schedule.complete(etc.num_machines()));
+}
+
+TEST(LahcMember, SeedsFromTheBestWarmElite) {
+  // Hand the member a warm schedule that is better than anything a short
+  // budget could find from scratch: the result must be at least that good.
+  const EtcMatrix etc = small_instance(48, 6);
+  Rng rng(23);
+  const Schedule warm_best =
+      construct_schedule(HeuristicKind::kMinMin, etc, rng);
+  const Schedule warm_other =
+      Schedule::random(etc.num_jobs(), etc.num_machines(), rng);
+  const double warm_fitness =
+      make_individual(warm_best, etc, FitnessWeights{}).fitness;
+  const std::vector<Schedule> warm{warm_other, warm_best};
+  LahcMember member;
+  StopCondition stop;
+  stop.max_evaluations = 500;
+  const MemberResult result = member.solve(etc, stop, warm, 23);
+  EXPECT_LE(result.best.fitness, warm_fitness);
+}
+
+TEST(LahcMember, ImprovesOnItsSeedGivenBudget) {
+  const EtcMatrix etc = small_instance(96, 8);
+  Rng rng(29);
+  const double seed_fitness =
+      make_individual(construct_schedule(HeuristicKind::kMct, etc, rng),
+                      etc, FitnessWeights{}).fitness;
+  LahcMember member;
+  StopCondition stop;
+  stop.max_evaluations = 20'000;
+  const MemberResult result = member.solve(etc, stop, {}, 29);
+  EXPECT_LT(result.best.fitness, seed_fitness);
+  EXPECT_LE(result.evaluations, 20'000 + 1);
+}
+
+TEST(LahcMember, DeterministicInSeed) {
+  const EtcMatrix etc = small_instance(48, 6);
+  LahcMember member;
+  StopCondition stop;
+  stop.max_evaluations = 3'000;
+  const MemberResult a = member.solve(etc, stop, {}, 41);
+  const MemberResult b = member.solve(etc, stop, {}, 41);
+  EXPECT_EQ(a.best.schedule, b.best.schedule);
+  EXPECT_EQ(a.best.fitness, b.best.fitness);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(Portfolio, DefaultMembersIncludeLahc) {
+  const PortfolioConfig config;
+  const auto members = PortfolioBatchScheduler::default_members(config);
+  EXPECT_TRUE(std::any_of(members.begin(), members.end(),
+                          [](const auto& m) { return m->name() == "LAHC"; }));
+}
+
 TEST(Portfolio, DeterministicUnderFixedSeed) {
   const EtcMatrix etc = small_instance();
   PortfolioConfig config = deterministic_config();
